@@ -1,0 +1,43 @@
+"""E1 — §3.1, P1/P1': Floyd's method on the plain counting loop.
+
+Paper artifact: the termination measure ``μ^T = max{y−x, 0}`` decreases on
+every iteration of ``P1``.  Rows: loop distance sweep — states explored,
+transitions checked, violations (always 0).  The benchmark times one full
+explore-and-check cycle at distance 1000.
+"""
+
+from common import record_table
+
+from repro.analysis import Table
+from repro.baselines import TerminationMeasure, check_termination_measure
+from repro.ts import explore
+from repro.workloads import p1
+
+DISTANCES = (10, 100, 1000, 10_000)
+
+
+def check_at(distance: int):
+    graph = explore(p1(distance))
+    measure = TerminationMeasure(
+        lambda s: max(s["y"] - s["x"], 0), description="max{y-x, 0}"
+    )
+    return graph, check_termination_measure(graph, measure)
+
+
+def test_e01_floyd_p1(benchmark):
+    table = Table(
+        "E1 — P1' (Floyd loop variant max{y−x, 0})",
+        ["distance", "states", "transitions", "violations", "verdict"],
+    )
+    for distance in DISTANCES:
+        graph, result = check_at(distance)
+        assert result.ok and result.complete
+        table.add(
+            distance,
+            len(graph),
+            result.transitions_checked,
+            len(result.violations),
+            "terminates (measure verified)",
+        )
+    record_table(table)
+    benchmark(check_at, 1000)

@@ -1,0 +1,49 @@
+"""E2 — §3.2, P2/P2': one unfairness hypothesis on top of T.
+
+Paper artifact: ``P2'`` annotates P2 with ``(ℓa / T: max{y−x, 0})``; the
+local conditions (V_a)/(V_T) hold on every iteration.  Rows: per distance,
+the active-level histogram — level 0 on exactly the ``la`` steps, level 1
+on exactly the ``lb`` steps, matching the (V_T)/(V_a) split of §3.2 — and
+Floyd's method failing on the same program.  The benchmark times the
+explore-and-check cycle at distance 500.
+"""
+
+from common import record_table
+
+from repro.analysis import Table, histogram_line
+from repro.baselines import TerminationMeasure, check_termination_measure
+from repro.measures import annotate
+from repro.ts import explore
+from repro.workloads import p2, p2_assertion
+
+DISTANCES = (10, 100, 500, 2000)
+
+
+def check_at(distance: int):
+    graph = explore(p2(distance))
+    result = annotate(p2(distance), p2_assertion()).check(graph=graph)
+    return graph, result
+
+
+def test_e02_stack_assertion_p2(benchmark):
+    table = Table(
+        "E2 — P2' (ℓa / T: max{y−x, 0})",
+        ["distance", "states", "stack check", "active levels", "Floyd alone"],
+    )
+    for distance in DISTANCES:
+        graph, result = check_at(distance)
+        assert result.is_fair_termination_measure
+        histogram = result.active_levels()
+        assert histogram == {0: distance, 1: distance}
+        floyd = check_termination_measure(
+            graph, TerminationMeasure(lambda s: max(s["y"] - s["x"], 0))
+        )
+        table.add(
+            distance,
+            len(graph),
+            "PASS",
+            histogram_line(histogram),
+            f"FAIL ({len(floyd.violations)} skip steps)",
+        )
+    record_table(table)
+    benchmark(check_at, 500)

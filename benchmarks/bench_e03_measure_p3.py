@@ -1,0 +1,55 @@
+"""E3 — §3.3, P3/P3': a progress measure for the unfairness hypothesis.
+
+Paper artifact: ``P3'`` attaches ``μ^{ℓa} = z mod 117`` to the
+ℓa-hypothesis; (V'_a)/(V'_T) hold on every iteration.  Rows: the paper's
+modulus 117 plus a sweep; for the unbounded paper program the check covers
+a bounded region (reported), for the ``z ≥ 0`` variant it is exact.  The
+benchmark times the exact check at modulus 117.
+"""
+
+from common import record_table
+
+from repro.analysis import Table
+from repro.measures import annotate
+from repro.ts import explore
+from repro.workloads import p3, p3_assertion, p3_bounded
+
+MODULI = (3, 17, 117)
+
+
+def exact_check(modulus: int):
+    program = p3_bounded(3, 240, modulus)
+    return annotate(program, p3_assertion(modulus)).check()
+
+
+def test_e03_progress_measure_p3(benchmark):
+    table = Table(
+        "E3 — P3' (ℓa: z mod m / T: max{y−x, 0})",
+        ["modulus", "variant", "states", "transitions", "verdict", "scope"],
+    )
+    for modulus in MODULI:
+        result = annotate(
+            p3(3, 240, modulus), p3_assertion(modulus)
+        ).check(max_states=2500)
+        assert result.ok
+        table.add(
+            modulus,
+            "paper (unbounded z)",
+            "2500 (bound)",
+            result.transitions_checked,
+            "PASS",
+            "explored region",
+        )
+        exact = exact_check(modulus)
+        assert exact.is_fair_termination_measure
+        graph = explore(p3_bounded(3, 240, modulus))
+        table.add(
+            modulus,
+            "z ≥ 0 variant",
+            len(graph),
+            exact.transitions_checked,
+            "PASS",
+            "complete",
+        )
+    record_table(table)
+    benchmark(exact_check, 117)

@@ -1,0 +1,47 @@
+"""E4 — §3.4 + §4.2, P4/P4': a hierarchy of unfairness hypotheses.
+
+Paper artifact: ``P4'`` stacks the ℓb-hypothesis above ℓa's; §4.2 argues,
+per executed command, which hypothesis is active.  Rows: that case
+analysis, mechanically — ``la`` discharges at level 0, ``lb`` at level 1,
+``lc`` at level 2 (level 1 where ℓa happens to be enabled: the §5 freedom
+of choice).  The benchmark times the exact check.
+"""
+
+from common import record_table
+
+from repro.analysis import Table, histogram_line
+from repro.measures import annotate
+from repro.ts import explore
+from repro.workloads import p4, p4_assertion, p4_bounded
+
+
+def exact_check():
+    return annotate(p4_bounded(3, 240), p4_assertion()).check()
+
+
+def test_e04_stack_hierarchy_p4(benchmark):
+    unbounded = annotate(p4(3, 240), p4_assertion()).check(max_states=2500)
+    assert unbounded.ok
+
+    result = exact_check()
+    assert result.is_fair_termination_measure
+    by_command = {}
+    for witness in result.witnesses:
+        histogram = by_command.setdefault(witness.transition.command, {})
+        histogram[witness.level] = histogram.get(witness.level, 0) + 1
+
+    table = Table(
+        "E4 — P4' §4.2 case analysis (active hypothesis per executed command)",
+        ["executed", "active levels (level:count)", "paper's argument"],
+    )
+    table.add("la", histogram_line(by_command["la"]),
+              "T active: μ^T decreases")
+    table.add("lb", histogram_line(by_command["lb"]),
+              "ℓa-hypothesis active: enabled, or z mod 117 decreases")
+    table.add("lc", histogram_line(by_command["lc"]),
+              "ℓb-hypothesis active: ℓb enabled, not executed")
+    assert set(by_command["la"]) == {0}
+    assert set(by_command["lb"]) == {1}
+    assert 2 in by_command["lc"] and set(by_command["lc"]) <= {1, 2}
+    record_table(table)
+    benchmark(exact_check)

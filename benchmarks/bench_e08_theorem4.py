@@ -1,0 +1,79 @@
+"""E8 — Theorem 4 and footnote 1: the recursive semi-measure.
+
+Paper artifact: a recursive ``(μ, (W, ≻))`` exists uniformly in the
+program, and it is a measure — ``(W, ≻)`` well-founded — iff the program
+fairly terminates.  Footnote 1 places the problem at Π¹₁-complete, so *no
+finite audit can decide it*; the rows make that concrete:
+
+* ``P2``: the longest explored ≻-chain **plateaus** (the limit order has
+  bounded chains);
+* ``rings(2)``: fairly terminates, yet chains keep growing — the limit is
+  well-founded with chains of every finite length (order type ≥ ω).
+  Growth alone cannot refute fair termination;
+* ``Spin``/``Lazy``: chains grow because the limit genuinely contains an
+  infinite descent — no measure exists.
+
+Distinguishing the last two cases is exactly what the finite audit cannot
+do (Π¹₁-completeness); for finite-state programs the decision procedure of
+E12 settles it instead.  The benchmark times a depth-8 audit of P2.
+"""
+
+from common import record_table
+
+from repro.analysis import Table
+from repro.completeness import semi_measure
+from repro.gcl import parse_program
+from repro.workloads import nested_rings, p2
+
+DEPTHS = (3, 6, 9, 12)
+
+
+def spin():
+    return parse_program("program Spin var x := 0 do go: true -> skip od")
+
+
+def lazy():
+    # Terminates for 3 steps, then spins: not fairly terminating.
+    return parse_program(
+        """
+        program Lazy
+        var x := 0
+        do
+             work: x < 3 -> x := x + 1
+          [] rest: x >= 3 -> skip
+        od
+        """
+    )
+
+
+def audit_p2():
+    return semi_measure(p2(3)).audit(8)
+
+
+def test_e08_semi_measure_chains(benchmark):
+    systems = [
+        ("P2(3)", lambda: p2(3), True, "plateau (bounded chains)"),
+        ("rings(2)", lambda: nested_rings(2), True,
+         "growth, limit still well-founded (≥ ω)"),
+        ("Spin", spin, False, "growth, infinite descent in the limit"),
+        ("Lazy", lazy, False, "growth, infinite descent in the limit"),
+    ]
+    table = Table(
+        "E8 — Theorem 4: longest ≻-chain vs audit depth "
+        "(finite audits cannot decide well-foundedness — footnote 1)",
+        ["system", "fairly terminates", "limit (W, ≻)"]
+        + [f"depth {d}" for d in DEPTHS],
+    )
+    results = {}
+    for name, make, fair, story in systems:
+        chains = [semi_measure(make()).audit(d).longest_chain for d in DEPTHS]
+        results[name] = chains
+        table.add(name, "yes" if fair else "NO", story, *chains)
+    # P2 plateaus; the ill-founded systems grow by at least one per
+    # depth-step in the tail; rings(2) grows despite fair termination.
+    assert results["P2(3)"][-1] == results["P2(3)"][-2]
+    assert results["Spin"] == [3, 6, 9, 12]
+    assert results["Lazy"][-1] > results["Lazy"][-2]
+    assert results["rings(2)"][-1] > results["rings(2)"][-2]
+    record_table(table)
+    benchmark(audit_p2)

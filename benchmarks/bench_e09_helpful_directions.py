@@ -1,0 +1,58 @@
+"""E9 — §3.4 remark + §5: stack assertions vs helpful directions.
+
+Paper artifact: proving ``P4`` with the earlier recursive proof rules
+means "reason[ing] about three different programs: the original and two
+syntactically derived programs"; stack assertions annotate the one,
+unaltered program.  Rows: per workload — derived-program count, nesting
+depth (which equals the synthesised stack height: helpful directions
+identify one measure level at a time, §5), and total states reasoned
+about across derived programs vs the single annotation.  The benchmark
+times the helpful-directions proof on rings(3).
+"""
+
+from common import record_table
+
+from repro.analysis import Table
+from repro.baselines import helpful_directions_proof
+from repro.completeness import synthesize_measure
+from repro.measures import check_measure
+from repro.ts import explore
+from repro.workloads import counter_grid, nested_rings, p2, p4_bounded
+
+WORKLOADS = [
+    ("P2(6)", lambda: p2(6)),
+    ("P4b(2,10,5)", lambda: p4_bounded(2, 10, 5)),
+    ("rings(1)", lambda: nested_rings(1)),
+    ("rings(2)", lambda: nested_rings(2)),
+    ("rings(3)", lambda: nested_rings(3)),
+    ("rings(4)", lambda: nested_rings(4)),
+    ("grid(4,4)", lambda: counter_grid(4, 4)),
+]
+
+
+def test_e09_helpful_directions(benchmark):
+    table = Table(
+        "E9 — proof objects: stack assertions vs helpful directions",
+        ["workload", "states", "stack height", "stack: programs/states",
+         "HD: programs", "HD: nesting depth", "HD: states reasoned"],
+    )
+    for name, make in WORKLOADS:
+        graph = explore(make())
+        synthesis = synthesize_measure(graph)
+        check_measure(graph, synthesis.assignment()).raise_if_failed()
+        proof = helpful_directions_proof(graph)
+        # §5 correspondence: one derived level per stack level.
+        assert proof.nesting_depth == synthesis.max_stack_height()
+        table.add(
+            name,
+            len(graph),
+            synthesis.max_stack_height(),
+            f"1 / {len(graph)}",
+            proof.derived_program_count,
+            proof.nesting_depth,
+            proof.states_reasoned_about,
+        )
+    record_table(table)
+
+    rings_graph = explore(nested_rings(3))
+    benchmark(helpful_directions_proof, rings_graph)

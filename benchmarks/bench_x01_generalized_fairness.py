@@ -1,0 +1,84 @@
+"""X1 (extension) — generalized fairness ([FK84]) end to end.
+
+The paper notes its proofs "could have been formulated for Rabin pairs
+conditions (thus yielding a method for general fairness [FK84])"; this
+bench exercises that claim as implemented: the same escape-ring family is
+decided, synthesised and verified under three requirement sets —
+per-command strong fairness, group fairness plus the escape requirement,
+and group fairness alone (under which circling forever is fair and the
+system does *not* fairly terminate).  Rows: verdicts and measure shapes per
+requirement set; the benchmark times the generalized pipeline.
+"""
+
+from common import record_table
+
+from repro.analysis import Table
+from repro.completeness import NotFairlyTerminatingError, synthesize_measure
+from repro.fairness import (
+    check_general_fair_termination,
+    command_requirements,
+    group_requirement,
+)
+from repro.measures import check_measure
+from repro.ts import explore
+from repro.workloads import escape_ring
+
+PERIODS = (2, 4, 8, 16)
+
+
+def requirement_sets(system):
+    per_command = command_requirements(system)
+    move = group_requirement(system, "move", ["advance"])
+    escape = next(r for r in per_command if r.name == "escape")
+    return [
+        ("per-command (paper)", per_command),
+        ("group move + escape", (move, escape)),
+        ("group move only", (move,)),
+    ]
+
+
+def pipeline(period):
+    system = escape_ring(period)
+    graph = explore(system)
+    results = []
+    for name, requirements in requirement_sets(system):
+        terminates, witness = check_general_fair_termination(graph, requirements)
+        if terminates:
+            synthesis = synthesize_measure(graph, requirements=requirements)
+            check = check_measure(
+                graph, synthesis.assignment(), requirements=requirements
+            )
+            assert check.ok
+            results.append((name, True, synthesis.max_stack_height(), None))
+        else:
+            try:
+                synthesize_measure(graph, requirements=requirements)
+                raise AssertionError("synthesis should fail")
+            except NotFairlyTerminatingError:
+                pass
+            results.append((name, False, None, witness))
+    return results
+
+
+def test_x01_generalized_fairness(benchmark):
+    table = Table(
+        "X1 — escape ring under three fairness-requirement sets",
+        ["period", "requirement set", "fairly terminates", "stack height",
+         "witness cycle"],
+    )
+    for period in PERIODS:
+        for name, terminates, height, witness in pipeline(period):
+            table.add(
+                period,
+                name,
+                "yes" if terminates else "NO",
+                height if height is not None else "—",
+                "—" if witness is None else ",".join(
+                    sorted(set(witness.lasso.cycle.commands))
+                ),
+            )
+    # The qualitative pattern: coarsening the requirements flips the verdict.
+    rows = pipeline(4)
+    assert rows[0][1] and rows[1][1] and not rows[2][1]
+    record_table(table)
+    benchmark(pipeline, 8)

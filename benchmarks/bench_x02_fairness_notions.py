@@ -1,0 +1,76 @@
+"""X2 (extension) — the [LPS81] trio: impartiality, justice, fairness.
+
+§2 cites [LPS81]'s hierarchy; the deciders make it a table.  Termination
+verdicts across notions satisfy ``weak-fair term ⟹ strong-fair term ⟹
+impartial term`` (asserted row by row), and the escape ring realises the
+strict middle gap — exactly the ``P3`` phenomenon (§3.3): a command enabled
+intermittently may be starved under justice but not under fairness.  The
+benchmark times the three deciders on the philosophers' graph.
+"""
+
+from common import record_table
+
+from repro.analysis import Table
+from repro.fairness import (
+    find_fair_cycle,
+    find_impartial_cycle,
+    find_weakly_fair_cycle,
+)
+from repro.ts import explore
+from repro.workloads import (
+    dining_philosophers,
+    escape_ring,
+    nested_rings,
+    p2,
+    p4_bounded,
+    token_ring,
+)
+
+WORKLOADS = [
+    ("P2(6)", lambda: p2(6)),
+    ("P4b(2,6,3)", lambda: p4_bounded(2, 6, 3)),
+    ("escape_ring(4)", lambda: escape_ring(4)),
+    ("rings(3)", lambda: nested_rings(3)),
+    ("philosophers(3)", lambda: dining_philosophers(3)),
+    ("token_ring(5)", lambda: token_ring(5)),
+]
+
+
+def verdicts(graph):
+    return (
+        find_weakly_fair_cycle(graph) is None,
+        find_fair_cycle(graph) is None,
+        find_impartial_cycle(graph) is None,
+    )
+
+
+def test_x02_fairness_notion_hierarchy(benchmark):
+    table = Table(
+        "X2 — termination under the [LPS81] notions "
+        "(weak ⟹ strong ⟹ impartial, per row)",
+        ["workload", "states", "weak-fair term", "strong-fair term",
+         "impartial term"],
+    )
+    gap_seen = False
+    for name, make in WORKLOADS:
+        graph = explore(make())
+        weak, strong, impartial = verdicts(graph)
+        # The hierarchy, asserted.
+        if weak:
+            assert strong, name
+        if strong:
+            assert impartial, name
+        if strong and not weak:
+            gap_seen = True
+        table.add(
+            name,
+            len(graph),
+            "yes" if weak else "NO",
+            "yes" if strong else "NO",
+            "yes" if impartial else "NO",
+        )
+    assert gap_seen  # the P3 phenomenon is realised in the zoo
+    record_table(table)
+
+    graph = explore(dining_philosophers(3))
+    benchmark(verdicts, graph)

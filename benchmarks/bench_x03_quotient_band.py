@@ -1,0 +1,57 @@
+"""X3 (ablation) — the Theorem 2 quotient's candidate-depth band.
+
+DESIGN.md calls out the one deliberate approximation in the reproduction:
+Theorem 2's minimum ranges over the infinite history tree, while we
+minimise over explored histories of bounded depth.  This ablation sweeps
+the candidate depth on ``P4b`` at a fixed unwinding depth of 14 and records
+where the quotient's verification conditions hold:
+
+* too shallow (below the base graph's eccentricity + stabilisation) — the
+  minimiser lacks candidates or picks immature values: FAIL;
+* a middle band — PASS;
+* too close to the exploration frontier — freshly allocated values still
+  have apparent descent-height 0 and the minimiser chases phantom minima:
+  FAIL.
+
+The default (``max_depth // 2``) sits in the band.  The benchmark times one
+in-band quotient.
+"""
+
+from common import record_table
+
+from repro.analysis import Table
+from repro.completeness import theorem2_quotient
+from repro.workloads import p4_bounded
+
+MAX_DEPTH = 14
+CANDIDATE_DEPTHS = (5, 6, 7, 8, 9, 10, 11, 12, 13, 14)
+
+
+def run(candidate_depth):
+    result = theorem2_quotient(
+        p4_bounded(2, 4, 2), max_depth=MAX_DEPTH, candidate_depth=candidate_depth
+    )
+    return result.verify()
+
+
+def test_x03_quotient_candidate_band(benchmark):
+    table = Table(
+        "X3 — Theorem 2 quotient: VC outcome vs candidate depth "
+        "(P4b, unwinding depth 14; default = 7)",
+        ["candidate depth", "VCs", "violations"],
+    )
+    outcomes = {}
+    for depth in CANDIDATE_DEPTHS:
+        try:
+            verification = run(depth)
+            ok = verification.ok
+            violations = len(verification.violations)
+        except ValueError:
+            ok, violations = False, "state unreached"
+        outcomes[depth] = ok
+        table.add(depth, "PASS" if ok else "FAIL", violations)
+    # The band: the default depth (7) passes; the frontier end fails.
+    assert outcomes[MAX_DEPTH // 2]
+    assert not outcomes[MAX_DEPTH]
+    record_table(table)
+    benchmark(run, MAX_DEPTH // 2)

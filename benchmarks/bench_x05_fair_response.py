@@ -1,0 +1,89 @@
+"""X5 (extension) — fair response, the [MP91] generalization (§2).
+
+Rows: the request/grant server family — fair termination fails (the server
+runs forever, fairly) while ``G(wait → F idle)`` holds; the synthesised
+response measure verifies on the pending region, and the degenerate
+property (trigger everywhere, respond at terminal states) coincides with
+fair termination on a random batch.  The benchmark times the full response
+pipeline (product, decision, synthesis, check).
+"""
+
+from common import record_table
+
+from repro.analysis import Table
+from repro.fairness import check_fair_termination
+from repro.response import (
+    ObligationSystem,
+    ResponseProperty,
+    check_fair_response,
+    check_response_measure,
+    pending_indices,
+    synthesize_response_measure,
+    termination_as_response,
+)
+from repro.ts import explore
+from repro.workloads import random_system, request_server
+
+SERVED = ResponseProperty(
+    name="served",
+    trigger=lambda s: s == "wait",
+    response=lambda s: s == "idle",
+)
+
+
+def pipeline(noise_states):
+    system = request_server(noise_states)
+    result = check_fair_response(system, SERVED)
+    assert result.holds
+    pending = pending_indices(result.product_graph)
+    synthesis = synthesize_response_measure(result.product_graph, pending)
+    check = check_response_measure(
+        result.product_graph, pending, synthesis.assignment()
+    )
+    assert check.ok
+    return result, synthesis
+
+
+def test_x05_fair_response(benchmark):
+    table = Table(
+        "X5 — fair response on the request/grant server family",
+        ["noise states", "product states", "pending", "fairly terminates",
+         "G(wait → F idle)", "measure", "hypothesis"],
+    )
+    for noise_states in (1, 4, 16, 64):
+        system = request_server(noise_states)
+        graph = explore(system)
+        terminates = check_fair_termination(graph).fairly_terminates
+        result, synthesis = pipeline(noise_states)
+        table.add(
+            noise_states,
+            len(result.product_graph),
+            result.pending_states,
+            "yes" if terminates else "NO",
+            "holds",
+            "verified",
+            synthesis.regions[0].helpful,
+        )
+        assert not terminates  # response is strictly more general here
+    record_table(table)
+
+    # Degenerate instance ≡ fair termination, on a random batch.
+    agree = 0
+    total = 0
+    for seed in range(60):
+        system = random_system(seed, states=8, commands=3, extra_edges=7)
+        graph = explore(system)
+        terminates = check_fair_termination(graph).fairly_terminates
+        response = check_fair_response(system, termination_as_response(system))
+        total += 1
+        if response.holds == terminates:
+            agree += 1
+    assert agree == total
+    reduction = Table(
+        "X5b — termination as the degenerate response property",
+        ["random systems", "verdicts agreeing with fair termination"],
+    )
+    reduction.add(total, f"{agree}/{total}")
+    record_table(reduction)
+
+    benchmark(pipeline, 16)

@@ -1,0 +1,79 @@
+"""X7 (extension) — fairness in practice: scheduler latency.
+
+The paper's hypotheses are about *all* fair schedules; this bench runs
+actual ones.  Rows: mean steps to termination of fairly terminating
+workloads under a round-robin scheduler, a seeded random scheduler (fair
+with probability 1), and the credit-bounded scheduler of the [AO83]
+baseline — plus the adversarial scheduler's non-termination as the
+control.  Every fair run terminates (asserted); the latencies show what
+the fairness assumption costs or buys operationally.  The benchmark times
+a round-robin run of the 400-state grid.
+"""
+
+import statistics
+
+from common import record_table
+
+from repro.analysis import Table
+from repro.baselines import ScheduledSystem
+from repro.fairness import (
+    AdversarialScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    simulate,
+)
+from repro.ts import explore
+from repro.workloads import counter_grid, p2, p4_bounded
+
+WORKLOADS = [
+    ("P2(50)", lambda: p2(50), "la"),
+    ("P4b(3,30,5)", lambda: p4_bounded(3, 30, 5), "la"),
+    ("grid(19,19)", lambda: counter_grid(19, 19), "step"),
+]
+
+RANDOM_SEEDS = range(12)
+
+
+def round_robin_run(system):
+    return simulate(
+        system, RoundRobinScheduler(system.commands()), max_steps=200_000
+    )
+
+
+def test_x07_scheduler_latency(benchmark):
+    table = Table(
+        "X7 — steps to termination by scheduler (fairly terminating workloads)",
+        ["workload", "states", "round-robin", "random (mean ± σ, 12 seeds)",
+         "credit K=2", "adversarial (starving one command)"],
+    )
+    for name, make, starve in WORKLOADS:
+        system = make()
+        states = len(explore(system))
+        rr = round_robin_run(system)
+        assert rr.terminated
+        random_steps = []
+        for seed in RANDOM_SEEDS:
+            run = simulate(system, RandomScheduler(seed), max_steps=500_000)
+            assert run.terminated
+            random_steps.append(run.steps)
+        credit_run = simulate(
+            ScheduledSystem(system, credit=2),
+            AdversarialScheduler(avoid={starve}),
+            max_steps=500_000,
+        )
+        assert credit_run.terminated  # the credits force fairness through
+        adversarial = simulate(
+            system, AdversarialScheduler(avoid={starve}), max_steps=5_000
+        )
+        assert not adversarial.terminated
+        table.add(
+            name,
+            states,
+            rr.steps,
+            f"{statistics.mean(random_steps):.0f} ± "
+            f"{statistics.pstdev(random_steps):.0f}",
+            credit_run.steps,
+            f"still running after {adversarial.steps}",
+        )
+    record_table(table)
+    benchmark(round_robin_run, counter_grid(19, 19))

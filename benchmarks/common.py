@@ -1,0 +1,26 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each bench regenerates one experiment's rows (see DESIGN.md §5 and
+EXPERIMENTS.md) as an :class:`repro.analysis.Table` and registers it with
+:func:`record_table`; the conftest's terminal-summary hook prints every
+registered table after the benchmark run, so the tables land in
+``bench_output.txt`` even under pytest's output capture.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.report import Table
+
+_TABLES: List[Table] = []
+
+
+def record_table(table: Table) -> None:
+    """Register an experiment table for end-of-run printing."""
+    _TABLES.append(table)
+
+
+def recorded_tables() -> List[Table]:
+    """All tables registered so far (consumed by the conftest hook)."""
+    return _TABLES

@@ -1,0 +1,18 @@
+"""Benchmark-session plumbing: print every experiment table at the end.
+
+``benchmarks/`` is not a package, so pytest puts this directory on
+``sys.path`` and the bench modules import :mod:`common` top-level.
+"""
+
+from common import recorded_tables
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    tables = recorded_tables()
+    if not tables:
+        return
+    terminalreporter.write_sep("=", "experiment tables (see EXPERIMENTS.md)")
+    for table in tables:
+        terminalreporter.write_line("")
+        for line in table.render().splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Beyond termination: fair response — every request is eventually served.
+
+The paper notes that fair *response* generalizes fair termination ([MP91]).
+A request/grant server never terminates — clients keep coming — yet under
+strong fairness it satisfies ``G(wait → F idle)``: a waiting request cannot
+be starved forever, because ``grant`` stays enabled.
+
+The same stack-assertion machinery proves it: measures live on the
+*pending* states (request raised, not yet served), the verification
+conditions are required on pending-to-pending transitions, and the starved
+command (``grant``) is the unfairness hypothesis.
+
+Run: ``python examples/fair_response.py``
+"""
+
+from repro.fairness import check_fair_termination
+from repro.response import (
+    ObligationSystem,
+    ResponseProperty,
+    check_fair_response,
+    check_response_measure,
+    pending_indices,
+    synthesize_response_measure,
+)
+from repro.ts import explore
+from repro.workloads import request_server
+
+
+def main() -> None:
+    system = request_server(noise_states=2)
+    graph = explore(system)
+    print(f"server: {graph.describe()}")
+
+    # Fair termination fails — and should: the server is meant to run
+    # forever (request/grant forever is a perfectly fair behaviour).
+    verdict = check_fair_termination(graph)
+    print(f"fair termination: {verdict}")
+
+    # But every request is served, under fairness.
+    served = ResponseProperty(
+        name="served",
+        trigger=lambda s: s == "wait",
+        response=lambda s: s == "idle",
+    )
+    result = check_fair_response(system, served)
+    print(f"G(wait → F idle): {result}")
+
+    # The proof object: a response measure on the pending states.
+    product_graph = result.product_graph
+    pending = pending_indices(product_graph)
+    synthesis = synthesize_response_measure(product_graph, pending)
+    check = check_response_measure(product_graph, pending, synthesis.assignment())
+    check.raise_if_failed()
+    print(f"response measure: {check.summary()}")
+    print("pending-state stacks (the starved 'grant' is the hypothesis):")
+    for index in pending:
+        state = product_graph.state_of(index)
+        print(f"  {state!r}: {synthesis.stacks[index].render()}")
+
+    # A property that fails, with a concrete fair counterexample.
+    never = ResponseProperty(
+        name="never", trigger=lambda s: s == "wait", response=lambda s: False
+    )
+    failing = check_fair_response(system, never)
+    print(f"\nG(wait → F false): {failing}")
+    print(f"counterexample: {failing.witness.lasso.describe()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Impartiality, justice, fairness — and what each does to the proofs.
+
+[LPS81] (which the paper builds on) orders the fairness notions:
+
+* **impartiality** — every command runs infinitely often;
+* **justice** (weak fairness) — every *continuously* enabled command runs
+  infinitely often;
+* **fairness** (strong) — every command enabled *infinitely often* runs
+  infinitely often.
+
+Stronger assumptions terminate more programs: ``weak-fair termination ⟹
+strong-fair termination ⟹ impartial termination``.  The escape ring —
+a loop whose exit is enabled only at one point of the cycle — sits exactly
+in the gap: justice tolerates circling forever (the exit is never
+*continuously* enabled), strong fairness does not.
+
+On the proof side the gap has a shape: justice measures are always *flat*
+(height ≤ 2), while strong fairness needs the paper's stacked hierarchies.
+
+Run: ``python examples/fairness_notions.py``
+"""
+
+from repro import check_measure, explore, synthesize_measure
+from repro.analysis import Table
+from repro.fairness import (
+    find_fair_cycle,
+    find_impartial_cycle,
+    find_weakly_fair_cycle,
+)
+from repro.measures.justice import (
+    NotWeaklyTerminatingError,
+    check_justice_measure,
+    synthesize_justice_measure,
+)
+from repro.workloads import escape_ring, nested_rings, p2
+
+
+def main() -> None:
+    table = Table(
+        "termination under the three notions",
+        ["system", "impartial", "strong", "weak (justice)"],
+    )
+    systems = [
+        ("P2(5)", p2(5)),
+        ("escape_ring(4)", escape_ring(4)),
+        ("nested_rings(2)", nested_rings(2)),
+    ]
+    for name, system in systems:
+        graph = explore(system)
+        table.add(
+            name,
+            "terminates" if find_impartial_cycle(graph) is None else "runs forever",
+            "terminates" if find_fair_cycle(graph) is None else "runs forever",
+            "terminates" if find_weakly_fair_cycle(graph) is None else "runs forever",
+        )
+    table.show()
+
+    print("\n== the escape ring, in detail ==")
+    system = escape_ring(4)
+    graph = explore(system)
+    weak_witness = find_weakly_fair_cycle(graph)
+    print("a weakly fair infinite run (the exit is never continuously enabled):")
+    print(f"  {weak_witness.lasso.describe()}")
+    print("yet under strong fairness the ring terminates — the measure:")
+    synthesis = synthesize_measure(graph)
+    check_measure(graph, synthesis.assignment()).raise_if_failed()
+    for index in range(len(graph)):
+        print(f"  {graph.state_of(index)!r}: {synthesis.stacks[index].render()}")
+
+    print("\n== proof shapes: justice is flat, strong fairness stacks ==")
+    for name, system in [("P2(5)", p2(5)), ("nested_rings(3)", nested_rings(3))]:
+        graph = explore(system)
+        strong = synthesize_measure(graph)
+        check_measure(graph, strong.assignment()).raise_if_failed()
+        try:
+            justice = synthesize_justice_measure(graph)
+            check_justice_measure(graph, justice.assignment()).raise_if_failed()
+            justice_note = f"justice height {justice.max_stack_height()}"
+        except NotWeaklyTerminatingError:
+            justice_note = "no justice termination at all"
+        print(
+            f"  {name}: strong-fairness height "
+            f"{strong.max_stack_height()}; {justice_note}"
+        )
+    print(
+        "\nthe hierarchy of unfairness hypotheses — the reason the paper's "
+        "stacks exist — is specifically a strong-fairness phenomenon."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Transfinite measures: when ℕ is not enough.
+
+§2 recalls the tie between fairness and countable nondeterminism ([AP86]):
+a command like ``choose n in 0 .. cap`` makes the number of remaining steps
+unbounded *before* the choice is resolved, so no single natural number can
+measure the distance to termination uniformly — but the ordinal ``ω`` can.
+The library's well-founded orders include the ordinals below ε₀ in Cantor
+normal form, and stack assertions take measures in any of them.
+
+Two demonstrations:
+
+1. **Floyd with ordinals** — a nested counter loop measured by ``ω·u + v``;
+2. **Fair termination with ordinals** — a phase program whose T-measure is
+   ``ω`` while the choice is pending and ``n`` afterwards, with a ``start``
+   unfairness hypothesis explaining the idle steps.
+
+Run: ``python examples/ordinal_measures.py``
+"""
+
+from repro import StackAssertion, annotate, explore, parse_program
+from repro.baselines import TerminationMeasure, check_termination_measure
+from repro.measures import HypothesisSpec, StackCase
+from repro.wf import OMEGA, ORDINALS, ordinal
+
+
+def nested_countdown():
+    """Refill an inner counter from an outer one: Floyd needs ``ω·u + v``."""
+    return parse_program(
+        """
+        program Nested
+        var u := 3, v := 0, cap := 5
+        do
+             refill: u > 0 and v == 0 -> u := u - 1; choose v in 0 .. cap
+          [] dec:    v > 0 -> v := v - 1
+        od
+        """
+    )
+
+
+def pending_choice():
+    """Idle before an unbounded-looking choice: fair termination at ``ω``."""
+    return parse_program(
+        """
+        program Pending
+        var phase := 1, n := 0, cap := 9
+        do
+             start: phase == 1 -> phase := 0; choose n in 0 .. cap
+          [] dec:   phase == 0 and n > 0 -> n := n - 1
+          [] idle:  phase == 1 -> skip
+        od
+        """
+    )
+
+
+def main() -> None:
+    # 1. Floyd, transfinite: ω·u + v strictly decreases on every step —
+    #    refill drops a whole ω-block, dec steps down inside one.
+    program = nested_countdown()
+    graph = explore(program)
+    measure = TerminationMeasure(
+        lambda s: OMEGA * s["u"] + ordinal(s["v"]),
+        order=ORDINALS,
+        description="ω·u + v",
+    )
+    result = check_termination_measure(graph, measure)
+    print(f"Nested: Floyd measure ω·u + v over {len(graph)} states: "
+          f"{result.summary()}")
+
+    # 2. Stack assertion with an ordinal T-measure: ω while the choice is
+    #    pending (any outcome is below it), n afterwards; the idle steps
+    #    are explained by the starved 'start' command.
+    program = pending_choice()
+    assertion = StackAssertion(
+        cases=[
+            StackCase(
+                hypotheses=(
+                    HypothesisSpec("start"),
+                    HypothesisSpec("T", lambda s: OMEGA),
+                ),
+                condition="phase == 1",
+            ),
+            StackCase(
+                hypotheses=(HypothesisSpec("T", lambda s: ordinal(s["n"])),),
+            ),
+        ],
+        order=ORDINALS,
+        description="(start / T: ω) while pending; (T: n) after",
+    )
+    proof = annotate(program, assertion)
+    result = proof.check()
+    result.raise_if_failed()
+    print(f"Pending: ordinal stack assertion: {result.summary()}")
+    print(
+        "  the start step realises ω ≻ n for whatever n the choice picked —"
+        " the descent no natural-number measure could promise uniformly."
+    )
+
+
+if __name__ == "__main__":
+    main()

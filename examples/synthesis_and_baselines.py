@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Deep unfairness hierarchies and the cost of earlier methods.
+
+The ``nested_rings`` family builds systems whose fair-termination proofs
+*need* stacks of unbounded height: region ``j`` can only starve its own
+escape command, so the synthesised measure stacks one unfairness hypothesis
+per nesting level.  The same programs make the paper's comparison with
+earlier methods quantitative:
+
+* **helpful directions** reasons about one derived program per region —
+  nesting depth equals the stack height, and states are re-visited once per
+  enclosing level;
+* the **explicit scheduler** transformation avoids derived programs but
+  multiplies the state space by credit counters.
+
+Run: ``python examples/synthesis_and_baselines.py``
+"""
+
+from repro import check_measure, explore, synthesize_measure
+from repro.analysis import Table
+from repro.baselines import compare_methods
+from repro.workloads import nested_rings
+
+
+def print_region_tree(region, indent="  "):
+    print(
+        f"{indent}level {region.level}: starves {region.helpful!r} "
+        f"over {len(region.states)} states"
+    )
+    for child in region.children:
+        print_region_tree(child, indent + "  ")
+
+
+def main() -> None:
+    print("== the onion: nested_rings(3) ==")
+    system = nested_rings(3)
+    graph = explore(system)
+    synthesis = synthesize_measure(graph)
+    check_measure(graph, synthesis.assignment()).raise_if_failed()
+    print("decomposition (each region starves its own escape):")
+    for region in synthesis.regions:
+        print_region_tree(region)
+    print("\nstacks (deepest at the innermost state b):")
+    for index in range(len(graph)):
+        state = graph.state_of(index)
+        print(f"  {state!r:8}: {synthesis.stacks[index].render()}")
+
+    print("\n== proof-object cost across methods ==")
+    table = Table(
+        "stack assertions vs helpful directions vs explicit scheduler",
+        ["system", "states", "method", "programs", "states reasoned", "notes"],
+    )
+    for depth in (1, 2, 3, 4):
+        graph = explore(nested_rings(depth))
+        comparison = compare_methods(f"rings({depth})", graph, scheduler_credit=2)
+        for method, programs, states, notes in comparison.rows():
+            table.add(f"rings({depth})", len(graph), method, programs, states, notes)
+    table.show()
+    print(
+        "\nstack assertions always annotate the one, unaltered program; the "
+        "earlier methods pay in derived programs or in state-space blowup — "
+        "the trade-off §1 and §5 of the paper describe."
+    )
+
+
+if __name__ == "__main__":
+    main()

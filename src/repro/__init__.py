@@ -1,0 +1,105 @@
+"""repro — stack assertions and progress measures for fair termination.
+
+A full reproduction of Nils Klarlund, *Progress Measures and Stack
+Assertions for Fair Termination*, PODC 1992:
+
+* a guarded-command language whose loops are the paper's
+  ``*[ ℓ: g → c □ ... ]`` programs (:mod:`repro.gcl`);
+* transition systems, exploration, SCCs, lassos (:mod:`repro.ts`);
+* well-founded orders up to ordinals below ε₀ (:mod:`repro.wf`);
+* strong fairness, the fair-termination decision and schedulers
+  (:mod:`repro.fairness`);
+* **stack assertions** and the verification conditions (V_A), (V_NonI),
+  (V_NoC), with Theorem 1 as an executable witness extractor
+  (:mod:`repro.measures`);
+* the completeness constructions: history variables, Theorem 3's tree
+  construction, Theorem 2's quotient, Theorem 4's recursive semi-measure,
+  and automatic measure synthesis for finite-state programs
+  (:mod:`repro.completeness`);
+* the earlier methods as baselines: Floyd, helpful directions, explicit
+  schedulers (:mod:`repro.baselines`);
+* Rabin pairs conditions and the §5 comparison with Rabin measures
+  (:mod:`repro.rabin`);
+* workloads and reporting (:mod:`repro.workloads`, :mod:`repro.analysis`).
+
+Quickstart::
+
+    from repro import parse_program, StackAssertion, annotate
+
+    program = parse_program('''
+        program P2
+        var x := 0, y := 10
+        do
+             la: x < y -> x := x + 1
+          [] lb: x < y -> skip
+        od
+    ''')
+    proof = annotate(program, StackAssertion.parse(
+        ["la", "T: max(y - x, 0)"]))
+    result = proof.check()
+    result.raise_if_failed()   # P2 fairly terminates.
+"""
+
+from repro.completeness import (
+    add_history_variable,
+    semi_measure,
+    synthesize_measure,
+    theorem2_quotient,
+    theorem3_construction,
+)
+from repro.fairness import (
+    FairnessRequirement,
+    check_fair_termination,
+    command_requirements,
+    find_fair_cycle,
+    find_impartial_cycle,
+    find_weakly_fair_cycle,
+    group_requirement,
+    predicate_requirement,
+    simulate,
+)
+from repro.response import ResponseProperty, check_fair_response
+from repro.gcl import parse_program
+from repro.measures import (
+    Hypothesis,
+    Stack,
+    StackAssertion,
+    StackAssignment,
+    annotate,
+    check_measure,
+    unfairness_witness,
+)
+from repro.ts import ExplicitSystem, TransitionSystem, explore
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "add_history_variable",
+    "semi_measure",
+    "synthesize_measure",
+    "theorem2_quotient",
+    "theorem3_construction",
+    "FairnessRequirement",
+    "check_fair_termination",
+    "command_requirements",
+    "find_fair_cycle",
+    "find_impartial_cycle",
+    "find_weakly_fair_cycle",
+    "group_requirement",
+    "predicate_requirement",
+    "simulate",
+    "ResponseProperty",
+    "check_fair_response",
+    "parse_program",
+    "Hypothesis",
+    "Stack",
+    "StackAssertion",
+    "StackAssignment",
+    "annotate",
+    "check_measure",
+    "unfairness_witness",
+    "ExplicitSystem",
+    "TransitionSystem",
+    "explore",
+    "__version__",
+]

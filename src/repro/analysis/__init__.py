@@ -1,0 +1,13 @@
+"""Reporting helpers used by the benchmark harness and the CLI."""
+
+from repro.analysis.profile import MeasureProfile, SubjectProfile, profile_measure
+from repro.analysis.report import Table, format_ratio, histogram_line
+
+__all__ = [
+    "MeasureProfile",
+    "SubjectProfile",
+    "profile_measure",
+    "Table",
+    "format_ratio",
+    "histogram_line",
+]

@@ -1,0 +1,63 @@
+"""Plain-text tables for experiment reports.
+
+The benchmark harness prints its rows through :class:`Table`, so the series
+recorded in ``EXPERIMENTS.md`` are regenerated verbatim by
+``pytest benchmarks/``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, List, Sequence
+
+
+@dataclass
+class Table:
+    """A fixed-column text table."""
+
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[Any]] = field(default_factory=list)
+
+    def add(self, *row: Any) -> None:
+        """Append one row (arity must match the headers)."""
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table {self.title!r} has "
+                f"{len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        """The table as aligned text."""
+        cells = [[str(h) for h in self.headers]] + [
+            [str(c) for c in row] for row in self.rows
+        ]
+        widths = [
+            max(len(row[i]) for row in cells) for i in range(len(self.headers))
+        ]
+        lines = [f"== {self.title} =="]
+        for number, row in enumerate(cells):
+            line = "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+            lines.append(line.rstrip())
+            if number == 0:
+                lines.append("-" * len(line))
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        """Print the rendered table (the bench harness's output channel)."""
+        print()
+        print(self.render())
+
+
+def format_ratio(numerator: float, denominator: float) -> str:
+    """``a/b`` as ``×N.N`` with divide-by-zero safety."""
+    if denominator == 0:
+        return "n/a"
+    return f"×{numerator / denominator:.1f}"
+
+
+def histogram_line(counts: dict, order: Iterable[Any] | None = None) -> str:
+    """Render ``{level: count}`` as ``0:27 1:3015 2:2961``."""
+    keys = list(order) if order is not None else sorted(counts)
+    return " ".join(f"{key}:{counts[key]}" for key in keys if key in counts)

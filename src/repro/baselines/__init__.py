@@ -1,0 +1,40 @@
+"""Earlier methods the paper compares against, as executable baselines."""
+
+from repro.baselines.compare import MethodComparison, compare_methods
+from repro.baselines.explicit_scheduler import (
+    ScheduledSystem,
+    SchedulerReport,
+    explicit_scheduler_report,
+)
+from repro.baselines.floyd import (
+    FloydCheckResult,
+    FloydViolation,
+    NotTerminatingError,
+    TerminationMeasure,
+    check_termination_measure,
+    synthesize_floyd,
+)
+from repro.baselines.helpful_directions import (
+    DerivedProgram,
+    HelpfulDirectionsFailure,
+    HelpfulDirectionsProof,
+    helpful_directions_proof,
+)
+
+__all__ = [
+    "MethodComparison",
+    "compare_methods",
+    "ScheduledSystem",
+    "SchedulerReport",
+    "explicit_scheduler_report",
+    "FloydCheckResult",
+    "FloydViolation",
+    "NotTerminatingError",
+    "TerminationMeasure",
+    "check_termination_measure",
+    "synthesize_floyd",
+    "DerivedProgram",
+    "HelpfulDirectionsFailure",
+    "HelpfulDirectionsProof",
+    "helpful_directions_proof",
+]

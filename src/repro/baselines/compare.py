@@ -1,0 +1,82 @@
+"""Side-by-side proof-object metrics: stack assertions vs earlier methods.
+
+The qualitative claim of the paper — stack assertions "summarize in a single
+data structure the information obtained by the program transformations of
+previous methods" — becomes a table here (experiments E9/E10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.baselines.explicit_scheduler import SchedulerReport, explicit_scheduler_report
+from repro.baselines.helpful_directions import (
+    HelpfulDirectionsProof,
+    helpful_directions_proof,
+)
+from repro.completeness.synthesis import SynthesisResult, synthesize_measure
+from repro.measures.verification import check_measure
+from repro.ts.explore import ReachableGraph
+
+
+@dataclass(frozen=True)
+class MethodComparison:
+    """One row per method for one program."""
+
+    program: str
+    states: int
+    #: stack assertions: always exactly one program reasoned about.
+    stack_programs: int
+    stack_height: int
+    stack_states_reasoned: int
+    hd_programs: int
+    hd_depth: int
+    hd_states_reasoned: int
+    scheduler: Optional[SchedulerReport]
+
+    def rows(self):
+        """(method, programs reasoned about, states reasoned, extra) rows."""
+        yield ("stack assertions", self.stack_programs, self.stack_states_reasoned,
+               f"stack height {self.stack_height}")
+        yield ("helpful directions", self.hd_programs, self.hd_states_reasoned,
+               f"nesting depth {self.hd_depth}")
+        if self.scheduler is not None:
+            yield (
+                f"explicit scheduler (K={self.scheduler.credit})",
+                1,
+                self.scheduler.scheduled_states,
+                f"state blowup ×{self.scheduler.blowup:.1f}",
+            )
+
+
+def compare_methods(
+    name: str,
+    graph: ReachableGraph,
+    scheduler_credit: Optional[int] = 2,
+) -> MethodComparison:
+    """Prove fair termination of ``graph`` three ways and collect metrics.
+
+    The synthesised stack measure is verified before being reported — a
+    comparison of an unsound proof object would be worthless.
+    """
+    synthesis: SynthesisResult = synthesize_measure(graph)
+    check = check_measure(graph, synthesis.assignment())
+    check.raise_if_failed()
+    hd: HelpfulDirectionsProof = helpful_directions_proof(graph)
+    scheduler = (
+        explicit_scheduler_report(graph, scheduler_credit)
+        if scheduler_credit is not None
+        else None
+    )
+    return MethodComparison(
+        program=name,
+        states=len(graph),
+        stack_programs=1,
+        stack_height=synthesis.max_stack_height(),
+        stack_states_reasoned=len(graph),
+        hd_programs=hd.derived_program_count,
+        hd_depth=hd.nesting_depth,
+        hd_states_reasoned=hd.states_reasoned_about,
+        scheduler=scheduler,
+    )

@@ -1,0 +1,148 @@
+"""The explicit-scheduler transformation ([AO83, APS84, DH86]) as a baseline.
+
+These methods "involve transforming programs by adding auxiliary variables
+that are nondeterministically assigned values determining fair
+computations" — reducing fair termination to plain termination at the price
+of "rather drastic — even 'cruel' [DH86] — program transformations."
+
+We implement the bounded variant: each command ``ℓ`` carries a *credit*
+``z_ℓ ∈ {0..K}``.  Executing ``ℓ`` resets ``z_ℓ`` to ``K``; every other
+command that was enabled but not executed loses one credit; a transition is
+disallowed if it would drive an enabled command's credit below zero, so a
+zero-credit enabled command *must* be executed next.  The scheduled system's
+runs are exactly the K-bounded-fair runs of the original:
+
+* if the scheduled system (for some ``K``) has an infinite run, that run is
+  fair in the original system, so the original does **not** fairly
+  terminate;
+* conversely any ultimately periodic fair run of a finite-state program is
+  K-bounded-fair for ``K`` at least its cycle length, so choosing ``K ≥``
+  the reachable transition count makes plain termination of the scheduled
+  system *equivalent* to fair termination of the original.
+
+The cost — the point of experiment E10 — is the state-space product with
+``{0..K}^N``, versus the unmodified program plus one stack annotation.  Two
+zero-credit enabled commands can deadlock the scheduler; such *artificial
+deadlocks* are counted and reported (they are terminal for the scheduled
+system but not for the program — one face of the transformation's
+"cruelty").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+from repro.baselines.floyd import NotTerminatingError, synthesize_floyd
+from repro.ts.explore import ReachableGraph, explore
+from repro.ts.system import CommandLabel, State, TransitionSystem
+
+
+class ScheduledSystem(TransitionSystem):
+    """The base system extended with per-command fairness credits."""
+
+    def __init__(self, base: TransitionSystem, credit: int) -> None:
+        if credit < 1:
+            raise ValueError(f"credit bound must be ≥ 1, got {credit}")
+        base.validate_commands()
+        self._base = base
+        self._credit = credit
+        self._commands = base.commands()
+
+    @property
+    def base(self) -> TransitionSystem:
+        """The untransformed system."""
+        return self._base
+
+    @property
+    def credit(self) -> int:
+        """The bound ``K``."""
+        return self._credit
+
+    def commands(self) -> Tuple[CommandLabel, ...]:
+        return self._commands
+
+    def initial_states(self) -> Iterable[State]:
+        credits = tuple(self._credit for _ in self._commands)
+        for state in self._base.initial_states():
+            yield (state, credits)
+
+    def _admissible(self, state: State, executed: CommandLabel) -> bool:
+        base_state, credits = state
+        enabled = self._base.enabled(base_state)
+        for position, command in enumerate(self._commands):
+            if command == executed or command not in enabled:
+                continue
+            if credits[position] == 0:
+                return False
+        return True
+
+    def enabled(self, state: State) -> frozenset:
+        base_state, _ = state
+        return frozenset(
+            c
+            for c in self._base.enabled(base_state)
+            if self._admissible(state, c)
+        )
+
+    def post(self, state: State) -> Iterable[Tuple[CommandLabel, State]]:
+        base_state, credits = state
+        enabled = self._base.enabled(base_state)
+        for command, target in self._base.post(base_state):
+            if not self._admissible(state, command):
+                continue
+            new_credits = tuple(
+                self._credit
+                if c == command
+                else (credits[i] - 1 if c in enabled else credits[i])
+                for i, c in enumerate(self._commands)
+            )
+            yield command, (target, new_credits)
+
+
+@dataclass(frozen=True)
+class SchedulerReport:
+    """Measurements of the transformation (experiment E10)."""
+
+    credit: int
+    base_states: int
+    scheduled_states: int
+    artificial_deadlocks: int
+    terminates: bool
+    blowup: float
+
+    def __str__(self) -> str:
+        return (
+            f"K={self.credit}: {self.base_states} → {self.scheduled_states} "
+            f"states (×{self.blowup:.1f}), "
+            f"{self.artificial_deadlocks} artificial deadlocks, "
+            f"{'terminates' if self.terminates else 'does not terminate'}"
+        )
+
+
+def explicit_scheduler_report(
+    base_graph: ReachableGraph,
+    credit: int,
+    max_states: int | None = None,
+) -> SchedulerReport:
+    """Transform, explore, and decide plain termination of the result."""
+    scheduled = ScheduledSystem(base_graph.system, credit)
+    graph = explore(scheduled, max_states=max_states)
+    artificial = 0
+    for index in graph.terminal_indices():
+        base_state, _ = graph.state_of(index)
+        if base_graph.system.enabled(base_state):
+            artificial += 1
+    try:
+        synthesize_floyd(graph)
+        terminates = True
+    except NotTerminatingError:
+        terminates = False
+    return SchedulerReport(
+        credit=credit,
+        base_states=len(base_graph),
+        scheduled_states=len(graph),
+        artificial_deadlocks=artificial,
+        terminates=terminates,
+        blowup=len(graph) / max(1, len(base_graph)),
+    )

@@ -1,0 +1,152 @@
+"""The helpful-directions method ([LPS81, GFMdRv85]) as a baseline.
+
+"Formulated in our terminology, the method of helpful directions is used to
+identify one level of the fair termination measure at a time.  For example,
+one first identifies subsets of program states corresponding to a constant
+μ^T measure.  Then the program is transformed into several new programs,
+each corresponding to a subset.  The states of each derived program are then
+further partitioned according to unfairness hypothesis (helpful directions)
+of the first level to yield more subsets, which are expressed as more
+derived programs." (§5)
+
+This module is that recursion, executably: each recursive application of
+the proof rule produces a :class:`DerivedProgram` — a restriction of the
+program to a state region, with a ranking and a chosen helpful direction.
+The *proof object* is the tree of derived programs.  The point of the
+comparison (experiment E9) is the paper's §3.4 remark: proving ``P4`` this
+way means reasoning about "three different programs" (nesting depth 3: the
+original plus two derived), whereas the stack assertion is a single
+annotation of the unaltered program.  Metrics:
+
+* ``derived_program_count`` — nodes of the proof tree (the paper's count
+  corresponds to ``nesting_depth`` when regions are treated syntactically);
+* ``nesting_depth`` — the deepest chain of derived programs (= the stack
+  height the equivalent stack assertion needs);
+* ``states_reasoned_about`` — total states across all derived programs
+  (states are re-visited once per enclosing derived program, measuring the
+  duplication the transformations cause).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.fairness.checker import find_fair_cycle
+from repro.ts.explore import ReachableGraph
+from repro.ts.graph import decompose, internal_transitions
+
+
+class HelpfulDirectionsFailure(ValueError):
+    """No helpful direction exists for some derived program — the program
+    does not fairly terminate."""
+
+
+@dataclass
+class DerivedProgram:
+    """One node of the helpful-directions proof tree.
+
+    ``region`` is the state set of this derived program; ``ranking`` maps
+    each state to its rank (constant-rank classes are where the recursion
+    descends); ``helpful`` is the direction chosen for this region (``None``
+    for the root, whose ranking alone handles inter-region transitions).
+    """
+
+    region: Tuple[int, ...]
+    ranking: Dict[int, int]
+    helpful: Optional[str]
+    depth: int
+    children: List["DerivedProgram"] = field(default_factory=list)
+
+    def count(self) -> int:
+        """Number of derived programs in this subtree."""
+        return 1 + sum(child.count() for child in self.children)
+
+    def max_depth(self) -> int:
+        """Deepest nesting below (and including) this node."""
+        return max((child.max_depth() for child in self.children), default=self.depth)
+
+    def states_reasoned(self) -> int:
+        """Σ |region| over the subtree."""
+        return len(self.region) + sum(c.states_reasoned() for c in self.children)
+
+
+@dataclass
+class HelpfulDirectionsProof:
+    """The full proof object, with comparison metrics."""
+
+    root: DerivedProgram
+
+    @property
+    def derived_program_count(self) -> int:
+        """All derived programs, root included."""
+        return self.root.count()
+
+    @property
+    def nesting_depth(self) -> int:
+        """The paper's "how many different programs" count: the longest
+        chain of nested derived programs (root at depth 1)."""
+        return self.root.max_depth()
+
+    @property
+    def states_reasoned_about(self) -> int:
+        """Total state occurrences across derived programs."""
+        return self.root.states_reasoned()
+
+
+def helpful_directions_proof(graph: ReachableGraph) -> HelpfulDirectionsProof:
+    """Run the recursive helpful-directions rule over a complete graph.
+
+    Raises :class:`HelpfulDirectionsFailure` when some region has no
+    helpful direction (i.e. the program admits a fair infinite
+    computation).
+    """
+    if not graph.complete:
+        raise ValueError(
+            "the helpful-directions rule needs the complete reachable graph"
+        )
+    top = decompose(graph)
+    root = DerivedProgram(
+        region=tuple(range(len(graph))),
+        ranking={i: top.component_of[i] for i in range(len(graph))},
+        helpful=None,
+        depth=1,
+    )
+    for component in top.components:
+        if internal_transitions(graph, component):
+            root.children.append(_derive(graph, list(component), depth=2))
+    return HelpfulDirectionsProof(root=root)
+
+
+def _derive(graph: ReachableGraph, region: List[int], depth: int) -> DerivedProgram:
+    members = set(region)
+    internal = internal_transitions(graph, region)
+    executed = frozenset(t.command for t in internal)
+    enabled = graph.commands_enabled_within(region)
+    candidates = sorted(enabled - executed)
+    if not candidates:
+        witness = find_fair_cycle(graph, restrict_to=region)
+        raise HelpfulDirectionsFailure(
+            f"derived program over {len(region)} states has no helpful "
+            f"direction (fair cycle: "
+            f"{witness.lasso.cycle.commands if witness else 'n/a'})"
+        )
+    command_order = {c: i for i, c in enumerate(graph.system.commands())}
+    helpful = min(candidates, key=lambda c: command_order[c])
+    without_helpful = sorted(
+        i for i in members if helpful not in graph.enabled_at(i)
+    )
+    sub = decompose(graph, restrict_to=without_helpful)
+    ranking = {i: 0 for i in region}
+    for i in without_helpful:
+        ranking[i] = 1 + sub.component_of[i]
+    node = DerivedProgram(
+        region=tuple(region),
+        ranking=ranking,
+        helpful=helpful,
+        depth=depth,
+    )
+    for component in sub.components:
+        if internal_transitions(graph, component):
+            node.children.append(_derive(graph, list(component), depth + 1))
+    return node

@@ -1,0 +1,51 @@
+"""Completeness constructions: Theorems 2, 3, 4 and automatic synthesis."""
+
+from repro.completeness.construction import (
+    ConstructionStats,
+    NotTreeLikeError,
+    TreeMeasure,
+    construction_step,
+    longest_chain_length,
+    theorem3_construction,
+)
+from repro.completeness.history import (
+    History,
+    HistorySystem,
+    add_history_variable,
+    is_tree_like,
+)
+from repro.completeness.quotient import (
+    HeightTotalOrder,
+    QuotientResult,
+    theorem2_quotient,
+)
+from repro.completeness.semimeasure import AuditReport, SemiMeasure, semi_measure
+from repro.completeness.synthesis import (
+    NotFairlyTerminatingError,
+    RegionInfo,
+    SynthesisResult,
+    synthesize_measure,
+)
+
+__all__ = [
+    "ConstructionStats",
+    "NotTreeLikeError",
+    "TreeMeasure",
+    "construction_step",
+    "longest_chain_length",
+    "theorem3_construction",
+    "History",
+    "HistorySystem",
+    "add_history_variable",
+    "is_tree_like",
+    "HeightTotalOrder",
+    "QuotientResult",
+    "theorem2_quotient",
+    "AuditReport",
+    "SemiMeasure",
+    "semi_measure",
+    "NotFairlyTerminatingError",
+    "RegionInfo",
+    "SynthesisResult",
+    "synthesize_measure",
+]

@@ -1,0 +1,278 @@
+"""The Theorem 3 completeness construction, exactly as in the appendix.
+
+Given a *tree-like* program, the construction defines the stack ``μ(p')``
+from the stack ``μ(p)`` of the unique predecessor:
+
+* **Initial stack** (Figure 3): ``T : new`` at level 0 and an
+  ``ℓᵢ : new`` hypothesis for each of the ``N`` commands at levels
+  ``1..N`` ("the order of the hypotheses does not matter at this point" —
+  we use the program's command order).
+* **Case 1** (Figure 4, *naturally active*): some ``ℓ'``-hypothesis below
+  the executed command's hypothesis has ``ℓ'`` enabled in ``p`` or ``p'``.
+  Let ``α`` be the lowest such.  Everything below ``α`` is preserved;
+  ``α`` and the hypotheses above keep their subjects but all take fresh
+  (``new``) measure values.
+* **Case 2** (Figure 5, *forced active*): no naturally active hypothesis.
+  ``α`` is the hypothesis just below the executed ``ℓ``-hypothesis
+  (possibly ``T``).  ``α``'s measure takes a fresh value ``w'`` and the
+  descent ``w ≻ w'`` is recorded; the hypotheses above ``α`` are rotated
+  one step downwards, ``ℓ`` moving to the top, all with fresh values.
+
+Every ``new`` records ``ι(w)`` (the state where ``w`` first appears) and
+``λ(w)`` (its level), the bookkeeping the appendix's Claims 1–2 are stated
+in.  Because descent edges always point at brand-new elements, the explored
+``(W, ≻)`` is acyclic *by construction*; the content of Theorem 3 is that
+for fairly terminating programs it stays well-founded in the limit, which
+the experiments probe via descending-chain growth
+(:func:`longest_chain_length`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.completeness.history import is_tree_like
+from repro.measures.assignment import StackAssignment
+from repro.measures.hypotheses import TERMINATION, Hypothesis
+from repro.measures.stack import Stack
+from repro.measures.verification import MeasureCheckResult, check_measure
+from repro.ts.explore import ReachableGraph
+from repro.wf.finite import FiniteOrder, GrowableRelation
+
+
+class NotTreeLikeError(ValueError):
+    """Raised when the construction is applied to a non-tree-like graph."""
+
+
+@dataclass
+class ConstructionStats:
+    """How often each case fired, per level, plus tree shape."""
+
+    case1_by_level: Dict[int, int] = field(default_factory=dict)
+    case2_by_level: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def case1_total(self) -> int:
+        """Transitions handled by Case 1 (naturally active)."""
+        return sum(self.case1_by_level.values())
+
+    @property
+    def case2_total(self) -> int:
+        """Transitions handled by Case 2 (forced active)."""
+        return sum(self.case2_by_level.values())
+
+
+@dataclass
+class TreeMeasure:
+    """The output of the construction over an explored tree.
+
+    ``stacks[i]`` is ``μ`` of the state at index ``i``; values are the
+    integers allocated by ``new`` (the Theorem 4 representation of ``W``).
+    ``iota``/``lam`` are the appendix's ``ι``/``λ`` maps (value → state
+    index, value → level).
+    """
+
+    graph: ReachableGraph
+    stacks: List[Stack]
+    relation: GrowableRelation
+    order: FiniteOrder
+    iota: Dict[int, int]
+    lam: Dict[int, int]
+    stats: ConstructionStats
+
+    def assignment(self) -> StackAssignment:
+        """The stack assignment ``μ`` as a checkable object."""
+        table = {
+            self.graph.state_of(i): stack for i, stack in enumerate(self.stacks)
+        }
+        return StackAssignment.from_dict(
+            table, self.order, description="Theorem 3 construction"
+        )
+
+    def verify(self) -> MeasureCheckResult:
+        """Re-check (V_A), (V_NonI), (V_NoC) on every explored transition.
+
+        The construction satisfies them by design; this is the executable
+        proof obligation (and a regression tripwire).
+        """
+        return check_measure(self.graph, self.assignment())
+
+    def value_vector(self, index: int) -> Tuple[int, ...]:
+        """``θ̄(σ)`` — the measure values at levels ``0..N`` of one stack."""
+        return tuple(h.value for h in self.stacks[index].entries)
+
+    def subject_vector(self, index: int) -> Tuple[str, ...]:
+        """``ᾱ(σ)`` — the hypothesis ordering of one stack."""
+        return self.stacks[index].subjects()
+
+
+def _initial_stack(
+    commands: Sequence[str],
+    relation: GrowableRelation,
+    iota: Dict[int, int],
+    lam: Dict[int, int],
+    root: int,
+) -> Stack:
+    entries: List[Hypothesis] = []
+    for level, subject in enumerate((TERMINATION,) + tuple(commands)):
+        value = relation.new()
+        iota[value] = root
+        lam[value] = level
+        entries.append(Hypothesis(subject, value))
+    return Stack(entries)
+
+
+def construction_step(
+    parent_stack: Stack,
+    executed: str,
+    enabled_union: frozenset,
+    relation: GrowableRelation,
+    iota: Dict[int, int],
+    lam: Dict[int, int],
+    child: int,
+    stats: Optional[ConstructionStats] = None,
+) -> Stack:
+    """One application of Case 1 / Case 2 — shared with the lazy Theorem 4
+    semi-measure."""
+    executed_level = parent_stack.level_of(executed)
+    if executed_level is None:
+        raise ValueError(
+            f"executed command {executed!r} has no hypothesis in "
+            f"{parent_stack.render()}; the construction maintains full stacks"
+        )
+
+    def fresh(level: int) -> int:
+        value = relation.new()
+        iota[value] = child
+        lam[value] = level
+        return value
+
+    # An ℓ'-hypothesis is naturally active if ℓ' is enabled in p or p' and
+    # it lies below the executed command's hypothesis.
+    naturally_active_level: Optional[int] = None
+    for level in range(1, executed_level):
+        if parent_stack.level(level).subject in enabled_union:
+            naturally_active_level = level
+            break
+
+    entries: List[Hypothesis] = []
+    if naturally_active_level is not None:
+        # Case 1: preserve below α; α and everything above keep their
+        # subjects with fresh values.
+        if stats is not None:
+            counts = stats.case1_by_level
+            counts[naturally_active_level] = counts.get(naturally_active_level, 0) + 1
+        entries.extend(parent_stack.below(naturally_active_level))
+        for level in range(naturally_active_level, parent_stack.height):
+            subject = parent_stack.level(level).subject
+            entries.append(Hypothesis(subject, fresh(level)))
+        return Stack(entries)
+
+    # Case 2: α is just below the ℓ-hypothesis; record the descent and
+    # rotate everything above α one step downwards, ℓ to the top.
+    alpha_level = executed_level - 1
+    if stats is not None:
+        counts = stats.case2_by_level
+        counts[alpha_level] = counts.get(alpha_level, 0) + 1
+    entries.extend(parent_stack.below(alpha_level))
+    alpha = parent_stack.level(alpha_level)
+    new_value = fresh(alpha_level)
+    relation.add_descent(alpha.value, new_value)
+    entries.append(Hypothesis(alpha.subject, new_value))
+    rotated_subjects = [
+        parent_stack.level(level).subject
+        for level in range(executed_level + 1, parent_stack.height)
+    ] + [executed]
+    for offset, subject in enumerate(rotated_subjects):
+        entries.append(Hypothesis(subject, fresh(executed_level + offset)))
+    return Stack(entries)
+
+
+def theorem3_construction(graph: ReachableGraph) -> TreeMeasure:
+    """Run the appendix construction over an explored tree-like graph.
+
+    ``graph`` is typically ``explore(add_history_variable(P), ...)``; it
+    must be tree-like (forests with several roots are accepted, each root
+    getting its own Figure 3 initial stack).
+    """
+    if not is_tree_like(graph):
+        raise NotTreeLikeError(
+            "graph is not tree-like; apply add_history_variable() first"
+        )
+    commands = graph.system.commands()
+    relation = GrowableRelation()
+    iota: Dict[int, int] = {}
+    lam: Dict[int, int] = {}
+    stats = ConstructionStats()
+    stacks: List[Optional[Stack]] = [None] * len(graph)
+
+    for root in graph.initial_indices:
+        stacks[root] = _initial_stack(commands, relation, iota, lam, root)
+
+    # Discovery (BFS) order guarantees parents come before children.
+    for index in range(len(graph)):
+        if stacks[index] is not None:
+            continue
+        incoming = graph.incoming(index)
+        if len(incoming) != 1:
+            raise NotTreeLikeError(
+                f"state index {index} has {len(incoming)} predecessors"
+            )
+        transition = incoming[0]
+        parent_stack = stacks[transition.source]
+        if parent_stack is None:
+            raise AssertionError(
+                "BFS order violated: child visited before its parent"
+            )
+        enabled_union = graph.enabled_at(transition.source) | graph.enabled_at(
+            index
+        )
+        stacks[index] = construction_step(
+            parent_stack,
+            transition.command,
+            enabled_union,
+            relation,
+            iota,
+            lam,
+            index,
+            stats,
+        )
+
+    return TreeMeasure(
+        graph=graph,
+        stacks=[s for s in stacks],  # all filled now
+        relation=relation,
+        order=relation.freeze(),
+        iota=iota,
+        lam=lam,
+        stats=stats,
+    )
+
+
+def longest_chain_length(relation: GrowableRelation) -> int:
+    """Length (edge count) of the longest ``≻``-descent in the relation.
+
+    Edges always point at fresh elements, so the graph is a DAG and a
+    linear-time DP suffices.  For a fairly terminating program this value
+    stabilises as the tree is explored deeper; for a program with a fair
+    infinite computation it grows without bound — the experimental shadow
+    of "(W, ≻) is well-founded iff P fairly terminates" (Theorem 4).
+    """
+    order = relation.freeze()
+    depth: Dict[int, int] = {}
+    # Elements were allocated 0..size-1 and edges go old → new, so a reverse
+    # scan is a topological order.
+    successors: Dict[int, List[int]] = {}
+    for greater, lesser in relation.edges:
+        successors.setdefault(greater, []).append(lesser)
+    best = 0
+    for element in range(relation.size - 1, -1, -1):
+        depth[element] = max(
+            (1 + depth[child] for child in successors.get(element, ())),
+            default=0,
+        )
+        best = max(best, depth[element])
+    # ``order`` is kept alive purely to assert acyclicity in debug runs.
+    assert order.is_well_founded(), "construction produced a descent cycle"
+    return best

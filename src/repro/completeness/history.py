@@ -1,0 +1,90 @@
+"""The history-variable transformation: making a program tree-like.
+
+"Any program can be made tree-like by adding a history variable recording
+the past sequence of program states."  :class:`HistorySystem` is that
+transformation: its states are the non-empty finite runs of the base
+system, recorded as ``σ = ⟨(∅, p₀), (ℓ₁, p₁), ..., (ℓₙ, pₙ)⟩`` — each entry
+pairs the executed command with the state reached.  Commands are part of
+the history because the Theorem 2 proof "assume[s] that there is a function
+ℒ such that on any transition p → p', the value ℒ(p') denotes the command
+executed" — without it, two commands with the same effect (think two
+processes both idling) would merge histories and break tree-likeness.  The
+transformation is *benign* (§1): it adds no nondeterminism and does not
+change the transitional structure — every history transition projects to
+exactly one base transition.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from repro.ts.explore import ReachableGraph
+from repro.ts.system import CommandLabel, State, TransitionSystem
+
+#: A history state: ((None, p0), (cmd1, p1), ..., (cmdN, pN)).
+History = Tuple[Tuple[Optional[CommandLabel], State], ...]
+
+
+class HistorySystem(TransitionSystem):
+    """The tree-like program ``P̄`` obtained from ``P`` by adding a history
+    variable."""
+
+    def __init__(self, base: TransitionSystem) -> None:
+        self._base = base
+
+    @property
+    def base(self) -> TransitionSystem:
+        """The original program ``P``."""
+        return self._base
+
+    @staticmethod
+    def current(history: History) -> State:
+        """``pσ`` — the base state a history ends in."""
+        if not history:
+            raise ValueError("histories are non-empty")
+        return history[-1][1]
+
+    @staticmethod
+    def executed(history: History) -> Optional[CommandLabel]:
+        """``ℒ(pσ)`` — the command that produced the last state (``None``
+        at the root)."""
+        if not history:
+            raise ValueError("histories are non-empty")
+        return history[-1][0]
+
+    def commands(self) -> Tuple[CommandLabel, ...]:
+        return self._base.commands()
+
+    def initial_states(self) -> Iterable[State]:
+        return (((None, p),) for p in self._base.initial_states())
+
+    def enabled(self, state: State) -> frozenset:
+        return self._base.enabled(self.current(state))
+
+    def post(self, state: State) -> Iterable[Tuple[CommandLabel, State]]:
+        for command, target in self._base.post(self.current(state)):
+            yield command, state + ((command, target),)
+
+
+def add_history_variable(base: TransitionSystem) -> HistorySystem:
+    """The paper's transformation ``P ↦ P̄``."""
+    return HistorySystem(base)
+
+
+def is_tree_like(graph: ReachableGraph) -> bool:
+    """Whether the explored graph is tree-like.
+
+    "A program is tree-like if it has a single initial state p⁰ and if every
+    state p', except p⁰, has exactly one predecessor."  We additionally
+    accept a *forest* (several initial states, each rooting its own tree),
+    which is what a multi-initial-state program becomes under the history
+    transformation; the constructions handle each root independently.
+    """
+    for index in range(len(graph)):
+        incoming = graph.incoming(index)
+        if index in graph.initial_indices:
+            if incoming:
+                return False
+        elif len(incoming) != 1:
+            return False
+    return True

@@ -1,0 +1,207 @@
+"""Theorem 2: quotienting the tree measure back onto the original program.
+
+The proof of Theorem 2 totalises ``(W, ≻)`` into a well-ordering, orders the
+measure-value vectors ``θ̄(σ) = ⟨w₀, ..., w_N⟩`` lexicographically, and
+defines for each original state ``p``
+
+    ``θ(p) = θ̄(σ)`` for a history ``σ`` with ``pσ = p`` and ``θ̄(σ)``
+    minimal; ``α(p) = ᾱ(σ)`` for the same ``σ``.
+
+We totalise by *descent height*: ``h(w)`` is the length of the longest
+recorded descent from ``w``; ``w ≻ w'`` implies ``h(w) > h(w')``, so
+ordering by ``(h, allocation index)`` linearly extends ``≻`` — and
+``(ℕ × ℕ, <lex)`` is a genuine well-ordering, unlike raw allocation order.
+
+On an infinite computation tree the minimum ranges over infinitely many
+histories; a bounded reproduction can only minimise over the explored ones.
+Two approximations interact:
+
+* the *candidate set* — we minimise over histories of depth at most
+  ``candidate_depth``;
+* the *heights* — ``h`` is computed from the full ``max_depth`` exploration.
+
+A value freshly allocated near the exploration frontier always has apparent
+height 0 (its descents lie beyond the bound), so minimising over frontier
+nodes chases phantom minima and never converges.  Keeping the candidates
+well inside the explored region (default: half the depth) lets the heights
+of their values materialise, and the quotient stabilises — experiment E7
+measures exactly this.  For programs whose computation tree is finite (all
+runs terminate) the quotient is *exact* and the verification conditions
+provably hold; tests pin that case down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.completeness.construction import TreeMeasure, theorem3_construction
+from repro.completeness.history import HistorySystem, add_history_variable
+from repro.measures.assignment import StackAssignment
+from repro.measures.hypotheses import Hypothesis
+from repro.measures.stack import Stack
+from repro.measures.verification import MeasureCheckResult, check_measure
+from repro.ts.explore import ReachableGraph, explore
+from repro.ts.system import State, TransitionSystem
+from repro.wf.base import WellFoundedOrder
+
+
+class HeightTotalOrder(WellFoundedOrder):
+    """A well-order on allocated values extending the recorded ``≻``.
+
+    ``gt(a, b)`` iff ``(h(a), index(a)) > (h(b), index(b))`` — descent
+    height first (which makes it a linear extension: ``a ≻ b`` implies
+    ``h(a) > h(b)``), allocation index breaking ties.  Under this order the
+    lexicographic minimisation prefers *earliest-allocated* values, so the
+    minimising history for a state is found near the root and stabilises as
+    exploration deepens — the property a bounded reproduction of the
+    Theorem 2 minimum needs.
+    """
+
+    def __init__(self, heights: Dict[int, int]) -> None:
+        self._heights = dict(heights)
+
+    def contains(self, value: Any) -> bool:
+        return value in self._heights
+
+    def gt(self, left: Any, right: Any) -> bool:
+        self.check_member(left)
+        self.check_member(right)
+        if left == right:
+            return False
+        left_key = (self._heights[left], left)
+        right_key = (self._heights[right], right)
+        return left_key > right_key
+
+    def height(self, value: int) -> int:
+        """``h(value)`` — longest recorded descent from ``value``."""
+        return self._heights[value]
+
+    def describe(self) -> str:
+        return f"height-totalised order ({len(self._heights)} values)"
+
+
+def _descent_heights(measure: TreeMeasure) -> Dict[int, int]:
+    successors: Dict[int, List[int]] = {}
+    for greater, lesser in measure.relation.edges:
+        successors.setdefault(greater, []).append(lesser)
+    heights: Dict[int, int] = {}
+    # Allocation order is topological (edges point old → new).
+    for value in range(measure.relation.size - 1, -1, -1):
+        heights[value] = max(
+            (1 + heights[child] for child in successors.get(value, ())),
+            default=0,
+        )
+    return heights
+
+
+@dataclass
+class QuotientResult:
+    """The Theorem 2 quotient measure and its provenance.
+
+    ``minimiser_depth[state index]`` is the tree depth of the history whose
+    vector realised the minimum — small, stable values across increasing
+    exploration depths indicate convergence.
+    """
+
+    base_graph: ReachableGraph
+    tree_graph: ReachableGraph
+    tree_measure: TreeMeasure
+    order: HeightTotalOrder
+    stacks: Dict[State, Stack]
+    minimiser_depth: Dict[int, int]
+    exact: bool
+
+    def assignment(self) -> StackAssignment:
+        """``p ↦ (α(p), θ(p))`` as a checkable stack assignment."""
+        return StackAssignment.from_dict(
+            self.stacks, self.order, description="Theorem 2 quotient"
+        )
+
+    def verify(self) -> MeasureCheckResult:
+        """Check the verification conditions on the original program."""
+        return check_measure(self.base_graph, self.assignment())
+
+
+def _vector_less(
+    order: HeightTotalOrder,
+    left: Tuple[int, ...],
+    right: Tuple[int, ...],
+) -> bool:
+    """Lexicographic ``left ≺ right`` over the totalised order."""
+    for a, b in zip(left, right):
+        if a != b:
+            return order.gt(b, a)
+    return False
+
+
+def theorem2_quotient(
+    base: TransitionSystem,
+    max_depth: int = 12,
+    base_graph: Optional[ReachableGraph] = None,
+    candidate_depth: Optional[int] = None,
+) -> QuotientResult:
+    """Build the Theorem 2 measure for ``base`` from its history tree.
+
+    ``max_depth`` bounds the history-tree unwinding; ``candidate_depth``
+    (default ``max_depth // 2``; ignored when the tree is finite) bounds the
+    histories the per-state minimum ranges over — see the module docstring
+    for why the two must be separated.  The result is exact
+    (``exact=True``) iff the tree was explored completely — i.e. every
+    computation of the program terminates within the bound.
+    """
+    if base_graph is None:
+        base_graph = explore(base)
+    history: HistorySystem = add_history_variable(base)
+    tree_graph = explore(history, max_depth=max_depth)
+    tree_measure = theorem3_construction(tree_graph)
+    heights = _descent_heights(tree_measure)
+    order = HeightTotalOrder(heights)
+    if tree_graph.complete:
+        depth_bound = max_depth
+    elif candidate_depth is not None:
+        depth_bound = candidate_depth
+    else:
+        depth_bound = max(1, max_depth // 2)
+
+    best_vector: Dict[State, Tuple[int, ...]] = {}
+    best_subjects: Dict[State, Tuple[str, ...]] = {}
+    best_depth: Dict[State, int] = {}
+    for index in range(len(tree_graph)):
+        sigma: Tuple[State, ...] = tree_graph.state_of(index)  # a history
+        if len(sigma) - 1 > depth_bound:
+            continue
+        state = HistorySystem.current(sigma)
+        vector = tree_measure.value_vector(index)
+        if state not in best_vector or _vector_less(
+            order, vector, best_vector[state]
+        ):
+            best_vector[state] = vector
+            best_subjects[state] = tree_measure.subject_vector(index)
+            best_depth[state] = len(sigma) - 1
+
+    stacks: Dict[State, Stack] = {}
+    minimiser_depth: Dict[int, int] = {}
+    for index in range(len(base_graph)):
+        state = base_graph.state_of(index)
+        if state not in best_vector:
+            raise ValueError(
+                f"base state {state!r} was not reached within the quotient's "
+                f"candidate depth {depth_bound}; increase max_depth"
+            )
+        entries = [
+            Hypothesis(subject, value)
+            for subject, value in zip(best_subjects[state], best_vector[state])
+        ]
+        stacks[state] = Stack(entries)
+        minimiser_depth[index] = best_depth[state]
+
+    return QuotientResult(
+        base_graph=base_graph,
+        tree_graph=tree_graph,
+        tree_measure=tree_measure,
+        order=order,
+        stacks=stacks,
+        minimiser_depth=minimiser_depth,
+        exact=tree_graph.complete,
+    )

@@ -1,0 +1,187 @@
+"""Theorem 4: the recursive fair termination *semi-measure*.
+
+"There is a recursive function h that given an index for a tree-like
+program P gives indices for a fair termination semi-measure (μ, (W, ≻)),
+where both μ and (W, ≻) are recursive.  Moreover, (μ, (W, ≻)) is a fair
+termination measure ((W, ≻) is well-founded) iff P is fairly terminating."
+
+:class:`SemiMeasure` is that function, lazily: ``W`` is represented by the
+natural numbers ("successive invocations of 'new' give progress values
+'0', '1', ...", as the proof suggests), and the stack of any finite run is
+computed on demand by traversing the path from the root and replaying the
+Theorem 3 construction step.  The relation ``≻`` is recursive in the same
+sense: :meth:`descends` answers from the edges recorded while the relevant
+stacks were computed.
+
+Well-foundedness of the *whole* ``(W, ≻)`` is Π¹₁ (footnote 1) and thus not
+decidable; :meth:`audit` explores to a depth and reports the explored
+region's descent statistics — for fairly terminating programs the longest
+chain stabilises, for others it grows with depth (experiment E8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.completeness.construction import (
+    ConstructionStats,
+    construction_step,
+    longest_chain_length,
+)
+from repro.measures.hypotheses import TERMINATION, Hypothesis
+from repro.measures.stack import Stack
+from repro.ts.lasso import Path
+from repro.ts.system import State, TransitionSystem
+from repro.wf.finite import FiniteOrder, GrowableRelation
+
+#: A run: alternating states and commands, as a hashable key.
+RunKey = Tuple[Tuple[State, ...], Tuple[str, ...]]
+
+
+@dataclass(frozen=True)
+class AuditReport:
+    """Descent statistics of the explored region of ``(W, ≻)``."""
+
+    runs_explored: int
+    values_allocated: int
+    descent_edges: int
+    longest_chain: int
+    well_founded_so_far: bool
+
+
+class SemiMeasure:
+    """The lazy semi-measure of a program (via its history tree)."""
+
+    def __init__(self, system: TransitionSystem) -> None:
+        system.validate_commands()
+        self._system = system
+        self._relation = GrowableRelation()
+        self._iota: Dict[int, RunKey] = {}
+        self._lam: Dict[int, int] = {}
+        self._stats = ConstructionStats()
+        self._stacks: Dict[RunKey, Stack] = {}
+
+    @property
+    def system(self) -> TransitionSystem:
+        """The underlying (not necessarily tree-like) program."""
+        return self._system
+
+    @property
+    def relation(self) -> GrowableRelation:
+        """The ``(W, ≻)`` explored so far (grows as runs are queried)."""
+        return self._relation
+
+    @property
+    def stats(self) -> ConstructionStats:
+        """Case 1/Case 2 statistics over all computed steps."""
+        return self._stats
+
+    # -- μ ------------------------------------------------------------------
+
+    def stack_of(self, run: Path) -> Stack:
+        """``μ(σ)`` for a finite run ``σ`` of the program.
+
+        The run must start in an initial state and follow real transitions;
+        each prefix's stack is computed once and memoised.
+        """
+        key = (run.states, run.commands)
+        cached = self._stacks.get(key)
+        if cached is not None:
+            return cached
+        if len(run) == 0:
+            stack = self._initial_stack(run.first, key)
+        else:
+            prefix = Path(run.states[:-1], run.commands[:-1])
+            parent = self.stack_of(prefix)
+            executed = run.commands[-1]
+            source, target = run.states[-2], run.states[-1]
+            self._check_transition(source, executed, target)
+            enabled_union = self._system.enabled(source) | self._system.enabled(
+                target
+            )
+            stack = construction_step(
+                parent,
+                executed,
+                enabled_union,
+                self._relation,
+                self._iota,  # type: ignore[arg-type]
+                self._lam,
+                key,  # type: ignore[arg-type]
+                self._stats,
+            )
+        self._stacks[key] = stack
+        return stack
+
+    def _initial_stack(self, state: State, key: RunKey) -> Stack:
+        if state not in set(self._system.initial_states()):
+            raise ValueError(f"{state!r} is not an initial state")
+        entries: List[Hypothesis] = []
+        for level, subject in enumerate(
+            (TERMINATION,) + tuple(self._system.commands())
+        ):
+            value = self._relation.new()
+            self._iota[value] = key
+            self._lam[value] = level
+            entries.append(Hypothesis(subject, value))
+        return Stack(entries)
+
+    def _check_transition(self, source: State, command: str, target: State) -> None:
+        for c, t in self._system.post(source):
+            if c == command and t == target:
+                return
+        raise ValueError(
+            f"{source!r} --{command}--> {target!r} is not a transition of "
+            "the program"
+        )
+
+    # -- ≻ -------------------------------------------------------------------
+
+    def descends(self, greater: int, lesser: int) -> bool:
+        """Whether ``greater ≻ lesser`` among the values allocated so far
+        (transitively)."""
+        return self._relation.freeze().gt(greater, lesser)
+
+    def iota(self, value: int) -> RunKey:
+        """``ι(w)``: the run whose stack first used ``value``."""
+        return self._iota[value]
+
+    def lam(self, value: int) -> int:
+        """``λ(w)``: the level at which ``value`` was introduced."""
+        return self._lam[value]
+
+    # -- audits -----------------------------------------------------------------
+
+    def audit(self, max_depth: int) -> AuditReport:
+        """Force all runs up to ``max_depth`` and report descent statistics."""
+        frontier: List[Path] = [
+            Path.singleton(p) for p in self._system.initial_states()
+        ]
+        explored = 0
+        for path in frontier:
+            self.stack_of(path)
+            explored += 1
+        for _ in range(max_depth):
+            next_frontier: List[Path] = []
+            for path in frontier:
+                for command, target in self._system.post(path.last):
+                    extended = path.extend(command, target)
+                    self.stack_of(extended)
+                    explored += 1
+                    next_frontier.append(extended)
+            frontier = next_frontier
+            if not frontier:
+                break
+        frozen: FiniteOrder = self._relation.freeze()
+        return AuditReport(
+            runs_explored=explored,
+            values_allocated=self._relation.size,
+            descent_edges=len(self._relation.edges),
+            longest_chain=longest_chain_length(self._relation),
+            well_founded_so_far=frozen.is_well_founded(),
+        )
+
+
+def semi_measure(system: TransitionSystem) -> SemiMeasure:
+    """The paper's recursive function ``h`` applied to ``system``."""
+    return SemiMeasure(system)

@@ -1,0 +1,241 @@
+"""Automatic synthesis of fair termination measures for finite-state
+programs.
+
+The paper proves a measure *exists* for every fairly terminating program;
+for finite-state programs we can actually *compute* one, by running the
+completeness argument on the reachable graph instead of the infinite tree:
+
+* ``μ^T`` is the reverse-topological rank of a state's SCC — every
+  inter-SCC transition strictly decreases it, so the T-hypothesis is active
+  there.
+* Inside a non-trivial SCC ``S`` no fair cycle exists (else the program
+  would not fairly terminate), so some command ``ℓ`` is enabled somewhere in
+  ``S`` yet executed on no transition inside ``S``.  That ``ℓ`` becomes the
+  unfairness hypothesis at the next stack level: on transitions touching a
+  state where ``ℓ`` is enabled it is active by enabledness, and on the rest
+  its measure — the reverse-topological rank over the sub-SCCs of
+  ``S − {ℓ enabled}`` — strictly decreases or the transition stays inside a
+  sub-SCC, where the construction recurses with a fresh hypothesis.
+
+The recursion mirrors the *helpful directions* decomposition ([LPS81,
+GFMdRv85]) — but the output is a single stack assignment over the unaltered
+program, exactly the paper's point: the stack summarises "in a single data
+structure the information obtained by the program transformations of
+previous methods".  Stack heights are bounded by ``N + 1``: each nested
+region disables all enclosing helpful commands, so the commands along a
+nesting chain are distinct.
+
+Synthesised measures are returned *unverified*; callers (and every test)
+push them through :func:`repro.measures.verification.check_measure`, which
+re-derives the verification conditions independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.fairness.generalized import (
+    FairnessRequirement,
+    GeneralFairCycle,
+    command_requirements,
+    find_generally_fair_cycle,
+)
+from repro.measures.assignment import StackAssignment
+from repro.measures.hypotheses import TERMINATION, Hypothesis
+from repro.measures.stack import Stack
+from repro.ts.explore import IndexedTransition, ReachableGraph
+from repro.ts.graph import decompose, internal_transitions
+from repro.wf.naturals import NATURALS
+
+
+class NotFairlyTerminatingError(ValueError):
+    """Synthesis found a region admitting a fair cycle; the program does not
+    fairly terminate, so no measure exists (contrapositive of Theorem 2)."""
+
+    def __init__(self, message: str, witness: Optional[GeneralFairCycle]) -> None:
+        super().__init__(message)
+        self.witness = witness
+
+
+@dataclass
+class RegionInfo:
+    """One node of the decomposition tree, for reporting and the baselines.
+
+    ``helpful`` is the command chosen as the region's unfairness
+    hypothesis; ``level`` its stack level; ``states`` the region.
+    """
+
+    level: int
+    helpful: str
+    states: Tuple[int, ...]
+    enabled_here: Tuple[int, ...]
+    children: List["RegionInfo"] = field(default_factory=list)
+
+    def total_regions(self) -> int:
+        """Number of regions in this subtree (including itself)."""
+        return 1 + sum(child.total_regions() for child in self.children)
+
+
+@dataclass
+class SynthesisResult:
+    """A synthesised measure plus the decomposition it came from."""
+
+    graph: ReachableGraph
+    stacks: Dict[int, Stack]
+    regions: List[RegionInfo]
+
+    def assignment(self) -> StackAssignment:
+        """The measure as a checkable stack assignment (values in ℕ)."""
+        table = {
+            self.graph.state_of(index): stack
+            for index, stack in self.stacks.items()
+        }
+        return StackAssignment.from_dict(
+            table, NATURALS, description="synthesised fair termination measure"
+        )
+
+    def max_stack_height(self) -> int:
+        """The tallest stack used (≤ N + 1)."""
+        return max(stack.height for stack in self.stacks.values())
+
+    def region_count(self) -> int:
+        """Total regions across the decomposition forest."""
+        return sum(region.total_regions() for region in self.regions)
+
+
+def synthesize_measure(
+    graph: ReachableGraph,
+    requirements: Optional[Sequence[FairnessRequirement]] = None,
+) -> SynthesisResult:
+    """Synthesise a fair termination measure over a complete finite graph.
+
+    ``requirements`` switches to generalized fairness ([FK84]): hypotheses
+    then name requirements instead of commands, helpful choices are
+    demanded-but-unfulfilled requirements, and the result must be verified
+    with ``check_measure(..., requirements=requirements)``.  Omitted, the
+    paper's per-command strong fairness is used.
+
+    Raises :class:`NotFairlyTerminatingError` (with a fair-cycle witness)
+    when none exists, and ``ValueError`` on incomplete graphs — a measure
+    synthesised from a truncated graph would certify nothing.
+    """
+    if not graph.complete:
+        raise ValueError(
+            "synthesis needs the complete reachable graph; "
+            f"exploration left {len(graph.frontier)} frontier states"
+        )
+    if requirements is None:
+        requirements = command_requirements(graph.system)
+    top = decompose(graph)
+    # Reverse-topological component position: every inter-SCC transition
+    # strictly decreases it.
+    base_entries: Dict[int, List[Hypothesis]] = {
+        index: [Hypothesis(TERMINATION, top.component_of[index])]
+        for index in range(len(graph))
+    }
+
+    regions: List[RegionInfo] = []
+    for component in top.components:
+        if not internal_transitions(graph, component):
+            continue
+        region = _process_region(
+            graph,
+            list(component),
+            level=1,
+            requirements=tuple(requirements),
+            entries=base_entries,
+        )
+        regions.append(region)
+
+    stacks = {
+        index: Stack(entries) for index, entries in base_entries.items()
+    }
+    return SynthesisResult(graph=graph, stacks=stacks, regions=regions)
+
+
+def _demanded_within(
+    graph: ReachableGraph,
+    region: Sequence[int],
+    requirement: FairnessRequirement,
+) -> List[int]:
+    return [
+        index
+        for index in region
+        if requirement.enabled_at(graph.state_of(index))
+    ]
+
+
+def _fulfilled_within(
+    graph: ReachableGraph,
+    internal: Sequence[IndexedTransition],
+    requirement: FairnessRequirement,
+) -> bool:
+    return any(
+        requirement.fulfilled_by(
+            graph.state_of(t.source), t.command, graph.state_of(t.target)
+        )
+        for t in internal
+    )
+
+
+def _process_region(
+    graph: ReachableGraph,
+    region: List[int],
+    level: int,
+    requirements: Sequence[FairnessRequirement],
+    entries: Dict[int, List[Hypothesis]],
+) -> RegionInfo:
+    """Assign level-``level`` hypotheses inside one strongly connected
+    region and recurse into its sub-SCCs."""
+    members = set(region)
+    internal = internal_transitions(graph, region)
+    helpful: Optional[FairnessRequirement] = None
+    enabled_here: List[int] = []
+    for requirement in requirements:
+        demanded = _demanded_within(graph, region, requirement)
+        if demanded and not _fulfilled_within(graph, internal, requirement):
+            helpful = requirement
+            enabled_here = demanded
+            break
+    if helpful is None:
+        witness = find_generally_fair_cycle(graph, requirements)
+        raise NotFairlyTerminatingError(
+            f"region of {len(region)} states fulfils every demanded "
+            "requirement internally — it hosts a fair cycle, so the program "
+            "does not fairly terminate",
+            witness,
+        )
+
+    rest = sorted(members - set(enabled_here))
+    sub = decompose(graph, restrict_to=rest)
+
+    # Measure for the helpful hypothesis: 0 on states where it demands
+    # service (activity there is by demand; the value is immaterial), and
+    # 1 + sub-SCC rank elsewhere, so transitions between different sub-SCCs
+    # strictly decrease it.
+    for index in enabled_here:
+        entries[index].append(Hypothesis(helpful.name, 0))
+    for index in rest:
+        entries[index].append(
+            Hypothesis(helpful.name, 1 + sub.component_of[index])
+        )
+
+    info = RegionInfo(
+        level=level,
+        helpful=helpful.name,
+        states=tuple(region),
+        enabled_here=tuple(sorted(enabled_here)),
+    )
+    for component in sub.components:
+        if not internal_transitions(graph, component):
+            continue
+        child = _process_region(
+            graph,
+            list(component),
+            level=level + 1,
+            requirements=requirements,
+            entries=entries,
+        )
+        info.children.append(child)
+    return info

@@ -1,0 +1,226 @@
+"""Deciding fair termination of finite-state systems.
+
+"A program P fairly terminates if every infinite computation of P is
+unfair."  For a finite reachable graph this is decidable: a *fair* infinite
+computation exists iff some reachable sub-SCC hosts a **fair cycle** — a
+cycle along which every command enabled at a visited state is also executed.
+Strong fairness is a Streett condition (one pair per command:
+"infinitely often enabled ⇒ infinitely often executed"), and we use the
+classic recursive SCC-refinement emptiness check:
+
+1. Decompose the candidate region into SCCs.
+2. In an SCC ``S`` with internal transitions, let ``E`` be the commands
+   enabled somewhere in ``S`` and ``X`` those executed on transitions inside
+   ``S``.  If ``E ⊆ X``, a grand tour of all internal transitions is a fair
+   cycle — report it.
+3. Otherwise every fair computation confined to ``S`` would have to
+   eventually avoid all states enabling a command in ``E − X`` (such a
+   command may be enabled only finitely often on a fair run that never
+   executes it); remove those states and recurse on the remainder.
+
+The refinement terminates because each recursion strictly shrinks the
+region.  On a *complete* graph the verdict is exact; on a bounded graph a
+found fair cycle is still a genuine counterexample, while "no fair cycle"
+only covers the explored region (the result says which).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.fairness.spec import STRONG_FAIRNESS
+from repro.ts.explore import ReachableGraph
+from repro.ts.graph import decompose, internal_transitions
+from repro.ts.lasso import (
+    Lasso,
+    cycle_through_all,
+    find_path_indices,
+    lasso_from_indices,
+)
+
+
+@dataclass(frozen=True)
+class FairCycle:
+    """A fair lasso together with the SCC region that hosts its cycle."""
+
+    lasso: Lasso
+    region: Tuple[int, ...]
+    enabled_on_cycle: FrozenSet[str]
+    executed_on_cycle: FrozenSet[str]
+
+
+@dataclass(frozen=True)
+class FairTerminationResult:
+    """Outcome of the fair-termination decision.
+
+    ``fairly_terminates`` is the verdict over the explored region;
+    ``decisive`` tells whether that verdict is a theorem about the whole
+    program (complete exploration, or a counterexample which is always
+    genuine).  ``witness`` is the fair lasso when one exists.
+    """
+
+    fairly_terminates: bool
+    decisive: bool
+    witness: Optional[FairCycle]
+    states_explored: int
+    transitions_explored: int
+
+    def __str__(self) -> str:
+        verdict = "fairly terminates" if self.fairly_terminates else "admits a fair infinite computation"
+        scope = "" if self.decisive else " (within the explored region only)"
+        return f"{verdict}{scope} [{self.states_explored} states]"
+
+
+def find_fair_cycle(
+    graph: ReachableGraph,
+    restrict_to: Sequence[int] | None = None,
+) -> Optional[FairCycle]:
+    """Find a reachable fair cycle, or ``None`` if none exists (in region)."""
+    region: Set[int] = (
+        set(range(len(graph))) if restrict_to is None else set(restrict_to)
+    )
+    # Frontier states have unexplored successors; a cycle through them could
+    # not be trusted, but they only ever *lose* outgoing transitions in our
+    # graph (kept transitions all originate from fully expanded states), so
+    # they simply cannot appear on any explored cycle — no special-casing.
+    pending: List[Set[int]] = [region]
+    while pending:
+        current = pending.pop()
+        decomposition = decompose(graph, restrict_to=current)
+        for component in decomposition.components:
+            internal = internal_transitions(graph, component)
+            if not internal:
+                continue
+            enabled = graph.commands_enabled_within(component)
+            executed = frozenset(t.command for t in internal)
+            violating = enabled - executed
+            if not violating:
+                cycle = cycle_through_all(graph, component)
+                stem = find_path_indices(
+                    graph, graph.initial_indices, cycle[0].source
+                )
+                lasso = lasso_from_indices(graph, stem, cycle)
+                return FairCycle(
+                    lasso=lasso,
+                    region=tuple(component),
+                    enabled_on_cycle=enabled,
+                    executed_on_cycle=executed,
+                )
+            # Remove every state enabling a violating command; what remains
+            # may still host a fair cycle one level down.
+            survivors = {
+                i
+                for i in component
+                if not (graph.enabled_at(i) & violating)
+            }
+            if survivors:
+                pending.append(survivors)
+    return None
+
+
+def check_fair_termination(graph: ReachableGraph) -> FairTerminationResult:
+    """Decide fair termination over (the explored region of) ``graph``."""
+    witness = find_fair_cycle(graph)
+    if witness is not None:
+        # Sanity: the witness really is fair (defence in depth — the spec
+        # module re-derives fairness from the lasso itself).
+        violations = STRONG_FAIRNESS.violations(
+            witness.lasso, graph.system.enabled, graph.system.commands()
+        )
+        if violations:
+            raise AssertionError(
+                f"internal error: claimed fair cycle is unfair: {violations[0]}"
+            )
+        return FairTerminationResult(
+            fairly_terminates=False,
+            decisive=True,
+            witness=witness,
+            states_explored=len(graph),
+            transitions_explored=len(graph.transitions),
+        )
+    return FairTerminationResult(
+        fairly_terminates=True,
+        decisive=graph.complete,
+        witness=None,
+        states_explored=len(graph),
+        transitions_explored=len(graph.transitions),
+    )
+
+
+def find_weakly_fair_cycle(graph: ReachableGraph) -> Optional[FairCycle]:
+    """A reachable cycle fair under *weak* fairness (justice), or ``None``.
+
+    A lasso is weakly fair iff every command enabled at **every** cycle
+    state is executed on the cycle.  Per SCC ``S``: the grand tour visits
+    all of ``S``, so its continuously-enabled set is exactly the commands
+    enabled everywhere in ``S`` — the tour is weakly fair iff those are all
+    executed inside ``S``.  Conversely a command enabled everywhere in
+    ``S`` but executed on no internal transition starves *every* cycle of
+    ``S`` (it is continuously enabled along any of them), so no refinement
+    is needed: the per-SCC test is complete.
+    """
+    decomposition = decompose(graph)
+    for component in decomposition.components:
+        internal = internal_transitions(graph, component)
+        if not internal:
+            continue
+        everywhere_enabled = frozenset.intersection(
+            *(graph.enabled_at(i) for i in component)
+        )
+        executed = frozenset(t.command for t in internal)
+        if everywhere_enabled <= executed:
+            cycle = cycle_through_all(graph, component)
+            stem = find_path_indices(graph, graph.initial_indices, cycle[0].source)
+            return FairCycle(
+                lasso=lasso_from_indices(graph, stem, cycle),
+                region=tuple(component),
+                enabled_on_cycle=graph.commands_enabled_within(component),
+                executed_on_cycle=executed,
+            )
+    return None
+
+
+def find_impartial_cycle(graph: ReachableGraph) -> Optional[FairCycle]:
+    """A reachable cycle that is *impartial* (executes every command
+    infinitely often), or ``None``.
+
+    Exists iff some SCC's internal transitions cover the whole command set;
+    the grand tour then realises it.  Impartiality is the strongest notion
+    of the [LPS81] trio, so impartial termination is the weakest
+    termination property: ``weak-fair term ⟹ strong-fair term ⟹
+    impartial term`` (tested, not just asserted here).
+    """
+    all_commands = frozenset(graph.system.commands())
+    decomposition = decompose(graph)
+    for component in decomposition.components:
+        internal = internal_transitions(graph, component)
+        if not internal:
+            continue
+        executed = frozenset(t.command for t in internal)
+        if executed == all_commands:
+            cycle = cycle_through_all(graph, component)
+            stem = find_path_indices(graph, graph.initial_indices, cycle[0].source)
+            return FairCycle(
+                lasso=lasso_from_indices(graph, stem, cycle),
+                region=tuple(component),
+                enabled_on_cycle=graph.commands_enabled_within(component),
+                executed_on_cycle=executed,
+            )
+    return None
+
+
+def enumerate_unfair_commands(
+    graph: ReachableGraph,
+    component: Sequence[int],
+) -> FrozenSet[str]:
+    """Commands enabled somewhere in ``component`` but never executed inside.
+
+    Non-empty for every SCC of a fairly terminating program — these are the
+    candidate *unfairness hypotheses* (helpful directions) of the region,
+    and the synthesiser picks its level-1 hypothesis among them.
+    """
+    internal = internal_transitions(graph, component)
+    executed = frozenset(t.command for t in internal)
+    enabled = graph.commands_enabled_within(component)
+    return enabled - executed

@@ -1,0 +1,140 @@
+"""Schedulers: resolutions of the scheduling nondeterminism.
+
+A scheduler picks, at each step, which enabled command to execute.  The
+notion of fairness constrains exactly this choice, so schedulers make the
+paper's hypotheses *runnable*:
+
+* :class:`RoundRobinScheduler` is strongly fair by construction (every
+  persistently re-enabled command gets its turn within one rotation);
+* :class:`RandomScheduler` is strongly fair with probability 1;
+* :class:`AdversarialScheduler` starves a chosen set of commands whenever it
+  can — exactly the scheduler that keeps ``P2`` alive forever by always
+  choosing ``lb``;
+* :class:`ScriptedScheduler` replays a fixed choice sequence (for tests).
+
+Simulation under a fair scheduler must terminate on fairly terminating
+programs; under an adversarial one it exhibits the unfair infinite runs the
+stack assertions blame.  Both facts are exercised by tests and benches.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Iterable, Sequence
+
+from repro.ts.system import CommandLabel, State
+
+
+class Scheduler(ABC):
+    """Strategy interface: choose one of the enabled commands."""
+
+    @abstractmethod
+    def choose(
+        self,
+        state: State,
+        enabled: Sequence[CommandLabel],
+    ) -> CommandLabel:
+        """Pick a command among ``enabled`` (non-empty, deterministic order)."""
+
+    def reset(self) -> None:
+        """Forget internal state before a new run (default: nothing)."""
+
+
+class RoundRobinScheduler(Scheduler):
+    """Cycle through the command list, executing the next enabled one.
+
+    Maintains a rotating pointer over the full command tuple; at each step
+    the first enabled command at-or-after the pointer runs, and the pointer
+    advances past it.  Any command enabled infinitely often is executed
+    infinitely often: the pointer sweeps the whole tuple every ``N``
+    executions, and each sweep gives the command a slot in which it is
+    chosen whenever enabled.
+    """
+
+    def __init__(self, commands: Sequence[CommandLabel]) -> None:
+        if not commands:
+            raise ValueError("round-robin needs a non-empty command list")
+        self._commands = tuple(commands)
+        self._next = 0
+
+    def reset(self) -> None:
+        self._next = 0
+
+    def choose(self, state: State, enabled: Sequence[CommandLabel]) -> CommandLabel:
+        enabled_set = set(enabled)
+        for offset in range(len(self._commands)):
+            index = (self._next + offset) % len(self._commands)
+            command = self._commands[index]
+            if command in enabled_set:
+                self._next = (index + 1) % len(self._commands)
+                return command
+        raise ValueError(f"no enabled command among {list(enabled)}")
+
+
+class RandomScheduler(Scheduler):
+    """Choose uniformly at random (seeded).  Strongly fair almost surely."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+
+    def choose(self, state: State, enabled: Sequence[CommandLabel]) -> CommandLabel:
+        if not enabled:
+            raise ValueError("no enabled command")
+        return self._rng.choice(list(enabled))
+
+
+class AdversarialScheduler(Scheduler):
+    """Starve ``avoid`` commands whenever an alternative is enabled.
+
+    Ties among non-avoided commands are broken by the given preference
+    order, then lexicographically.  This scheduler realises the *unfair*
+    computations: on ``P2`` with ``avoid={'la'}`` it loops on ``lb``
+    forever.
+    """
+
+    def __init__(
+        self,
+        avoid: Iterable[CommandLabel],
+        prefer: Sequence[CommandLabel] = (),
+    ) -> None:
+        self._avoid = frozenset(avoid)
+        self._prefer = tuple(prefer)
+
+    def choose(self, state: State, enabled: Sequence[CommandLabel]) -> CommandLabel:
+        if not enabled:
+            raise ValueError("no enabled command")
+        allowed = [c for c in enabled if c not in self._avoid]
+        pool = allowed if allowed else list(enabled)
+        for command in self._prefer:
+            if command in pool:
+                return command
+        return min(pool)
+
+
+class ScriptedScheduler(Scheduler):
+    """Replay a fixed sequence of command choices; raises when the script
+    runs out or names a disabled command (tests want loud failures)."""
+
+    def __init__(self, script: Sequence[CommandLabel]) -> None:
+        self._script = tuple(script)
+        self._position = 0
+
+    def reset(self) -> None:
+        self._position = 0
+
+    def choose(self, state: State, enabled: Sequence[CommandLabel]) -> CommandLabel:
+        if self._position >= len(self._script):
+            raise ValueError("scripted scheduler exhausted")
+        command = self._script[self._position]
+        self._position += 1
+        if command not in set(enabled):
+            raise ValueError(
+                f"script step {self._position}: {command!r} not enabled "
+                f"(enabled: {sorted(enabled)})"
+            )
+        return command

@@ -1,0 +1,167 @@
+"""Fairness notions and their decision on ultimately periodic computations.
+
+The paper concentrates on **strong fairness**: "a computation is fair if
+commands that are enabled infinitely often are also executed infinitely
+often".  [LPS81] (which the paper builds on) distinguishes three notions,
+all implemented here so the checker and benches can contrast them:
+
+* **impartiality** — every command is executed infinitely often;
+* **justice** (weak fairness) — every command enabled continuously from some
+  point on is executed infinitely often;
+* **fairness** (strong fairness) — every command enabled infinitely often is
+  executed infinitely often.
+
+On an ultimately periodic computation ``stem · cycle^ω`` all three are
+decidable from the cycle alone:
+
+* executed infinitely often ⟺ labels some cycle transition;
+* enabled infinitely often ⟺ enabled at some cycle state;
+* enabled continuously from some point ⟺ enabled at every cycle state.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, Iterable, Tuple
+
+from repro.ts.lasso import Lasso
+from repro.ts.system import CommandLabel, State
+
+EnabledFn = Callable[[State], frozenset]
+
+
+@dataclass(frozen=True)
+class UnfairnessEvidence:
+    """Why a lasso fails a fairness notion, for one command.
+
+    ``command`` is treated unfairly: ``enabled_at`` lists the cycle states
+    where it is enabled (non-empty), while it labels no cycle transition.
+    This is precisely the paper's "unfair with respect to command ℓ".
+    """
+
+    command: CommandLabel
+    enabled_at: Tuple[State, ...]
+
+    def __str__(self) -> str:
+        return (
+            f"command {self.command!r} is enabled at cycle states "
+            f"{list(self.enabled_at)} but never executed on the cycle"
+        )
+
+
+class FairnessSpec(ABC):
+    """A fairness notion over the commands of a transition system."""
+
+    name: str = "fairness"
+
+    @abstractmethod
+    def violations(
+        self,
+        lasso: Lasso,
+        enabled: EnabledFn,
+        commands: Iterable[CommandLabel],
+    ) -> Tuple[UnfairnessEvidence, ...]:
+        """All commands treated unfairly by ``lasso`` under this notion."""
+
+    def is_fair(
+        self,
+        lasso: Lasso,
+        enabled: EnabledFn,
+        commands: Iterable[CommandLabel],
+    ) -> bool:
+        """Whether the infinite computation induced by ``lasso`` is fair."""
+        return not self.violations(lasso, enabled, commands)
+
+
+def _cycle_enabled_sets(lasso: Lasso, enabled: EnabledFn) -> Tuple[FrozenSet, ...]:
+    return tuple(enabled(state) for state in lasso.cycle_states())
+
+
+class StrongFairness(FairnessSpec):
+    """The paper's notion: enabled infinitely often ⇒ executed infinitely often."""
+
+    name = "strong fairness"
+
+    def violations(
+        self,
+        lasso: Lasso,
+        enabled: EnabledFn,
+        commands: Iterable[CommandLabel],
+    ) -> Tuple[UnfairnessEvidence, ...]:
+        executed = lasso.executed_infinitely_often()
+        enabled_sets = _cycle_enabled_sets(lasso, enabled)
+        result = []
+        for command in commands:
+            if command in executed:
+                continue
+            where = tuple(
+                state
+                for state, cmds in zip(lasso.cycle_states(), enabled_sets)
+                if command in cmds
+            )
+            if where:
+                result.append(UnfairnessEvidence(command=command, enabled_at=where))
+        return tuple(result)
+
+
+class WeakFairness(FairnessSpec):
+    """Justice: enabled continuously from some point ⇒ executed infinitely often."""
+
+    name = "weak fairness (justice)"
+
+    def violations(
+        self,
+        lasso: Lasso,
+        enabled: EnabledFn,
+        commands: Iterable[CommandLabel],
+    ) -> Tuple[UnfairnessEvidence, ...]:
+        executed = lasso.executed_infinitely_often()
+        enabled_sets = _cycle_enabled_sets(lasso, enabled)
+        result = []
+        for command in commands:
+            if command in executed:
+                continue
+            if all(command in cmds for cmds in enabled_sets):
+                result.append(
+                    UnfairnessEvidence(
+                        command=command, enabled_at=tuple(lasso.cycle_states())
+                    )
+                )
+        return tuple(result)
+
+
+class Impartiality(FairnessSpec):
+    """Impartiality: every command is executed infinitely often, regardless
+    of enabledness.  (The strongest of the [LPS81] trio; included for
+    contrast — under it even ``P1`` with an extra never-enabled command would
+    "fairly terminate" vacuously only if that command can never be scheduled.)
+    """
+
+    name = "impartiality"
+
+    def violations(
+        self,
+        lasso: Lasso,
+        enabled: EnabledFn,
+        commands: Iterable[CommandLabel],
+    ) -> Tuple[UnfairnessEvidence, ...]:
+        executed = lasso.executed_infinitely_often()
+        enabled_sets = _cycle_enabled_sets(lasso, enabled)
+        result = []
+        for command in commands:
+            if command in executed:
+                continue
+            where = tuple(
+                state
+                for state, cmds in zip(lasso.cycle_states(), enabled_sets)
+                if command in cmds
+            )
+            result.append(UnfairnessEvidence(command=command, enabled_at=where))
+        return tuple(result)
+
+
+#: Shared instances; the classes are stateless.
+STRONG_FAIRNESS = StrongFairness()
+WEAK_FAIRNESS = WeakFairness()
+IMPARTIALITY = Impartiality()

@@ -1,0 +1,75 @@
+"""The guarded-command language: lexer, parser, evaluator, semantics."""
+
+from repro.gcl.ast import (
+    Assign,
+    Binary,
+    BinaryOp,
+    BoolLiteral,
+    Call,
+    Choose,
+    Expr,
+    GuardedCommand,
+    If,
+    IntLiteral,
+    ProgramAst,
+    Seq,
+    Skip,
+    Stmt,
+    Unary,
+    UnaryOp,
+    VarDecl,
+    VarRef,
+)
+from repro.gcl.errors import (
+    EvalError,
+    GclError,
+    LexError,
+    ParseError,
+    SourceLocation,
+)
+from repro.gcl.eval import evaluate, evaluate_bool, evaluate_int, execute
+from repro.gcl.lexer import tokenize
+from repro.gcl.parser import parse_expression, parse_program_ast
+from repro.gcl.pretty import render_command, render_expr, render_program, render_stmt
+from repro.gcl.program import Program, parse_program
+from repro.gcl.state import ProgramState
+
+__all__ = [
+    "Assign",
+    "Binary",
+    "BinaryOp",
+    "BoolLiteral",
+    "Call",
+    "Choose",
+    "Expr",
+    "GuardedCommand",
+    "If",
+    "IntLiteral",
+    "ProgramAst",
+    "Seq",
+    "Skip",
+    "Stmt",
+    "Unary",
+    "UnaryOp",
+    "VarDecl",
+    "VarRef",
+    "EvalError",
+    "GclError",
+    "LexError",
+    "ParseError",
+    "SourceLocation",
+    "evaluate",
+    "evaluate_bool",
+    "evaluate_int",
+    "execute",
+    "tokenize",
+    "parse_expression",
+    "parse_program_ast",
+    "render_command",
+    "render_expr",
+    "render_program",
+    "render_stmt",
+    "Program",
+    "parse_program",
+    "ProgramState",
+]

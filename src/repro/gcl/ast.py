@@ -1,0 +1,236 @@
+"""Abstract syntax for the guarded-command language.
+
+All nodes are immutable dataclasses.  Expressions evaluate to Python ``int``
+or ``bool`` over a variable valuation (:mod:`repro.gcl.eval`); statements
+execute atomically as part of one guarded command, matching the paper's
+model where one transition is the execution of exactly one command.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.gcl.errors import SourceLocation
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class for expressions."""
+
+
+@dataclass(frozen=True)
+class IntLiteral(Expr):
+    """An integer constant."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class BoolLiteral(Expr):
+    """``true`` or ``false``."""
+
+    value: bool
+
+
+@dataclass(frozen=True)
+class VarRef(Expr):
+    """A reference to a program variable."""
+
+    name: str
+
+
+class UnaryOp(enum.Enum):
+    """Unary operators."""
+
+    NEG = "-"
+    NOT = "not"
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    """A unary operation."""
+
+    op: UnaryOp
+    operand: Expr
+
+
+class BinaryOp(enum.Enum):
+    """Binary operators; the value is the concrete syntax."""
+
+    ADD = "+"
+    SUB = "-"
+    MUL = "*"
+    DIV = "div"
+    MOD = "mod"
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    AND = "and"
+    OR = "or"
+
+
+#: Operators producing booleans from two integers.
+COMPARISONS = {
+    BinaryOp.EQ,
+    BinaryOp.NE,
+    BinaryOp.LT,
+    BinaryOp.LE,
+    BinaryOp.GT,
+    BinaryOp.GE,
+}
+
+#: Operators over booleans.
+CONNECTIVES = {BinaryOp.AND, BinaryOp.OR}
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    """A binary operation."""
+
+    op: BinaryOp
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """A builtin call: ``min``, ``max`` (arity ≥ 1) or ``abs`` (arity 1).
+
+    ``max(y - x, 0)`` is the paper's ``max{y − x, 0}`` from ``P1'``.
+    """
+
+    function: str
+    args: Tuple[Expr, ...]
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Stmt:
+    """Base class for statements."""
+
+
+@dataclass(frozen=True)
+class Skip(Stmt):
+    """The no-op statement."""
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    """(Parallel) assignment ``x, y := e1, e2``.
+
+    All right-hand sides are evaluated in the pre-state, then assigned —
+    the usual simultaneous-assignment semantics.
+    """
+
+    targets: Tuple[str, ...]
+    values: Tuple[Expr, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.targets) != len(self.values):
+            raise ValueError(
+                f"assignment arity mismatch: {len(self.targets)} targets, "
+                f"{len(self.values)} values"
+            )
+        if len(set(self.targets)) != len(self.targets):
+            raise ValueError(f"duplicate assignment targets: {self.targets}")
+
+
+@dataclass(frozen=True)
+class Choose(Stmt):
+    """Bounded nondeterministic assignment ``choose x in lo .. hi``.
+
+    Introduces (bounded) nondeterminism *inside* a command: the command has
+    one successor per value in the (pre-state-evaluated) range.  An empty
+    range is an evaluation error — guards should exclude it.
+    """
+
+    target: str
+    low: Expr
+    high: Expr
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    """Conditional ``if b then s1 else s2 fi`` (``else`` optional → skip)."""
+
+    condition: Expr
+    then_branch: Stmt
+    else_branch: Stmt
+
+
+@dataclass(frozen=True)
+class Seq(Stmt):
+    """Sequential composition inside a single atomic command body."""
+
+    statements: Tuple[Stmt, ...]
+
+
+# ---------------------------------------------------------------------------
+# Commands and programs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GuardedCommand:
+    """One labelled guarded command ``ℓ: g → body``."""
+
+    label: str
+    guard: Expr
+    body: Stmt
+    location: Optional[SourceLocation] = field(default=None, compare=False)
+
+
+@dataclass(frozen=True)
+class VarDecl:
+    """A variable declaration with a single initial value or a range.
+
+    ``var x := 3`` fixes the initial value; ``var x in 0..3`` declares a set
+    of initial states (one per value), which is how parameter sweeps and
+    multi-initial-state programs are written.
+    """
+
+    name: str
+    init_low: Expr
+    init_high: Expr  # equal to init_low for a fixed initialisation
+    location: Optional[SourceLocation] = field(default=None, compare=False)
+
+
+@dataclass(frozen=True)
+class ProgramAst:
+    """A whole program: name, declarations, loop of guarded commands."""
+
+    name: str
+    declarations: Tuple[VarDecl, ...]
+    commands: Tuple[GuardedCommand, ...]
+
+    def __post_init__(self) -> None:
+        names = [d.name for d in self.declarations]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate variable declarations: {names}")
+        labels = [c.label for c in self.commands]
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"duplicate command labels: {labels}")
+        if not self.commands:
+            raise ValueError("a program needs at least one guarded command")
+
+    def command_labels(self) -> Tuple[str, ...]:
+        """The labels in declaration order."""
+        return tuple(c.label for c in self.commands)
+
+    def variables(self) -> Tuple[str, ...]:
+        """The declared variable names in declaration order."""
+        return tuple(d.name for d in self.declarations)

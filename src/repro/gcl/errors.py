@@ -1,0 +1,38 @@
+"""Source-located errors for the guarded-command language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """A (line, column) position in GCL source text, 1-based."""
+
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"line {self.line}, column {self.column}"
+
+
+class GclError(Exception):
+    """Base class for all GCL front-end errors."""
+
+    def __init__(self, message: str, location: SourceLocation | None = None) -> None:
+        self.location = location
+        if location is not None:
+            message = f"{message} (at {location})"
+        super().__init__(message)
+
+
+class LexError(GclError):
+    """An unrecognised character or malformed token."""
+
+
+class ParseError(GclError):
+    """Input does not conform to the GCL grammar."""
+
+
+class EvalError(GclError):
+    """A run-time evaluation failure (unknown variable, division by zero...)."""

@@ -1,0 +1,181 @@
+"""Evaluation of GCL expressions and atomic execution of statement bodies.
+
+Expressions evaluate over a :class:`~repro.gcl.state.ProgramState` to ``int``
+or ``bool``.  ``div``/``mod`` follow the mathematical convention (Python's
+floor semantics) with division by zero an :class:`EvalError` — the paper's
+``z mod 117`` then always lands in ``{0..116}``, as its ``P3'`` annotation
+relies on.
+
+Statement execution is *atomic and nondeterministic*: executing a command
+body from a pre-state yields the finite set of possible post-states (more
+than one only when ``choose`` occurs).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Union
+
+from repro.gcl.ast import (
+    Assign,
+    Binary,
+    BinaryOp,
+    BoolLiteral,
+    Call,
+    Choose,
+    COMPARISONS,
+    CONNECTIVES,
+    Expr,
+    If,
+    IntLiteral,
+    Seq,
+    Skip,
+    Stmt,
+    Unary,
+    UnaryOp,
+    VarRef,
+)
+from repro.gcl.errors import EvalError
+from repro.gcl.state import ProgramState
+
+Value = Union[int, bool]
+
+
+def evaluate(expr: Expr, state: Mapping[str, int]) -> Value:
+    """Evaluate ``expr`` in ``state``; returns ``int`` or ``bool``."""
+    if isinstance(expr, IntLiteral):
+        return expr.value
+    if isinstance(expr, BoolLiteral):
+        return expr.value
+    if isinstance(expr, VarRef):
+        try:
+            return state[expr.name]
+        except KeyError:
+            raise EvalError(f"unknown variable {expr.name!r}") from None
+    if isinstance(expr, Unary):
+        return _evaluate_unary(expr, state)
+    if isinstance(expr, Binary):
+        return _evaluate_binary(expr, state)
+    if isinstance(expr, Call):
+        return _evaluate_call(expr, state)
+    raise EvalError(f"unhandled expression node {type(expr).__name__}")
+
+
+def evaluate_int(expr: Expr, state: Mapping[str, int]) -> int:
+    """Evaluate ``expr`` and require an integer result."""
+    value = evaluate(expr, state)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise EvalError(f"expected an integer, got {value!r}")
+    return value
+
+
+def evaluate_bool(expr: Expr, state: Mapping[str, int]) -> bool:
+    """Evaluate ``expr`` and require a boolean result (guards, conditions)."""
+    value = evaluate(expr, state)
+    if not isinstance(value, bool):
+        raise EvalError(f"expected a boolean, got {value!r}")
+    return value
+
+
+def _evaluate_unary(expr: Unary, state: Mapping[str, int]) -> Value:
+    if expr.op is UnaryOp.NEG:
+        return -evaluate_int(expr.operand, state)
+    if expr.op is UnaryOp.NOT:
+        return not evaluate_bool(expr.operand, state)
+    raise EvalError(f"unhandled unary operator {expr.op}")
+
+
+def _evaluate_binary(expr: Binary, state: Mapping[str, int]) -> Value:
+    op = expr.op
+    if op in CONNECTIVES:
+        left = evaluate_bool(expr.left, state)
+        # Short-circuit: the right operand may be undefined when irrelevant.
+        if op is BinaryOp.AND:
+            return left and evaluate_bool(expr.right, state)
+        return left or evaluate_bool(expr.right, state)
+    left_int = evaluate_int(expr.left, state)
+    right_int = evaluate_int(expr.right, state)
+    if op in COMPARISONS:
+        return {
+            BinaryOp.EQ: left_int == right_int,
+            BinaryOp.NE: left_int != right_int,
+            BinaryOp.LT: left_int < right_int,
+            BinaryOp.LE: left_int <= right_int,
+            BinaryOp.GT: left_int > right_int,
+            BinaryOp.GE: left_int >= right_int,
+        }[op]
+    if op is BinaryOp.ADD:
+        return left_int + right_int
+    if op is BinaryOp.SUB:
+        return left_int - right_int
+    if op is BinaryOp.MUL:
+        return left_int * right_int
+    if op is BinaryOp.DIV:
+        if right_int == 0:
+            raise EvalError("division by zero")
+        return left_int // right_int
+    if op is BinaryOp.MOD:
+        if right_int == 0:
+            raise EvalError("modulo by zero")
+        return left_int % right_int
+    raise EvalError(f"unhandled binary operator {op}")
+
+
+def _evaluate_call(expr: Call, state: Mapping[str, int]) -> Value:
+    args = [evaluate_int(a, state) for a in expr.args]
+    if expr.function == "min":
+        return min(args)
+    if expr.function == "max":
+        return max(args)
+    if expr.function == "abs":
+        return abs(args[0])
+    raise EvalError(f"unknown builtin {expr.function!r}")
+
+
+def execute(stmt: Stmt, state: ProgramState) -> List[ProgramState]:
+    """Execute one command body atomically; return all possible post-states.
+
+    The result list is non-empty and duplicate-free; most bodies are
+    deterministic and yield exactly one state.
+    """
+    results = list(_execute(stmt, state))
+    unique: List[ProgramState] = []
+    seen = set()
+    for post in results:
+        if post not in seen:
+            seen.add(post)
+            unique.append(post)
+    return unique
+
+
+def _execute(stmt: Stmt, state: ProgramState) -> Iterable[ProgramState]:
+    if isinstance(stmt, Skip):
+        yield state
+        return
+    if isinstance(stmt, Assign):
+        values = {
+            target: evaluate_int(value, state)
+            for target, value in zip(stmt.targets, stmt.values)
+        }
+        yield state.updated(values)
+        return
+    if isinstance(stmt, Choose):
+        low = evaluate_int(stmt.low, state)
+        high = evaluate_int(stmt.high, state)
+        if low > high:
+            raise EvalError(
+                f"choose {stmt.target} in {low}..{high}: empty range"
+            )
+        for value in range(low, high + 1):
+            yield state.updated({stmt.target: value})
+        return
+    if isinstance(stmt, If):
+        branch = stmt.then_branch if evaluate_bool(stmt.condition, state) else stmt.else_branch
+        yield from _execute(branch, state)
+        return
+    if isinstance(stmt, Seq):
+        frontier = [state]
+        for part in stmt.statements:
+            frontier = [post for pre in frontier for post in _execute(part, pre)]
+        yield from frontier
+        return
+    raise EvalError(f"unhandled statement node {type(stmt).__name__}")

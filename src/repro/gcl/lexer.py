@@ -1,0 +1,154 @@
+"""Hand-written lexer for the guarded-command language.
+
+The surface syntax is ASCII-friendly; the paper's ``*[ ℓ: g → c □ ... ]``
+loops are written
+
+.. code-block:: text
+
+    program P2
+    var x := 0, y := 10
+    do
+      la: x < y -> x := x + 1
+      lb: x < y -> skip
+    od
+
+Commands may also be separated with ``[]`` (the ASCII box).  Comments run
+from ``#`` to end of line.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.gcl.errors import LexError, SourceLocation
+from repro.gcl.tokens import KEYWORDS, Token, TokenKind
+
+_SIMPLE = {
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    ",": TokenKind.COMMA,
+    ";": TokenKind.SEMI,
+}
+
+
+class Lexer:
+    """Turns GCL source text into a token stream."""
+
+    def __init__(self, source: str) -> None:
+        self._source = source
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    def _location(self) -> SourceLocation:
+        return SourceLocation(self._line, self._column)
+
+    def _peek(self, ahead: int = 0) -> str:
+        index = self._pos + ahead
+        return self._source[index] if index < len(self._source) else ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self._pos < len(self._source):
+                if self._source[self._pos] == "\n":
+                    self._line += 1
+                    self._column = 1
+                else:
+                    self._column += 1
+                self._pos += 1
+
+    def tokens(self) -> List[Token]:
+        """Lex the whole input, ending with an EOF token."""
+        return list(self._iter_tokens())
+
+    def _iter_tokens(self) -> Iterator[Token]:
+        while True:
+            self._skip_trivia()
+            location = self._location()
+            char = self._peek()
+            if not char:
+                yield Token(TokenKind.EOF, "", location)
+                return
+            if char.isdigit():
+                yield self._lex_number(location)
+            elif char.isalpha() or char == "_":
+                yield self._lex_word(location)
+            else:
+                yield self._lex_operator(location)
+
+    def _skip_trivia(self) -> None:
+        while True:
+            char = self._peek()
+            if char and char in " \t\r\n":
+                self._advance()
+            elif char == "#":
+                while self._peek() and self._peek() != "\n":
+                    self._advance()
+            else:
+                return
+
+    def _lex_number(self, location: SourceLocation) -> Token:
+        start = self._pos
+        while self._peek().isdigit():
+            self._advance()
+        text = self._source[start : self._pos]
+        if self._peek().isalpha() or self._peek() == "_":
+            raise LexError(f"malformed number {text + self._peek()!r}", location)
+        return Token(TokenKind.INT, text, location)
+
+    def _lex_word(self, location: SourceLocation) -> Token:
+        start = self._pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self._source[start : self._pos]
+        kind = KEYWORDS.get(text, TokenKind.IDENT)
+        return Token(kind, text, location)
+
+    def _lex_operator(self, location: SourceLocation) -> Token:
+        char = self._peek()
+        pair = char + self._peek(1)
+        if pair == "->":
+            self._advance(2)
+            return Token(TokenKind.ARROW, pair, location)
+        if pair == ":=":
+            self._advance(2)
+            return Token(TokenKind.ASSIGN, pair, location)
+        if pair == "[]":
+            self._advance(2)
+            return Token(TokenKind.BOX, pair, location)
+        if pair == "==":
+            self._advance(2)
+            return Token(TokenKind.EQ, pair, location)
+        if pair == "!=":
+            self._advance(2)
+            return Token(TokenKind.NE, pair, location)
+        if pair == "<=":
+            self._advance(2)
+            return Token(TokenKind.LE, pair, location)
+        if pair == ">=":
+            self._advance(2)
+            return Token(TokenKind.GE, pair, location)
+        if pair == "..":
+            self._advance(2)
+            return Token(TokenKind.DOTDOT, pair, location)
+        if char == "<":
+            self._advance()
+            return Token(TokenKind.LT, char, location)
+        if char == ">":
+            self._advance()
+            return Token(TokenKind.GT, char, location)
+        if char == ":":
+            self._advance()
+            return Token(TokenKind.COLON, char, location)
+        if char in _SIMPLE:
+            self._advance()
+            return Token(_SIMPLE[char], char, location)
+        raise LexError(f"unexpected character {char!r}", location)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Convenience wrapper: lex ``source`` into a token list."""
+    return Lexer(source).tokens()

@@ -1,0 +1,326 @@
+"""Recursive-descent parser for the guarded-command language.
+
+Grammar (EBNF; newlines are not significant — command boundaries are marked
+by labels or ``[]``):
+
+.. code-block:: text
+
+    program   ::= 'program' IDENT decls 'do' command (['[]'] command)* 'od'
+    decls     ::= ('var' decl (',' decl)*)*
+    decl      ::= IDENT ':=' expr | IDENT 'in' expr '..' expr
+    command   ::= IDENT ':' expr '->' stmt
+    stmt      ::= atom (';' atom)*
+    atom      ::= 'skip'
+                | IDENT (',' IDENT)* ':=' expr (',' expr)*
+                | 'choose' IDENT 'in' expr '..' expr
+                | 'if' expr 'then' stmt ['else' stmt] 'fi'
+    expr      ::= disj
+    disj      ::= conj ('or' conj)*
+    conj      ::= cmp ('and' cmp)*
+    cmp       ::= sum (('=='|'!='|'<'|'<='|'>'|'>=') sum)?
+    sum       ::= term (('+'|'-') term)*
+    term      ::= factor (('*'|'div'|'mod') factor)*
+    factor    ::= INT | 'true' | 'false' | IDENT | IDENT '(' expr,* ')'
+                | '-' factor | 'not' factor | '(' expr ')'
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.gcl.ast import (
+    Assign,
+    Binary,
+    BinaryOp,
+    BoolLiteral,
+    Call,
+    Choose,
+    Expr,
+    GuardedCommand,
+    If,
+    IntLiteral,
+    ProgramAst,
+    Seq,
+    Skip,
+    Stmt,
+    Unary,
+    UnaryOp,
+    VarDecl,
+    VarRef,
+)
+from repro.gcl.errors import ParseError
+from repro.gcl.lexer import tokenize
+from repro.gcl.tokens import Token, TokenKind
+
+_BUILTINS = {"min", "max", "abs"}
+
+_COMPARE_OPS = {
+    TokenKind.EQ: BinaryOp.EQ,
+    TokenKind.NE: BinaryOp.NE,
+    TokenKind.LT: BinaryOp.LT,
+    TokenKind.LE: BinaryOp.LE,
+    TokenKind.GT: BinaryOp.GT,
+    TokenKind.GE: BinaryOp.GE,
+}
+
+_ADDITIVE_OPS = {TokenKind.PLUS: BinaryOp.ADD, TokenKind.MINUS: BinaryOp.SUB}
+_MULTIPLICATIVE_OPS = {
+    TokenKind.STAR: BinaryOp.MUL,
+    TokenKind.DIV: BinaryOp.DIV,
+    TokenKind.MOD: BinaryOp.MOD,
+}
+
+
+class Parser:
+    """Parses one program or one standalone expression."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers -------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _at(self, kind: TokenKind) -> bool:
+        return self._peek().kind is kind
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind is not TokenKind.EOF:
+            self._pos += 1
+        return token
+
+    def _expect(self, kind: TokenKind) -> Token:
+        token = self._peek()
+        if token.kind is not kind:
+            raise ParseError(
+                f"expected {kind.value}, found {token.kind.value} {token.text!r}",
+                token.location,
+            )
+        return self._advance()
+
+    def _accept(self, kind: TokenKind) -> Token | None:
+        if self._at(kind):
+            return self._advance()
+        return None
+
+    # -- program structure ----------------------------------------------
+
+    def parse_program(self) -> ProgramAst:
+        """Parse a full ``program ... do ... od`` unit."""
+        self._expect(TokenKind.PROGRAM)
+        name = self._expect(TokenKind.IDENT).text
+        declarations: List[VarDecl] = []
+        while self._accept(TokenKind.VAR):
+            declarations.append(self._parse_decl())
+            while self._accept(TokenKind.COMMA):
+                declarations.append(self._parse_decl())
+        self._expect(TokenKind.DO)
+        commands = [self._parse_command()]
+        while True:
+            self._accept(TokenKind.BOX)
+            if self._at(TokenKind.OD):
+                break
+            commands.append(self._parse_command())
+        self._expect(TokenKind.OD)
+        self._expect(TokenKind.EOF)
+        return ProgramAst(
+            name=name,
+            declarations=tuple(declarations),
+            commands=tuple(commands),
+        )
+
+    def _parse_decl(self) -> VarDecl:
+        name_token = self._expect(TokenKind.IDENT)
+        if self._accept(TokenKind.ASSIGN):
+            value = self._parse_expr()
+            return VarDecl(
+                name=name_token.text,
+                init_low=value,
+                init_high=value,
+                location=name_token.location,
+            )
+        self._expect(TokenKind.IN)
+        low = self._parse_expr()
+        self._expect(TokenKind.DOTDOT)
+        high = self._parse_expr()
+        return VarDecl(
+            name=name_token.text,
+            init_low=low,
+            init_high=high,
+            location=name_token.location,
+        )
+
+    def _parse_command(self) -> GuardedCommand:
+        label_token = self._expect(TokenKind.IDENT)
+        self._expect(TokenKind.COLON)
+        guard = self._parse_expr()
+        self._expect(TokenKind.ARROW)
+        body = self._parse_stmt()
+        return GuardedCommand(
+            label=label_token.text,
+            guard=guard,
+            body=body,
+            location=label_token.location,
+        )
+
+    # -- statements ------------------------------------------------------
+
+    def _parse_stmt(self) -> Stmt:
+        atoms = [self._parse_atom()]
+        while self._accept(TokenKind.SEMI):
+            atoms.append(self._parse_atom())
+        if len(atoms) == 1:
+            return atoms[0]
+        return Seq(statements=tuple(atoms))
+
+    def _parse_atom(self) -> Stmt:
+        if self._accept(TokenKind.SKIP):
+            return Skip()
+        if self._accept(TokenKind.CHOOSE):
+            target = self._expect(TokenKind.IDENT).text
+            self._expect(TokenKind.IN)
+            low = self._parse_expr()
+            self._expect(TokenKind.DOTDOT)
+            high = self._parse_expr()
+            return Choose(target=target, low=low, high=high)
+        if self._accept(TokenKind.IF):
+            condition = self._parse_expr()
+            self._expect(TokenKind.THEN)
+            then_branch = self._parse_stmt()
+            if self._accept(TokenKind.ELSE):
+                else_branch = self._parse_stmt()
+            else:
+                else_branch = Skip()
+            self._expect(TokenKind.FI)
+            return If(
+                condition=condition,
+                then_branch=then_branch,
+                else_branch=else_branch,
+            )
+        # Parallel assignment.
+        targets = [self._expect(TokenKind.IDENT).text]
+        while self._accept(TokenKind.COMMA):
+            targets.append(self._expect(TokenKind.IDENT).text)
+        assign = self._expect(TokenKind.ASSIGN)
+        values = [self._parse_expr()]
+        while self._accept(TokenKind.COMMA):
+            values.append(self._parse_expr())
+        if len(targets) != len(values):
+            raise ParseError(
+                f"assignment arity mismatch: {len(targets)} targets but "
+                f"{len(values)} values",
+                assign.location,
+            )
+        return Assign(targets=tuple(targets), values=tuple(values))
+
+    # -- expressions ------------------------------------------------------
+
+    def parse_standalone_expr(self) -> Expr:
+        """Parse a single expression followed by end of input.
+
+        Used by the stack-assertion front end, whose measure expressions are
+        written in the same language as program guards.
+        """
+        expr = self._parse_expr()
+        self._expect(TokenKind.EOF)
+        return expr
+
+    def _parse_expr(self) -> Expr:
+        return self._parse_disjunction()
+
+    def _parse_disjunction(self) -> Expr:
+        left = self._parse_conjunction()
+        while self._accept(TokenKind.OR):
+            right = self._parse_conjunction()
+            left = Binary(op=BinaryOp.OR, left=left, right=right)
+        return left
+
+    def _parse_conjunction(self) -> Expr:
+        left = self._parse_comparison()
+        while self._accept(TokenKind.AND):
+            right = self._parse_comparison()
+            left = Binary(op=BinaryOp.AND, left=left, right=right)
+        return left
+
+    def _parse_comparison(self) -> Expr:
+        left = self._parse_sum()
+        kind = self._peek().kind
+        if kind in _COMPARE_OPS:
+            self._advance()
+            right = self._parse_sum()
+            return Binary(op=_COMPARE_OPS[kind], left=left, right=right)
+        return left
+
+    def _parse_sum(self) -> Expr:
+        left = self._parse_term()
+        while self._peek().kind in _ADDITIVE_OPS:
+            op = _ADDITIVE_OPS[self._advance().kind]
+            right = self._parse_term()
+            left = Binary(op=op, left=left, right=right)
+        return left
+
+    def _parse_term(self) -> Expr:
+        left = self._parse_factor()
+        while self._peek().kind in _MULTIPLICATIVE_OPS:
+            op = _MULTIPLICATIVE_OPS[self._advance().kind]
+            right = self._parse_factor()
+            left = Binary(op=op, left=left, right=right)
+        return left
+
+    def _parse_factor(self) -> Expr:
+        token = self._peek()
+        if token.kind is TokenKind.INT:
+            self._advance()
+            return IntLiteral(value=int(token.text))
+        if token.kind is TokenKind.TRUE:
+            self._advance()
+            return BoolLiteral(value=True)
+        if token.kind is TokenKind.FALSE:
+            self._advance()
+            return BoolLiteral(value=False)
+        if token.kind is TokenKind.MINUS:
+            self._advance()
+            return Unary(op=UnaryOp.NEG, operand=self._parse_factor())
+        if token.kind is TokenKind.NOT:
+            self._advance()
+            return Unary(op=UnaryOp.NOT, operand=self._parse_factor())
+        if token.kind is TokenKind.LPAREN:
+            self._advance()
+            inner = self._parse_expr()
+            self._expect(TokenKind.RPAREN)
+            return inner
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            if self._at(TokenKind.LPAREN):
+                if token.text not in _BUILTINS:
+                    raise ParseError(
+                        f"unknown function {token.text!r} "
+                        f"(builtins: {sorted(_BUILTINS)})",
+                        token.location,
+                    )
+                self._advance()
+                args = [self._parse_expr()]
+                while self._accept(TokenKind.COMMA):
+                    args.append(self._parse_expr())
+                self._expect(TokenKind.RPAREN)
+                if token.text == "abs" and len(args) != 1:
+                    raise ParseError("abs() takes exactly one argument", token.location)
+                return Call(function=token.text, args=tuple(args))
+            return VarRef(name=token.text)
+        raise ParseError(
+            f"expected an expression, found {token.kind.value} {token.text!r}",
+            token.location,
+        )
+
+
+def parse_program_ast(source: str) -> ProgramAst:
+    """Parse GCL source into a :class:`ProgramAst`."""
+    return Parser(tokenize(source)).parse_program()
+
+
+def parse_expression(source: str) -> Expr:
+    """Parse a standalone GCL expression (for assertions and guards)."""
+    return Parser(tokenize(source)).parse_standalone_expr()

@@ -1,0 +1,124 @@
+"""Pretty-printing of GCL syntax trees back to concrete syntax.
+
+``parse_program(render_program(p.ast))`` round-trips (module layout), which
+is what the parser/printer property tests check.
+"""
+
+from __future__ import annotations
+
+from repro.gcl.ast import (
+    Assign,
+    Binary,
+    BinaryOp,
+    BoolLiteral,
+    Call,
+    Choose,
+    Expr,
+    GuardedCommand,
+    If,
+    IntLiteral,
+    ProgramAst,
+    Seq,
+    Skip,
+    Stmt,
+    Unary,
+    UnaryOp,
+    VarRef,
+)
+
+# Binding strength; higher binds tighter.  Mirrors the parser's levels.
+_PRECEDENCE = {
+    BinaryOp.OR: 1,
+    BinaryOp.AND: 2,
+    BinaryOp.EQ: 3,
+    BinaryOp.NE: 3,
+    BinaryOp.LT: 3,
+    BinaryOp.LE: 3,
+    BinaryOp.GT: 3,
+    BinaryOp.GE: 3,
+    BinaryOp.ADD: 4,
+    BinaryOp.SUB: 4,
+    BinaryOp.MUL: 5,
+    BinaryOp.DIV: 5,
+    BinaryOp.MOD: 5,
+}
+
+_UNARY_PRECEDENCE = 6
+
+
+def render_expr(expr: Expr, parent_precedence: int = 0) -> str:
+    """Render an expression with minimal parentheses."""
+    if isinstance(expr, IntLiteral):
+        return str(expr.value)
+    if isinstance(expr, BoolLiteral):
+        return "true" if expr.value else "false"
+    if isinstance(expr, VarRef):
+        return expr.name
+    if isinstance(expr, Call):
+        inner = ", ".join(render_expr(a) for a in expr.args)
+        return f"{expr.function}({inner})"
+    if isinstance(expr, Unary):
+        op = "-" if expr.op is UnaryOp.NEG else "not "
+        text = f"{op}{render_expr(expr.operand, _UNARY_PRECEDENCE)}"
+        if parent_precedence > _UNARY_PRECEDENCE:
+            return f"({text})"
+        return text
+    if isinstance(expr, Binary):
+        precedence = _PRECEDENCE[expr.op]
+        # Left-associative: same precedence on the right needs parentheses
+        # for the non-commutative operators; parenthesise uniformly for
+        # simplicity and round-trip stability.
+        left = render_expr(expr.left, precedence)
+        right = render_expr(expr.right, precedence + 1)
+        text = f"{left} {expr.op.value} {right}"
+        if parent_precedence > precedence:
+            return f"({text})"
+        return text
+    raise TypeError(f"unhandled expression node {type(expr).__name__}")
+
+
+def render_stmt(stmt: Stmt) -> str:
+    """Render a statement."""
+    if isinstance(stmt, Skip):
+        return "skip"
+    if isinstance(stmt, Assign):
+        targets = ", ".join(stmt.targets)
+        values = ", ".join(render_expr(v) for v in stmt.values)
+        return f"{targets} := {values}"
+    if isinstance(stmt, Choose):
+        return (
+            f"choose {stmt.target} in {render_expr(stmt.low)} .. "
+            f"{render_expr(stmt.high)}"
+        )
+    if isinstance(stmt, If):
+        text = f"if {render_expr(stmt.condition)} then {render_stmt(stmt.then_branch)}"
+        if not isinstance(stmt.else_branch, Skip):
+            text += f" else {render_stmt(stmt.else_branch)}"
+        return text + " fi"
+    if isinstance(stmt, Seq):
+        return "; ".join(render_stmt(s) for s in stmt.statements)
+    raise TypeError(f"unhandled statement node {type(stmt).__name__}")
+
+
+def render_command(command: GuardedCommand) -> str:
+    """Render one guarded command."""
+    return f"{command.label}: {render_expr(command.guard)} -> {render_stmt(command.body)}"
+
+
+def render_program(ast: ProgramAst) -> str:
+    """Render a whole program in canonical layout."""
+    lines = [f"program {ast.name}"]
+    for decl in ast.declarations:
+        if decl.init_low == decl.init_high:
+            lines.append(f"var {decl.name} := {render_expr(decl.init_low)}")
+        else:
+            lines.append(
+                f"var {decl.name} in {render_expr(decl.init_low)} .. "
+                f"{render_expr(decl.init_high)}"
+            )
+    lines.append("do")
+    for i, command in enumerate(ast.commands):
+        separator = "   " if i == 0 else "[] "
+        lines.append(f"  {separator}{render_command(command)}")
+    lines.append("od")
+    return "\n".join(lines) + "\n"

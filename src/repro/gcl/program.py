@@ -1,0 +1,131 @@
+"""Program semantics: a parsed GCL program as a transition system.
+
+A :class:`Program` is the paper's ``*[ ℓ₁: g₁ → c₁ □ ... □ ℓ_N: g_N → c_N ]``
+loop.  Its states are variable valuations; command ``ℓᵢ`` is *enabled* in a
+state iff its guard holds there; a transition executes one enabled command's
+body atomically.  The loop terminates in states where no guard holds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from repro.gcl.ast import GuardedCommand, ProgramAst
+from repro.gcl.errors import EvalError
+from repro.gcl.eval import evaluate_bool, evaluate_int, execute
+from repro.gcl.parser import parse_program_ast
+from repro.gcl.state import ProgramState
+from repro.ts.system import CommandLabel, State, TransitionSystem
+
+
+class Program(TransitionSystem):
+    """Executable semantics of a :class:`~repro.gcl.ast.ProgramAst`."""
+
+    def __init__(self, ast: ProgramAst) -> None:
+        self._ast = ast
+        self._names: Tuple[str, ...] = ast.variables()
+        self._commands: Dict[str, GuardedCommand] = {
+            c.label: c for c in ast.commands
+        }
+        self._labels: Tuple[str, ...] = ast.command_labels()
+
+    # -- metadata ----------------------------------------------------------
+
+    @property
+    def ast(self) -> ProgramAst:
+        """The underlying syntax tree."""
+        return self._ast
+
+    @property
+    def name(self) -> str:
+        """The program's declared name."""
+        return self._ast.name
+
+    @property
+    def variable_names(self) -> Tuple[str, ...]:
+        """Declared variables, in declaration order."""
+        return self._names
+
+    def command(self, label: str) -> GuardedCommand:
+        """The guarded command with the given label."""
+        try:
+            return self._commands[label]
+        except KeyError:
+            raise KeyError(
+                f"program {self.name!r} has no command {label!r} "
+                f"(has {list(self._labels)})"
+            ) from None
+
+    # -- TransitionSystem ----------------------------------------------------
+
+    def commands(self) -> Tuple[CommandLabel, ...]:
+        return self._labels
+
+    def initial_states(self) -> Iterable[State]:
+        """All combinations of declared initial values/ranges.
+
+        Range declarations are evaluated left to right; a later range bound
+        may mention earlier variables (e.g. ``var n := 5, x in 0..n``).
+        """
+
+        def expand(position: int, partial: Dict[str, int]) -> Iterable[ProgramState]:
+            if position == len(self._ast.declarations):
+                yield ProgramState(
+                    self._names, tuple(partial[n] for n in self._names)
+                )
+                return
+            decl = self._ast.declarations[position]
+            low = evaluate_int(decl.init_low, partial)
+            high = evaluate_int(decl.init_high, partial)
+            if low > high:
+                raise EvalError(
+                    f"variable {decl.name!r}: empty initial range {low}..{high}",
+                    decl.location,
+                )
+            for value in range(low, high + 1):
+                partial[decl.name] = value
+                yield from expand(position + 1, partial)
+            del partial[decl.name]
+
+        return expand(0, {})
+
+    def enabled(self, state: State) -> frozenset:
+        assert isinstance(state, ProgramState)
+        return frozenset(
+            label
+            for label in self._labels
+            if evaluate_bool(self._commands[label].guard, state)
+        )
+
+    def post(self, state: State) -> Iterable[Tuple[CommandLabel, State]]:
+        assert isinstance(state, ProgramState)
+        for label in self._labels:
+            command = self._commands[label]
+            if not evaluate_bool(command.guard, state):
+                continue
+            for target in execute(command.body, state):
+                yield label, target
+
+    # -- conveniences ----------------------------------------------------------
+
+    def state(self, **valuation: int) -> ProgramState:
+        """Build a state of this program from keyword arguments."""
+        missing = set(self._names) - set(valuation)
+        extra = set(valuation) - set(self._names)
+        if missing or extra:
+            raise ValueError(
+                f"state for {self.name!r} needs exactly {self._names}; "
+                f"missing {sorted(missing)}, extra {sorted(extra)}"
+            )
+        return ProgramState(
+            self._names, tuple(int(valuation[n]) for n in self._names)
+        )
+
+    def guard_holds(self, label: str, state: ProgramState) -> bool:
+        """Whether command ``label``'s guard holds in ``state``."""
+        return evaluate_bool(self.command(label).guard, state)
+
+
+def parse_program(source: str) -> Program:
+    """Parse GCL source text into an executable :class:`Program`."""
+    return Program(parse_program_ast(source))

@@ -1,0 +1,87 @@
+"""Program states: immutable integer valuations of the declared variables."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Tuple
+
+
+class ProgramState(Mapping[str, int]):
+    """An immutable variable valuation.
+
+    The variable-name tuple is shared between all states of a program, so a
+    state is essentially a tuple of ints — compact and hashable, as required
+    of transition-system states.
+    """
+
+    __slots__ = ("_names", "_values", "_hash")
+
+    def __init__(self, names: Tuple[str, ...], values: Tuple[int, ...]) -> None:
+        if len(names) != len(values):
+            raise ValueError(
+                f"{len(names)} variable names but {len(values)} values"
+            )
+        self._names = names
+        self._values = values
+        self._hash = hash(values)
+
+    @staticmethod
+    def from_dict(valuation: Mapping[str, int]) -> "ProgramState":
+        """Build a state from a plain mapping (names sorted for determinism)."""
+        names = tuple(sorted(valuation))
+        return ProgramState(names, tuple(int(valuation[n]) for n in names))
+
+    # -- Mapping interface -------------------------------------------------
+
+    def __getitem__(self, name: str) -> int:
+        try:
+            index = self._names.index(name)
+        except ValueError:
+            raise KeyError(name) from None
+        return self._values[index]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    # -- identity ----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ProgramState):
+            return NotImplemented
+        return self._names == other._names and self._values == other._values
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{n}={v}" for n, v in zip(self._names, self._values))
+        return f"⟨{inner}⟩"
+
+    # -- functional update ---------------------------------------------------
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """The variable names (shared schema)."""
+        return self._names
+
+    @property
+    def values(self) -> Tuple[int, ...]:
+        """The values, aligned with :attr:`names`."""
+        return self._values
+
+    def updated(self, changes: Mapping[str, int]) -> "ProgramState":
+        """A new state with ``changes`` applied; unknown names are rejected."""
+        unknown = set(changes) - set(self._names)
+        if unknown:
+            raise KeyError(f"unknown variables {sorted(unknown)}")
+        values = tuple(
+            int(changes.get(name, value))
+            for name, value in zip(self._names, self._values)
+        )
+        return ProgramState(self._names, values)
+
+    def as_dict(self) -> Dict[str, int]:
+        """A plain-dict copy of the valuation."""
+        return dict(zip(self._names, self._values))

@@ -1,0 +1,90 @@
+"""Token definitions for the guarded-command language."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.gcl.errors import SourceLocation
+
+
+class TokenKind(enum.Enum):
+    """Lexical categories of the GCL front end."""
+
+    # Literals and names
+    INT = "integer literal"
+    IDENT = "identifier"
+    # Keywords
+    PROGRAM = "'program'"
+    VAR = "'var'"
+    DO = "'do'"
+    OD = "'od'"
+    SKIP = "'skip'"
+    TRUE = "'true'"
+    FALSE = "'false'"
+    AND = "'and'"
+    OR = "'or'"
+    NOT = "'not'"
+    MOD = "'mod'"
+    DIV = "'div'"
+    IN = "'in'"
+    CHOOSE = "'choose'"
+    IF = "'if'"
+    THEN = "'then'"
+    ELSE = "'else'"
+    FI = "'fi'"
+    # Punctuation / operators
+    ARROW = "'->'"
+    ASSIGN = "':='"
+    BOX = "'[]'"
+    COLON = "':'"
+    COMMA = "','"
+    SEMI = "';'"
+    LPAREN = "'('"
+    RPAREN = "')'"
+    PLUS = "'+'"
+    MINUS = "'-'"
+    STAR = "'*'"
+    EQ = "'=='"
+    NE = "'!='"
+    LT = "'<'"
+    LE = "'<='"
+    GT = "'>'"
+    GE = "'>='"
+    DOTDOT = "'..'"
+    EOF = "end of input"
+
+
+#: Reserved words mapped to their token kinds.
+KEYWORDS = {
+    "program": TokenKind.PROGRAM,
+    "var": TokenKind.VAR,
+    "do": TokenKind.DO,
+    "od": TokenKind.OD,
+    "skip": TokenKind.SKIP,
+    "true": TokenKind.TRUE,
+    "false": TokenKind.FALSE,
+    "and": TokenKind.AND,
+    "or": TokenKind.OR,
+    "not": TokenKind.NOT,
+    "mod": TokenKind.MOD,
+    "div": TokenKind.DIV,
+    "in": TokenKind.IN,
+    "choose": TokenKind.CHOOSE,
+    "if": TokenKind.IF,
+    "then": TokenKind.THEN,
+    "else": TokenKind.ELSE,
+    "fi": TokenKind.FI,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme with its source location."""
+
+    kind: TokenKind
+    text: str
+    location: SourceLocation
+
+    def __str__(self) -> str:
+        return f"{self.kind.name}({self.text!r})@{self.location}"

@@ -1,0 +1,72 @@
+"""Stack assertions and fair termination measures — the paper's core."""
+
+from repro.measures.annotate import AnnotatedProgram, annotate
+from repro.measures.assertions import (
+    HypothesisSpec,
+    StackAssertion,
+    StackCase,
+    parse_hypothesis_spec,
+)
+from repro.measures.assertfile import (
+    AssertionFileError,
+    load_assertion_file,
+    parse_assertion_file,
+)
+from repro.measures.assignment import StackAssignment
+from repro.measures.hypotheses import TERMINATION, Hypothesis
+from repro.measures.justice import (
+    JusticeSynthesis,
+    NotWeaklyTerminatingError,
+    check_justice_measure,
+    find_active_level_justice,
+    synthesize_justice_measure,
+)
+from repro.measures.soundness import (
+    MeasureContradiction,
+    UnfairnessWitness,
+    unfairness_witness,
+)
+from repro.measures.stack import Stack, stacks_equal_below
+from repro.measures.verification import (
+    ActiveWitness,
+    LevelFailure,
+    MeasureCheckResult,
+    MeasureVerificationError,
+    TransitionViolation,
+    check_measure,
+    find_active_level,
+    find_active_level_general,
+)
+
+__all__ = [
+    "AnnotatedProgram",
+    "annotate",
+    "HypothesisSpec",
+    "StackAssertion",
+    "StackCase",
+    "parse_hypothesis_spec",
+    "AssertionFileError",
+    "load_assertion_file",
+    "parse_assertion_file",
+    "StackAssignment",
+    "TERMINATION",
+    "Hypothesis",
+    "JusticeSynthesis",
+    "NotWeaklyTerminatingError",
+    "check_justice_measure",
+    "find_active_level_justice",
+    "synthesize_justice_measure",
+    "MeasureContradiction",
+    "UnfairnessWitness",
+    "unfairness_witness",
+    "Stack",
+    "stacks_equal_below",
+    "ActiveWitness",
+    "LevelFailure",
+    "MeasureCheckResult",
+    "MeasureVerificationError",
+    "TransitionViolation",
+    "check_measure",
+    "find_active_level",
+    "find_active_level_general",
+]

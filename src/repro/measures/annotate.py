@@ -1,0 +1,67 @@
+"""Annotated programs: a program together with its stack assertion.
+
+This is the user-facing bundle for the paper's workflow — write the
+program, write the assertion (``P2'``, ``P3'``, ``P4'``...), then *check*:
+explore the reachable states and verify (V_A), (V_NonI), (V_NoC) on every
+transition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.gcl.pretty import render_program
+from repro.gcl.program import Program
+from repro.measures.assertions import StackAssertion
+from repro.measures.verification import MeasureCheckResult, check_measure
+from repro.ts.explore import ReachableGraph, explore
+
+
+@dataclass
+class AnnotatedProgram:
+    """A program plus a stack assertion claimed to be a fair termination
+    measure for it."""
+
+    program: Program
+    assertion: StackAssertion
+
+    def check(
+        self,
+        max_states: Optional[int] = None,
+        max_depth: Optional[int] = None,
+        graph: Optional[ReachableGraph] = None,
+    ) -> MeasureCheckResult:
+        """Verify the annotation over the (possibly bounded) reachable graph.
+
+        Pass a pre-explored ``graph`` to amortise exploration across several
+        checks of the same program.
+        """
+        if graph is None:
+            graph = explore(self.program, max_states=max_states, max_depth=max_depth)
+        assignment = self.assertion.compile()
+        return check_measure(graph, assignment)
+
+    def render(self) -> str:
+        """The annotated program in paper style: assertion above the loop."""
+        assertion_block = self.assertion.render()
+        program_block = render_program(self.program.ast)
+        return f"{assertion_block}\n{program_block}"
+
+
+def annotate(program: Program, assertion: StackAssertion) -> AnnotatedProgram:
+    """Bundle ``program`` with ``assertion`` (sanity-checking subjects).
+
+    Every non-T subject mentioned by the assertion must be a command label
+    of the program — a typo in a label would otherwise produce a vacuously
+    unverifiable annotation.
+    """
+    labels = set(program.commands())
+    for case in assertion.cases:
+        for spec in case.hypotheses[:-1]:
+            if spec.subject not in labels:
+                raise ValueError(
+                    f"assertion mentions {spec.subject!r}, which is not a "
+                    f"command of {program.name!r} (commands: {sorted(labels)})"
+                )
+    return AnnotatedProgram(program=program, assertion=assertion)

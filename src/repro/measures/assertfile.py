@@ -1,0 +1,135 @@
+"""Assertion files: stack assertions as plain text, for the CLI.
+
+The format mirrors the paper's display — hypotheses top-down, T last — and
+supports case splits and a declared measure domain:
+
+.. code-block:: text
+
+    # P4': the paper's annotation.
+    order naturals
+    case:
+        lb
+        la: z mod 117
+        T: max(y - x, 0)
+
+Grammar (line-oriented; ``#`` comments; blank lines ignored):
+
+* ``order naturals`` | ``order naturals(<bound>)`` — optional, first;
+* ``case <gcl-boolean-expression>:`` starts a guarded case;
+  ``case:`` starts the default case (use it last);
+* every other line is a hypothesis ``subject[: gcl-expression]``; within a
+  case they read top-down, so the last one must be ``T: <expression>``.
+
+A file with no ``case`` header is a single default case.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.measures.assertions import (
+    HypothesisSpec,
+    StackAssertion,
+    StackCase,
+    parse_hypothesis_spec,
+)
+from repro.wf.base import WellFoundedOrder
+from repro.wf.naturals import NATURALS, BoundedNaturals
+
+
+class AssertionFileError(ValueError):
+    """A malformed assertion file; the message carries the line number."""
+
+
+_ORDER_PATTERN = re.compile(
+    r"^order\s+(?P<name>[a-z_]+)(?:\s*\(\s*(?P<arg>\d+)\s*\))?$"
+)
+_CASE_PATTERN = re.compile(r"^case(?:\s+(?P<condition>.*?))?\s*:$")
+
+
+def _parse_order(name: str, arg: Optional[str], line_number: int) -> WellFoundedOrder:
+    if name == "naturals":
+        if arg is None:
+            return NATURALS
+        return BoundedNaturals(int(arg))
+    raise AssertionFileError(
+        f"line {line_number}: unknown order {name!r} "
+        "(assertion files support 'naturals' and 'naturals(<bound>)'; "
+        "richer domains need the Python API)"
+    )
+
+
+def parse_assertion_file(text: str, description: str = "") -> StackAssertion:
+    """Parse assertion-file text into a :class:`StackAssertion`."""
+    order: WellFoundedOrder = NATURALS
+    order_seen = False
+    cases: List[StackCase] = []
+    current_condition: Optional[str] = None
+    current_specs: List[HypothesisSpec] = []
+    any_case_header = False
+    anything_parsed = False
+
+    def close_case(line_number: int) -> None:
+        nonlocal current_specs
+        if not current_specs:
+            if any_case_header:
+                raise AssertionFileError(
+                    f"line {line_number}: case with no hypotheses"
+                )
+            return
+        try:
+            cases.append(
+                StackCase(
+                    hypotheses=tuple(current_specs),
+                    condition=current_condition,
+                )
+            )
+        except ValueError as error:
+            raise AssertionFileError(f"line {line_number}: {error}") from None
+        current_specs = []
+
+    lines = text.splitlines()
+    for line_number, raw in enumerate(lines, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        order_match = _ORDER_PATTERN.match(line)
+        if order_match:
+            if order_seen:
+                raise AssertionFileError(
+                    f"line {line_number}: duplicate order declaration"
+                )
+            if anything_parsed:
+                raise AssertionFileError(
+                    f"line {line_number}: the order declaration must come first"
+                )
+            order = _parse_order(
+                order_match.group("name"), order_match.group("arg"), line_number
+            )
+            order_seen = True
+            continue
+        case_match = _CASE_PATTERN.match(line)
+        if case_match:
+            close_case(line_number)
+            condition = case_match.group("condition")
+            current_condition = condition if condition else None
+            any_case_header = True
+            anything_parsed = True
+            continue
+        try:
+            current_specs.append(parse_hypothesis_spec(line))
+        except ValueError as error:
+            raise AssertionFileError(f"line {line_number}: {error}") from None
+        anything_parsed = True
+
+    close_case(len(lines) + 1)
+    if not cases:
+        raise AssertionFileError("assertion file declares no hypotheses")
+    return StackAssertion(cases, order=order, description=description)
+
+
+def load_assertion_file(path: str) -> StackAssertion:
+    """Read and parse an assertion file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_assertion_file(handle.read(), description=path)

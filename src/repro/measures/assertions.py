@@ -1,0 +1,223 @@
+"""The stack-assertion language — annotating programs as the paper does.
+
+A *stack assertion* attaches to the loop a stack of hypotheses whose
+measures are expressions over the program variables.  ``P3'`` in the paper
+is
+
+.. code-block:: text
+
+    ( la: z mod 117        )
+    ( T:  max{y - x, 0}    )
+
+and is written here as::
+
+    StackAssertion.parse(["la: z mod 117", "T: max(y - x, 0)"])
+
+listing hypotheses **top-down**, exactly as the paper displays them.  An
+assertion may have several *cases* guarded by conditions, because a single
+syntactic stack need not fit every region of the state space (the paper's
+examples happen to need only one case; synthesised measures and richer
+examples need more).  The first case whose condition holds provides the
+stack; a default case (condition ``None``) should come last.
+
+Measure expressions and conditions are written in the GCL expression
+language (so "the assertion language contains predicate calculus" over the
+program's variables, cf. Corollary 1) or, escape-hatch, as Python callables
+on the state.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.gcl.ast import Expr
+from repro.gcl.errors import EvalError
+from repro.gcl.eval import evaluate, evaluate_bool
+from repro.gcl.parser import parse_expression
+from repro.measures.assignment import StackAssignment
+from repro.measures.hypotheses import TERMINATION, Hypothesis
+from repro.measures.stack import Stack
+from repro.ts.system import State
+from repro.wf.base import WellFoundedOrder
+from repro.wf.naturals import NATURALS
+
+#: A measure/condition source: GCL text, a parsed expression, or a callable.
+ExprLike = Union[str, Expr, Callable[[State], Any]]
+
+
+def _compile_expr(source: ExprLike) -> Callable[[State], Any]:
+    if callable(source) and not isinstance(source, Expr):
+        return source
+    expr = parse_expression(source) if isinstance(source, str) else source
+
+    def run(state: State) -> Any:
+        return evaluate(expr, state)
+
+    return run
+
+
+def _compile_condition(source: Optional[ExprLike]) -> Callable[[State], bool]:
+    if source is None:
+        return lambda state: True
+    if callable(source) and not isinstance(source, Expr):
+        return lambda state: bool(source(state))
+    expr = parse_expression(source) if isinstance(source, str) else source
+
+    def run(state: State) -> bool:
+        return evaluate_bool(expr, state)
+
+    return run
+
+
+@dataclass(frozen=True)
+class HypothesisSpec:
+    """One line of an assertion: a subject and an optional measure expression."""
+
+    subject: str
+    measure: Optional[ExprLike] = None
+
+    def __str__(self) -> str:
+        if self.measure is None:
+            return self.subject
+        measure = self.measure if isinstance(self.measure, str) else "<fn>"
+        return f"{self.subject}: {measure}"
+
+
+_SPEC_PATTERN = re.compile(r"^\s*([A-Za-z_][A-Za-z0-9_]*)\s*(?::\s*(.+?))?\s*$")
+
+
+def parse_hypothesis_spec(text: str) -> HypothesisSpec:
+    """Parse ``"la: z mod 117"`` or bare ``"lb"`` into a spec."""
+    match = _SPEC_PATTERN.match(text)
+    if not match:
+        raise ValueError(f"cannot parse hypothesis spec {text!r}")
+    subject, measure = match.group(1), match.group(2)
+    return HypothesisSpec(subject=subject, measure=measure)
+
+
+@dataclass(frozen=True)
+class StackCase:
+    """A guarded stack: when ``condition`` holds, the stack is ``hypotheses``
+    (top-down, T last)."""
+
+    hypotheses: Tuple[HypothesisSpec, ...]
+    condition: Optional[ExprLike] = None
+
+    def __post_init__(self) -> None:
+        if not self.hypotheses:
+            raise ValueError("a stack case needs at least the T-hypothesis")
+        if self.hypotheses[-1].subject != TERMINATION:
+            raise ValueError(
+                "hypotheses are listed top-down; the last one must be the "
+                f"T-hypothesis, got {self.hypotheses[-1]}"
+            )
+        if self.hypotheses[-1].measure is None:
+            raise ValueError("the T-hypothesis needs a measure expression")
+
+
+class StackAssertion:
+    """A complete annotation: cases plus the measure domain ``(W, ≻)``."""
+
+    def __init__(
+        self,
+        cases: Sequence[StackCase],
+        order: WellFoundedOrder = NATURALS,
+        description: str = "",
+    ) -> None:
+        if not cases:
+            raise ValueError("a stack assertion needs at least one case")
+        self._cases = tuple(cases)
+        self._order = order
+        self._description = description
+
+    @staticmethod
+    def parse(
+        lines: Sequence[Union[str, Tuple[str, ExprLike]]],
+        order: WellFoundedOrder = NATURALS,
+        condition: Optional[ExprLike] = None,
+        description: str = "",
+    ) -> "StackAssertion":
+        """Single-case assertion from top-down hypothesis lines.
+
+        Each line is either a string ``"subject[: measure]"`` or a tuple
+        ``(subject, measure)`` with a callable/pre-parsed measure.
+        """
+        specs: List[HypothesisSpec] = []
+        for line in lines:
+            if isinstance(line, str):
+                specs.append(parse_hypothesis_spec(line))
+            else:
+                subject, measure = line
+                specs.append(HypothesisSpec(subject=subject, measure=measure))
+        case = StackCase(hypotheses=tuple(specs), condition=condition)
+        return StackAssertion([case], order=order, description=description)
+
+    @property
+    def cases(self) -> Tuple[StackCase, ...]:
+        """The guarded cases, in priority order."""
+        return self._cases
+
+    @property
+    def order(self) -> WellFoundedOrder:
+        """The declared measure domain."""
+        return self._order
+
+    @property
+    def description(self) -> str:
+        """Human-readable provenance."""
+        return self._description
+
+    def compile(self) -> StackAssignment:
+        """Compile to an executable :class:`StackAssignment`.
+
+        Expressions are parsed once; evaluation failures surface as
+        :class:`~repro.gcl.errors.EvalError` with the state in the message.
+        """
+        compiled: List[Tuple[Callable[[State], bool], List[Tuple[str, Optional[Callable]]]]] = []
+        for case in self._cases:
+            condition = _compile_condition(case.condition)
+            hypotheses: List[Tuple[str, Optional[Callable]]] = []
+            for spec in case.hypotheses:
+                measure = None if spec.measure is None else _compile_expr(spec.measure)
+                hypotheses.append((spec.subject, measure))
+            compiled.append((condition, hypotheses))
+
+        order = self._order
+
+        def assign(state: State) -> Stack:
+            for condition, hypotheses in compiled:
+                if not condition(state):
+                    continue
+                entries: List[Hypothesis] = []
+                for subject, measure in hypotheses:
+                    if measure is None:
+                        entries.append(Hypothesis(subject))
+                    else:
+                        value = measure(state)
+                        if isinstance(value, bool):
+                            raise EvalError(
+                                f"measure for {subject!r} evaluated to a "
+                                f"boolean at {state!r}; measures are "
+                                "well-founded-order values"
+                            )
+                        entries.append(Hypothesis(subject, value))
+                return Stack.top_down(entries)
+            raise EvalError(f"no assertion case applies to state {state!r}")
+
+        return StackAssignment(assign, order, self._description)
+
+    def render(self) -> str:
+        """Paper-style rendering of the assertion (top-down lines)."""
+        blocks = []
+        for case in self._cases:
+            header = ""
+            if case.condition is not None:
+                condition = (
+                    case.condition if isinstance(case.condition, str) else "<fn>"
+                )
+                header = f"when {condition}:\n"
+            body = "\n".join(f"  ( {spec} )" for spec in case.hypotheses)
+            blocks.append(header + body)
+        return "\n".join(blocks)

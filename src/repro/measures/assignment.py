@@ -1,0 +1,88 @@
+"""Stack assignments: state ↦ stack, together with the measure domain.
+
+A stack assignment becomes a *fair termination measure* once the
+verification conditions hold on every transition
+(:mod:`repro.measures.verification`); this module only packages the mapping
+with its well-founded order and offers the common construction routes
+(function, dict, compiled assertion).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional
+
+from repro.measures.stack import Stack
+from repro.ts.system import State
+from repro.wf.base import WellFoundedOrder
+
+
+class StackAssignment:
+    """A mapping ``μ`` from program states to stacks, valued in ``(W, ≻)``."""
+
+    def __init__(
+        self,
+        mapping: Callable[[State], Stack],
+        order: WellFoundedOrder,
+        description: str = "",
+    ) -> None:
+        self._mapping = mapping
+        self._order = order
+        self._description = description
+
+    @property
+    def order(self) -> WellFoundedOrder:
+        """The well-founded order the measure values live in."""
+        return self._order
+
+    @property
+    def description(self) -> str:
+        """Human-readable provenance (e.g. 'paper annotation of P3´')."""
+        return self._description
+
+    def __call__(self, state: State) -> Stack:
+        stack = self._mapping(state)
+        if not isinstance(stack, Stack):
+            raise TypeError(
+                f"stack assignment returned {type(stack).__name__}, not Stack, "
+                f"for state {state!r}"
+            )
+        return stack
+
+    def validate_values(self, state: State) -> None:
+        """Check every measure value of ``μ(state)`` lies in ``W``."""
+        for hypothesis in self(state):
+            if hypothesis.value is not None:
+                self._order.check_member(hypothesis.value)
+
+    @staticmethod
+    def from_dict(
+        table: Mapping[State, Stack],
+        order: WellFoundedOrder,
+        description: str = "",
+    ) -> "StackAssignment":
+        """An assignment backed by an explicit table (finite regions)."""
+        frozen: Dict[State, Stack] = dict(table)
+
+        def lookup(state: State) -> Stack:
+            try:
+                return frozen[state]
+            except KeyError:
+                raise KeyError(
+                    f"stack assignment has no entry for state {state!r}"
+                ) from None
+
+        return StackAssignment(lookup, order, description)
+
+    def restricted(self, fallback: Optional[Callable[[State], Stack]]) -> "StackAssignment":
+        """An assignment that defers to ``fallback`` on lookup failure."""
+        if fallback is None:
+            return self
+        primary = self._mapping
+
+        def combined(state: State) -> Stack:
+            try:
+                return primary(state)
+            except KeyError:
+                return fallback(state)
+
+        return StackAssignment(combined, self._order, self._description)

@@ -1,0 +1,61 @@
+"""Progress hypotheses — the entries of a stack.
+
+Section 4.1: "A progress hypothesis or α-hypothesis is either an unfairness
+hypothesis, on the form ℓ or ℓ: w (with α = ℓ), or the T-hypothesis, on the
+form T: w, where w is an element of a well-founded set (W, ≻)."
+
+``Hypothesis`` is that definition.  The subject is a command label or the
+distinguished :data:`TERMINATION` marker ``"T"``; the value is the measure
+``w`` (``None`` for a bare unfairness hypothesis ``ℓ``, whose progress is
+argued purely by enabledness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+#: The subject of the termination hypothesis.  Command labels named "T"
+#: would collide with it, so programs may not use it as a label.
+TERMINATION = "T"
+
+
+@dataclass(frozen=True)
+class Hypothesis:
+    """One progress hypothesis ``α`` or ``α : w``.
+
+    * ``Hypothesis(TERMINATION, w)`` — the T-hypothesis: the program is ``w``
+      away from termination;
+    * ``Hypothesis("la", w)`` — the ℓa-hypothesis with a progress measure:
+      the program is ``w`` away from a state where ``la`` is enabled;
+    * ``Hypothesis("la")`` — the bare ℓa-hypothesis: progress towards
+      executing ``la`` unfairly is argued by ``la`` being enabled.
+    """
+
+    subject: str
+    value: Optional[Any] = None
+
+    def __post_init__(self) -> None:
+        if not self.subject:
+            raise ValueError("hypothesis subject must be a non-empty label")
+        if self.subject == TERMINATION and self.value is None:
+            raise ValueError("the T-hypothesis always carries a measure value")
+
+    @property
+    def is_termination(self) -> bool:
+        """Whether this is the T-hypothesis."""
+        return self.subject == TERMINATION
+
+    @property
+    def has_measure(self) -> bool:
+        """Whether a progress-measure value is attached."""
+        return self.value is not None
+
+    def with_value(self, value: Any) -> "Hypothesis":
+        """The same hypothesis with a (new) measure value."""
+        return Hypothesis(self.subject, value)
+
+    def __str__(self) -> str:
+        if self.value is None:
+            return self.subject
+        return f"{self.subject}: {self.value}"

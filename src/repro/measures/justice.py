@@ -1,0 +1,273 @@
+"""Justice measures: stack assertions for termination under *weak* fairness.
+
+Weak fairness (justice, [LPS81]) starves only commands that are enabled
+*continuously*; the verification conditions must change accordingly:
+
+* **(V_A-j)** the active justice hypothesis ``ℓ`` either strictly decreases
+  its measure, or keeps it unchanged with ``ℓ`` enabled in **both** ``p``
+  and ``p'`` (a continuity step) — a plain "enabled somewhere" would be
+  unsound, because justice tolerates intermittent enabledness;
+* **(V_Persist)** every justice hypothesis *below* the active level — whose
+  measure (V_NoC) pins — must also be enabled at both endpoints.  Without
+  it, a run could interleave steps where a lower hypothesis's command is
+  disabled, breaking the continuity the soundness argument needs.
+* (V_NonI) and (V_NoC) are unchanged.
+
+Soundness mirrors Theorem 1: on an infinite run the liminf active level
+``κ`` hosts a fixed hypothesis ``ℓ``; its measure never increases, strict
+decreases must stop (well-foundedness), so eventually every step keeps it
+unchanged — and then (V_A-j)/(V_Persist) force ``ℓ`` enabled at every step:
+continuously enabled, never executed (V_NonI): weakly unfair.
+
+Completeness for finite-state systems is constructive and reveals a
+structural contrast with strong fairness: a command enabled *everywhere* in
+an SCC but executed nowhere inside it always exists when no weakly fair
+cycle does, and it serves as the hypothesis for the whole SCC — **justice
+measures never need stacks taller than 2** (T plus one hypothesis), whereas
+strong fairness requires hierarchies of unbounded height (the
+``nested_rings`` family).  Experiment X6 measures exactly this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.fairness.checker import FairCycle, find_weakly_fair_cycle
+from repro.measures.assignment import StackAssignment
+from repro.measures.hypotheses import TERMINATION, Hypothesis
+from repro.measures.stack import Stack, stacks_equal_below
+from repro.measures.verification import (
+    ActiveWitness,
+    ActiveWitnessData,
+    LevelFailure,
+    MeasureCheckResult,
+    TransitionViolation,
+)
+from repro.ts.explore import ReachableGraph
+from repro.ts.graph import decompose, internal_transitions
+from repro.wf.base import WellFoundedOrder
+from repro.wf.naturals import NATURALS
+
+
+class NotWeaklyTerminatingError(ValueError):
+    """A weakly fair cycle exists; no justice measure can exist."""
+
+    def __init__(self, message: str, witness: Optional[FairCycle]) -> None:
+        super().__init__(message)
+        self.witness = witness
+
+
+def find_active_level_justice(
+    source_stack: Stack,
+    target_stack: Stack,
+    executed: str,
+    enabled_source: frozenset,
+    enabled_target: frozenset,
+    order: WellFoundedOrder,
+) -> Tuple[Optional[ActiveWitnessData], List[LevelFailure]]:
+    """The justice variant of the verification-condition search."""
+    failures: List[LevelFailure] = []
+    continuously_enabled = enabled_source & enabled_target
+    max_level = min(source_stack.height, target_stack.height)
+    for level in range(max_level):
+        before = source_stack.level(level)
+        after = target_stack.level(level)
+        if before.subject != after.subject:
+            failures.append(
+                LevelFailure(
+                    level,
+                    before.subject,
+                    f"hypothesis changes subject ({before.subject!r} → "
+                    f"{after.subject!r})",
+                )
+            )
+            break
+        subject = before.subject
+        if not stacks_equal_below(source_stack, target_stack, level):
+            failures.append(
+                LevelFailure(level, subject, "stack changes below this level (V_NoC)")
+            )
+            break
+        # (V_NonI).
+        if any(h.subject == executed for h in source_stack.take(level + 1)):
+            failures.append(
+                LevelFailure(
+                    level,
+                    subject,
+                    f"the executed command {executed!r} appears at or below "
+                    "this level (V_NonI)",
+                )
+            )
+            break
+        # (V_Persist): justice hypotheses strictly below must be enabled at
+        # both endpoints (their measures are pinned by V_NoC).
+        broken = [
+            h.subject
+            for h in source_stack.below(level)
+            if not h.is_termination and h.subject not in continuously_enabled
+        ]
+        if broken:
+            failures.append(
+                LevelFailure(
+                    level,
+                    subject,
+                    f"lower justice hypothesis {broken[0]!r} is not enabled "
+                    "at both endpoints (V_Persist)",
+                )
+            )
+            continue
+        # (V_A-j).
+        if subject == TERMINATION:
+            if order.gt(before.value, after.value):
+                return ActiveWitnessData(level, subject, "decrease"), failures
+            failures.append(
+                LevelFailure(
+                    level,
+                    subject,
+                    f"T-measure does not decrease: {before.value} ⊁ "
+                    f"{after.value} (V_A-j)",
+                )
+            )
+            continue
+        decreased = (
+            before.value is not None
+            and after.value is not None
+            and order.gt(before.value, after.value)
+        )
+        if decreased:
+            return ActiveWitnessData(level, subject, "decrease"), failures
+        unchanged = before.value == after.value
+        if unchanged and subject in continuously_enabled:
+            return ActiveWitnessData(level, subject, "continuity"), failures
+        failures.append(
+            LevelFailure(
+                level,
+                subject,
+                "no strict decrease, and no continuity step (enabled at "
+                "both endpoints with unchanged measure) (V_A-j)",
+            )
+        )
+    if max_level == 0:
+        failures.append(LevelFailure(0, None, "empty stack overlap"))
+    return None, failures
+
+
+def check_justice_measure(
+    graph: ReachableGraph,
+    assignment: StackAssignment,
+) -> MeasureCheckResult:
+    """Check the justice verification conditions on every transition."""
+    order = assignment.order
+    stacks: List[Stack] = []
+    for index in range(len(graph)):
+        stack = assignment(graph.state_of(index))
+        for hypothesis in stack:
+            if hypothesis.value is not None:
+                order.check_member(hypothesis.value)
+        stacks.append(stack)
+
+    witnesses: List[ActiveWitness] = []
+    violations: List[TransitionViolation] = []
+    for transition in graph.transitions:
+        data, failures = find_active_level_justice(
+            stacks[transition.source],
+            stacks[transition.target],
+            transition.command,
+            graph.enabled_at(transition.source),
+            graph.enabled_at(transition.target),
+            order,
+        )
+        plain = graph.to_transition(transition)
+        if data is None:
+            violations.append(
+                TransitionViolation(
+                    transition=plain,
+                    source_stack=stacks[transition.source],
+                    target_stack=stacks[transition.target],
+                    failures=tuple(failures),
+                )
+            )
+        else:
+            witnesses.append(
+                ActiveWitness(
+                    transition=plain,
+                    level=data.level,
+                    subject=data.subject,
+                    reason=data.reason,
+                )
+            )
+    return MeasureCheckResult(
+        witnesses=witnesses,
+        violations=violations,
+        transitions_checked=len(graph.transitions),
+        complete=graph.complete,
+        order_well_founded=order.is_well_founded(),
+    )
+
+
+@dataclass
+class JusticeSynthesis:
+    """A synthesised justice measure (stacks never taller than 2)."""
+
+    graph: ReachableGraph
+    stacks: Dict[int, Stack]
+    helpful_by_component: Dict[int, str]
+
+    def assignment(self) -> StackAssignment:
+        """The measure as a checkable assignment."""
+        table = {
+            self.graph.state_of(index): stack
+            for index, stack in self.stacks.items()
+        }
+        return StackAssignment.from_dict(
+            table, NATURALS, description="synthesised justice measure"
+        )
+
+    def max_stack_height(self) -> int:
+        """Always ≤ 2 — justice needs no hypothesis hierarchy."""
+        return max(stack.height for stack in self.stacks.values())
+
+
+def synthesize_justice_measure(graph: ReachableGraph) -> JusticeSynthesis:
+    """Synthesise a justice measure over a complete finite graph.
+
+    For each non-trivial SCC, pick a command enabled at *every* state of
+    the SCC but executed on none of its internal transitions (one exists
+    iff no weakly fair cycle does); it becomes the SCC's single hypothesis.
+    Raises :class:`NotWeaklyTerminatingError` with a weakly-fair-cycle
+    witness otherwise.
+    """
+    if not graph.complete:
+        raise ValueError("justice synthesis needs the complete reachable graph")
+    decomposition = decompose(graph)
+    stacks: Dict[int, Stack] = {}
+    helpful_by_component: Dict[int, str] = {}
+    command_order = {c: i for i, c in enumerate(graph.system.commands())}
+    for position, component in enumerate(decomposition.components):
+        internal = internal_transitions(graph, component)
+        base = Hypothesis(TERMINATION, position)
+        if not internal:
+            for index in component:
+                stacks[index] = Stack([base])
+            continue
+        everywhere = frozenset.intersection(
+            *(graph.enabled_at(i) for i in component)
+        )
+        executed = frozenset(t.command for t in internal)
+        candidates = sorted(everywhere - executed, key=lambda c: command_order[c])
+        if not candidates:
+            witness = find_weakly_fair_cycle(graph)
+            raise NotWeaklyTerminatingError(
+                f"SCC of {len(component)} states executes every command "
+                "enabled throughout it — a weakly fair cycle exists, so the "
+                "program does not terminate under justice",
+                witness,
+            )
+        helpful = candidates[0]
+        helpful_by_component[position] = helpful
+        for index in component:
+            stacks[index] = Stack([base, Hypothesis(helpful, 0)])
+    return JusticeSynthesis(
+        graph=graph, stacks=stacks, helpful_by_component=helpful_by_component
+    )

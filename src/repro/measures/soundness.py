@@ -1,0 +1,139 @@
+"""Theorem 1, executably: a measure turns any infinite computation into an
+unfairness witness.
+
+The paper's soundness proof takes an infinite computation, looks at the
+*levels* of the active hypotheses, and sets ``κ = liminf κᵢ``.  On an
+ultimately periodic computation (a lasso) the liminf is simply the minimum
+active level around the cycle, and the whole argument becomes effective:
+
+* ``κ = 0`` is impossible — the T-measure would weakly descend around the
+  cycle with a strict drop, returning to its starting value: an immediate
+  contradiction with well-foundedness.  (Reaching this branch means the
+  supplied assignment is *not* a measure on the cycle; we raise.)
+* The hypothesis at level ``κ`` is a fixed ``ℓ``-hypothesis around the cycle
+  ((V_NoC) pins everything below the active level, and the checker pins the
+  subject at the active level itself); (V_NonI) means ``ℓ`` is never
+  executed on the cycle.
+* ``ℓ`` must be enabled somewhere on the cycle — otherwise the ``ℓ``-measure
+  would descend strictly around the cycle (activity at level ``κ`` without
+  enabledness is by measure decrease, and higher active levels preserve
+  level ``κ``), the same contradiction.
+
+The returned :class:`UnfairnessWitness` packages the command, the level, and
+the evidence; tests cross-check it against the independent
+:mod:`repro.fairness.spec` verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.measures.assignment import StackAssignment
+from repro.measures.stack import Stack
+from repro.measures.verification import find_active_level
+from repro.ts.lasso import Lasso
+from repro.ts.system import State, TransitionSystem
+
+
+class MeasureContradiction(AssertionError):
+    """The supplied assignment is not a fair termination measure on the
+    given computation — some verification condition fails, or a measure
+    value would have to descend forever."""
+
+
+@dataclass(frozen=True)
+class UnfairnessWitness:
+    """Why the lasso's infinite computation is unfair.
+
+    ``command`` is enabled at ``enabled_at`` cycle states (non-empty) yet
+    executed nowhere on the cycle; ``level`` is the paper's ``κ``.
+    ``active_levels`` lists the active level chosen on each cycle
+    transition, for transparency.
+    """
+
+    command: str
+    level: int
+    enabled_at: Tuple[State, ...]
+    active_levels: Tuple[int, ...]
+
+    def __str__(self) -> str:
+        return (
+            f"unfair w.r.t. {self.command!r} (stack level {self.level}): "
+            f"enabled at {len(self.enabled_at)} cycle state(s), never executed "
+            f"on the cycle"
+        )
+
+
+def unfairness_witness(
+    system: TransitionSystem,
+    assignment: StackAssignment,
+    lasso: Lasso,
+) -> UnfairnessWitness:
+    """Extract the command w.r.t. which ``lasso`` is unfair (Theorem 1).
+
+    Raises :class:`MeasureContradiction` if the assignment fails the
+    verification conditions along the lasso — in that case it certifies
+    nothing about this computation.
+    """
+    order = assignment.order
+    cycle_states = list(lasso.cycle.states)
+    stacks: List[Stack] = [assignment(state) for state in cycle_states]
+
+    active_levels: List[int] = []
+    reasons: List[str] = []
+    for i, command in enumerate(lasso.cycle.commands):
+        source, target = cycle_states[i], cycle_states[i + 1]
+        enabled_union = system.enabled(source) | system.enabled(target)
+        data, failures = find_active_level(
+            stacks[i], stacks[i + 1], command, enabled_union, order
+        )
+        if data is None:
+            detail = "; ".join(f"level {f.level}: {f.detail}" for f in failures)
+            raise MeasureContradiction(
+                f"verification conditions fail on cycle transition "
+                f"{source!r} --{command}--> {target!r}: {detail}"
+            )
+        active_levels.append(data.level)
+        reasons.append(data.reason)
+
+    kappa = min(active_levels)
+    if kappa == 0:
+        # The T-measure strictly decreases at some cycle transition and
+        # never increases ((V_NoC) below higher active levels), yet the
+        # cycle returns to its first state: μ^T(p) ≻ μ^T(p) — absurd.
+        raise MeasureContradiction(
+            "active level 0 on a cycle: the T-measure would descend "
+            "forever; the assignment is not a fair termination measure"
+        )
+
+    # The hypothesis at level κ is pinned around the whole cycle.
+    subjects = {stack.level(kappa).subject for stack in stacks[:-1]}
+    if len(subjects) != 1:
+        raise MeasureContradiction(
+            f"hypothesis at level {kappa} changes around the cycle "
+            f"({sorted(subjects)}); (V_NoC) should have pinned it"
+        )
+    command = subjects.pop()
+
+    if command in lasso.executed_infinitely_often():
+        raise MeasureContradiction(
+            f"{command!r} at active level {kappa} is executed on the cycle, "
+            "contradicting (V_NonI)"
+        )
+
+    enabled_at = tuple(
+        state for state in lasso.cycle_states() if command in system.enabled(state)
+    )
+    if not enabled_at:
+        raise MeasureContradiction(
+            f"{command!r} is never enabled on the cycle, so its measure "
+            "descends strictly around the cycle — absurd for a measure"
+        )
+
+    return UnfairnessWitness(
+        command=command,
+        level=kappa,
+        enabled_at=enabled_at,
+        active_levels=tuple(active_levels),
+    )

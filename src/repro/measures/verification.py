@@ -1,0 +1,345 @@
+"""The verification conditions (V_A), (V_NonI), (V_NoC) — Section 4.1.
+
+For a transition ``p → p'`` executing command ``ℓ``, a level ``k`` hosting
+an ``α``-hypothesis *witnesses* the conditions when:
+
+* **(V_NoC)** the stacks ``μ(p)`` and ``μ(p')`` agree strictly below ``k``,
+  and the hypothesis at ``k`` has the same subject ``α`` in both (Figure 1:
+  the active hypothesis sits at the same level on both sides — everything
+  *above* may change arbitrarily);
+* **(V_NonI)** no hypothesis at levels ``0..k`` is the ``ℓ``-hypothesis
+  (the T-hypothesis is never invalidated);
+* **(V_A)** the ``α``-hypothesis is *active*: either ``α`` is a command
+  label enabled in ``p`` or ``p'`` (the §5 old-state/new-state reading), or
+  both measures are defined and ``μ^α(p) ≻ μ^α(p')``.
+
+"There may be several choices for an active hypothesis" (§5) — the checker
+accepts a transition if *any* level witnesses the conditions, and records
+which one (preferring the lowest, which is also what the soundness argument
+tracks).  A stack assignment passing on every transition is a **fair
+termination measure** (Theorem 1 then applies; see
+:mod:`repro.measures.soundness`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.measures.assignment import StackAssignment
+from repro.measures.hypotheses import TERMINATION
+from repro.measures.stack import Stack, stacks_equal_below
+from repro.ts.explore import ReachableGraph
+from repro.ts.system import CommandLabel, Transition
+from repro.wf.base import WellFoundedOrder
+
+
+@dataclass(frozen=True)
+class ActiveWitness:
+    """The level that discharged the verification conditions for one
+    transition, and why it was active."""
+
+    transition: Transition
+    level: int
+    subject: str
+    #: ``"enabled"`` — active via the command being enabled in p or p';
+    #: ``"decrease"`` — active via a strict measure decrease.
+    reason: str
+
+
+@dataclass(frozen=True)
+class LevelFailure:
+    """Why one candidate level failed, for diagnostics."""
+
+    level: int
+    subject: Optional[str]
+    detail: str
+
+
+@dataclass(frozen=True)
+class TransitionViolation:
+    """A transition on which no level witnesses (V_A) ∧ (V_NonI) ∧ (V_NoC)."""
+
+    transition: Transition
+    source_stack: Stack
+    target_stack: Stack
+    failures: Tuple[LevelFailure, ...]
+
+    def __str__(self) -> str:
+        lines = [
+            f"verification conditions fail on {self.transition}",
+            f"  μ(p)  = {self.source_stack.render()}",
+            f"  μ(p') = {self.target_stack.render()}",
+        ]
+        for failure in self.failures:
+            subject = failure.subject or "?"
+            lines.append(f"  level {failure.level} ({subject}): {failure.detail}")
+        return "\n".join(lines)
+
+
+class MeasureVerificationError(AssertionError):
+    """Raised by :meth:`MeasureCheckResult.raise_if_failed`."""
+
+
+@dataclass
+class MeasureCheckResult:
+    """Outcome of checking a stack assignment over an explored graph.
+
+    ``is_fair_termination_measure`` requires all three: every transition
+    witnessed, the order well-founded (decidable only for finite orders;
+    infinite library orders are well-founded by construction), and the graph
+    complete — on a bounded graph the result still certifies the explored
+    region and says so via ``complete``.
+    """
+
+    witnesses: List[ActiveWitness]
+    violations: List[TransitionViolation]
+    transitions_checked: int
+    complete: bool
+    order_well_founded: bool
+
+    @property
+    def ok(self) -> bool:
+        """All checked transitions witnessed and the order well-founded."""
+        return not self.violations and self.order_well_founded
+
+    @property
+    def is_fair_termination_measure(self) -> bool:
+        """``ok`` on a *complete* graph: a genuine fair termination measure."""
+        return self.ok and self.complete
+
+    def active_levels(self) -> Dict[int, int]:
+        """Histogram: active level → how many transitions used it."""
+        histogram: Dict[int, int] = {}
+        for witness in self.witnesses:
+            histogram[witness.level] = histogram.get(witness.level, 0) + 1
+        return histogram
+
+    def raise_if_failed(self) -> None:
+        """Raise with the first few violations if the check failed."""
+        problems: List[str] = []
+        if not self.order_well_founded:
+            problems.append("the measure's (W, ≻) is not well-founded")
+        problems.extend(str(v) for v in self.violations[:5])
+        if problems:
+            more = len(self.violations) - 5
+            if more > 0:
+                problems.append(f"... and {more} further violations")
+            raise MeasureVerificationError("\n".join(problems))
+
+    def summary(self) -> str:
+        """One-line summary used by reports."""
+        status = "PASS" if self.ok else f"FAIL ({len(self.violations)} violations)"
+        scope = "complete" if self.complete else "explored region only"
+        return (
+            f"{status}: {self.transitions_checked} transitions checked "
+            f"({scope}); active levels {self.active_levels()}"
+        )
+
+
+def find_active_level(
+    source_stack: Stack,
+    target_stack: Stack,
+    executed: CommandLabel,
+    enabled_union: frozenset,
+    order: WellFoundedOrder,
+) -> Tuple[Optional[ActiveWitnessData], List[LevelFailure]]:
+    """Search for the lowest level witnessing the verification conditions.
+
+    ``enabled_union`` is the set of commands enabled in ``p`` *or* ``p'``.
+    Returns ``(witness-data, failures)``; ``witness-data`` is ``None`` when
+    no level works, in which case ``failures`` explains each level.
+
+    This is the per-command-fairness instance of
+    :func:`find_active_level_general`: a hypothesis is invalidated exactly
+    when its subject is the executed command.
+    """
+    return find_active_level_general(
+        source_stack,
+        target_stack,
+        invalidated=frozenset({executed}),
+        active_subjects=enabled_union,
+        order=order,
+    )
+
+
+def find_active_level_general(
+    source_stack: Stack,
+    target_stack: Stack,
+    invalidated: frozenset,
+    active_subjects: frozenset,
+    order: WellFoundedOrder,
+) -> Tuple[Optional[ActiveWitnessData], List[LevelFailure]]:
+    """The verification-condition search over arbitrary fairness
+    requirements ([FK84] generality; the paper's §4.1 notes its definitions
+    "depend only on the notions of commands or actions being 'enabled' and
+    'executed'").
+
+    ``invalidated`` — subjects whose requirement this transition fulfils
+    (for command fairness: the executed command); ``active_subjects`` —
+    subjects whose requirement demands service in ``p`` or ``p'`` (for
+    command fairness: the commands enabled there).
+    """
+    failures: List[LevelFailure] = []
+    max_level = min(source_stack.height, target_stack.height)
+    for level in range(max_level):
+        before = source_stack.level(level)
+        after = target_stack.level(level)
+        if before.subject != after.subject:
+            failures.append(
+                LevelFailure(
+                    level,
+                    before.subject,
+                    f"hypothesis changes subject across the transition "
+                    f"({before.subject!r} → {after.subject!r})",
+                )
+            )
+            # Levels above sit on a changed hypothesis; (V_NoC) can no
+            # longer hold for any higher level either.
+            break
+        subject = before.subject
+        # (V_NoC): stack unchanged strictly below the active level.
+        if not stacks_equal_below(source_stack, target_stack, level):
+            failures.append(
+                LevelFailure(level, subject, "stack changes below this level (V_NoC)")
+            )
+            break
+        # (V_NonI): no hypothesis at or below the level is invalidated.
+        hit = [
+            h.subject
+            for h in source_stack.take(level + 1)
+            if h.subject in invalidated
+        ]
+        if hit:
+            failures.append(
+                LevelFailure(
+                    level,
+                    subject,
+                    f"invalidated hypothesis {hit[0]!r} at or below this "
+                    "level (V_NonI)",
+                )
+            )
+            # An invalidated hypothesis sits at some level ≤ k, so every
+            # higher level includes it too — no point searching on.
+            break
+        # (V_A): activity by demand/enabledness or by strict measure decrease.
+        if subject != TERMINATION and subject in active_subjects:
+            return ActiveWitnessData(level, subject, "enabled"), failures
+        if before.value is not None and after.value is not None:
+            if order.gt(before.value, after.value):
+                return ActiveWitnessData(level, subject, "decrease"), failures
+            failures.append(
+                LevelFailure(
+                    level,
+                    subject,
+                    f"measure does not decrease: {before.value} ⊁ {after.value} (V_A)",
+                )
+            )
+        else:
+            failures.append(
+                LevelFailure(
+                    level,
+                    subject,
+                    "not enabled in p or p' and no measure value to decrease (V_A)",
+                )
+            )
+    if max_level == 0:
+        failures.append(LevelFailure(0, None, "empty stack overlap"))
+    return None, failures
+
+
+@dataclass(frozen=True)
+class ActiveWitnessData:
+    """Internal: level/subject/reason triple before attaching the transition."""
+
+    level: int
+    subject: str
+    reason: str
+
+
+def check_measure(
+    graph: ReachableGraph,
+    assignment: StackAssignment,
+    keep_witnesses: bool = True,
+    requirements=None,
+) -> MeasureCheckResult:
+    """Check the verification conditions on every explored transition.
+
+    Stacks are computed once per state; measure values are validated for
+    membership in the assignment's order.  The result's
+    :attr:`~MeasureCheckResult.complete` mirrors the graph's completeness.
+
+    ``requirements`` (a sequence of
+    :class:`repro.fairness.generalized.FairnessRequirement`) switches the
+    checker to generalized fairness: stack hypotheses then name
+    requirements; a hypothesis is active when its requirement demands
+    service in either endpoint, and invalidated when the transition fulfils
+    it.  Omitted, hypotheses name commands (the paper's strong fairness).
+    """
+    order = assignment.order
+    stacks: List[Stack] = []
+    for index in range(len(graph)):
+        state = graph.state_of(index)
+        stack = assignment(state)
+        for hypothesis in stack:
+            if hypothesis.value is not None:
+                order.check_member(hypothesis.value)
+        stacks.append(stack)
+
+    witnesses: List[ActiveWitness] = []
+    violations: List[TransitionViolation] = []
+    for transition in graph.transitions:
+        source_stack = stacks[transition.source]
+        target_stack = stacks[transition.target]
+        if requirements is None:
+            invalidated = frozenset({transition.command})
+            active_subjects = graph.enabled_at(transition.source) | graph.enabled_at(
+                transition.target
+            )
+        else:
+            source_state = graph.state_of(transition.source)
+            target_state = graph.state_of(transition.target)
+            invalidated = frozenset(
+                r.name
+                for r in requirements
+                if r.fulfilled_by(source_state, transition.command, target_state)
+            )
+            active_subjects = frozenset(
+                r.name
+                for r in requirements
+                if r.enabled_at(source_state) or r.enabled_at(target_state)
+            )
+        data, failures = find_active_level_general(
+            source_stack,
+            target_stack,
+            invalidated,
+            active_subjects,
+            order,
+        )
+        plain = graph.to_transition(transition)
+        if data is None:
+            violations.append(
+                TransitionViolation(
+                    transition=plain,
+                    source_stack=source_stack,
+                    target_stack=target_stack,
+                    failures=tuple(failures),
+                )
+            )
+        elif keep_witnesses:
+            witnesses.append(
+                ActiveWitness(
+                    transition=plain,
+                    level=data.level,
+                    subject=data.subject,
+                    reason=data.reason,
+                )
+            )
+
+    return MeasureCheckResult(
+        witnesses=witnesses,
+        violations=violations,
+        transitions_checked=len(graph.transitions),
+        complete=graph.complete,
+        order_well_founded=order.is_well_founded(),
+    )

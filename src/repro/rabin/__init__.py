@@ -1,0 +1,37 @@
+"""Rabin pairs conditions and Rabin-style measures (§2, §5, [KK91])."""
+
+from repro.rabin.measure import (
+    RabinRuleViolation,
+    RabinStyleReport,
+    TranslationVerdict,
+    check_rabin_style,
+    classify_stack_as_rabin,
+)
+from repro.rabin.trees import (
+    ColouredTree,
+    TreeVertex,
+    description_sizes,
+)
+from repro.rabin.pairs import (
+    AnnotatedState,
+    CommandHistorySystem,
+    RabinCondition,
+    RabinPair,
+    fair_termination_rabin_condition,
+)
+
+__all__ = [
+    "ColouredTree",
+    "TreeVertex",
+    "description_sizes",
+    "RabinRuleViolation",
+    "RabinStyleReport",
+    "TranslationVerdict",
+    "check_rabin_style",
+    "classify_stack_as_rabin",
+    "AnnotatedState",
+    "CommandHistorySystem",
+    "RabinCondition",
+    "RabinPair",
+    "fair_termination_rabin_condition",
+]

@@ -1,0 +1,247 @@
+"""Rabin-style progress measures and the §5 comparison with stack assertions.
+
+[KK91]'s Rabin measures map program states into a coloured tree; §5 lists
+three technical differences that make stack assertions the more convenient
+annotation device:
+
+1. "Two stacks may contain the same progress values, but be colored
+   differently.  In a Rabin progress measure the coloring is a function of
+   the progress values."  Here: in a :class:`RabinStyleMeasure` each measure
+   *value* belongs to exactly one hypothesis subject (colour); a stack
+   assignment reusing a value under two subjects cannot be translated.
+2. "For a Rabin progress measure, satisfaction of an enabling condition is
+   expressed in terms of the new state."  Here: activity by enabledness
+   consults only the *target* state.
+3. "There may be several choices for an active hypothesis ... For Rabin
+   progress measures the active hypothesis is uniquely determined."  Here:
+   the active level is *defined* as the lowest level whose entry changed or
+   whose command is enabled in the new state, and the conditions must hold
+   at that level — no search.
+
+:func:`check_rabin_style` verifies a stack-shaped assignment under these
+stricter rules; :func:`classify_stack_as_rabin` reports which of the three
+differences (if any) blocks a direct translation of a given fair
+termination measure, making the §5 discussion executable (experiment E11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.measures.assignment import StackAssignment
+from repro.measures.hypotheses import TERMINATION
+from repro.measures.stack import Stack
+from repro.ts.explore import ReachableGraph
+from repro.ts.system import Transition
+
+
+@dataclass(frozen=True)
+class RabinRuleViolation:
+    """A transition failing the stricter Rabin-style rules."""
+
+    transition: Transition
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.detail} on {self.transition}"
+
+
+@dataclass
+class RabinStyleReport:
+    """Outcome of the Rabin-style check plus colouring diagnostics."""
+
+    violations: List[RabinRuleViolation]
+    colour_clashes: List[str]
+    transitions_checked: int
+
+    @property
+    def ok(self) -> bool:
+        """Valid as a Rabin-style measure (all three §5 restrictions met)."""
+        return not self.violations and not self.colour_clashes
+
+    def summary(self) -> str:
+        """One-line summary for reports."""
+        if self.ok:
+            return f"PASS: {self.transitions_checked} transitions (Rabin rules)"
+        return (
+            f"FAIL: {len(self.violations)} rule violations, "
+            f"{len(self.colour_clashes)} colour clashes over "
+            f"{self.transitions_checked} transitions"
+        )
+
+
+def _unique_active_level(
+    source: Stack, target: Stack, enabled_new: frozenset
+) -> Optional[int]:
+    """Difference 3: the Rabin active level is *determined*, not chosen —
+    the lowest level whose entry changed or whose command is enabled in the
+    new state."""
+    limit = min(source.height, target.height)
+    for level in range(limit):
+        before, after = source.level(level), target.level(level)
+        if before != after:
+            return level
+        subject = before.subject
+        if subject != TERMINATION and subject in enabled_new:
+            return level
+    if source.height != target.height:
+        return limit
+    return None
+
+
+def check_rabin_style(
+    graph: ReachableGraph,
+    assignment: StackAssignment,
+) -> RabinStyleReport:
+    """Check a stack-shaped assignment under the three Rabin restrictions."""
+    order = assignment.order
+    stacks = [assignment(graph.state_of(i)) for i in range(len(graph))]
+
+    # Difference 1: colouring must be a function of the progress values.
+    colour_of: Dict[object, str] = {}
+    clashes: List[str] = []
+    for stack in stacks:
+        for hypothesis in stack:
+            if hypothesis.value is None:
+                continue
+            previous = colour_of.get(hypothesis.value)
+            if previous is None:
+                colour_of[hypothesis.value] = hypothesis.subject
+            elif previous != hypothesis.subject:
+                clashes.append(
+                    f"value {hypothesis.value!r} coloured both {previous!r} "
+                    f"and {hypothesis.subject!r}"
+                )
+
+    violations: List[RabinRuleViolation] = []
+    for t in graph.transitions:
+        source, target = stacks[t.source], stacks[t.target]
+        enabled_new = graph.enabled_at(t.target)  # difference 2: new state only
+        level = _unique_active_level(source, target, enabled_new)
+        plain = graph.to_transition(t)
+        if level is None:
+            violations.append(
+                RabinRuleViolation(plain, "no determined active level")
+            )
+            continue
+        if level >= min(source.height, target.height):
+            violations.append(
+                RabinRuleViolation(
+                    plain, "stacks differ only in height; no common active level"
+                )
+            )
+            continue
+        before, after = source.level(level), target.level(level)
+        if before.subject != after.subject:
+            violations.append(
+                RabinRuleViolation(
+                    plain,
+                    f"active level {level} changes colour "
+                    f"({before.subject!r} → {after.subject!r})",
+                )
+            )
+            continue
+        subject = before.subject
+        # Non-invalidation at and below the determined level.
+        if any(h.subject == t.command for h in source.take(level + 1)):
+            violations.append(
+                RabinRuleViolation(
+                    plain,
+                    f"executed command {t.command!r} at or below determined "
+                    f"active level {level}",
+                )
+            )
+            continue
+        # Activity at exactly the determined level.
+        enabled_ok = subject != TERMINATION and subject in enabled_new
+        decrease_ok = (
+            before.value is not None
+            and after.value is not None
+            and order.gt(before.value, after.value)
+        )
+        if not (enabled_ok or decrease_ok):
+            violations.append(
+                RabinRuleViolation(
+                    plain,
+                    f"determined active level {level} ({subject!r}) is not "
+                    "active: not enabled in the new state and no measure "
+                    "decrease",
+                )
+            )
+    return RabinStyleReport(
+        violations=violations,
+        colour_clashes=clashes,
+        transitions_checked=len(graph.transitions),
+    )
+
+
+@dataclass(frozen=True)
+class TranslationVerdict:
+    """Which §5 differences block translating a stack measure to Rabin form."""
+
+    translatable: bool
+    blocked_by_colouring: bool
+    blocked_by_enabling: int  # transitions relying on the *old* state
+    blocked_by_choice: int  # transitions whose determined level is not active
+
+    def __str__(self) -> str:
+        if self.translatable:
+            return "directly translatable to a Rabin measure"
+        reasons = []
+        if self.blocked_by_colouring:
+            reasons.append("value colouring is not functional (difference 1)")
+        if self.blocked_by_enabling:
+            reasons.append(
+                f"{self.blocked_by_enabling} transitions need old-state "
+                "enabledness (difference 2)"
+            )
+        if self.blocked_by_choice:
+            reasons.append(
+                f"{self.blocked_by_choice} transitions need a non-determined "
+                "active choice (difference 3)"
+            )
+        return "not directly translatable: " + "; ".join(reasons)
+
+
+def classify_stack_as_rabin(
+    graph: ReachableGraph,
+    assignment: StackAssignment,
+) -> TranslationVerdict:
+    """Diagnose a (valid) fair termination measure against the Rabin rules.
+
+    "Thus it is not possible to translate directly a fair termination
+    measure into a Rabin progress measure" — this function says, for a
+    concrete measure, *why*.
+    """
+    report = check_rabin_style(graph, assignment)
+    stacks = [assignment(graph.state_of(i)) for i in range(len(graph))]
+    order = assignment.order
+    old_state_needed = 0
+    for t in graph.transitions:
+        source, target = stacks[t.source], stacks[t.target]
+        enabled_old = graph.enabled_at(t.source)
+        enabled_new = graph.enabled_at(t.target)
+        level = _unique_active_level(source, target, enabled_new)
+        if level is None or level >= min(source.height, target.height):
+            continue
+        subject = source.level(level).subject
+        if (
+            subject != TERMINATION
+            and subject in enabled_old
+            and subject not in enabled_new
+        ):
+            before, after = source.level(level), target.level(level)
+            decrease_ok = (
+                before.value is not None
+                and after.value is not None
+                and order.gt(before.value, after.value)
+            )
+            if not decrease_ok:
+                old_state_needed += 1
+    return TranslationVerdict(
+        translatable=report.ok,
+        blocked_by_colouring=bool(report.colour_clashes),
+        blocked_by_enabling=old_state_needed,
+        blocked_by_choice=max(0, len(report.violations) - old_state_needed),
+    )

@@ -1,0 +1,131 @@
+"""Rabin pairs conditions (§2).
+
+"The condition of fair termination is but an instance of a *Rabin pairs
+condition*, see [KK91], which is a requirement in a special disjunctive
+normal form about the infinite occurrence of states."
+
+A Rabin pair ``(L, U)`` over (annotated) states is satisfied by an infinite
+computation iff ``L`` is visited infinitely often while ``U`` is visited
+only finitely often; a Rabin condition — a disjunction of pairs — is
+satisfied iff some pair is.  To express command executions as state
+occurrences we annotate each state with the last executed command
+(:class:`CommandHistorySystem`), exactly the paper's remark that "the
+program state space and transition relation can always be extended to
+contain this information".
+
+*Unfairness* is then the Rabin condition with one pair per command ``ℓ``:
+``L_ℓ`` = states where ``ℓ`` is enabled, ``U_ℓ`` = states whose last
+executed command is ``ℓ``.  A program fairly terminates iff every infinite
+computation satisfies this condition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence, Tuple
+
+from repro.ts.lasso import Lasso
+from repro.ts.system import CommandLabel, State, TransitionSystem
+
+#: An annotated state: (base state, last executed command or None).
+AnnotatedState = Tuple[State, Optional[CommandLabel]]
+
+
+class CommandHistorySystem(TransitionSystem):
+    """The base system with states extended by the last executed command.
+
+    This is the function ``𝓛`` of the Theorem 2 proof, realised as a state
+    component; the transformation is deterministic and adds no behaviour.
+    """
+
+    def __init__(self, base: TransitionSystem) -> None:
+        self._base = base
+
+    @property
+    def base(self) -> TransitionSystem:
+        """The unannotated system."""
+        return self._base
+
+    def commands(self) -> Tuple[CommandLabel, ...]:
+        return self._base.commands()
+
+    def initial_states(self) -> Iterable[State]:
+        for state in self._base.initial_states():
+            yield (state, None)
+
+    def enabled(self, state: State) -> frozenset:
+        base_state, _ = state
+        return self._base.enabled(base_state)
+
+    def post(self, state: State) -> Iterable[Tuple[CommandLabel, State]]:
+        base_state, _ = state
+        for command, target in self._base.post(base_state):
+            yield command, (target, command)
+
+
+@dataclass(frozen=True)
+class RabinPair:
+    """One pair ``(L, U)``: hit ``L`` infinitely often, ``U`` finitely often."""
+
+    name: str
+    inf_target: Callable[[AnnotatedState], bool]
+    fin_avoid: Callable[[AnnotatedState], bool]
+
+    def satisfied_on_cycle(self, cycle_states: Sequence[AnnotatedState]) -> bool:
+        """Whether the pair holds for the computation looping on this cycle."""
+        hits_l = any(self.inf_target(s) for s in cycle_states)
+        hits_u = any(self.fin_avoid(s) for s in cycle_states)
+        return hits_l and not hits_u
+
+
+@dataclass(frozen=True)
+class RabinCondition:
+    """A disjunction of Rabin pairs."""
+
+    pairs: Tuple[RabinPair, ...]
+
+    def satisfied_on_lasso(self, lasso: Lasso) -> bool:
+        """Whether the lasso's infinite computation satisfies some pair.
+
+        The lasso must run over :class:`CommandHistorySystem` states (or
+        any states the pair predicates understand).
+        """
+        cycle_states = lasso.cycle_states()
+        return any(pair.satisfied_on_cycle(cycle_states) for pair in self.pairs)
+
+    def witnessing_pair(self, lasso: Lasso) -> Optional[RabinPair]:
+        """The first satisfied pair, or ``None``."""
+        cycle_states = lasso.cycle_states()
+        for pair in self.pairs:
+            if pair.satisfied_on_cycle(cycle_states):
+                return pair
+        return None
+
+
+def fair_termination_rabin_condition(
+    system: TransitionSystem,
+) -> RabinCondition:
+    """Unfairness as a Rabin condition over command-annotated states.
+
+    An infinite computation of ``system`` is *unfair* iff the annotated
+    computation satisfies the returned condition; hence the program fairly
+    terminates iff all its infinite computations do.
+    """
+    pairs = []
+    for command in system.commands():
+        def inf_target(state: AnnotatedState, _c=command) -> bool:
+            base_state, _last = state
+            return _c in system.enabled(base_state)
+
+        def fin_avoid(state: AnnotatedState, _c=command) -> bool:
+            _base_state, last = state
+            return last == _c
+
+        pairs.append(
+            RabinPair(
+                name=f"unfair({command})",
+                inf_target=inf_target,
+                fin_avoid=fin_avoid,
+            )
+        )
+    return RabinCondition(pairs=tuple(pairs))

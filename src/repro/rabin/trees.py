@@ -1,0 +1,151 @@
+"""Coloured trees: the explicit object behind a family of stacks.
+
+§5: "A Rabin progress measure is defined as a mapping from the program
+states into a colored tree.  This mapping can be described in program
+assertions by specifying the progress values for each program state.  The
+problem is that the colored tree has to be explicitly described (as it was
+done in an example given in [KK91]).  In contrast, the stack assertions
+given in this paper are self-contained."
+
+This module constructs that explicit object from any stack assignment: the
+**prefix tree** of all stacks, vertices coloured by hypothesis subject and
+labelled by measure value.  A state's measure is then "its stack read as a
+root path" — which is exactly the tree-shaped view [KK91] works with.  The
+point of building it is quantitative (experiment E11c): the explicit tree
+grows with the state space, while the stack assertion that denotes it is a
+few lines of program text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.measures.assignment import StackAssignment
+from repro.measures.stack import Stack
+from repro.ts.explore import ReachableGraph
+
+#: A tree edge key: (colour, value) — one hypothesis of a stack.
+EdgeKey = Tuple[str, Optional[Any]]
+
+
+@dataclass
+class TreeVertex:
+    """One vertex: its colour (hypothesis subject), value, and children."""
+
+    colour: str
+    value: Optional[Any]
+    children: Dict[EdgeKey, "TreeVertex"] = field(default_factory=dict)
+    #: How many states' stacks end at this vertex.
+    states_here: int = 0
+
+    def child(self, colour: str, value: Optional[Any]) -> "TreeVertex":
+        """The (created-on-demand) child along ``(colour, value)``."""
+        key = (colour, value)
+        node = self.children.get(key)
+        if node is None:
+            node = TreeVertex(colour=colour, value=value)
+            self.children[key] = node
+        return node
+
+
+@dataclass
+class ColouredTree:
+    """The prefix tree of a family of stacks."""
+
+    root: TreeVertex
+
+    @staticmethod
+    def from_assignment(
+        graph: ReachableGraph, assignment: StackAssignment
+    ) -> "ColouredTree":
+        """Build the explicit tree a Rabin-style description would need."""
+        root = TreeVertex(colour="⊥", value=None)
+        for index in range(len(graph)):
+            stack: Stack = assignment(graph.state_of(index))
+            node = root
+            for hypothesis in stack:
+                node = node.child(hypothesis.subject, hypothesis.value)
+            node.states_here += 1
+        return ColouredTree(root=root)
+
+    # -- statistics ---------------------------------------------------------
+
+    def vertex_count(self) -> int:
+        """Vertices of the explicit description (root excluded)."""
+        count = 0
+        work = [self.root]
+        while work:
+            node = work.pop()
+            for child in node.children.values():
+                count += 1
+                work.append(child)
+        return count
+
+    def depth(self) -> int:
+        """Longest root path (= tallest stack)."""
+
+        def descend(node: TreeVertex) -> int:
+            if not node.children:
+                return 0
+            return 1 + max(descend(child) for child in node.children.values())
+
+        return descend(self.root)
+
+    def leaf_count(self) -> int:
+        """Leaves — the distinct complete stacks."""
+        count = 0
+        work = [self.root]
+        while work:
+            node = work.pop()
+            if not node.children:
+                count += 1
+            else:
+                work.extend(node.children.values())
+        return count
+
+    def colours(self) -> frozenset:
+        """All colours used (hypothesis subjects)."""
+        seen = set()
+        work = list(self.root.children.values())
+        while work:
+            node = work.pop()
+            seen.add(node.colour)
+            work.extend(node.children.values())
+        return frozenset(seen)
+
+    def render(self, max_lines: int = 40) -> str:
+        """An indented listing — the "explicit description" itself."""
+        lines: List[str] = []
+
+        def walk(node: TreeVertex, indent: str) -> None:
+            for (colour, value), child in sorted(
+                node.children.items(), key=lambda item: repr(item[0])
+            ):
+                if len(lines) >= max_lines:
+                    return
+                label = colour if value is None else f"{colour}: {value}"
+                suffix = (
+                    f"   ← {child.states_here} state(s)" if child.states_here else ""
+                )
+                lines.append(f"{indent}{label}{suffix}")
+                walk(child, indent + "  ")
+
+        walk(self.root, "")
+        if len(lines) >= max_lines:
+            lines.append("...")
+        return "\n".join(lines)
+
+
+def description_sizes(
+    graph: ReachableGraph,
+    assignment: StackAssignment,
+    assertion_text: str,
+) -> Tuple[int, int]:
+    """(explicit tree vertices, assertion characters) — the §5 comparison.
+
+    The explicit description a Rabin measure needs grows with the reachable
+    states; the self-contained assertion is constant program text.
+    """
+    tree = ColouredTree.from_assignment(graph, assignment)
+    return tree.vertex_count(), len(assertion_text)

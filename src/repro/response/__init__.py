@@ -1,0 +1,29 @@
+"""Fair response ``G(P → F Q)`` — the [MP91] generalization (§2)."""
+
+from repro.response.checker import FairResponseResult, check_fair_response
+from repro.response.measure import (
+    ResponseSynthesis,
+    ResponseViolatedError,
+    check_response_measure,
+    synthesize_response_measure,
+)
+from repro.response.product import ObligationSystem, pending_indices
+from repro.response.property import (
+    ResponseProperty,
+    StatePredicate,
+    termination_as_response,
+)
+
+__all__ = [
+    "FairResponseResult",
+    "check_fair_response",
+    "ResponseSynthesis",
+    "ResponseViolatedError",
+    "check_response_measure",
+    "synthesize_response_measure",
+    "ObligationSystem",
+    "pending_indices",
+    "ResponseProperty",
+    "StatePredicate",
+    "termination_as_response",
+]

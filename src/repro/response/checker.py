@@ -1,0 +1,86 @@
+"""Deciding fair response for finite-state systems.
+
+``G(trigger → F response)`` holds under strong fairness iff no *fair*
+infinite computation keeps an obligation pending forever.  On the finite
+obligation product that is: no reachable fair cycle lies entirely inside
+the pending states — decided by the same Streett refinement as fair
+termination, restricted to the pending region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.fairness.checker import FairCycle, find_fair_cycle
+from repro.response.product import ObligationSystem, pending_indices
+from repro.response.property import ResponseProperty
+from repro.ts.explore import ReachableGraph, explore
+from repro.ts.system import TransitionSystem
+
+
+@dataclass(frozen=True)
+class FairResponseResult:
+    """Outcome of the fair-response decision.
+
+    ``holds`` — over the explored region; ``decisive`` — whether that is a
+    theorem (complete exploration or a genuine counterexample);
+    ``witness`` — a fair lasso whose cycle is all-pending (the starved
+    obligation), when the property fails.
+    """
+
+    holds: bool
+    decisive: bool
+    witness: Optional[FairCycle]
+    pending_states: int
+    product_graph: ReachableGraph
+
+    def __str__(self) -> str:
+        verdict = "holds under strong fairness" if self.holds else "FAILS"
+        scope = "" if self.decisive else " (explored region only)"
+        return (
+            f"fair response {verdict}{scope} "
+            f"[{len(self.product_graph)} product states, "
+            f"{self.pending_states} pending]"
+        )
+
+
+def check_fair_response(
+    system: TransitionSystem,
+    prop: ResponseProperty,
+    max_states: Optional[int] = None,
+    max_depth: Optional[int] = None,
+    product_graph: Optional[ReachableGraph] = None,
+) -> FairResponseResult:
+    """Decide ``G(trigger → F response)`` under strong fairness.
+
+    Pass a pre-explored ``product_graph`` (of the :class:`ObligationSystem`)
+    to amortise exploration across several properties.
+    """
+    if product_graph is None:
+        product = ObligationSystem(system, prop)
+        product_graph = explore(product, max_states=max_states, max_depth=max_depth)
+    pending = pending_indices(product_graph)
+    witness = find_fair_cycle(product_graph, restrict_to=pending)
+    if witness is not None:
+        # Sanity: the cycle really stays pending.
+        for state in witness.lasso.cycle_states():
+            _base, is_pending = state
+            if not is_pending:
+                raise AssertionError(
+                    "internal error: response witness cycle leaves pending"
+                )
+        return FairResponseResult(
+            holds=False,
+            decisive=True,
+            witness=witness,
+            pending_states=len(pending),
+            product_graph=product_graph,
+        )
+    return FairResponseResult(
+        holds=True,
+        decisive=product_graph.complete,
+        witness=None,
+        pending_states=len(pending),
+        product_graph=product_graph,
+    )

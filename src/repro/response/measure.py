@@ -1,0 +1,194 @@
+"""Stack measures for fair response — "progress towards the response".
+
+The stack-assertion method generalizes from fair termination to fair
+response exactly as the paper's framework suggests ("the property, for
+example, could be that every infinite computation is unfair" — here: every
+infinite computation that keeps an obligation pending is unfair).  A
+**response measure** assigns stacks to the *pending* product states only;
+the verification conditions are required on pending→pending transitions;
+discharging transitions are exempt (they are the progress).
+
+Soundness mirrors Theorem 1: a fair computation violating the property has
+an all-pending tail, along which the usual liminf argument manufactures an
+infinite descent or a starved command.  Completeness for finite-state
+systems is constructive: :func:`synthesize_response_measure` runs the
+hierarchical decomposition on the pending region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.completeness.synthesis import (
+    NotFairlyTerminatingError,
+    RegionInfo,
+    _process_region,
+)
+from repro.fairness.checker import find_fair_cycle
+from repro.fairness.generalized import command_requirements
+from repro.measures.assignment import StackAssignment
+from repro.measures.hypotheses import TERMINATION, Hypothesis
+from repro.measures.stack import Stack
+from repro.measures.verification import (
+    ActiveWitness,
+    MeasureCheckResult,
+    TransitionViolation,
+    find_active_level,
+)
+from repro.ts.explore import ReachableGraph
+from repro.ts.graph import decompose, internal_transitions
+from repro.wf.naturals import NATURALS
+
+
+class ResponseViolatedError(ValueError):
+    """The pending region hosts a fair cycle: the property fails, so no
+    response measure exists."""
+
+    def __init__(self, message: str, witness) -> None:
+        super().__init__(message)
+        self.witness = witness
+
+
+def check_response_measure(
+    product_graph: ReachableGraph,
+    pending: Sequence[int],
+    assignment: StackAssignment,
+) -> MeasureCheckResult:
+    """Verify a response measure over the obligation product.
+
+    (V_A), (V_NonI), (V_NoC) are checked on every transition between
+    pending states; transitions that discharge the obligation (or start
+    outside it) carry no proof obligation.
+    """
+    order = assignment.order
+    pending_set = set(pending)
+    stacks: Dict[int, Stack] = {}
+    for index in pending_set:
+        stack = assignment(product_graph.state_of(index))
+        for hypothesis in stack:
+            if hypothesis.value is not None:
+                order.check_member(hypothesis.value)
+        stacks[index] = stack
+
+    witnesses: List[ActiveWitness] = []
+    violations: List[TransitionViolation] = []
+    checked = 0
+    for transition in product_graph.transitions:
+        if transition.source not in pending_set or transition.target not in pending_set:
+            continue
+        checked += 1
+        enabled_union = product_graph.enabled_at(
+            transition.source
+        ) | product_graph.enabled_at(transition.target)
+        data, failures = find_active_level(
+            stacks[transition.source],
+            stacks[transition.target],
+            transition.command,
+            enabled_union,
+            order,
+        )
+        plain = product_graph.to_transition(transition)
+        if data is None:
+            violations.append(
+                TransitionViolation(
+                    transition=plain,
+                    source_stack=stacks[transition.source],
+                    target_stack=stacks[transition.target],
+                    failures=tuple(failures),
+                )
+            )
+        else:
+            witnesses.append(
+                ActiveWitness(
+                    transition=plain,
+                    level=data.level,
+                    subject=data.subject,
+                    reason=data.reason,
+                )
+            )
+    return MeasureCheckResult(
+        witnesses=witnesses,
+        violations=violations,
+        transitions_checked=checked,
+        complete=product_graph.complete,
+        order_well_founded=order.is_well_founded(),
+    )
+
+
+@dataclass
+class ResponseSynthesis:
+    """A synthesised response measure: stacks on the pending states."""
+
+    product_graph: ReachableGraph
+    pending: List[int]
+    stacks: Dict[int, Stack]
+    regions: List[RegionInfo]
+
+    def assignment(self) -> StackAssignment:
+        """The measure as a checkable assignment (pending states only)."""
+        table = {
+            self.product_graph.state_of(index): stack
+            for index, stack in self.stacks.items()
+        }
+        return StackAssignment.from_dict(
+            table, NATURALS, description="synthesised response measure"
+        )
+
+    def max_stack_height(self) -> int:
+        """The tallest stack used."""
+        return max((s.height for s in self.stacks.values()), default=0)
+
+
+def synthesize_response_measure(
+    product_graph: ReachableGraph,
+    pending: Sequence[int],
+) -> ResponseSynthesis:
+    """Synthesise a response measure on the pending region.
+
+    ``μ^T`` is the reverse-topological rank over the pending subgraph's
+    SCCs (pending→pending transitions across components strictly decrease
+    it; discharging transitions need nothing); unfairness hypotheses are
+    assigned inside each non-trivial pending SCC exactly as for fair
+    termination.  Raises :class:`ResponseViolatedError` (with the fair
+    all-pending cycle) when the property fails.
+    """
+    if not product_graph.complete:
+        raise ValueError(
+            "response synthesis needs the complete product graph"
+        )
+    pending = sorted(pending)
+    decomposition = decompose(product_graph, restrict_to=pending)
+    entries: Dict[int, List[Hypothesis]] = {
+        index: [Hypothesis(TERMINATION, decomposition.component_of[index])]
+        for index in pending
+    }
+    requirements = tuple(command_requirements(product_graph.system))
+    regions: List[RegionInfo] = []
+    try:
+        for component in decomposition.components:
+            if not internal_transitions(product_graph, component):
+                continue
+            regions.append(
+                _process_region(
+                    product_graph,
+                    list(component),
+                    level=1,
+                    requirements=requirements,
+                    entries=entries,
+                )
+            )
+    except NotFairlyTerminatingError:
+        witness = find_fair_cycle(product_graph, restrict_to=pending)
+        raise ResponseViolatedError(
+            "the pending region hosts a fair cycle: the response property "
+            "fails under strong fairness, so no response measure exists",
+            witness,
+        ) from None
+    stacks = {index: Stack(parts) for index, parts in entries.items()}
+    return ResponseSynthesis(
+        product_graph=product_graph,
+        pending=list(pending),
+        stacks=stacks,
+        regions=regions,
+    )

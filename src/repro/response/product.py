@@ -1,0 +1,62 @@
+"""The obligation product: base states paired with a pending bit.
+
+The history-variable idea in miniature: one boolean of history ("is an
+obligation open?") reduces fair response to reasoning about infinite
+*pending* computations — a benign transformation in the paper's sense
+(deterministic, no new nondeterminism, transitions project one-to-one).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.response.property import ResponseProperty
+from repro.ts.explore import ReachableGraph
+from repro.ts.system import CommandLabel, State, TransitionSystem
+
+#: A product state: (base state, obligation pending?).
+ObligationState = Tuple[State, bool]
+
+
+class ObligationSystem(TransitionSystem):
+    """The base system × the obligation bit of a response property."""
+
+    def __init__(self, base: TransitionSystem, prop: ResponseProperty) -> None:
+        self._base = base
+        self._property = prop
+
+    @property
+    def base(self) -> TransitionSystem:
+        """The unannotated system."""
+        return self._base
+
+    @property
+    def response_property(self) -> ResponseProperty:
+        """The property whose obligation is tracked."""
+        return self._property
+
+    def commands(self) -> Tuple[CommandLabel, ...]:
+        return self._base.commands()
+
+    def initial_states(self) -> Iterable[State]:
+        for state in self._base.initial_states():
+            yield (state, self._property.initial_pending(state))
+
+    def enabled(self, state: State) -> frozenset:
+        base_state, _pending = state
+        return self._base.enabled(base_state)
+
+    def post(self, state: State) -> Iterable[Tuple[CommandLabel, State]]:
+        base_state, pending = state
+        for command, target in self._base.post(base_state):
+            yield command, (target, self._property.step_pending(pending, target))
+
+
+def pending_indices(graph: ReachableGraph) -> List[int]:
+    """Indices of the product graph's pending states."""
+    result = []
+    for index in range(len(graph)):
+        _base_state, pending = graph.state_of(index)
+        if pending:
+            result.append(index)
+    return result

@@ -1,0 +1,64 @@
+"""Response properties: ``G(trigger → F response)``.
+
+§2: "Using a fragment of fixed-point calculus, Manna and Pnueli formulated
+elegant proof rules ... For the problem of fair response (which generalizes
+fair termination), they exhibited a simple proof rule, which is recursively
+applied to transformed programs."  [MP91]
+
+Fair termination is the instance with ``trigger = true`` and ``response =
+terminated``: every computation eventually reaches a state with nothing
+enabled — unless it is unfair.  The general property asks that under the
+fairness assumption, every trigger state is eventually followed by a
+response state.  The stack-assertion method carries over without recursive
+program transformations: measures live on the *pending* states (obligation
+raised, not yet discharged), and the verification conditions are required
+on pending-to-pending transitions only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.ts.system import State
+
+StatePredicate = Callable[[State], bool]
+
+
+@dataclass(frozen=True)
+class ResponseProperty:
+    """``G(trigger → F response)`` over program states."""
+
+    name: str
+    trigger: StatePredicate
+    response: StatePredicate
+
+    def initial_pending(self, state: State) -> bool:
+        """Whether an obligation is already open at an initial state."""
+        return self.trigger(state) and not self.response(state)
+
+    def step_pending(self, pending: bool, target: State) -> bool:
+        """Obligation after moving to ``target``.
+
+        A response state discharges everything; otherwise a standing
+        obligation persists and a trigger state (re)raises one.
+        """
+        if self.response(target):
+            return False
+        return pending or self.trigger(target)
+
+    def __str__(self) -> str:
+        return f"G({self.name}: trigger → F response)"
+
+
+def termination_as_response(system) -> ResponseProperty:
+    """Fair termination as the degenerate response property.
+
+    Trigger everywhere, respond at terminal states: "eventually a terminal
+    state is reached" — pending exactly while the program still runs.
+    """
+    return ResponseProperty(
+        name="termination",
+        trigger=lambda state: True,
+        response=lambda state: not system.enabled(state),
+    )

@@ -1,0 +1,62 @@
+"""Transition systems, exploration, SCCs, lassos, composition, traces."""
+
+from repro.ts.explore import (
+    ExplorationLimitError,
+    IndexedTransition,
+    ReachableGraph,
+    explore,
+)
+from repro.ts.graph import (
+    SccDecomposition,
+    condensation_edges,
+    decompose,
+    internal_transitions,
+    is_nontrivial_scc,
+    tarjan_scc,
+)
+from repro.ts.lasso import (
+    Lasso,
+    Path,
+    cycle_through_all,
+    find_path_indices,
+    lasso_from_indices,
+)
+from repro.ts.product import GuardedOverlay, InterleavingComposition
+from repro.ts.system import (
+    CommandLabel,
+    ExplicitSystem,
+    RenamedSystem,
+    State,
+    Transition,
+    TransitionSystem,
+)
+from repro.ts.trace import ExecutionTrace, TraceRecorder, TraceStep
+
+__all__ = [
+    "ExplorationLimitError",
+    "IndexedTransition",
+    "ReachableGraph",
+    "explore",
+    "SccDecomposition",
+    "condensation_edges",
+    "decompose",
+    "internal_transitions",
+    "is_nontrivial_scc",
+    "tarjan_scc",
+    "Lasso",
+    "Path",
+    "cycle_through_all",
+    "find_path_indices",
+    "lasso_from_indices",
+    "GuardedOverlay",
+    "InterleavingComposition",
+    "CommandLabel",
+    "ExplicitSystem",
+    "RenamedSystem",
+    "State",
+    "Transition",
+    "TransitionSystem",
+    "ExecutionTrace",
+    "TraceRecorder",
+    "TraceStep",
+]

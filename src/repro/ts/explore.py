@@ -1,0 +1,269 @@
+"""Reachability exploration with explicit completeness accounting.
+
+The verification conditions are local, so checking them over a region of the
+state space means enumerating that region's transitions.  For finite-state
+programs :func:`explore` exhausts the reachable states and the resulting
+:class:`ReachableGraph` is *complete*: every judgement made over it is a
+theorem about the program.  For infinite-state programs (the paper's
+``P1``–``P4`` over unbounded integers) exploration is *bounded* and the graph
+records its frontier, so downstream analyses can — and do — say precisely
+what was and was not covered, instead of silently truncating.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.ts.system import CommandLabel, State, Transition, TransitionSystem
+
+
+class ExplorationLimitError(RuntimeError):
+    """Raised by :func:`explore` with ``strict=True`` when a bound is hit."""
+
+
+@dataclass(frozen=True)
+class IndexedTransition:
+    """A transition in index form: ``source``/``target`` are state indices."""
+
+    source: int
+    command: CommandLabel
+    target: int
+
+
+class ReachableGraph:
+    """The explored region of a transition system.
+
+    States are indexed ``0..n-1`` in discovery (BFS) order; index ``0..k-1``
+    are the initial states.  The graph keeps, per state, the enabled command
+    set and the outgoing indexed transitions, plus:
+
+    * :attr:`complete` — whether exploration exhausted all reachable states;
+    * :attr:`frontier` — indices of states whose successors were *not*
+      expanded (non-empty exactly when incomplete).
+
+    All verification-condition checking, fair-cycle detection, SCC analysis
+    and synthesis run over this structure.
+    """
+
+    def __init__(
+        self,
+        system: TransitionSystem,
+        states: Sequence[State],
+        transitions: Sequence[IndexedTransition],
+        enabled: Sequence[frozenset],
+        initial_count: int,
+        frontier: Iterable[int],
+    ) -> None:
+        self._system = system
+        self._states = tuple(states)
+        self._index: Dict[State, int] = {s: i for i, s in enumerate(self._states)}
+        if len(self._index) != len(self._states):
+            raise ValueError("duplicate states in exploration result")
+        self._transitions = tuple(transitions)
+        self._enabled = tuple(enabled)
+        self._initial_count = initial_count
+        self._frontier = frozenset(frontier)
+        self._out: List[List[IndexedTransition]] = [[] for _ in self._states]
+        self._in: List[List[IndexedTransition]] = [[] for _ in self._states]
+        for t in self._transitions:
+            self._out[t.source].append(t)
+            self._in[t.target].append(t)
+
+    # -- basic queries -------------------------------------------------
+
+    @property
+    def system(self) -> TransitionSystem:
+        """The underlying transition system."""
+        return self._system
+
+    @property
+    def states(self) -> Tuple[State, ...]:
+        """All explored states, in discovery order."""
+        return self._states
+
+    @property
+    def transitions(self) -> Tuple[IndexedTransition, ...]:
+        """All explored transitions (between expanded states)."""
+        return self._transitions
+
+    @property
+    def initial_indices(self) -> range:
+        """Indices of the initial states."""
+        return range(self._initial_count)
+
+    @property
+    def frontier(self) -> frozenset:
+        """Indices of discovered-but-unexpanded states."""
+        return self._frontier
+
+    @property
+    def complete(self) -> bool:
+        """Whether the whole reachable state space was explored."""
+        return not self._frontier
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def index_of(self, state: State) -> int:
+        """The index of ``state``; raises ``KeyError`` if unexplored."""
+        return self._index[state]
+
+    def state_of(self, index: int) -> State:
+        """The state at ``index``."""
+        return self._states[index]
+
+    def contains(self, state: State) -> bool:
+        """Whether ``state`` was discovered."""
+        return state in self._index
+
+    def enabled_at(self, index: int) -> frozenset:
+        """Enabled commands of the state at ``index``."""
+        return self._enabled[index]
+
+    def outgoing(self, index: int) -> Sequence[IndexedTransition]:
+        """Outgoing transitions of the state at ``index``."""
+        return tuple(self._out[index])
+
+    def incoming(self, index: int) -> Sequence[IndexedTransition]:
+        """Incoming transitions of the state at ``index``."""
+        return tuple(self._in[index])
+
+    def is_terminal(self, index: int) -> bool:
+        """Whether the state at ``index`` enables no command."""
+        return not self._enabled[index]
+
+    def terminal_indices(self) -> List[int]:
+        """Indices of all terminal (no command enabled) states."""
+        return [i for i in range(len(self._states)) if not self._enabled[i]]
+
+    def to_transition(self, t: IndexedTransition) -> Transition:
+        """Convert an indexed transition back to state form."""
+        return Transition(self._states[t.source], t.command, self._states[t.target])
+
+    # -- derived facts ---------------------------------------------------
+
+    def commands_executed_within(self, indices: Iterable[int]) -> frozenset:
+        """Commands executed on transitions staying inside ``indices``."""
+        members = set(indices)
+        return frozenset(
+            t.command
+            for i in members
+            for t in self._out[i]
+            if t.target in members
+        )
+
+    def commands_enabled_within(self, indices: Iterable[int]) -> frozenset:
+        """Commands enabled at some state of ``indices``."""
+        result: Set[CommandLabel] = set()
+        for i in indices:
+            result |= self._enabled[i]
+        return frozenset(result)
+
+    def describe(self) -> str:
+        """One-line summary used by reports."""
+        status = "complete" if self.complete else f"bounded (frontier {len(self._frontier)})"
+        return (
+            f"{len(self._states)} states, {len(self._transitions)} transitions, "
+            f"{status}"
+        )
+
+
+def explore(
+    system: TransitionSystem,
+    max_states: int | None = None,
+    max_depth: int | None = None,
+    strict: bool = False,
+) -> ReachableGraph:
+    """Breadth-first exploration of the reachable states of ``system``.
+
+    Parameters
+    ----------
+    max_states:
+        Stop expanding after this many states have been discovered.
+    max_depth:
+        Do not expand states deeper than this many transitions from the
+        initial states.
+    strict:
+        If true, raise :class:`ExplorationLimitError` when a bound truncates
+        exploration instead of returning an incomplete graph.
+    """
+    system.validate_commands()
+    states: List[State] = []
+    index: Dict[State, int] = {}
+    depth: List[int] = []
+
+    def discover(state: State, d: int) -> int:
+        existing = index.get(state)
+        if existing is not None:
+            return existing
+        i = len(states)
+        index[state] = i
+        states.append(state)
+        depth.append(d)
+        return i
+
+    for s in system.initial_states():
+        discover(s, 0)
+    initial_count = len(states)
+    if initial_count == 0:
+        raise ValueError("system has no initial states")
+
+    transitions: List[IndexedTransition] = []
+    enabled: List[frozenset] = []
+    expanded: Set[int] = set()
+    frontier: Set[int] = set()
+    queue = deque(range(initial_count))
+    truncated = False
+
+    while queue:
+        i = queue.popleft()
+        if i in expanded:
+            continue
+        if max_depth is not None and depth[i] > max_depth:
+            frontier.add(i)
+            truncated = True
+            continue
+        expanded.add(i)
+        state = states[i]
+        for command, target in system.post(state):
+            if target not in index and max_states is not None and len(states) >= max_states:
+                frontier.add(i)
+                truncated = True
+                # The state stays expanded for the transitions already
+                # recorded; mark it frontier because this successor is lost.
+                break
+            j = discover(target, depth[i] + 1)
+            transitions.append(IndexedTransition(i, command, j))
+            if j not in expanded:
+                queue.append(j)
+
+    if truncated and strict:
+        raise ExplorationLimitError(
+            f"exploration truncated at {len(states)} states "
+            f"(max_states={max_states}, max_depth={max_depth})"
+        )
+
+    # States discovered but never expanded (depth cut or budget exhaustion).
+    for i in range(len(states)):
+        if i not in expanded:
+            frontier.add(i)
+
+    for i, state in enumerate(states):
+        enabled_set = frozenset(system.enabled(state))
+        enabled.append(enabled_set)
+
+    # Keep only transitions whose source was genuinely expanded; a partially
+    # expanded frontier state may have recorded a prefix of its successors,
+    # which would bias analyses that assume all-or-nothing expansion.
+    kept = [t for t in transitions if t.source not in frontier]
+
+    return ReachableGraph(
+        system=system,
+        states=states,
+        transitions=kept,
+        enabled=enabled,
+        initial_count=initial_count,
+        frontier=frontier,
+    )

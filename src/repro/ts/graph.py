@@ -1,0 +1,168 @@
+"""Strongly connected components and condensation over explored graphs.
+
+Fair-cycle detection, measure synthesis and the helpful-directions baseline
+all decompose the reachable graph into SCCs.  Tarjan's algorithm is
+implemented iteratively (explored graphs can be deep, and Python's recursion
+limit is not a correctness budget).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.ts.explore import IndexedTransition, ReachableGraph
+
+
+@dataclass(frozen=True)
+class SccDecomposition:
+    """SCCs of a (sub)graph.
+
+    ``components`` lists each SCC as a tuple of state indices, in *reverse
+    topological order* of the condensation: component 0 has no outgoing
+    edges to other components.  That order is exactly what rank-based
+    measures need — ``μ^T`` can simply be the component's position.
+    ``component_of`` maps a state index to its component's position.
+    """
+
+    components: Tuple[Tuple[int, ...], ...]
+    component_of: Dict[int, int]
+
+    def rank_of_state(self, index: int) -> int:
+        """The reverse-topological rank of the component of ``index``."""
+        return self.component_of[index]
+
+    def is_trivial(self, component: int, edges_inside) -> bool:
+        """Whether the component has no internal transition.
+
+        A single state with no self-loop is trivial; any component hosting
+        at least one internal transition is where fairness reasoning must
+        happen.
+        """
+        return not edges_inside(component)
+
+
+def tarjan_scc(
+    nodes: Sequence[int],
+    successors: Dict[int, List[int]],
+) -> List[List[int]]:
+    """Tarjan's SCC algorithm, iterative form.
+
+    Returns the components in reverse topological order (sinks first), which
+    is the order Tarjan emits them.
+    """
+    index_counter = 0
+    stack: List[int] = []
+    on_stack: Set[int] = set()
+    indices: Dict[int, int] = {}
+    lowlink: Dict[int, int] = {}
+    result: List[List[int]] = []
+
+    for root in nodes:
+        if root in indices:
+            continue
+        work: List[Tuple[int, int]] = [(root, 0)]
+        while work:
+            node, child_pos = work[-1]
+            if child_pos == 0:
+                indices[node] = index_counter
+                lowlink[node] = index_counter
+                index_counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            children = successors.get(node, [])
+            while child_pos < len(children):
+                child = children[child_pos]
+                child_pos += 1
+                if child not in indices:
+                    work[-1] = (node, child_pos)
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], indices[child])
+            if advanced:
+                continue
+            work[-1] = (node, child_pos)
+            if lowlink[node] == indices[node]:
+                component: List[int] = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    component.append(w)
+                    if w == node:
+                        break
+                result.append(component)
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return result
+
+
+def decompose(
+    graph: ReachableGraph,
+    restrict_to: Iterable[int] | None = None,
+) -> SccDecomposition:
+    """SCC-decompose ``graph`` (optionally the subgraph induced by
+    ``restrict_to``).
+
+    Transitions leaving the restriction set are ignored, so recursion into
+    sub-regions — the heart of both Streett emptiness and measure synthesis —
+    is a plain restricted call.
+    """
+    if restrict_to is None:
+        members: Set[int] = set(range(len(graph)))
+    else:
+        members = set(restrict_to)
+    successors: Dict[int, List[int]] = {i: [] for i in members}
+    for t in graph.transitions:
+        if t.source in members and t.target in members:
+            successors[t.source].append(t.target)
+    components = tarjan_scc(sorted(members), successors)
+    component_of: Dict[int, int] = {}
+    for position, component in enumerate(components):
+        for node in component:
+            component_of[node] = position
+    return SccDecomposition(
+        components=tuple(tuple(sorted(c)) for c in components),
+        component_of=component_of,
+    )
+
+
+def internal_transitions(
+    graph: ReachableGraph,
+    members: Iterable[int],
+) -> List[IndexedTransition]:
+    """Transitions of ``graph`` with both endpoints in ``members``."""
+    inside = set(members)
+    return [
+        t
+        for i in inside
+        for t in graph.outgoing(i)
+        if t.target in inside
+    ]
+
+
+def is_nontrivial_scc(graph: ReachableGraph, component: Sequence[int]) -> bool:
+    """Whether the SCC hosts at least one internal transition.
+
+    For a singleton this means a self-loop; for larger components it is
+    automatic, but checking uniformly keeps callers honest.
+    """
+    return bool(internal_transitions(graph, component))
+
+
+def condensation_edges(
+    graph: ReachableGraph,
+    decomposition: SccDecomposition,
+) -> Set[Tuple[int, int]]:
+    """Edges between distinct components (by component position)."""
+    edges: Set[Tuple[int, int]] = set()
+    for t in graph.transitions:
+        a = decomposition.component_of.get(t.source)
+        b = decomposition.component_of.get(t.target)
+        if a is not None and b is not None and a != b:
+            edges.add((a, b))
+    return edges

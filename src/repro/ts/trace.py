@@ -1,0 +1,122 @@
+"""Execution traces produced by simulation.
+
+A :class:`TraceRecorder` accumulates the (state, executed command, enabled
+set) history of one run; the finished :class:`ExecutionTrace` can be audited
+for *bounded* fairness facts — e.g. "was any command enabled for the last k
+steps without being executed?" — which is how the simulator's schedulers are
+validated against their fairness promises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.ts.system import CommandLabel, State
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """One simulation step: from ``state`` (with ``enabled`` commands),
+    ``command`` was executed."""
+
+    state: State
+    enabled: frozenset
+    command: CommandLabel
+
+
+@dataclass(frozen=True)
+class ExecutionTrace:
+    """A finished run: ``steps`` then ``final_state``.
+
+    ``terminated`` distinguishes a genuine halt (no enabled command in the
+    final state) from a step-budget cutoff.
+    """
+
+    steps: Tuple[TraceStep, ...]
+    final_state: State
+    final_enabled: frozenset
+    terminated: bool
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def states(self) -> Tuple[State, ...]:
+        """All visited states including the final one."""
+        return tuple(s.state for s in self.steps) + (self.final_state,)
+
+    def commands(self) -> Tuple[CommandLabel, ...]:
+        """The executed command sequence."""
+        return tuple(s.command for s in self.steps)
+
+    def execution_counts(self) -> Dict[CommandLabel, int]:
+        """How many times each command was executed."""
+        counts: Dict[CommandLabel, int] = {}
+        for step in self.steps:
+            counts[step.command] = counts.get(step.command, 0) + 1
+        return counts
+
+    def enabled_counts(self) -> Dict[CommandLabel, int]:
+        """At how many steps each command was enabled."""
+        counts: Dict[CommandLabel, int] = {}
+        for step in self.steps:
+            for command in step.enabled:
+                counts[command] = counts.get(command, 0) + 1
+        return counts
+
+    def starvation_span(self, command: CommandLabel) -> int:
+        """Longest run of consecutive steps where ``command`` was enabled
+        but a different command was executed.
+
+        A strongly fair scheduler keeps this bounded for every command; an
+        adversarial one drives it to the trace length.
+        """
+        best = 0
+        current = 0
+        for step in self.steps:
+            if command in step.enabled and step.command != command:
+                current += 1
+                best = max(best, current)
+            else:
+                current = 0
+        return best
+
+    def suffix_violations(self, window: int) -> List[CommandLabel]:
+        """Commands enabled at every one of the last ``window`` steps yet
+        never executed there — the finite-trace shadow of unfairness."""
+        if window <= 0 or window > len(self.steps):
+            window = len(self.steps)
+        tail = self.steps[len(self.steps) - window :]
+        violations = []
+        enabled_throughout = (
+            set.intersection(*(set(s.enabled) for s in tail)) if tail else set()
+        )
+        executed = {s.command for s in tail}
+        for command in sorted(enabled_throughout - executed):
+            violations.append(command)
+        return violations
+
+
+class TraceRecorder:
+    """Mutable builder for :class:`ExecutionTrace`."""
+
+    def __init__(self) -> None:
+        self._steps: List[TraceStep] = []
+
+    def record(self, state: State, enabled: frozenset, command: CommandLabel) -> None:
+        """Append one executed step."""
+        self._steps.append(TraceStep(state=state, enabled=enabled, command=command))
+
+    def finish(
+        self,
+        final_state: State,
+        final_enabled: frozenset,
+        terminated: bool,
+    ) -> ExecutionTrace:
+        """Seal the trace."""
+        return ExecutionTrace(
+            steps=tuple(self._steps),
+            final_state=final_state,
+            final_enabled=final_enabled,
+            terminated=terminated,
+        )

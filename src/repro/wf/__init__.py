@@ -1,0 +1,55 @@
+"""Well-founded orders — the measure domains for progress hypotheses.
+
+See :mod:`repro.wf.base` for the interface and the sibling modules for the
+concrete orders.  The most commonly used names are re-exported here.
+"""
+
+from repro.wf.base import NotInDomainError, WellFoundedOrder
+from repro.wf.chains import (
+    descend_greedily,
+    longest_strict_descent,
+    verify_no_descent_cycles,
+)
+from repro.wf.finite import FiniteOrder, GrowableRelation
+from repro.wf.lex import BoundedLengthLexOrder, HomogeneousLexOrder, LexicographicOrder
+from repro.wf.multiset import Multiset, MultisetExtension
+from repro.wf.naturals import NATURALS, BoundedNaturals, Naturals
+from repro.wf.ordinals import (
+    OMEGA,
+    ONE,
+    ORDINALS,
+    ZERO,
+    Ordinal,
+    OrdinalsBelowEpsilon0,
+    omega_power,
+    ordinal,
+)
+from repro.wf.product import PointwiseProduct, StrictProduct
+
+__all__ = [
+    "NotInDomainError",
+    "WellFoundedOrder",
+    "descend_greedily",
+    "longest_strict_descent",
+    "verify_no_descent_cycles",
+    "FiniteOrder",
+    "GrowableRelation",
+    "BoundedLengthLexOrder",
+    "HomogeneousLexOrder",
+    "LexicographicOrder",
+    "Multiset",
+    "MultisetExtension",
+    "NATURALS",
+    "BoundedNaturals",
+    "Naturals",
+    "OMEGA",
+    "ONE",
+    "ORDINALS",
+    "ZERO",
+    "Ordinal",
+    "OrdinalsBelowEpsilon0",
+    "omega_power",
+    "ordinal",
+    "PointwiseProduct",
+    "StrictProduct",
+]

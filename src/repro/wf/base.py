@@ -1,0 +1,129 @@
+"""Abstract interface for well-founded orders.
+
+The paper's measures take values in a well-founded set ``(W, ≻)``: a set
+``W`` with a binary relation ``≻`` admitting no infinite descending chain
+``w0 ≻ w1 ≻ ...``.  Progress hypotheses (`repro.measures.hypotheses`) carry
+values drawn from such a set, and the soundness argument (Theorem 1) turns
+any would-be fair infinite computation into an infinite descending chain,
+which well-foundedness forbids.
+
+This module defines the small interface the rest of the library relies on.
+Concrete orders live in sibling modules:
+
+* :mod:`repro.wf.naturals` — the natural numbers with ``>``;
+* :mod:`repro.wf.ordinals` — ordinals below epsilon_0 in Cantor normal form;
+* :mod:`repro.wf.lex` — lexicographic tuples (used by Theorem 2's quotient);
+* :mod:`repro.wf.product` — componentwise products;
+* :mod:`repro.wf.finite` — explicit finite relations with an effective
+  well-foundedness (acyclicity) check, used to audit the ``(W, ≻)`` built by
+  the Theorem 3 construction;
+* :mod:`repro.wf.multiset` — the Dershowitz–Manna multiset extension.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Iterable, Sequence
+
+
+class NotInDomainError(ValueError):
+    """Raised when a value is compared in an order it does not belong to."""
+
+
+class WellFoundedOrder(ABC):
+    """A well-founded set ``(W, ≻)``.
+
+    Subclasses implement membership and the strict relation; the derived
+    operations (``ge``, ``max_of`` ...) are provided here.  Instances are
+    immutable and safe to share.
+
+    The contract — *no infinite descending chains* — cannot be checked
+    mechanically in general (well-foundedness of a recursive relation is
+    Pi^1_1-complete; the paper's Theorem 4 leans on exactly this).  Orders
+    whose well-foundedness *is* decidable (finite ones) override
+    :meth:`is_well_founded` with a real check; the default documents the
+    promise.
+    """
+
+    @abstractmethod
+    def contains(self, value: Any) -> bool:
+        """Return whether ``value`` is an element of ``W``."""
+
+    @abstractmethod
+    def gt(self, left: Any, right: Any) -> bool:
+        """Return whether ``left ≻ right``."""
+
+    def check_member(self, value: Any) -> None:
+        """Raise :class:`NotInDomainError` unless ``value`` is in ``W``."""
+        if not self.contains(value):
+            raise NotInDomainError(f"{value!r} is not an element of {self.describe()}")
+
+    def ge(self, left: Any, right: Any) -> bool:
+        """Return whether ``left ⪰ right``, i.e. ``left ≻ right`` or equal.
+
+        The paper's footnote 4 defines exactly this derived relation; it is
+        what the soundness proof tracks between strict decreases.
+        """
+        return left == right or self.gt(left, right)
+
+    def is_well_founded(self) -> bool:
+        """Whether ``(W, ≻)`` has no infinite descending chain.
+
+        Infinite orders in this library are well-founded by construction and
+        return ``True``.  :class:`repro.wf.finite.FiniteOrder` performs a
+        genuine cycle check instead.
+        """
+        return True
+
+    def describe(self) -> str:
+        """A short human-readable description of the order."""
+        return type(self).__name__
+
+    def max_of(self, values: Iterable[Any]) -> Any:
+        """Return a maximal element among ``values`` (w.r.t. ``⪰``).
+
+        Raises ``ValueError`` on an empty iterable and
+        :class:`NotInDomainError` if any value is outside ``W``.  For partial
+        orders the result is *a* maximal element (no other given value is
+        strictly above it), found by a linear scan.
+        """
+        best = _MISSING
+        for value in values:
+            self.check_member(value)
+            if best is _MISSING or self.gt(value, best):
+                best = value
+        if best is _MISSING:
+            raise ValueError("max_of() of an empty iterable")
+        return best
+
+    def min_of(self, values: Iterable[Any]) -> Any:
+        """Return a minimal element among ``values`` (dual of :meth:`max_of`)."""
+        best = _MISSING
+        for value in values:
+            self.check_member(value)
+            if best is _MISSING or self.gt(best, value):
+                best = value
+        if best is _MISSING:
+            raise ValueError("min_of() of an empty iterable")
+        return best
+
+    def is_descending_chain(self, chain: Sequence[Any]) -> bool:
+        """Whether ``chain`` is strictly descending: ``chain[i] ≻ chain[i+1]``.
+
+        Useful in tests and in the soundness witness extractor, which must
+        exhibit the descending chain a hypothetical fair computation would
+        produce.
+        """
+        for value in chain:
+            self.check_member(value)
+        return all(self.gt(a, b) for a, b in zip(chain, chain[1:]))
+
+
+class _Missing:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<missing>"
+
+
+_MISSING = _Missing()

@@ -1,0 +1,91 @@
+"""Utilities for descending chains.
+
+Soundness (Theorem 1) and the well-foundedness audits both revolve around
+(non-)existence of infinite descending chains.  These helpers make the
+contrapositive executable: bound how long a descent can continue, and search
+for descents of a requested length.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Sequence
+
+from repro.wf.base import WellFoundedOrder
+
+
+def longest_strict_descent(
+    order: WellFoundedOrder,
+    values: Sequence[Any],
+) -> List[Any]:
+    """The longest strictly ``≻``-descending subsequence of ``values``.
+
+    Classic O(n²) dynamic program, adequate for audit-sized inputs.  The
+    returned list is a witness; its length bounds how much "progress" the
+    sequence of measure values actually certifies.
+    """
+    values = list(values)
+    if not values:
+        return []
+    best_len = [1] * len(values)
+    prev = [-1] * len(values)
+    for i, current in enumerate(values):
+        for j in range(i):
+            if order.gt(values[j], current) and best_len[j] + 1 > best_len[i]:
+                best_len[i] = best_len[j] + 1
+                prev[i] = j
+    end = max(range(len(values)), key=lambda i: best_len[i])
+    chain: List[Any] = []
+    while end != -1:
+        chain.append(values[end])
+        end = prev[end]
+    chain.reverse()
+    return chain
+
+
+def descend_greedily(
+    order: WellFoundedOrder,
+    start: Any,
+    step: Callable[[Any], Iterable[Any]],
+    max_steps: int = 10_000,
+) -> List[Any]:
+    """Follow ``step`` greedily while it offers a strictly smaller value.
+
+    From ``start``, repeatedly pick any successor strictly below the current
+    value; stop when none exists or after ``max_steps``.  For a well-founded
+    order the walk always stops before exhausting the budget on terminating
+    step functions; hitting the budget is reported by raising
+    ``RuntimeError`` — in tests this is how a *bogus* (non-well-founded)
+    "order" is caught red-handed.
+    """
+    order.check_member(start)
+    chain = [start]
+    current = start
+    for _ in range(max_steps):
+        candidates = [v for v in step(current) if order.gt(current, v)]
+        if not candidates:
+            return chain
+        current = candidates[0]
+        chain.append(current)
+    raise RuntimeError(
+        f"descent did not stop within {max_steps} steps; "
+        "the relation is likely not well-founded"
+    )
+
+
+def verify_no_descent_cycles(order: WellFoundedOrder, values: Sequence[Any]) -> None:
+    """Assert antisymmetry of ``≻`` restricted to ``values``.
+
+    A pair with ``a ≻ b`` and ``b ≻ a`` would give the two-element infinite
+    chain ``a ≻ b ≻ a ≻ ...``; any well-founded relation must refute it.
+    Raises ``AssertionError`` with the offending pair otherwise.  (Quadratic;
+    intended for audits and tests.)
+    """
+    values = list(values)
+    for i, a in enumerate(values):
+        if order.gt(a, a):
+            raise AssertionError(f"{a!r} ≻ {a!r}: relation is irreflexive-violating")
+        for b in values[i + 1 :]:
+            if order.gt(a, b) and order.gt(b, a):
+                raise AssertionError(
+                    f"{a!r} ≻ {b!r} and {b!r} ≻ {a!r}: descent cycle of length 2"
+                )

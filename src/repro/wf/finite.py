@@ -1,0 +1,202 @@
+"""Explicitly represented orders with a decidable well-foundedness check.
+
+The Theorem 3 construction builds ``(W, ≻)`` incrementally: ``new`` allocates
+fresh elements, and Case 2 ("forced active") adds edges ``w ≻ w'``.  The
+completeness proof then argues that the resulting relation is well-founded.
+:class:`GrowableRelation` is the mutable structure that construction uses;
+:class:`FiniteOrder` is its frozen, queryable form, whose
+:meth:`~FiniteOrder.is_well_founded` check is a genuine cycle/infinite-chain
+test (for a finite relation, well-foundedness ⟺ the transitive closure is
+irreflexive ⟺ the edge digraph is acyclic).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterable, List, Set, Tuple
+
+from repro.wf.base import WellFoundedOrder
+
+
+class GrowableRelation:
+    """A mutable set of elements with ``≻``-edges, as built by ``new``.
+
+    Elements are identified by consecutive integers (the paper's Theorem 4
+    remarks that "we can represent W using the natural numbers; successive
+    invocations of 'new' then give progress values '0', '1', ..." — this
+    class is exactly that representation).  Edges record the *immediate*
+    ``w ≻ w'`` facts added by the construction; the induced strict order is
+    the transitive closure.
+    """
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._edges: Set[Tuple[int, int]] = set()
+        self._successors: Dict[int, Set[int]] = {}
+
+    def new(self) -> int:
+        """Allocate and return a fresh element (the paper's ``new``)."""
+        element = self._count
+        self._count += 1
+        return element
+
+    def add_descent(self, greater: int, lesser: int) -> None:
+        """Record ``greater ≻ lesser`` (a Case 2 edge)."""
+        for value in (greater, lesser):
+            if not (0 <= value < self._count):
+                raise ValueError(f"{value} was never allocated by new()")
+        self._edges.add((greater, lesser))
+        self._successors.setdefault(greater, set()).add(lesser)
+
+    @property
+    def size(self) -> int:
+        """Number of elements allocated so far."""
+        return self._count
+
+    @property
+    def edges(self) -> frozenset[Tuple[int, int]]:
+        """The immediate descent edges recorded so far."""
+        return frozenset(self._edges)
+
+    def freeze(self) -> "FiniteOrder":
+        """Snapshot into an immutable, queryable :class:`FiniteOrder`."""
+        return FiniteOrder(range(self._count), self._edges)
+
+
+class FiniteOrder(WellFoundedOrder):
+    """A finite strict order given by explicit edges (transitively closed
+    on demand).
+
+    ``gt(a, b)`` holds iff ``b`` is reachable from ``a`` along one or more
+    edges.  :meth:`is_well_founded` decides well-foundedness by cycle
+    detection — this is the audit applied to every ``(W, ≻)`` produced by
+    the completeness constructions and the synthesiser.
+    """
+
+    def __init__(
+        self,
+        elements: Iterable[Hashable],
+        edges: Iterable[Tuple[Hashable, Hashable]],
+    ) -> None:
+        self._elements = frozenset(elements)
+        self._successors: Dict[Hashable, frozenset] = {}
+        grouped: Dict[Hashable, Set[Hashable]] = {}
+        for greater, lesser in edges:
+            if greater not in self._elements or lesser not in self._elements:
+                raise ValueError(f"edge ({greater!r}, {lesser!r}) mentions unknown element")
+            grouped.setdefault(greater, set()).add(lesser)
+        for key, values in grouped.items():
+            self._successors[key] = frozenset(values)
+        self._reachable_cache: Dict[Hashable, frozenset] = {}
+
+    @property
+    def elements(self) -> frozenset:
+        """The carrier set ``W``."""
+        return self._elements
+
+    @property
+    def edge_count(self) -> int:
+        """Number of immediate descent edges."""
+        return sum(len(s) for s in self._successors.values())
+
+    def contains(self, value: Any) -> bool:
+        return value in self._elements
+
+    def _reachable_from(self, start: Hashable) -> frozenset:
+        cached = self._reachable_cache.get(start)
+        if cached is not None:
+            return cached
+        seen: Set[Hashable] = set()
+        stack: List[Hashable] = list(self._successors.get(start, ()))
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            # Reuse previously computed closures where available.
+            cached_node = self._reachable_cache.get(node)
+            if cached_node is not None:
+                seen.update(cached_node)
+            else:
+                stack.extend(self._successors.get(node, ()))
+        result = frozenset(seen)
+        self._reachable_cache[start] = result
+        return result
+
+    def gt(self, left: Any, right: Any) -> bool:
+        self.check_member(left)
+        self.check_member(right)
+        return right in self._reachable_from(left)
+
+    def is_well_founded(self) -> bool:
+        """True iff the descent digraph is acyclic (no infinite chains)."""
+        return self.find_cycle() is None
+
+    def find_cycle(self) -> List[Hashable] | None:
+        """Return a descent cycle ``[w₀, w₁, ..., w₀]`` if one exists.
+
+        A cycle yields the infinite descending chain refuting
+        well-foundedness; ``None`` means the order is well-founded.  Uses an
+        iterative three-colour DFS.
+        """
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour: Dict[Hashable, int] = {e: WHITE for e in self._elements}
+        parent: Dict[Hashable, Hashable] = {}
+        for root in self._elements:
+            if colour[root] != WHITE:
+                continue
+            stack: List[Tuple[Hashable, Iterable]] = [
+                (root, iter(self._successors.get(root, ())))
+            ]
+            colour[root] = GREY
+            while stack:
+                node, children = stack[-1]
+                advanced = False
+                for child in children:
+                    if colour[child] == GREY:
+                        # Found a back edge: reconstruct the cycle.
+                        cycle = [node]
+                        current = node
+                        while current != child:
+                            current = parent[current]
+                            cycle.append(current)
+                        cycle.reverse()
+                        cycle.append(cycle[0])
+                        return cycle
+                    if colour[child] == WHITE:
+                        colour[child] = GREY
+                        parent[child] = node
+                        stack.append((child, iter(self._successors.get(child, ()))))
+                        advanced = True
+                        break
+                if not advanced:
+                    colour[node] = BLACK
+                    stack.pop()
+        return None
+
+    def longest_descent_from(self, start: Hashable) -> int:
+        """Length (edge count) of the longest descent starting at ``start``.
+
+        Only meaningful on well-founded orders; raises ``ValueError`` if a
+        cycle is reachable (the length would be infinite).
+        """
+        self.check_member(start)
+        memo: Dict[Hashable, int] = {}
+        on_path: Set[Hashable] = set()
+
+        def depth(node: Hashable) -> int:
+            if node in memo:
+                return memo[node]
+            if node in on_path:
+                raise ValueError("descent cycle reachable; length is infinite")
+            on_path.add(node)
+            best = 0
+            for child in self._successors.get(node, ()):
+                best = max(best, 1 + depth(child))
+            on_path.discard(node)
+            memo[node] = best
+            return best
+
+        return depth(start)
+
+    def describe(self) -> str:
+        return f"finite order ({len(self._elements)} elements, {self.edge_count} edges)"

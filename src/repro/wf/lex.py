@@ -1,0 +1,141 @@
+"""Lexicographic orders on tuples of well-founded values.
+
+Theorem 2's quotient construction orders the measure lists
+``w = ⟨w₀, ..., w_N⟩`` lexicographically: ``w ≻ w'`` iff for some ``i``,
+``w[i] ≻ w'[i]`` and ``w[j] = w'[j]`` for all ``j < i``.  When each component
+order is well-founded (and, for the fixed-width case, the width is fixed),
+the lexicographic order is well-founded too.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.wf.base import WellFoundedOrder
+
+
+class LexicographicOrder(WellFoundedOrder):
+    """Fixed-width lexicographic product of well-founded orders.
+
+    ``LexicographicOrder([A, B, C])`` orders triples ``(a, b, c)`` with the
+    first differing component deciding, exactly as in the proof of
+    Theorem 2.
+    """
+
+    def __init__(self, components: Sequence[WellFoundedOrder]) -> None:
+        if not components:
+            raise ValueError("lexicographic order needs at least one component")
+        self._components = tuple(components)
+
+    @property
+    def components(self) -> tuple[WellFoundedOrder, ...]:
+        """The component orders, leftmost most significant."""
+        return self._components
+
+    @property
+    def width(self) -> int:
+        """The tuple width."""
+        return len(self._components)
+
+    def contains(self, value: Any) -> bool:
+        return (
+            isinstance(value, tuple)
+            and len(value) == len(self._components)
+            and all(c.contains(v) for c, v in zip(self._components, value))
+        )
+
+    def gt(self, left: Any, right: Any) -> bool:
+        self.check_member(left)
+        self.check_member(right)
+        for order, a, b in zip(self._components, left, right):
+            if a != b:
+                return order.gt(a, b)
+        return False
+
+    def describe(self) -> str:
+        inner = " × ".join(c.describe() for c in self._components)
+        return f"lex({inner})"
+
+
+class HomogeneousLexOrder(WellFoundedOrder):
+    """Fixed-width lexicographic power ``Wⁿ`` of a single order.
+
+    The Theorem 2 proof assumes "(W, ≻) is totally ordered" and takes
+    ``W^{N+1}`` under lexicographic comparison; this class is that order.
+    """
+
+    def __init__(self, base: WellFoundedOrder, width: int) -> None:
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        self._base = base
+        self._width = width
+
+    @property
+    def base(self) -> WellFoundedOrder:
+        """The component order."""
+        return self._base
+
+    @property
+    def width(self) -> int:
+        """The tuple width."""
+        return self._width
+
+    def contains(self, value: Any) -> bool:
+        return (
+            isinstance(value, tuple)
+            and len(value) == self._width
+            and all(self._base.contains(v) for v in value)
+        )
+
+    def gt(self, left: Any, right: Any) -> bool:
+        self.check_member(left)
+        self.check_member(right)
+        for a, b in zip(left, right):
+            if a != b:
+                return self._base.gt(a, b)
+        return False
+
+    def describe(self) -> str:
+        return f"({self._base.describe()})^{self._width} lexicographic"
+
+
+class BoundedLengthLexOrder(WellFoundedOrder):
+    """Lexicographic order on tuples of length at most ``max_length``.
+
+    Shorter tuples that are proper prefixes compare *below* their
+    extensions would not be well-founded in general for unbounded lengths;
+    with a global length bound and well-founded components it is.  We order
+    by: first differing position decides; if one tuple is a proper prefix of
+    the other, the longer one is greater.  This matches comparing stacks of
+    different heights where only a bounded number of hypotheses can exist
+    (the paper's stacks never exceed N+1 entries).
+    """
+
+    def __init__(self, base: WellFoundedOrder, max_length: int) -> None:
+        if max_length <= 0:
+            raise ValueError(f"max_length must be positive, got {max_length}")
+        self._base = base
+        self._max_length = max_length
+
+    @property
+    def max_length(self) -> int:
+        """The inclusive bound on tuple length."""
+        return self._max_length
+
+    def contains(self, value: Any) -> bool:
+        return (
+            isinstance(value, tuple)
+            and len(value) <= self._max_length
+            and all(self._base.contains(v) for v in value)
+        )
+
+    def gt(self, left: Any, right: Any) -> bool:
+        self.check_member(left)
+        self.check_member(right)
+        for a, b in zip(left, right):
+            if a != b:
+                return self._base.gt(a, b)
+        return len(left) > len(right)
+
+    def describe(self) -> str:
+        return f"({self._base.describe()})^≤{self._max_length} lexicographic"

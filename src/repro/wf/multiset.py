@@ -1,0 +1,129 @@
+"""The Dershowitz–Manna multiset extension of a well-founded order.
+
+Multiset measures are the classic tool for termination of systems where a
+step replaces one "big" obligation by finitely many strictly smaller ones —
+exactly the shape of helpful-direction decompositions, where discharging one
+unfairness hypothesis may spawn several smaller sub-obligations.  The
+extension of a well-founded order is well-founded (Dershowitz & Manna 1979),
+so multisets are a legitimate measure domain for stack assertions.
+
+Multisets are represented as immutable :class:`Multiset` values (element →
+positive multiplicity).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterable, Mapping, Tuple
+
+from repro.wf.base import WellFoundedOrder
+
+
+class Multiset:
+    """An immutable finite multiset over hashable elements."""
+
+    __slots__ = ("_counts", "_hash")
+
+    def __init__(self, items: Iterable[Hashable] | Mapping[Hashable, int] = ()) -> None:
+        counts: Dict[Hashable, int] = {}
+        if isinstance(items, Mapping):
+            for element, multiplicity in items.items():
+                if not isinstance(multiplicity, int) or multiplicity < 0:
+                    raise ValueError(
+                        f"multiplicity must be a non-negative int, got {multiplicity!r}"
+                    )
+                if multiplicity:
+                    counts[element] = multiplicity
+        else:
+            for element in items:
+                counts[element] = counts.get(element, 0) + 1
+        self._counts = counts
+        self._hash = hash(frozenset(counts.items()))
+
+    def count(self, element: Hashable) -> int:
+        """Multiplicity of ``element`` (0 if absent)."""
+        return self._counts.get(element, 0)
+
+    def elements(self) -> frozenset:
+        """The distinct elements."""
+        return frozenset(self._counts)
+
+    def items(self) -> Tuple[Tuple[Hashable, int], ...]:
+        """(element, multiplicity) pairs."""
+        return tuple(self._counts.items())
+
+    def __len__(self) -> int:
+        return sum(self._counts.values())
+
+    def __iter__(self):
+        for element, multiplicity in self._counts.items():
+            for _ in range(multiplicity):
+                yield element
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Multiset) and other._counts == self._counts
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{e!r}×{m}" for e, m in sorted(
+            self._counts.items(), key=lambda item: repr(item[0])
+        ))
+        return f"Multiset({{{inner}}})"
+
+    def union(self, other: "Multiset") -> "Multiset":
+        """Multiset sum (multiplicities add)."""
+        counts = dict(self._counts)
+        for element, multiplicity in other._counts.items():
+            counts[element] = counts.get(element, 0) + multiplicity
+        return Multiset(counts)
+
+    def difference(self, other: "Multiset") -> "Multiset":
+        """Multiset difference (multiplicities saturate at zero)."""
+        counts = {}
+        for element, multiplicity in self._counts.items():
+            remaining = multiplicity - other.count(element)
+            if remaining > 0:
+                counts[element] = remaining
+        return Multiset(counts)
+
+
+class MultisetExtension(WellFoundedOrder):
+    """``M(W)`` under the Dershowitz–Manna order.
+
+    ``M ≻ N`` iff ``M ≠ N`` and, writing ``X = M − N`` and ``Y = N − M``
+    (multiset differences), every element of ``Y`` is dominated by some
+    strictly greater element of ``X``.  Equivalently: ``N`` is obtained from
+    ``M`` by removing a non-empty multiset and adding finitely many elements
+    each strictly below some removed one.
+    """
+
+    def __init__(self, base: WellFoundedOrder) -> None:
+        self._base = base
+
+    @property
+    def base(self) -> WellFoundedOrder:
+        """The element order."""
+        return self._base
+
+    def contains(self, value: Any) -> bool:
+        return isinstance(value, Multiset) and all(
+            self._base.contains(e) for e in value.elements()
+        )
+
+    def gt(self, left: Any, right: Any) -> bool:
+        self.check_member(left)
+        self.check_member(right)
+        if left == right:
+            return False
+        removed = left.difference(right)
+        added = right.difference(left)
+        if len(removed) == 0:
+            return False
+        for small in added.elements():
+            if not any(self._base.gt(big, small) for big in removed.elements()):
+                return False
+        return True
+
+    def describe(self) -> str:
+        return f"multisets over {self._base.describe()}"

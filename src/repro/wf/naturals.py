@@ -1,0 +1,71 @@
+"""The natural numbers ``0 < 1 < 2 < ...`` as a well-founded order.
+
+This is the order used by every example in the paper: ``P1'`` measures
+``max{y-x, 0}``, ``P3'`` measures ``z mod 117`` — both natural numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.wf.base import WellFoundedOrder
+
+
+class Naturals(WellFoundedOrder):
+    """``(ℕ, >)`` — the canonical well-founded order of Floyd's method."""
+
+    def contains(self, value: Any) -> bool:
+        return isinstance(value, int) and not isinstance(value, bool) and value >= 0
+
+    def gt(self, left: Any, right: Any) -> bool:
+        self.check_member(left)
+        self.check_member(right)
+        return left > right
+
+    def describe(self) -> str:
+        return "ℕ with >"
+
+
+#: Shared instance; the class is stateless.
+NATURALS = Naturals()
+
+
+class BoundedNaturals(WellFoundedOrder):
+    """``({0, ..., bound-1}, >)`` — naturals restricted below ``bound``.
+
+    Handy for measures with a known ceiling, e.g. ``z mod 117`` in ``P3'``
+    always lies in ``{0, ..., 116}``; declaring the bound lets the checker
+    flag annotation mistakes (values escaping the intended range) instead of
+    silently accepting them.
+    """
+
+    def __init__(self, bound: int) -> None:
+        if bound <= 0:
+            raise ValueError(f"bound must be positive, got {bound}")
+        self._bound = bound
+
+    @property
+    def bound(self) -> int:
+        """The exclusive upper bound of the domain."""
+        return self._bound
+
+    def contains(self, value: Any) -> bool:
+        return (
+            isinstance(value, int)
+            and not isinstance(value, bool)
+            and 0 <= value < self._bound
+        )
+
+    def gt(self, left: Any, right: Any) -> bool:
+        self.check_member(left)
+        self.check_member(right)
+        return left > right
+
+    def describe(self) -> str:
+        return f"{{0..{self._bound - 1}}} with >"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BoundedNaturals) and other._bound == self._bound
+
+    def __hash__(self) -> int:
+        return hash(("BoundedNaturals", self._bound))

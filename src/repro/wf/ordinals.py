@@ -1,0 +1,245 @@
+"""Ordinals below epsilon_0 in Cantor normal form.
+
+The completeness proofs for fair termination (and the earlier methods the
+paper cites — [LPS81], [GFMdRv85]) in general need transfinite measures: a
+program may fairly terminate although no natural-number bound on the number
+of remaining steps exists (unbounded nondeterminism pushes the measure to
+``ω`` and beyond).  This module provides a faithful, fully computable
+fragment: ordinals strictly below ``ε₀``, represented in Cantor normal form
+
+    ``α = ω^β₁·c₁ + ω^β₂·c₂ + ... + ω^βₖ·cₖ``
+
+with ``β₁ > β₂ > ... > βₖ`` ordinals (recursively in CNF) and coefficients
+``cᵢ`` positive integers.  Comparison, (non-commutative) ordinal addition and
+multiplication, and the commutative natural (Hessenberg) sum are implemented.
+
+``Ordinal`` values are immutable and totally ordered, so they slot directly
+into the :class:`~repro.wf.base.WellFoundedOrder` interface via
+:class:`OrdinalsBelowEpsilon0`.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Iterable, Tuple
+
+from repro.wf.base import WellFoundedOrder
+
+# A CNF term is (exponent, coefficient); an ordinal is a tuple of terms with
+# strictly decreasing exponents.  The empty tuple is the ordinal 0.
+_Terms = Tuple[Tuple["Ordinal", int], ...]
+
+
+@functools.total_ordering
+class Ordinal:
+    """An ordinal below ``ε₀`` in Cantor normal form.
+
+    Construct via :func:`ordinal` (from an int), :data:`OMEGA`, or the
+    arithmetic operators.  The constructor validates CNF invariants so that
+    malformed ordinals cannot be built by accident.
+    """
+
+    __slots__ = ("_terms", "_hash")
+
+    def __init__(self, terms: Iterable[Tuple["Ordinal", int]] = ()) -> None:
+        terms = tuple(terms)
+        for exponent, coefficient in terms:
+            if not isinstance(exponent, Ordinal):
+                raise TypeError(f"exponent must be an Ordinal, got {exponent!r}")
+            if not isinstance(coefficient, int) or coefficient <= 0:
+                raise ValueError(f"coefficient must be a positive int, got {coefficient!r}")
+        for (e1, _), (e2, _) in zip(terms, terms[1:]):
+            if not e1 > e2:
+                raise ValueError("CNF exponents must strictly decrease")
+        self._terms: _Terms = terms
+        self._hash = hash(terms)
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def terms(self) -> _Terms:
+        """The CNF terms ``((β₁, c₁), ...)`` with strictly decreasing ``βᵢ``."""
+        return self._terms
+
+    def is_zero(self) -> bool:
+        """Whether this is the ordinal 0."""
+        return not self._terms
+
+    def is_finite(self) -> bool:
+        """Whether this ordinal is a natural number."""
+        return self.is_zero() or (len(self._terms) == 1 and self._terms[0][0].is_zero())
+
+    def to_int(self) -> int:
+        """The value as an int, if finite; raises ``ValueError`` otherwise."""
+        if self.is_zero():
+            return 0
+        if not self.is_finite():
+            raise ValueError(f"{self} is not finite")
+        return self._terms[0][1]
+
+    def is_limit(self) -> bool:
+        """Whether this is a limit ordinal (nonzero, no finite part)."""
+        return bool(self._terms) and not self._terms[-1][0].is_zero()
+
+    def is_successor(self) -> bool:
+        """Whether this ordinal is a successor (has a finite part)."""
+        return bool(self._terms) and self._terms[-1][0].is_zero()
+
+    def degree(self) -> "Ordinal":
+        """The leading exponent ``β₁`` (``0`` for finite ordinals)."""
+        if self.is_zero():
+            return ZERO
+        return self._terms[0][0]
+
+    # -- comparison --------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, int):
+            other = ordinal(other)
+        if not isinstance(other, Ordinal):
+            return NotImplemented
+        return self._terms == other._terms
+
+    def __lt__(self, other: object) -> bool:
+        if isinstance(other, int):
+            other = ordinal(other)
+        if not isinstance(other, Ordinal):
+            return NotImplemented
+        for (e1, c1), (e2, c2) in zip(self._terms, other._terms):
+            if e1 != e2:
+                return e1 < e2
+            if c1 != c2:
+                return c1 < c2
+        return len(self._terms) < len(other._terms)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    # -- arithmetic --------------------------------------------------------
+
+    def __add__(self, other: "Ordinal | int") -> "Ordinal":
+        """Ordinal addition (non-commutative): absorbs small left terms.
+
+        ``1 + ω == ω`` but ``ω + 1 > ω``.
+        """
+        if isinstance(other, int):
+            other = ordinal(other)
+        if not isinstance(other, Ordinal):
+            return NotImplemented
+        if other.is_zero():
+            return self
+        cut = other._terms[0][0]
+        kept = [(e, c) for (e, c) in self._terms if e > cut]
+        merged = list(other._terms)
+        # Merge equal leading exponent if present on the left.
+        for e, c in self._terms:
+            if e == cut:
+                merged[0] = (cut, c + merged[0][1])
+                break
+        return Ordinal(tuple(kept) + tuple(merged))
+
+    def __radd__(self, other: int) -> "Ordinal":
+        return ordinal(other) + self
+
+    def __mul__(self, other: "Ordinal | int") -> "Ordinal":
+        """Ordinal multiplication (non-commutative): ``2·ω == ω``, ``ω·2 > ω``."""
+        if isinstance(other, int):
+            other = ordinal(other)
+        if not isinstance(other, Ordinal):
+            return NotImplemented
+        if self.is_zero() or other.is_zero():
+            return ZERO
+        result = ZERO
+        lead_exp, lead_coeff = self._terms[0]
+        for e, c in other._terms:
+            if e.is_zero():
+                # Right factor finite part: multiply leading coefficient,
+                # keep this ordinal's tail.
+                result = result + Ordinal(
+                    ((lead_exp, lead_coeff * c),) + self._terms[1:]
+                )
+            else:
+                result = result + Ordinal(((lead_exp + e, c),))
+        return result
+
+    def __rmul__(self, other: int) -> "Ordinal":
+        return ordinal(other) * self
+
+    def natural_sum(self, other: "Ordinal | int") -> "Ordinal":
+        """The commutative Hessenberg sum: merge CNF terms by exponent.
+
+        Used where measures from independent components must combine
+        monotonically in both arguments (e.g. products of per-process
+        measures).
+        """
+        if isinstance(other, int):
+            other = ordinal(other)
+        coeffs: dict[Ordinal, int] = {}
+        for e, c in self._terms + other._terms:
+            coeffs[e] = coeffs.get(e, 0) + c
+        terms = tuple(sorted(coeffs.items(), key=lambda t: t[0], reverse=True))
+        return Ordinal(terms)
+
+    # -- display -----------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return f"Ordinal({self})"
+
+    def __str__(self) -> str:
+        if self.is_zero():
+            return "0"
+        parts = []
+        for e, c in self._terms:
+            if e.is_zero():
+                parts.append(str(c))
+            elif e == ONE:
+                parts.append("ω" if c == 1 else f"ω·{c}")
+            else:
+                base = f"ω^{e}" if (e.is_finite() or len(e._terms) == 1) else f"ω^({e})"
+                parts.append(base if c == 1 else f"{base}·{c}")
+        return " + ".join(parts)
+
+
+def ordinal(n: int) -> Ordinal:
+    """The finite ordinal ``n`` (``n ≥ 0``)."""
+    if not isinstance(n, int) or isinstance(n, bool) or n < 0:
+        raise ValueError(f"expected a non-negative int, got {n!r}")
+    if n == 0:
+        return ZERO
+    return Ordinal(((ZERO, n),))
+
+
+def omega_power(exponent: "Ordinal | int", coefficient: int = 1) -> Ordinal:
+    """The ordinal ``ω^exponent · coefficient``."""
+    if isinstance(exponent, int):
+        exponent = ordinal(exponent)
+    if coefficient == 0:
+        return ZERO
+    return Ordinal(((exponent, coefficient),))
+
+
+#: The ordinal 0.
+ZERO = Ordinal()
+#: The ordinal 1.
+ONE = Ordinal(((ZERO, 1),))
+#: The first infinite ordinal.
+OMEGA = Ordinal(((ONE, 1),))
+
+
+class OrdinalsBelowEpsilon0(WellFoundedOrder):
+    """The well-founded order of all :class:`Ordinal` values (below ``ε₀``)."""
+
+    def contains(self, value: Any) -> bool:
+        return isinstance(value, Ordinal)
+
+    def gt(self, left: Any, right: Any) -> bool:
+        self.check_member(left)
+        self.check_member(right)
+        return left > right
+
+    def describe(self) -> str:
+        return "ordinals < ε₀"
+
+
+#: Shared instance; the class is stateless.
+ORDINALS = OrdinalsBelowEpsilon0()

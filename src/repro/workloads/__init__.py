@@ -1,0 +1,55 @@
+"""Workloads: the paper's programs, scaling families, distributed scenarios."""
+
+from repro.workloads.distributed import (
+    dining_philosophers,
+    producer_consumer,
+    request_server,
+    mutual_exclusion,
+    token_ring,
+)
+from repro.workloads.families import (
+    counter_grid,
+    escape_ring,
+    distractor_loop,
+    modulus_chain,
+    nested_rings,
+    random_system,
+)
+from repro.workloads.paper import (
+    p1,
+    p1_assertion,
+    p2,
+    p2_assertion,
+    p3,
+    p3_assertion,
+    p3_bounded,
+    p4,
+    p4_assertion,
+    p4_bounded,
+    p4_bounded_assertion,
+)
+
+__all__ = [
+    "dining_philosophers",
+    "producer_consumer",
+    "request_server",
+    "mutual_exclusion",
+    "token_ring",
+    "counter_grid",
+    "escape_ring",
+    "distractor_loop",
+    "modulus_chain",
+    "nested_rings",
+    "random_system",
+    "p1",
+    "p1_assertion",
+    "p2",
+    "p2_assertion",
+    "p3",
+    "p3_assertion",
+    "p3_bounded",
+    "p4",
+    "p4_assertion",
+    "p4_bounded",
+    "p4_bounded_assertion",
+]

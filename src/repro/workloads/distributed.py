@@ -1,0 +1,248 @@
+"""Distributed scenarios — the systems the paper's introduction motivates.
+
+"Fairness is the assumption that an action that is enabled over and over
+will eventually be taken.  Such assumptions are central to many distributed
+or concurrent systems."  These workloads are interleavings of small
+processes; strong fairness over the composite command set is exactly
+"no process action is starved", and each system fairly terminates for a
+reason a stack assertion can state.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.ts.product import InterleavingComposition
+from repro.ts.system import ExplicitSystem
+
+
+def _philosopher() -> ExplicitSystem:
+    """One philosopher: ponder in ``H`` (hungry), ``pick`` both forks
+    atomically to eat, ``put`` them down, done."""
+    return ExplicitSystem(
+        commands=("ponder", "pick", "put"),
+        initial=["H"],
+        transitions=[
+            ("H", "ponder", "H"),
+            ("H", "pick", "E"),
+            ("E", "put", "D"),
+        ],
+    )
+
+
+def dining_philosophers(count: int) -> InterleavingComposition:
+    """``count`` philosophers around a table, each needing to eat once.
+
+    A philosopher picks *both* forks atomically (enabled only when neither
+    neighbour is eating), eats, and is done.  Infinite computations exist —
+    everyone can ponder forever — but each is unfair: once a philosopher's
+    neighbours are done, their ``pick`` is enabled at every later step.
+    Under strong fairness the system terminates with everyone fed.
+    """
+    if count < 2:
+        raise ValueError("need at least two philosophers")
+
+    names = [f"phil{i}" for i in range(count)]
+
+    def forks_free(state: Tuple, name: str, label: str) -> bool:
+        if label != "pick":
+            return True
+        index = names.index(name)
+        left = state[(index - 1) % count]
+        right = state[(index + 1) % count]
+        return left != "E" and right != "E"
+
+    return InterleavingComposition(
+        processes=[(name, _philosopher()) for name in names],
+        shared_guard=forks_free,
+    )
+
+
+def _mutex_process(rounds: int) -> ExplicitSystem:
+    """One mutual-exclusion client: ``rounds`` critical-section entries.
+
+    States ``(phase, remaining)``: ``W`` waiting (may ``idle`` or ``enter``),
+    ``C`` critical (must ``leave``); after the last round it is done.
+    """
+    transitions = []
+    for remaining in range(rounds, 0, -1):
+        waiting = ("W", remaining)
+        critical = ("C", remaining)
+        after = ("W", remaining - 1) if remaining > 1 else ("D", 0)
+        transitions.append((waiting, "idle", waiting))
+        transitions.append((waiting, "enter", critical))
+        transitions.append((critical, "leave", after))
+    return ExplicitSystem(
+        commands=("idle", "enter", "leave"),
+        initial=[("W", rounds)],
+        transitions=transitions,
+    )
+
+
+def mutual_exclusion(processes: int = 2, rounds: int = 1) -> InterleavingComposition:
+    """``processes`` clients each entering a critical section ``rounds``
+    times; ``enter`` is enabled only when no one else is critical.
+
+    Starving a waiting client whose ``enter`` stays enabled is the unfair
+    behaviour; under strong fairness every client gets every round and the
+    system terminates.
+    """
+    if processes < 2:
+        raise ValueError("need at least two processes")
+    names = [f"proc{i}" for i in range(processes)]
+
+    def mutex(state: Tuple, name: str, label: str) -> bool:
+        if label != "enter":
+            return True
+        index = names.index(name)
+        return all(
+            state[i][0] != "C" for i in range(processes) if i != index
+        )
+
+    return InterleavingComposition(
+        processes=[(name, _mutex_process(rounds)) for name in names],
+        shared_guard=mutex,
+    )
+
+
+def request_server(noise_states: int = 1) -> ExplicitSystem:
+    """A request/grant server that runs forever — fair *response*, not
+    fair termination.
+
+    From ``idle`` a client may ``request`` (moving to ``wait``); the server
+    may ``grant`` (back to ``idle``); ``work`` self-loops everywhere
+    (``noise_states`` extra idle-side states lengthen the work detour).
+    The system never terminates — request/grant forever is a fair infinite
+    run — but the response property ``G(wait → F idle)`` holds under
+    strong fairness: starving ``grant`` while a request waits is unfair.
+    """
+    if noise_states < 1:
+        raise ValueError("need at least one noise state")
+    transitions = [
+        ("idle", "request", "wait"),
+        ("wait", "grant", "idle"),
+        ("wait", "work", "wait"),
+        ("idle", "work", "busy_0"),
+    ]
+    for i in range(noise_states):
+        target = "idle" if i == noise_states - 1 else f"busy_{i + 1}"
+        transitions.append((f"busy_{i}", "work", target))
+    return ExplicitSystem(
+        commands=("request", "grant", "work"),
+        initial=["idle"],
+        transitions=transitions,
+    )
+
+
+def _producer(items: int) -> ExplicitSystem:
+    """Produces ``items`` items, with a think self-loop before each."""
+    transitions = []
+    for remaining in range(items, 0, -1):
+        transitions.append((remaining, "think", remaining))
+        transitions.append((remaining, "produce", remaining - 1))
+    return ExplicitSystem(
+        commands=("think", "produce"),
+        initial=[items],
+        transitions=transitions,
+    )
+
+
+def _consumer() -> ExplicitSystem:
+    """Consumes forever (the buffer guard gates actual consumption)."""
+    return ExplicitSystem(
+        commands=("consume",),
+        initial=["ready"],
+        transitions=[("ready", "consume", "ready")],
+    )
+
+
+class ProducerConsumer(InterleavingComposition):
+    """A producer/consumer pair around a bounded buffer.
+
+    The composite state is ``((items left to produce), 'ready', buffer
+    fill)`` — the buffer is modelled as a third, trivial "process" whose
+    state the shared guard reads and the composition's post-processing
+    updates.  Implemented directly instead: this subclass wraps the
+    two-process interleaving and threads the buffer count through the
+    composite state.
+    """
+
+    def __init__(self, items: int, capacity: int) -> None:
+        if items < 1 or capacity < 1:
+            raise ValueError("need at least one item and one buffer slot")
+        self._items = items
+        self._capacity = capacity
+        super().__init__(
+            processes=[("prod", _producer(items)), ("cons", _consumer())],
+        )
+
+    def initial_states(self):
+        for state in super().initial_states():
+            yield state + (0,)
+
+    def enabled(self, state):
+        inner, fill = state[:-1], state[-1]
+        result = set()
+        for label in super().enabled(inner):
+            if label == "prod.produce" and fill >= self._capacity:
+                continue
+            if label == "cons.consume" and fill == 0:
+                continue
+            result.add(label)
+        return frozenset(result)
+
+    def post(self, state):
+        inner, fill = state[:-1], state[-1]
+        for label, target in super().post(inner):
+            if label == "prod.produce":
+                if fill >= self._capacity:
+                    continue
+                yield label, target + (fill + 1,)
+            elif label == "cons.consume":
+                if fill == 0:
+                    continue
+                yield label, target + (fill - 1,)
+            else:
+                yield label, target + (fill,)
+
+
+def producer_consumer(items: int = 3, capacity: int = 2) -> ProducerConsumer:
+    """A bounded-buffer producer/consumer system.
+
+    The producer thinks (self-loop) or produces one of ``items`` items into
+    a buffer of size ``capacity``; the consumer drains it.  Quiescence —
+    everything produced and consumed — is reachable but not inevitable
+    without fairness (thinking forever is a run).  Under strong fairness:
+
+    * the system **fairly terminates** (an infinite run eventually only
+      thinks, starving the enabled ``produce`` — or only consumes, which
+      the finite buffer and item budget forbid);
+    * the response property ``G(buffer non-empty → F buffer empty)`` holds
+      (a non-empty buffer keeps ``consume`` enabled; starving it forever is
+      unfair) — and remains meaningful on variants that never terminate.
+    """
+    return ProducerConsumer(items, capacity)
+
+
+def token_ring(stations: int) -> ExplicitSystem:
+    """A token circulating once around ``stations`` stations.
+
+    Station ``i`` may ``work_i`` (self-loop) while holding the token or
+    ``pass_i`` it on; the token parks after leaving the last station.
+    Distinct per-station commands make the starvation structure visible:
+    an infinite run parks at some station and starves that station's
+    ``pass`` — one unfairness hypothesis per station.
+    """
+    if stations < 1:
+        raise ValueError("need at least one station")
+    commands = []
+    transitions = []
+    for i in range(stations):
+        commands += [f"work_{i}", f"pass_{i}"]
+        transitions.append((i, f"work_{i}", i))
+        transitions.append((i, f"pass_{i}", i + 1))
+    return ExplicitSystem(
+        commands=tuple(commands),
+        initial=[0],
+        transitions=transitions,
+    )

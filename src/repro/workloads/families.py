@@ -1,0 +1,188 @@
+"""Parametric program families for sweeps, scaling and randomised testing.
+
+* :func:`nested_rings` — the "onion": fairly terminating systems whose
+  synthesised stacks are provably deep (height grows linearly with the
+  nesting parameter), probing the hierarchy of unfairness hypotheses.
+* :func:`counter_grid` — a GCL family with tunable state-space size.
+* :func:`distractor_loop` — ``P2`` generalised to many skip distractors.
+* :func:`random_system` — seeded random explicit systems with no a-priori
+  fairness verdict (ground truth comes from the checker; used to cross-test
+  synthesis, the tree construction and the semi-measure against each
+  other).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.gcl.program import Program, parse_program
+from repro.ts.system import ExplicitSystem
+
+
+def nested_rings(depth: int) -> ExplicitSystem:
+    """The onion: ``depth`` nested regions, each starving its own escape.
+
+    States are ``a_depth, ..., a_1, b`` plus a terminal ``t``.  From ``a_j``
+    one may descend (``enter_j``) towards ``b``; from ``b`` one may ``spin``
+    forever or climb back up via ``exit_0 .. exit_{j-1}``; ``exit_j`` at
+    ``a_j`` escapes the region towards the terminal.  Every infinite
+    computation starves the escape of the region it is confined to, so the
+    system fairly terminates — and the measure needs one unfairness
+    hypothesis per nesting level: synthesised stack height is ``depth + 2``.
+    """
+    if depth < 0:
+        raise ValueError(f"depth must be ≥ 0, got {depth}")
+    commands: List[str] = ["spin", "exit_0"]
+    transitions: List[Tuple[str, str, str]] = [
+        ("b", "spin", "b"),
+        ("b", "exit_0", "a_1" if depth >= 1 else "t"),
+    ]
+    for j in range(1, depth + 1):
+        commands.append(f"enter_{j}")
+        commands.append(f"exit_{j}")
+        below = "b" if j == 1 else f"a_{j-1}"
+        above = "t" if j == depth else f"a_{j+1}"
+        transitions.append((f"a_{j}", f"enter_{j}", below))
+        # exit_j climbs out of region j: to a_{j+1}, or to the terminal at
+        # the top — so exit_{j-1} is executed *inside* region j, and exit_j
+        # is the one command region j starves.
+        transitions.append((f"a_{j}", f"exit_{j}", above))
+    initial = f"a_{depth}" if depth >= 1 else "b"
+    return ExplicitSystem(
+        commands=tuple(commands),
+        initial=[initial],
+        transitions=transitions,
+    )
+
+
+def counter_grid(width: int, height: int) -> Program:
+    """A two-counter program with ``(width+1)·(height+1)`` reachable states.
+
+    ``step`` decreases ``u`` when ``v`` is exhausted, refilling ``v``;
+    ``dec`` decreases ``v``; ``idle`` spins.  Fairly terminating: an
+    infinite run must eventually starve ``dec`` or ``step`` while it stays
+    enabled.
+    """
+    return parse_program(
+        f"""
+        program Grid
+        var u := {width}, v := {height}
+        do
+             step: u > 0 and v == 0 -> u := u - 1; v := {height}
+          [] dec:  v > 0 -> v := v - 1
+          [] idle: u > 0 or v > 0 -> skip
+        od
+        """
+    )
+
+
+def distractor_loop(distance: int, distractors: int) -> Program:
+    """``P2`` with ``distractors`` many skip branches instead of one.
+
+    All distractors together still cannot keep a fair computation alive:
+    ``la`` stays enabled and must eventually run.  Synthesised stacks stay
+    at height 2 regardless of ``distractors`` — the unfairness hierarchy
+    depends on the *structure* of starvation, not on how many commands do
+    the starving.
+    """
+    if distractors < 1:
+        raise ValueError("need at least one distractor")
+    branches = "\n".join(
+        f"  [] skip_{i}: x < y -> skip" for i in range(distractors)
+    )
+    return parse_program(
+        f"""
+        program Distract
+        var x := 0, y := {distance}
+        do
+             la: x < y -> x := x + 1
+        {branches}
+        od
+        """
+    )
+
+
+def modulus_chain(stages: int, modulus: int = 3, fuel: int = 9) -> Program:
+    """A chain of ``P3``-style stages: stage ``i`` progresses only when the
+    previous counter is congruent to 0.
+
+    Generalises the paper's ``P3`` pattern to ``stages`` levels; the state
+    space and the measure structure both grow with ``stages``.
+    """
+    if stages < 1:
+        raise ValueError("need at least one stage")
+    declarations = ", ".join(f"z{i} := {fuel}" for i in range(stages))
+    lines = [
+        f"la: x < y and z0 mod {modulus} == 0 -> x := x + 1",
+    ]
+    for i in range(stages):
+        guard = f"x < y and z{i} > 0"
+        if i + 1 < stages:
+            guard += f" and z{i+1} mod {modulus} == 0"
+        lines.append(f"dec{i}: {guard} -> z{i} := z{i} - 1")
+    lines.append("idle: x < y -> skip")
+    body = "\n  [] ".join(lines)
+    return parse_program(
+        f"""
+        program Chain
+        var x := 0, y := 2, {declarations}
+        do
+             {body}
+        od
+        """
+    )
+
+
+def escape_ring(period: int) -> ExplicitSystem:
+    """A ring of ``period`` states circled by ``advance``, with ``escape``
+    enabled only at state 0 (leading to the terminal).
+
+    The minimal weak-vs-strong discriminator (the ``P3`` phenomenon,
+    distilled): circling forever starves ``escape``, which is enabled
+    *intermittently* — at state 0, infinitely often but never continuously.
+    Strong fairness forbids that (the system strongly-fairly terminates);
+    weak fairness tolerates it (a weakly fair infinite run exists for
+    ``period ≥ 2``).  Also the group-fairness discriminator: under the
+    single group requirement "the ring moves", the circling run is fair.
+    """
+    if period < 1:
+        raise ValueError("need at least one ring state")
+    transitions = [(i, "advance", (i + 1) % period) for i in range(period)]
+    transitions.append((0, "escape", period))
+    return ExplicitSystem(
+        commands=("advance", "escape"),
+        initial=[0],
+        transitions=transitions,
+    )
+
+
+def random_system(
+    seed: int,
+    states: int = 12,
+    commands: int = 3,
+    extra_edges: int = 10,
+) -> ExplicitSystem:
+    """A seeded random transition system (connected from state 0).
+
+    A random spanning structure guarantees reachability; ``extra_edges``
+    random transitions (including back edges) create cycles.  Whether the
+    result fairly terminates is *not* controlled — ground truth comes from
+    :func:`repro.fairness.check_fair_termination`, and the property tests
+    assert the synthesiser/checker/simulator agree on it.
+    """
+    rng = random.Random(seed)
+    command_names = tuple(f"c{i}" for i in range(commands))
+    transitions: List[Tuple[int, str, int]] = []
+    for target in range(1, states):
+        source = rng.randrange(target)
+        transitions.append((source, rng.choice(command_names), target))
+    for _ in range(extra_edges):
+        source = rng.randrange(states)
+        target = rng.randrange(states)
+        transitions.append((source, rng.choice(command_names), target))
+    return ExplicitSystem(
+        commands=command_names,
+        initial=[0],
+        transitions=transitions,
+    )

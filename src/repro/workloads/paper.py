@@ -1,0 +1,155 @@
+"""The paper's example programs ``P1``–``P4`` and annotations ``P1'``–``P4'``.
+
+Each builder returns the program parameterised by its initial values; the
+companion ``*_assertion`` functions return the paper's exact stack
+assertions:
+
+* ``P1'``: ``(T: max{y−x, 0})`` — a plain loop variant (Floyd);
+* ``P2'``: ``(ℓa / T: max{y−x, 0})``;
+* ``P3'``: ``(ℓa: z mod 117 / T: max{y−x, 0})``;
+* ``P4'``: ``(ℓb / ℓa: z mod 117 / T: max{y−x, 0})``.
+
+``P3``/``P4`` over unbounded integers have infinite reachable state spaces
+(``z`` may decrease forever on unfair branches); the ``*_bounded`` variants
+guard ``ℓb`` with ``z > 0``, preserving the fairness structure (the paper's
+annotations still verify, by the same case analysis) while making the state
+space finite for exact experiments.
+"""
+
+from __future__ import annotations
+
+from repro.gcl.program import Program, parse_program
+from repro.measures.assertions import StackAssertion
+
+
+def p1(distance: int = 10) -> Program:
+    """``P1: *[ x < y → x := x + 1 ]`` with ``y − x = distance`` initially."""
+    return parse_program(
+        f"""
+        program P1
+        var x := 0, y := {distance}
+        do
+          la: x < y -> x := x + 1
+        od
+        """
+    )
+
+
+def p1_assertion() -> StackAssertion:
+    """``P1'``: the termination measure ``max{y − x, 0}`` alone."""
+    return StackAssertion.parse(
+        ["T: max(y - x, 0)"], description="paper P1' (Floyd loop variant)"
+    )
+
+
+def p2(distance: int = 10) -> Program:
+    """``P2``: ``P1`` plus a skip branch — terminates only under fairness."""
+    return parse_program(
+        f"""
+        program P2
+        var x := 0, y := {distance}
+        do
+             la: x < y -> x := x + 1
+          [] lb: x < y -> skip
+        od
+        """
+    )
+
+
+def p2_assertion() -> StackAssertion:
+    """``P2'``: ``(ℓa / T: max{y − x, 0})``."""
+    return StackAssertion.parse(
+        ["la", "T: max(y - x, 0)"], description="paper P2'"
+    )
+
+
+def p3(distance: int = 3, z0: int = 240, modulus: int = 117) -> Program:
+    """``P3``: ``ℓa`` enabled only when ``z ≡ 0 (mod modulus)``.
+
+    The paper uses modulus 117; it is a parameter here so benches can sweep
+    it.
+    """
+    return parse_program(
+        f"""
+        program P3
+        var x := 0, y := {distance}, z := {z0}
+        do
+             la: x < y and z mod {modulus} == 0 -> x := x + 1
+          [] lb: x < y -> z := z - 1
+        od
+        """
+    )
+
+
+def p3_bounded(distance: int = 3, z0: int = 240, modulus: int = 117) -> Program:
+    """``P3`` with ``ℓb`` additionally guarded by ``z > 0`` (finite state)."""
+    return parse_program(
+        f"""
+        program P3b
+        var x := 0, y := {distance}, z := {z0}
+        do
+             la: x < y and z mod {modulus} == 0 -> x := x + 1
+          [] lb: x < y and z > 0 -> z := z - 1
+        od
+        """
+    )
+
+
+def p3_assertion(modulus: int = 117) -> StackAssertion:
+    """``P3'``: ``(ℓa: z mod 117 / T: max{y − x, 0})``."""
+    return StackAssertion.parse(
+        [f"la: z mod {modulus}", "T: max(y - x, 0)"],
+        description="paper P3'",
+    )
+
+
+def p4(distance: int = 3, z0: int = 240, modulus: int = 117) -> Program:
+    """``P4``: ``P3`` plus an empty (skip) guarded command ``ℓc``."""
+    return parse_program(
+        f"""
+        program P4
+        var x := 0, y := {distance}, z := {z0}
+        do
+             la: x < y and z mod {modulus} == 0 -> x := x + 1
+          [] lb: x < y -> z := z - 1
+          [] lc: x < y -> skip
+        od
+        """
+    )
+
+
+def p4_bounded(distance: int = 3, z0: int = 240, modulus: int = 117) -> Program:
+    """``P4`` with ``ℓb`` guarded by ``z > 0`` (finite state)."""
+    return parse_program(
+        f"""
+        program P4b
+        var x := 0, y := {distance}, z := {z0}
+        do
+             la: x < y and z mod {modulus} == 0 -> x := x + 1
+          [] lb: x < y and z > 0 -> z := z - 1
+          [] lc: x < y -> skip
+        od
+        """
+    )
+
+
+def p4_assertion(modulus: int = 117) -> StackAssertion:
+    """``P4'``: ``(ℓb / ℓa: z mod 117 / T: max{y − x, 0})``."""
+    return StackAssertion.parse(
+        ["lb", f"la: z mod {modulus}", "T: max(y - x, 0)"],
+        description="paper P4'",
+    )
+
+
+def p4_bounded_assertion(modulus: int = 117) -> StackAssertion:
+    """``P4'`` adapted to the bounded variant.
+
+    With ``ℓb`` guarded by ``z > 0``, executions of ``ℓc`` at ``z = 0``
+    leave ``ℓb`` *disabled*, so the bare ``ℓb``-hypothesis cannot be active
+    there; but then ``z ≡ 0 (mod m)``, so ``ℓa`` is enabled and the
+    ``ℓa``-hypothesis is active instead — the same reasoning pattern the
+    paper uses for ``P3'``.  The single paper stack still verifies because
+    the checker may pick the ``ℓa`` level (the active hypothesis is not
+    unique, §5).
+    """
+    return p4_assertion(modulus)

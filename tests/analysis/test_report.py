@@ -1,0 +1,42 @@
+"""Tests for report tables."""
+
+import pytest
+
+from repro.analysis import Table, format_ratio, histogram_line
+
+
+class TestTable:
+    def test_render_aligns_columns(self):
+        table = Table("demo", ["name", "value"])
+        table.add("short", 1)
+        table.add("a-much-longer-name", 22)
+        rendered = table.render()
+        lines = rendered.splitlines()
+        assert lines[0] == "== demo =="
+        assert "name" in lines[1]
+        # Header separator present.
+        assert set(lines[2]) == {"-"}
+        assert len(lines) == 5
+
+    def test_arity_checked(self):
+        table = Table("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add(1)
+
+    def test_show_prints(self, capsys):
+        table = Table("demo", ["a"])
+        table.add(1)
+        table.show()
+        assert "demo" in capsys.readouterr().out
+
+
+class TestHelpers:
+    def test_format_ratio(self):
+        assert format_ratio(10, 4) == "×2.5"
+        assert format_ratio(1, 0) == "n/a"
+
+    def test_histogram_line_sorted(self):
+        assert histogram_line({2: 5, 0: 1}) == "0:1 2:5"
+
+    def test_histogram_line_with_order(self):
+        assert histogram_line({2: 5, 0: 1}, order=[2, 0, 9]) == "2:5 0:1"

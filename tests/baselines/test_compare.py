@@ -1,0 +1,36 @@
+"""Tests for the method-comparison harness."""
+
+import pytest
+
+from repro.baselines import compare_methods
+from repro.ts import ExplicitSystem, explore
+from repro.workloads import nested_rings, p4_bounded
+
+
+class TestCompareMethods:
+    def test_rows_cover_all_methods(self):
+        graph = explore(p4_bounded(2, 6, 3))
+        comparison = compare_methods("P4b", graph, scheduler_credit=2)
+        rows = list(comparison.rows())
+        methods = [row[0] for row in rows]
+        assert methods[0] == "stack assertions"
+        assert methods[1] == "helpful directions"
+        assert "explicit scheduler" in methods[2]
+
+    def test_stack_assertions_use_one_program(self):
+        graph = explore(nested_rings(2))
+        comparison = compare_methods("rings", graph)
+        assert comparison.stack_programs == 1
+        assert comparison.stack_states_reasoned == len(graph)
+
+    def test_helpful_directions_cost_more(self):
+        graph = explore(nested_rings(3))
+        comparison = compare_methods("rings", graph, scheduler_credit=None)
+        assert comparison.hd_programs > comparison.stack_programs
+        assert comparison.hd_states_reasoned >= comparison.stack_states_reasoned
+        assert comparison.scheduler is None
+
+    def test_unsound_synthesis_would_raise(self):
+        spin = ExplicitSystem(("go",), [0], [(0, "go", 0)])
+        with pytest.raises(Exception):
+            compare_methods("spin", explore(spin))

@@ -1,0 +1,101 @@
+"""Tests for the explicit-scheduler (credit) transformation."""
+
+import pytest
+
+from repro.baselines import ScheduledSystem, explicit_scheduler_report
+from repro.ts import ExplicitSystem, explore
+from repro.workloads import p2, p4_bounded
+
+
+def spin():
+    return ExplicitSystem(("go",), [0], [(0, "go", 0)])
+
+
+class TestScheduledSystem:
+    def test_initial_credits_full(self):
+        scheduled = ScheduledSystem(p2(3), credit=2)
+        ((state, credits),) = list(scheduled.initial_states())
+        assert credits == (2, 2)
+
+    def test_credit_dynamics(self):
+        program = p2(3)
+        scheduled = ScheduledSystem(program, credit=2)
+        initial = next(iter(scheduled.initial_states()))
+        posts = dict(scheduled.post(initial))
+        # Executing lb: lb resets to 2, la (enabled, not executed) loses 1.
+        _, credits = posts["lb"]
+        assert credits == (1, 2)
+        # Executing la: la resets, lb decremented.
+        _, credits = posts["la"]
+        assert credits == (2, 1)
+
+    def test_zero_credit_forces_execution(self):
+        program = p2(3)
+        scheduled = ScheduledSystem(program, credit=1)
+        initial = next(iter(scheduled.initial_states()))
+        # One lb: la's credit hits 0.
+        (_, state) = next(
+            (c, t) for c, t in scheduled.post(initial) if c == "lb"
+        )
+        assert state[1] == (0, 1)
+        # Now only la is admissible.
+        assert scheduled.enabled(state) == frozenset({"la"})
+
+    def test_runs_are_k_bounded_fair(self):
+        # In the scheduled system no command is ever starved for more than
+        # K consecutive enabled steps: simulate along any path.
+        from repro.fairness import AdversarialScheduler, simulate
+
+        program = p2(10)
+        scheduled = ScheduledSystem(program, credit=3)
+        result = simulate(
+            scheduled, AdversarialScheduler(avoid={"la"}), max_steps=1_000
+        )
+        assert result.terminated  # the scheduler forces la through
+        assert result.trace.starvation_span("la") <= 3
+
+    def test_credit_bound_validated(self):
+        with pytest.raises(ValueError):
+            ScheduledSystem(p2(3), credit=0)
+
+
+class TestReport:
+    def test_p2_scheduled_terminates(self):
+        graph = explore(p2(4))
+        report = explicit_scheduler_report(graph, credit=2)
+        assert report.terminates
+        assert report.scheduled_states > report.base_states
+        assert report.blowup > 1
+
+    def test_spin_scheduled_still_loops(self):
+        graph = explore(spin())
+        report = explicit_scheduler_report(graph, credit=3)
+        assert not report.terminates  # a fair run exists, credits never block it
+
+    def test_p4_bounded_scheduled_terminates(self):
+        graph = explore(p4_bounded(2, 6, 3))
+        report = explicit_scheduler_report(graph, credit=2)
+        assert report.terminates
+
+    def test_artificial_deadlocks_counted(self):
+        # Two commands permanently enabled with credit 1: after one step
+        # both the starved commands reach 0 simultaneously → deadlock.
+        system = ExplicitSystem(
+            ("a", "b", "c"),
+            [0],
+            [(0, "a", 0), (0, "b", 0), (0, "c", 0)],
+        )
+        graph = explore(system)
+        report = explicit_scheduler_report(graph, credit=1)
+        assert report.artificial_deadlocks > 0
+
+    def test_blowup_grows_with_credit(self):
+        graph = explore(p2(4))
+        small = explicit_scheduler_report(graph, credit=1)
+        large = explicit_scheduler_report(graph, credit=4)
+        assert large.scheduled_states > small.scheduled_states
+
+    def test_str_mentions_blowup(self):
+        graph = explore(p2(3))
+        report = explicit_scheduler_report(graph, credit=2)
+        assert "×" in str(report)

@@ -1,0 +1,68 @@
+"""Tests for Floyd's method (§3.1)."""
+
+import pytest
+
+from repro.baselines import (
+    NotTerminatingError,
+    TerminationMeasure,
+    check_termination_measure,
+    synthesize_floyd,
+)
+from repro.ts import ExplicitSystem, explore
+from repro.wf import ORDINALS, OMEGA, NotInDomainError, ordinal
+from repro.workloads import p1, p2
+
+
+class TestCheck:
+    def test_p1_loop_variant_passes(self):
+        graph = explore(p1(10))
+        measure = TerminationMeasure(lambda s: max(s["y"] - s["x"], 0))
+        result = check_termination_measure(graph, measure)
+        assert result.ok
+        assert result.complete
+        assert "PASS" in result.summary()
+
+    def test_p2_skip_steps_fail(self):
+        graph = explore(p2(5))
+        measure = TerminationMeasure(lambda s: max(s["y"] - s["x"], 0))
+        result = check_termination_measure(graph, measure)
+        assert not result.ok
+        assert all(v.transition.command == "lb" for v in result.violations)
+        assert "does not decrease" in str(result.violations[0])
+
+    def test_ordinal_valued_measure(self):
+        # A two-phase chain: ω-phase then finite countdown.
+        system = ExplicitSystem(
+            ("a",), [0], [(0, "a", 1), (1, "a", 2), (2, "a", 3)]
+        )
+        graph = explore(system)
+        values = {0: OMEGA * 2, 1: OMEGA, 2: ordinal(5), 3: ordinal(0)}
+        measure = TerminationMeasure(lambda s: values[s], order=ORDINALS)
+        assert check_termination_measure(graph, measure).ok
+
+    def test_values_validated(self):
+        graph = explore(p1(2))
+        measure = TerminationMeasure(lambda s: -1)
+        with pytest.raises(NotInDomainError):
+            check_termination_measure(graph, measure)
+
+
+class TestSynthesis:
+    def test_acyclic_graph_gets_measure(self):
+        graph = explore(p1(6))
+        measure = synthesize_floyd(graph)
+        assert check_termination_measure(graph, measure).ok
+
+    def test_cyclic_graph_raises_with_lasso(self):
+        graph = explore(p2(4))
+        with pytest.raises(NotTerminatingError) as info:
+            synthesize_floyd(graph)
+        lasso = info.value.witness
+        assert "lb" in lasso.cycle.commands  # the skip loop keeps P2 alive
+
+    def test_incomplete_graph_rejected(self):
+        from repro.gcl import parse_program
+
+        up = parse_program("program Up var x := 0 do a: true -> x := x + 1 od")
+        with pytest.raises(ValueError):
+            synthesize_floyd(explore(up, max_states=4))

@@ -1,0 +1,67 @@
+"""Tests for the helpful-directions baseline."""
+
+import pytest
+
+from repro.baselines import HelpfulDirectionsFailure, helpful_directions_proof
+from repro.completeness import synthesize_measure
+from repro.ts import ExplicitSystem, explore
+from repro.workloads import nested_rings, p2, p4_bounded
+
+
+class TestProofShape:
+    def test_p2_needs_one_derived_program_per_scc(self):
+        graph = explore(p2(4))
+        proof = helpful_directions_proof(graph)
+        assert proof.nesting_depth == 2  # original + one level of regions
+        # One derived program per x-value with the lb self-loop.
+        assert proof.derived_program_count == 1 + 4
+
+    def test_p4_depth_matches_paper_remark(self):
+        graph = explore(p4_bounded(2, 10, 5))
+        proof = helpful_directions_proof(graph)
+        assert proof.nesting_depth >= 2
+        assert proof.derived_program_count >= 3
+
+    def test_nested_rings_depth_tracks_nesting(self):
+        for depth in (1, 2, 3):
+            graph = explore(nested_rings(depth))
+            proof = helpful_directions_proof(graph)
+            assert proof.nesting_depth == depth + 2
+
+    def test_depth_equals_synthesised_stack_height(self):
+        """The §5 correspondence: helpful directions identify one measure
+        level at a time, so nesting depth = stack height (+1 for the root
+        ranking = the T level)."""
+        for system in (p2(4), p4_bounded(2, 6, 3), nested_rings(3)):
+            graph = explore(system)
+            proof = helpful_directions_proof(graph)
+            synthesis = synthesize_measure(graph)
+            assert proof.nesting_depth == synthesis.max_stack_height()
+
+    def test_states_reasoned_exceed_stack_assertion(self):
+        graph = explore(nested_rings(3))
+        proof = helpful_directions_proof(graph)
+        # Derived programs re-visit states once per nesting level.
+        assert proof.states_reasoned_about > len(graph)
+
+    def test_ranking_constant_classes_host_children(self):
+        graph = explore(p2(3))
+        proof = helpful_directions_proof(graph)
+        root = proof.root
+        assert root.helpful is None
+        for child in root.children:
+            assert child.helpful == "la"
+
+
+class TestFailure:
+    def test_fairly_live_region_reported(self):
+        spin = ExplicitSystem(("go",), [0], [(0, "go", 0)])
+        with pytest.raises(HelpfulDirectionsFailure):
+            helpful_directions_proof(explore(spin))
+
+    def test_incomplete_graph_rejected(self):
+        from repro.gcl import parse_program
+
+        up = parse_program("program Up var x := 0 do a: true -> x := x + 1 od")
+        with pytest.raises(ValueError):
+            helpful_directions_proof(explore(up, max_states=4))

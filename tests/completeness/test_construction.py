@@ -1,0 +1,145 @@
+"""Tests for the Theorem 3 construction (Figures 3–5)."""
+
+import pytest
+
+from repro.completeness import (
+    NotTreeLikeError,
+    add_history_variable,
+    longest_chain_length,
+    theorem3_construction,
+)
+from repro.measures import TERMINATION
+from repro.ts import ExplicitSystem, explore
+from repro.workloads import p2, p3_bounded, p4_bounded
+
+
+def unwind(system, depth):
+    return explore(add_history_variable(system), max_depth=depth)
+
+
+class TestInitialStack:
+    def test_figure_3_shape(self):
+        graph = unwind(p2(3), 2)
+        measure = theorem3_construction(graph)
+        root_stack = measure.stacks[0]
+        # T at level 0 and one hypothesis per command at levels 1..N.
+        assert root_stack.subjects() == (TERMINATION, "la", "lb")
+        # N + 1 fresh elements, no descents yet at the root.
+        values = [h.value for h in root_stack]
+        assert values == [0, 1, 2]
+
+    def test_iota_lambda_bookkeeping(self):
+        graph = unwind(p2(3), 2)
+        measure = theorem3_construction(graph)
+        for value in range(3):
+            assert measure.iota[value] == 0  # created at the root
+            assert measure.lam[value] == value
+
+
+class TestCases:
+    def test_case1_preserves_below_and_freshens_above(self):
+        # On P2, an lb-step has la naturally active at level 1 (la enabled):
+        # the T-value is preserved, la and lb take fresh values.
+        graph = unwind(p2(3), 3)
+        measure = theorem3_construction(graph)
+        for t in graph.transitions:
+            if t.command != "lb":
+                continue
+            parent, child = measure.stacks[t.source], measure.stacks[t.target]
+            assert parent.level(0) == child.level(0)
+            assert child.level(1).subject == parent.level(1).subject
+            assert child.level(1).value != parent.level(1).value
+            break
+        else:
+            pytest.fail("no lb transition found")
+
+    def test_case2_records_descent_and_rotates(self):
+        # On P2, an la-step forces T active: T gets a fresh smaller value and
+        # the hypotheses above rotate — la moves to the top.
+        graph = unwind(p2(3), 3)
+        measure = theorem3_construction(graph)
+        order = measure.order
+        for t in graph.transitions:
+            if t.command != "la":
+                continue
+            parent, child = measure.stacks[t.source], measure.stacks[t.target]
+            assert order.gt(parent.level(0).value, child.level(0).value)
+            assert child.subjects()[-1] == "la"  # executed moved to the top
+            break
+        else:
+            pytest.fail("no la transition found")
+
+    def test_case_statistics_cover_all_transitions(self):
+        graph = unwind(p2(3), 4)
+        measure = theorem3_construction(graph)
+        assert (
+            measure.stats.case1_total + measure.stats.case2_total
+            == len(graph.transitions)
+        )
+
+    def test_stack_height_constant_n_plus_1(self):
+        graph = unwind(p4_bounded(2, 6, 3), 4)
+        measure = theorem3_construction(graph)
+        for stack in measure.stacks:
+            assert stack.height == 4  # N = 3 commands
+
+
+class TestVerification:
+    @pytest.mark.parametrize(
+        "program, depth",
+        [
+            (p2(3), 6),
+            (p3_bounded(2, 7, 3), 6),
+            (p4_bounded(2, 5, 3), 5),
+        ],
+    )
+    def test_constructed_measure_satisfies_conditions(self, program, depth):
+        graph = unwind(program, depth)
+        measure = theorem3_construction(graph)
+        result = measure.verify()
+        assert result.ok, result.violations[:2]
+
+    def test_relation_always_acyclic_on_finite_region(self):
+        graph = unwind(p2(4), 6)
+        measure = theorem3_construction(graph)
+        assert measure.order.is_well_founded()
+
+    def test_claim_1_preserved_values_keep_position(self):
+        # "If p → p', ι(w) ≠ p', and μ^α(p') = w, then μ^α(p) = w and the
+        # position of the α-hypothesis did not change."
+        graph = unwind(p4_bounded(2, 5, 3), 5)
+        measure = theorem3_construction(graph)
+        for t in graph.transitions:
+            child_stack = measure.stacks[t.target]
+            parent_stack = measure.stacks[t.source]
+            for level, hypothesis in enumerate(child_stack):
+                if measure.iota[hypothesis.value] == t.target:
+                    continue  # freshly created here
+                assert parent_stack.level(level) == hypothesis
+
+    def test_chain_growth_spin_vs_p2(self):
+        spin = ExplicitSystem(("go",), [0], [(0, "go", 0)])
+        spin_chains = []
+        p2_chains = []
+        for depth in (3, 6, 9):
+            spin_chains.append(
+                longest_chain_length(
+                    theorem3_construction(unwind(spin, depth)).relation
+                )
+            )
+            p2_chains.append(
+                longest_chain_length(
+                    theorem3_construction(unwind(p2(2), depth)).relation
+                )
+            )
+        # Spin's descents grow with depth (no well-founded limit exists);
+        # P2's T-descents are capped by y − x (+1 for the frontier row).
+        assert spin_chains == [4, 7, 10]
+        assert max(p2_chains) <= 3
+
+
+class TestPreconditions:
+    def test_non_tree_like_rejected(self):
+        graph = explore(p2(3))
+        with pytest.raises(NotTreeLikeError):
+            theorem3_construction(graph)

@@ -1,0 +1,73 @@
+"""Tests for the history-variable transformation."""
+
+from repro.completeness import HistorySystem, add_history_variable, is_tree_like
+from repro.ts import ExplicitSystem, explore
+from repro.workloads import p2
+
+
+class TestHistorySystem:
+    def test_states_are_paths(self):
+        history = add_history_variable(p2(3))
+        (root,) = list(history.initial_states())
+        assert len(root) == 1
+        for command, target in history.post(root):
+            assert len(target) == 2
+            assert target[0] == root[0]
+
+    def test_projection(self):
+        program = p2(3)
+        history = add_history_variable(program)
+        (root,) = list(history.initial_states())
+        command, child = next(iter(history.post(root)))
+        assert HistorySystem.current(child) == child[-1][1]
+        assert HistorySystem.executed(child) == command
+        assert HistorySystem.executed(root) is None
+
+    def test_enabled_matches_base(self):
+        program = p2(3)
+        history = add_history_variable(program)
+        (root,) = list(history.initial_states())
+        assert history.enabled(root) == program.enabled(root[0][1])
+
+    def test_commands_unchanged(self):
+        program = p2(3)
+        assert add_history_variable(program).commands() == program.commands()
+
+    def test_unwinding_is_tree_like(self):
+        graph = explore(add_history_variable(p2(3)), max_depth=5)
+        assert is_tree_like(graph)
+
+    def test_base_graph_usually_not_tree_like(self):
+        graph = explore(p2(3))
+        # P2's graph has the lb self-loops: states with several predecessors.
+        assert not is_tree_like(graph)
+
+    def test_transition_counts_match_base_fanout(self):
+        program = p2(2)
+        history = add_history_variable(program)
+        (root,) = list(history.initial_states())
+        assert len(list(history.post(root))) == len(list(program.post(root[0][1])))
+
+
+class TestIsTreeLike:
+    def test_chain_is_tree_like(self):
+        chain = ExplicitSystem(("a",), [0], [(0, "a", 1), (1, "a", 2)])
+        assert is_tree_like(explore(chain))
+
+    def test_diamond_is_not(self):
+        diamond = ExplicitSystem(
+            ("a", "b"),
+            [0],
+            [(0, "a", 1), (0, "b", 2), (1, "a", 3), (2, "a", 3)],
+        )
+        assert not is_tree_like(explore(diamond))
+
+    def test_self_loop_on_root_is_not(self):
+        loop = ExplicitSystem(("a",), [0], [(0, "a", 0)])
+        assert not is_tree_like(explore(loop))
+
+    def test_forest_accepted(self):
+        forest = ExplicitSystem(
+            ("a",), [0, 10], [(0, "a", 1), (10, "a", 11)]
+        )
+        assert is_tree_like(explore(forest))

@@ -1,0 +1,79 @@
+"""Tests for the Theorem 2 quotient."""
+
+import pytest
+
+from repro.completeness import theorem2_quotient
+from repro.completeness.quotient import HeightTotalOrder
+from repro.workloads import p1, p2, p4_bounded
+
+
+class TestHeightTotalOrder:
+    def test_total_on_distinct_values(self):
+        order = HeightTotalOrder({0: 2, 1: 0, 2: 0})
+        assert order.gt(0, 1)  # higher descent height
+        assert order.gt(2, 1) or order.gt(1, 2)  # ties broken, still total
+        assert not order.gt(1, 1)
+
+    def test_extends_height(self):
+        order = HeightTotalOrder({0: 3, 1: 1})
+        assert order.gt(0, 1)
+        assert not order.gt(1, 0)
+
+    def test_membership(self):
+        order = HeightTotalOrder({0: 0})
+        assert order.contains(0)
+        assert not order.contains(99)
+
+
+class TestQuotient:
+    def test_exact_on_strongly_terminating_program(self):
+        result = theorem2_quotient(p1(4), max_depth=10)
+        assert result.exact
+        verification = result.verify()
+        assert verification.is_fair_termination_measure
+
+    def test_p2_quotient_verifies_at_increasing_depths(self):
+        for depth in (10, 12, 14):
+            result = theorem2_quotient(p2(4), max_depth=depth)
+            verification = result.verify()
+            assert verification.ok, (depth, verification.violations[:2])
+
+    def test_p4_bounded_quotient_verifies(self):
+        result = theorem2_quotient(p4_bounded(2, 4, 2), max_depth=14)
+        assert result.verify().ok
+
+    def test_frontier_candidates_chase_phantom_minima(self):
+        # The module docstring's phenomenon, pinned down: letting the
+        # minimum range over frontier histories (candidate_depth =
+        # max_depth) breaks the verification conditions on P4b, because
+        # frontier values still have apparent height 0.
+        result = theorem2_quotient(
+            p4_bounded(2, 4, 2), max_depth=14, candidate_depth=14
+        )
+        assert not result.verify().ok
+
+    def test_stacks_have_full_height(self):
+        result = theorem2_quotient(p2(3), max_depth=8)
+        for stack in result.stacks.values():
+            assert stack.height == 3  # T + 2 commands
+
+    def test_minimiser_depths_recorded(self):
+        result = theorem2_quotient(p2(3), max_depth=8)
+        assert set(result.minimiser_depth) == set(range(len(result.base_graph)))
+        assert min(result.minimiser_depth.values()) == 0  # the initial state
+
+    def test_insufficient_depth_reported(self):
+        with pytest.raises(ValueError):
+            theorem2_quotient(p2(10), max_depth=3)
+
+    def test_quotient_subjects_consistent_with_tree(self):
+        # Claim 3's shadow: the quotient stack's subject order comes from a
+        # real tree node whose values it carries.
+        result = theorem2_quotient(p2(3), max_depth=8)
+        tree_vectors = {
+            result.tree_measure.value_vector(i): result.tree_measure.subject_vector(i)
+            for i in range(len(result.tree_graph))
+        }
+        for stack in result.stacks.values():
+            vector = tuple(h.value for h in stack)
+            assert tree_vectors[vector] == stack.subjects()

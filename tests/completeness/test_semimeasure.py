@@ -1,0 +1,112 @@
+"""Tests for the Theorem 4 semi-measure."""
+
+import pytest
+
+from repro.completeness import (
+    add_history_variable,
+    semi_measure,
+    theorem3_construction,
+)
+from repro.ts import ExplicitSystem, Path, explore
+from repro.workloads import p2
+
+
+def spin():
+    return ExplicitSystem(("go",), [0], [(0, "go", 0)])
+
+
+class TestLazyStackComputation:
+    def test_root_stack(self):
+        program = p2(3)
+        sm = semi_measure(program)
+        (initial,) = list(program.initial_states())
+        stack = sm.stack_of(Path.singleton(initial))
+        assert stack.subjects() == ("T", "la", "lb")
+
+    def test_memoisation_returns_same_object(self):
+        program = p2(3)
+        sm = semi_measure(program)
+        (initial,) = list(program.initial_states())
+        run = Path.singleton(initial)
+        assert sm.stack_of(run) is sm.stack_of(run)
+
+    def test_matches_batch_construction(self):
+        """Lazily computed stacks agree with the batch Theorem 3 run."""
+        program = p2(2)
+        graph = explore(add_history_variable(program), max_depth=4)
+        batch = theorem3_construction(graph)
+        sm = semi_measure(program)
+        # Walk the tree in the same BFS order so `new` allocations align.
+        for index in range(len(graph)):
+            sigma = graph.state_of(index)
+            # The history records (command, state) pairs — exactly a run.
+            states = tuple(state for _, state in sigma)
+            commands = tuple(command for command, _ in sigma[1:])
+            run = Path(states, commands)
+            lazy = sm.stack_of(run)
+            assert lazy.subjects() == batch.stacks[index].subjects()
+
+    def test_invalid_transition_rejected(self):
+        program = p2(3)
+        sm = semi_measure(program)
+        (initial,) = list(program.initial_states())
+        bogus = Path.singleton(initial).extend("la", initial)  # la changes x
+        with pytest.raises(ValueError):
+            sm.stack_of(bogus)
+
+    def test_non_initial_root_rejected(self):
+        program = p2(3)
+        sm = semi_measure(program)
+        with pytest.raises(ValueError):
+            sm.stack_of(Path.singleton(program.state(x=1, y=3)))
+
+    def test_descends_is_recursive_in_explored_region(self):
+        sm = semi_measure(spin())
+        run = Path.singleton(0)
+        first = sm.stack_of(run)
+        run2 = run.extend("go", 0)
+        second = sm.stack_of(run2)
+        # Each go-step forces the T-hypothesis: values descend.
+        assert sm.descends(first.level(0).value, second.level(0).value)
+        assert not sm.descends(second.level(0).value, first.level(0).value)
+
+    def test_iota_lam_exposed(self):
+        program = p2(3)
+        sm = semi_measure(program)
+        (initial,) = list(program.initial_states())
+        stack = sm.stack_of(Path.singleton(initial))
+        value = stack.level(1).value
+        assert sm.lam(value) == 1
+        assert sm.iota(value) == ((initial,), ())
+
+
+class TestAudit:
+    def test_spin_chains_grow_linearly(self):
+        lengths = [semi_measure(spin()).audit(depth).longest_chain for depth in (3, 6, 9)]
+        assert lengths == [3, 6, 9]
+
+    def test_p2_chains_plateau(self):
+        # T descends on each la step *and* on the lb step that follows an
+        # la (the Case 2 rotation leaves lb just above T), so the plateau
+        # is 2·(y−x) − 1 — but crucially it is a plateau, unlike Spin.
+        lengths = [
+            semi_measure(p2(2)).audit(depth).longest_chain for depth in (4, 6, 8)
+        ]
+        assert lengths[0] == lengths[1] == lengths[2]
+        assert max(lengths) <= 2 * 2 - 1
+
+    def test_explored_region_always_well_founded(self):
+        # The Π¹₁ hardness lives in the limit; any finite region is a DAG.
+        report = semi_measure(spin()).audit(5)
+        assert report.well_founded_so_far
+
+    def test_audit_counts(self):
+        report = semi_measure(p2(2)).audit(3)
+        assert report.runs_explored > 0
+        assert report.values_allocated >= 3
+        assert report.descent_edges >= 1
+
+    def test_audit_stops_at_terminal_frontier(self):
+        chain = ExplicitSystem(("a",), [0], [(0, "a", 1)])
+        report = semi_measure(chain).audit(10)
+        assert report.runs_explored == 2  # root and one extension

@@ -1,0 +1,144 @@
+"""Tests for the weak-fairness and impartiality deciders, and the
+termination hierarchy of the [LPS81] trio."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fairness import (
+    IMPARTIALITY,
+    WEAK_FAIRNESS,
+    check_fair_termination,
+    find_fair_cycle,
+    find_impartial_cycle,
+    find_weakly_fair_cycle,
+)
+from repro.ts import ExplicitSystem, explore
+from repro.workloads import p2, p3_bounded, random_system
+
+
+class TestWeaklyFairCycles:
+    def test_p2_has_no_weakly_fair_cycle(self):
+        # la is continuously enabled on the skip loop, never executed.
+        assert find_weakly_fair_cycle(explore(p2(4))) is None
+
+    def test_strong_but_not_weak_discriminator(self):
+        """The P3 phenomenon (§3.3), distilled: a command enabled only
+        *intermittently* along a cycle.  Strong fairness forbids starving
+        it (enabled infinitely often), so the system strongly-fairly
+        terminates; weak fairness tolerates it (never continuously
+        enabled), so a weakly fair infinite run exists."""
+        ring = ExplicitSystem(
+            commands=("la", "lb"),
+            initial=[0],
+            transitions=[
+                (0, "lb", 1),
+                (1, "lb", 2),
+                (2, "lb", 0),
+                (0, "la", 3),
+            ],
+        )
+        ring_graph = explore(ring)
+        assert check_fair_termination(ring_graph).fairly_terminates
+        ring_witness = find_weakly_fair_cycle(ring_graph)
+        assert ring_witness is not None
+        lasso = ring_witness.lasso
+        assert WEAK_FAIRNESS.is_fair(lasso, ring.enabled, ring.commands())
+
+    def test_p3_bounded_is_acyclic_hence_weakly_terminating_too(self):
+        # The bounded P3 has no cycles at all (z strictly falls, x rises),
+        # so even weak-fair termination holds vacuously there.
+        graph = explore(p3_bounded(2, 7, 3))
+        assert check_fair_termination(graph).fairly_terminates
+        assert find_weakly_fair_cycle(graph) is None
+
+    def test_weakly_fair_witness_is_weakly_fair(self):
+        system = ExplicitSystem(
+            commands=("a", "b"),
+            initial=[0],
+            transitions=[(0, "a", 1), (1, "b", 0)],
+        )
+        graph = explore(system)
+        witness = find_weakly_fair_cycle(graph)
+        assert witness is not None
+        assert WEAK_FAIRNESS.is_fair(
+            witness.lasso, system.enabled, system.commands()
+        )
+
+    @settings(deadline=None, max_examples=40)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_witnesses_check_out_on_random_systems(self, seed):
+        system = random_system(seed, states=8, commands=3, extra_edges=7)
+        graph = explore(system)
+        witness = find_weakly_fair_cycle(graph)
+        if witness is not None:
+            assert WEAK_FAIRNESS.is_fair(
+                witness.lasso, system.enabled, system.commands()
+            )
+
+
+class TestImpartialCycles:
+    def test_needs_all_commands_in_one_scc(self):
+        system = ExplicitSystem(
+            commands=("a", "b"),
+            initial=[0],
+            transitions=[(0, "a", 1), (1, "b", 0)],
+        )
+        witness = find_impartial_cycle(explore(system))
+        assert witness is not None
+        assert set(witness.lasso.cycle.commands) == {"a", "b"}
+
+    def test_missing_command_blocks_impartiality(self):
+        system = ExplicitSystem(
+            commands=("a", "b"),
+            initial=[0],
+            transitions=[(0, "a", 0), (0, "b", 1)],
+        )
+        # The only cycle executes a alone; b is executed once, finitely.
+        assert find_impartial_cycle(explore(system)) is None
+
+    @settings(deadline=None, max_examples=40)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_witnesses_are_impartial(self, seed):
+        system = random_system(seed, states=8, commands=3, extra_edges=7)
+        graph = explore(system)
+        witness = find_impartial_cycle(graph)
+        if witness is not None:
+            assert IMPARTIALITY.is_fair(
+                witness.lasso, system.enabled, system.commands()
+            )
+
+
+class TestTerminationHierarchy:
+    """weak-fair termination ⟹ strong-fair termination ⟹ impartial
+    termination (more fair runs ⟹ harder to terminate fairly)."""
+
+    @settings(deadline=None, max_examples=60)
+    @given(st.integers(min_value=0, max_value=20_000))
+    def test_hierarchy_on_random_systems(self, seed):
+        graph = explore(random_system(seed, states=9, commands=3, extra_edges=8))
+        weak_term = find_weakly_fair_cycle(graph) is None
+        strong_term = find_fair_cycle(graph) is None
+        impartial_term = find_impartial_cycle(graph) is None
+        if weak_term:
+            assert strong_term
+        if strong_term:
+            assert impartial_term
+
+    @settings(deadline=None, max_examples=60)
+    @given(st.integers(min_value=0, max_value=20_000))
+    def test_cycle_inclusions(self, seed):
+        """Dually, on witnesses: an impartial cycle is strongly fair, and a
+        strongly fair cycle is weakly fair."""
+        system = random_system(seed, states=8, commands=3, extra_edges=7)
+        graph = explore(system)
+        impartial = find_impartial_cycle(graph)
+        if impartial is not None:
+            from repro.fairness import STRONG_FAIRNESS
+
+            assert STRONG_FAIRNESS.is_fair(
+                impartial.lasso, system.enabled, system.commands()
+            )
+        strong = find_fair_cycle(graph)
+        if strong is not None:
+            assert WEAK_FAIRNESS.is_fair(
+                strong.lasso, system.enabled, system.commands()
+            )

@@ -1,0 +1,106 @@
+"""Tests for schedulers."""
+
+import pytest
+
+from repro.fairness import (
+    AdversarialScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    ScriptedScheduler,
+)
+
+
+class TestRoundRobin:
+    def test_rotates_through_enabled(self):
+        scheduler = RoundRobinScheduler(("a", "b", "c"))
+        choices = [scheduler.choose(None, ("a", "b", "c")) for _ in range(6)]
+        assert choices == ["a", "b", "c", "a", "b", "c"]
+
+    def test_skips_disabled(self):
+        scheduler = RoundRobinScheduler(("a", "b", "c"))
+        assert scheduler.choose(None, ("b",)) == "b"
+        assert scheduler.choose(None, ("a", "c")) == "c"
+
+    def test_bounded_starvation(self):
+        # A command continuously enabled is chosen within one full rotation.
+        scheduler = RoundRobinScheduler(("a", "b", "c"))
+        waited = 0
+        for _ in range(20):
+            if scheduler.choose(None, ("a", "b", "c")) == "b":
+                break
+            waited += 1
+        assert waited < 3
+
+    def test_no_enabled_raises(self):
+        scheduler = RoundRobinScheduler(("a",))
+        with pytest.raises(ValueError):
+            scheduler.choose(None, ())
+
+    def test_reset(self):
+        scheduler = RoundRobinScheduler(("a", "b"))
+        scheduler.choose(None, ("a", "b"))
+        scheduler.reset()
+        assert scheduler.choose(None, ("a", "b")) == "a"
+
+    def test_empty_command_list_rejected(self):
+        with pytest.raises(ValueError):
+            RoundRobinScheduler(())
+
+
+class TestRandomScheduler:
+    def test_deterministic_given_seed(self):
+        a = RandomScheduler(seed=7)
+        b = RandomScheduler(seed=7)
+        enabled = ("a", "b", "c")
+        assert [a.choose(None, enabled) for _ in range(10)] == [
+            b.choose(None, enabled) for _ in range(10)
+        ]
+
+    def test_reset_replays(self):
+        scheduler = RandomScheduler(seed=3)
+        first = [scheduler.choose(None, ("a", "b")) for _ in range(5)]
+        scheduler.reset()
+        assert [scheduler.choose(None, ("a", "b")) for _ in range(5)] == first
+
+    def test_eventually_chooses_everything(self):
+        scheduler = RandomScheduler(seed=0)
+        seen = {scheduler.choose(None, ("a", "b", "c")) for _ in range(100)}
+        assert seen == {"a", "b", "c"}
+
+
+class TestAdversarialScheduler:
+    def test_starves_avoided_command(self):
+        scheduler = AdversarialScheduler(avoid={"a"})
+        assert scheduler.choose(None, ("a", "b")) == "b"
+
+    def test_executes_avoided_only_when_forced(self):
+        scheduler = AdversarialScheduler(avoid={"a"})
+        assert scheduler.choose(None, ("a",)) == "a"
+
+    def test_preference_order(self):
+        scheduler = AdversarialScheduler(avoid={"a"}, prefer=("c",))
+        assert scheduler.choose(None, ("a", "b", "c")) == "c"
+
+
+class TestScriptedScheduler:
+    def test_replays_script(self):
+        scheduler = ScriptedScheduler(["a", "b"])
+        assert scheduler.choose(None, ("a", "b")) == "a"
+        assert scheduler.choose(None, ("a", "b")) == "b"
+
+    def test_exhaustion_raises(self):
+        scheduler = ScriptedScheduler(["a"])
+        scheduler.choose(None, ("a",))
+        with pytest.raises(ValueError):
+            scheduler.choose(None, ("a",))
+
+    def test_disabled_choice_raises(self):
+        scheduler = ScriptedScheduler(["a"])
+        with pytest.raises(ValueError):
+            scheduler.choose(None, ("b",))
+
+    def test_reset_rewinds(self):
+        scheduler = ScriptedScheduler(["a"])
+        scheduler.choose(None, ("a",))
+        scheduler.reset()
+        assert scheduler.choose(None, ("a",)) == "a"

@@ -1,0 +1,77 @@
+"""Tests for the simulator."""
+
+import pytest
+
+from repro.fairness import (
+    AdversarialScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    ScriptedScheduler,
+    simulate,
+)
+from repro.workloads import p2, p4
+
+
+class TestSimulate:
+    def test_fair_scheduler_terminates_p2(self):
+        program = p2(20)
+        result = simulate(program, RoundRobinScheduler(program.commands()))
+        assert result.terminated
+        assert result.executed("la") == 20
+
+    def test_random_scheduler_terminates_p2(self):
+        program = p2(10)
+        result = simulate(program, RandomScheduler(seed=5), max_steps=100_000)
+        assert result.terminated
+
+    def test_adversarial_scheduler_starves(self):
+        program = p2(10)
+        result = simulate(
+            program, AdversarialScheduler(avoid={"la"}), max_steps=500
+        )
+        assert not result.terminated
+        assert result.executed("la") == 0
+        assert result.trace.starvation_span("la") == 500
+        assert result.trace.suffix_violations(500) == ["la"]
+
+    def test_round_robin_terminates_p4(self):
+        program = p4(distance=2, z0=10, modulus=3)
+        result = simulate(
+            program, RoundRobinScheduler(program.commands()), max_steps=10_000
+        )
+        assert result.terminated
+
+    def test_scripted_run(self):
+        program = p2(2)
+        result = simulate(
+            program, ScriptedScheduler(["lb", "la", "la"]), max_steps=10
+        )
+        assert result.terminated
+        assert result.steps == 3
+
+    def test_explicit_initial_state(self):
+        program = p2(5)
+        start = program.state(x=4, y=5)
+        result = simulate(
+            program, RoundRobinScheduler(program.commands()), initial=start
+        )
+        assert result.steps <= 2
+
+    def test_step_budget_respected(self):
+        program = p2(10_000)
+        result = simulate(
+            program, RoundRobinScheduler(program.commands()), max_steps=10
+        )
+        assert not result.terminated
+        assert result.steps == 10
+
+    def test_nondeterministic_successors_seeded(self):
+        from repro.gcl import parse_program
+
+        program = parse_program(
+            "program N var x := 0 do a: x == 0 -> choose x in 1 .. 9 od"
+        )
+        scheduler = RoundRobinScheduler(program.commands())
+        a = simulate(program, scheduler, successor_seed=1)
+        b = simulate(program, scheduler, successor_seed=1)
+        assert a.trace.states() == b.trace.states()

@@ -1,0 +1,75 @@
+"""Tests for the three fairness notions on lassos."""
+
+from repro.fairness import IMPARTIALITY, STRONG_FAIRNESS, WEAK_FAIRNESS
+from repro.ts import Lasso, Path
+
+COMMANDS = ("a", "b")
+
+
+def lasso(cycle_states, cycle_commands, stem_states=None, stem_commands=()):
+    if stem_states is None:
+        stem_states = (cycle_states[0],)
+    return Lasso(
+        stem=Path(tuple(stem_states), tuple(stem_commands)),
+        cycle=Path(tuple(cycle_states), tuple(cycle_commands)),
+    )
+
+
+def enabled_table(table):
+    return lambda state: frozenset(table[state])
+
+
+class TestStrongFairness:
+    def test_fair_when_everything_executed(self):
+        run = lasso((0, 1, 0), ("a", "b"))
+        enabled = enabled_table({0: {"a"}, 1: {"b"}})
+        assert STRONG_FAIRNESS.is_fair(run, enabled, COMMANDS)
+
+    def test_unfair_when_enabled_never_executed(self):
+        run = lasso((0, 0), ("b",))
+        enabled = enabled_table({0: {"a", "b"}})
+        violations = STRONG_FAIRNESS.violations(run, enabled, COMMANDS)
+        assert [v.command for v in violations] == ["a"]
+        assert violations[0].enabled_at == (0,)
+
+    def test_fair_when_starved_command_never_enabled_on_cycle(self):
+        run = lasso((0, 0), ("b",))
+        enabled = enabled_table({0: {"b"}})
+        assert STRONG_FAIRNESS.is_fair(run, enabled, COMMANDS)
+
+    def test_enabled_once_on_cycle_counts_as_infinitely_often(self):
+        run = lasso((0, 1, 0), ("b", "b"))
+        enabled = enabled_table({0: {"a", "b"}, 1: {"b"}})
+        assert not STRONG_FAIRNESS.is_fair(run, enabled, COMMANDS)
+
+
+class TestWeakFairness:
+    def test_intermittent_enabledness_is_just(self):
+        # 'a' enabled at 0 only — not continuously — so justice tolerates
+        # starving it while strong fairness does not.
+        run = lasso((0, 1, 0), ("b", "b"))
+        enabled = enabled_table({0: {"a", "b"}, 1: {"b"}})
+        assert WEAK_FAIRNESS.is_fair(run, enabled, COMMANDS)
+        assert not STRONG_FAIRNESS.is_fair(run, enabled, COMMANDS)
+
+    def test_continuous_enabledness_must_be_served(self):
+        run = lasso((0, 1, 0), ("b", "b"))
+        enabled = enabled_table({0: {"a", "b"}, 1: {"a", "b"}})
+        violations = WEAK_FAIRNESS.violations(run, enabled, COMMANDS)
+        assert [v.command for v in violations] == ["a"]
+
+
+class TestImpartiality:
+    def test_requires_every_command(self):
+        run = lasso((0, 0), ("b",))
+        enabled = enabled_table({0: {"b"}})
+        violations = IMPARTIALITY.violations(run, enabled, COMMANDS)
+        assert [v.command for v in violations] == ["a"]
+
+    def test_hierarchy(self):
+        # Impartial ⊆ strongly fair ⊆ weakly fair (on any fixed lasso).
+        run = lasso((0, 1, 0), ("a", "b"))
+        enabled = enabled_table({0: {"a", "b"}, 1: {"a", "b"}})
+        assert IMPARTIALITY.is_fair(run, enabled, COMMANDS)
+        assert STRONG_FAIRNESS.is_fair(run, enabled, COMMANDS)
+        assert WEAK_FAIRNESS.is_fair(run, enabled, COMMANDS)

@@ -1,0 +1,117 @@
+"""Tests for expression evaluation and atomic statement execution."""
+
+import pytest
+
+from repro.gcl.errors import EvalError
+from repro.gcl.eval import evaluate, evaluate_bool, evaluate_int, execute
+from repro.gcl.parser import parse_expression, parse_program_ast
+from repro.gcl.state import ProgramState
+
+
+def state(**values):
+    return ProgramState.from_dict(values)
+
+
+def ev(source, **values):
+    return evaluate(parse_expression(source), state(**values))
+
+
+class TestExpressionEvaluation:
+    def test_arithmetic(self):
+        assert ev("1 + 2 * 3") == 7
+        assert ev("10 - 3 - 2") == 5
+        assert ev("-x", x=4) == -4
+
+    def test_div_mod_floor_semantics(self):
+        assert ev("7 div 2") == 3
+        assert ev("-7 div 2") == -4
+        assert ev("7 mod 2") == 1
+
+    def test_mod_of_negative_stays_in_range(self):
+        # The P3' annotation needs z mod 117 ∈ {0..116} even for z < 0.
+        assert ev("z mod 117", z=-1) == 116
+        assert ev("z mod 117", z=-117) == 0
+
+    def test_division_by_zero(self):
+        with pytest.raises(EvalError):
+            ev("1 div 0")
+        with pytest.raises(EvalError):
+            ev("1 mod 0")
+
+    def test_comparisons(self):
+        assert ev("x < y", x=1, y=2) is True
+        assert ev("x >= y", x=1, y=2) is False
+        assert ev("x == y", x=2, y=2) is True
+        assert ev("x != y", x=2, y=2) is False
+
+    def test_connectives_and_short_circuit(self):
+        assert ev("true or 1 div 0 == 0") is True
+        assert ev("false and 1 div 0 == 0") is False
+        assert ev("not true") is False
+
+    def test_builtins(self):
+        assert ev("max(y - x, 0)", x=5, y=2) == 0
+        assert ev("min(3, 1, 2)") == 1
+        assert ev("abs(0 - 9)") == 9
+
+    def test_unknown_variable(self):
+        with pytest.raises(EvalError):
+            ev("nope")
+
+    def test_type_errors(self):
+        with pytest.raises(EvalError):
+            ev("1 + true")
+        with pytest.raises(EvalError):
+            ev("not 1")
+        with pytest.raises(EvalError):
+            evaluate_bool(parse_expression("1 + 1"), state())
+        with pytest.raises(EvalError):
+            evaluate_int(parse_expression("true"), state())
+
+
+def body(source):
+    program = parse_program_ast(f"program T do a: true -> {source} od")
+    return program.commands[0].body
+
+
+class TestStatementExecution:
+    def test_skip_returns_same_state(self):
+        s = state(x=1)
+        assert execute(body("skip"), s) == [s]
+
+    def test_assignment(self):
+        results = execute(body("x := x + 1"), state(x=1))
+        assert results == [state(x=2)]
+
+    def test_parallel_assignment_is_simultaneous(self):
+        results = execute(body("x, y := y, x"), state(x=1, y=2))
+        assert results == [state(x=2, y=1)]
+
+    def test_sequence_threads_state(self):
+        results = execute(body("x := x + 1; x := x * 2"), state(x=1))
+        assert results == [state(x=4)]
+
+    def test_choose_enumerates_range(self):
+        results = execute(body("choose x in 1 .. 3"), state(x=0))
+        assert sorted(r["x"] for r in results) == [1, 2, 3]
+
+    def test_choose_empty_range_raises(self):
+        with pytest.raises(EvalError):
+            execute(body("choose x in 3 .. 1"), state(x=0))
+
+    def test_choose_bounds_use_pre_state(self):
+        results = execute(body("choose x in 0 .. y"), state(x=5, y=2))
+        assert sorted(r["x"] for r in results) == [0, 1, 2]
+
+    def test_if_branches(self):
+        stmt = body("if x < 2 then x := 9 else x := 0 fi")
+        assert execute(stmt, state(x=1)) == [state(x=9)]
+        assert execute(stmt, state(x=5)) == [state(x=0)]
+
+    def test_duplicate_results_deduplicated(self):
+        stmt = body("choose x in 1 .. 2; x := 0")
+        assert execute(stmt, state(x=7)) == [state(x=0)]
+
+    def test_assignment_to_unknown_variable(self):
+        with pytest.raises(KeyError):
+            execute(body("q := 1"), state(x=0))

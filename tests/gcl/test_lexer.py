@@ -1,0 +1,90 @@
+"""Tests for the GCL lexer."""
+
+import pytest
+
+from repro.gcl.errors import LexError
+from repro.gcl.lexer import tokenize
+from repro.gcl.tokens import TokenKind
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+class TestTokens:
+    def test_empty_input_yields_eof(self):
+        assert kinds("") == [TokenKind.EOF]
+
+    def test_keywords_vs_identifiers(self):
+        assert kinds("do od skip foo") == [
+            TokenKind.DO,
+            TokenKind.OD,
+            TokenKind.SKIP,
+            TokenKind.IDENT,
+            TokenKind.EOF,
+        ]
+
+    def test_two_char_operators(self):
+        assert kinds("-> := [] == != <= >= ..") == [
+            TokenKind.ARROW,
+            TokenKind.ASSIGN,
+            TokenKind.BOX,
+            TokenKind.EQ,
+            TokenKind.NE,
+            TokenKind.LE,
+            TokenKind.GE,
+            TokenKind.DOTDOT,
+            TokenKind.EOF,
+        ]
+
+    def test_single_char_operators(self):
+        assert kinds("+ - * ( ) , ; : < >") == [
+            TokenKind.PLUS,
+            TokenKind.MINUS,
+            TokenKind.STAR,
+            TokenKind.LPAREN,
+            TokenKind.RPAREN,
+            TokenKind.COMMA,
+            TokenKind.SEMI,
+            TokenKind.COLON,
+            TokenKind.LT,
+            TokenKind.GT,
+            TokenKind.EOF,
+        ]
+
+    def test_number_text(self):
+        tokens = tokenize("117")
+        assert tokens[0].kind is TokenKind.INT
+        assert tokens[0].text == "117"
+
+    def test_identifier_with_digits_and_underscore(self):
+        tokens = tokenize("z_1a")
+        assert tokens[0].kind is TokenKind.IDENT
+        assert tokens[0].text == "z_1a"
+
+    def test_comments_skipped(self):
+        assert kinds("x # a comment -> od\ny") == [
+            TokenKind.IDENT,
+            TokenKind.IDENT,
+            TokenKind.EOF,
+        ]
+
+    def test_locations(self):
+        tokens = tokenize("x\n  y")
+        assert (tokens[0].location.line, tokens[0].location.column) == (1, 1)
+        assert (tokens[1].location.line, tokens[1].location.column) == (2, 3)
+
+
+class TestErrors:
+    def test_unknown_character(self):
+        with pytest.raises(LexError):
+            tokenize("x @ y")
+
+    def test_number_glued_to_letter(self):
+        with pytest.raises(LexError):
+            tokenize("12abc")
+
+    def test_error_carries_location(self):
+        with pytest.raises(LexError) as info:
+            tokenize("ok\n   @")
+        assert "line 2" in str(info.value)

@@ -1,0 +1,192 @@
+"""Tests for the GCL parser."""
+
+import pytest
+
+from repro.gcl.ast import (
+    Assign,
+    Binary,
+    BinaryOp,
+    Choose,
+    If,
+    IntLiteral,
+    Seq,
+    Skip,
+    Unary,
+    UnaryOp,
+    VarRef,
+)
+from repro.gcl.errors import ParseError
+from repro.gcl.parser import parse_expression, parse_program_ast
+
+P2_SOURCE = """
+program P2
+var x := 0, y := 10
+do
+     la: x < y -> x := x + 1
+  [] lb: x < y -> skip
+od
+"""
+
+
+class TestPrograms:
+    def test_p2_structure(self):
+        ast = parse_program_ast(P2_SOURCE)
+        assert ast.name == "P2"
+        assert ast.variables() == ("x", "y")
+        assert ast.command_labels() == ("la", "lb")
+
+    def test_box_separator_optional(self):
+        source = """
+        program Q
+        do
+          a: true -> skip
+          b: true -> skip
+        od
+        """
+        assert parse_program_ast(source).command_labels() == ("a", "b")
+
+    def test_range_declaration(self):
+        ast = parse_program_ast(
+            "program R var x in 0 .. 3 do a: x > 0 -> x := x - 1 od"
+        )
+        decl = ast.declarations[0]
+        assert decl.init_low != decl.init_high
+
+    def test_multiple_var_keywords(self):
+        ast = parse_program_ast(
+            "program R var x := 1 var y := 2 do a: true -> skip od"
+        )
+        assert ast.variables() == ("x", "y")
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ValueError):
+            parse_program_ast(
+                "program D do a: true -> skip [] a: true -> skip od"
+            )
+
+    def test_duplicate_variables_rejected(self):
+        with pytest.raises(ValueError):
+            parse_program_ast(
+                "program D var x := 0, x := 1 do a: true -> skip od"
+            )
+
+    def test_empty_loop_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program_ast("program E do od")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program_ast(P2_SOURCE + " extra")
+
+
+class TestStatements:
+    def run(self, body):
+        source = f"program S do a: true -> {body} od"
+        return parse_program_ast(source).commands[0].body
+
+    def test_skip(self):
+        assert isinstance(self.run("skip"), Skip)
+
+    def test_assignment(self):
+        stmt = self.run("x := 1")
+        assert isinstance(stmt, Assign)
+        assert stmt.targets == ("x",)
+
+    def test_parallel_assignment(self):
+        stmt = self.run("x, y := y, x")
+        assert stmt.targets == ("x", "y")
+        assert isinstance(stmt.values[0], VarRef)
+
+    def test_parallel_arity_mismatch(self):
+        with pytest.raises(ParseError):
+            self.run("x, y := 1")
+
+    def test_sequence(self):
+        stmt = self.run("x := 1; y := 2; skip")
+        assert isinstance(stmt, Seq)
+        assert len(stmt.statements) == 3
+
+    def test_choose(self):
+        stmt = self.run("choose x in 0 .. 5")
+        assert isinstance(stmt, Choose)
+        assert stmt.target == "x"
+
+    def test_if_with_else(self):
+        stmt = self.run("if x < 1 then x := 1 else skip fi")
+        assert isinstance(stmt, If)
+        assert isinstance(stmt.else_branch, Skip)
+
+    def test_if_without_else_defaults_to_skip(self):
+        stmt = self.run("if x < 1 then x := 1 fi")
+        assert isinstance(stmt.else_branch, Skip)
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert isinstance(expr, Binary)
+        assert expr.op is BinaryOp.ADD
+        assert isinstance(expr.right, Binary)
+        assert expr.right.op is BinaryOp.MUL
+
+    def test_precedence_comparison_over_and(self):
+        expr = parse_expression("x < y and y < z")
+        assert expr.op is BinaryOp.AND
+        assert expr.left.op is BinaryOp.LT
+
+    def test_precedence_and_over_or(self):
+        expr = parse_expression("a or b and c")
+        assert expr.op is BinaryOp.OR
+        assert expr.right.op is BinaryOp.AND
+
+    def test_parentheses_override(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op is BinaryOp.MUL
+        assert expr.left.op is BinaryOp.ADD
+
+    def test_unary_minus(self):
+        expr = parse_expression("-x + 1")
+        assert expr.op is BinaryOp.ADD
+        assert isinstance(expr.left, Unary)
+        assert expr.left.op is UnaryOp.NEG
+
+    def test_not(self):
+        expr = parse_expression("not x < y")
+        # 'not' binds tighter than comparison operands chain: not applies
+        # to the factor x, so this parses as (not x) < y — reject at eval
+        # time; the paper-style guards always parenthesise.
+        assert isinstance(expr, Binary)
+
+    def test_builtin_calls(self):
+        expr = parse_expression("max(y - x, 0)")
+        assert expr.function == "max"
+        assert len(expr.args) == 2
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("foo(1)")
+
+    def test_abs_arity_checked(self):
+        with pytest.raises(ParseError):
+            parse_expression("abs(1, 2)")
+
+    def test_mod_div_keywords(self):
+        expr = parse_expression("z mod 117")
+        assert expr.op is BinaryOp.MOD
+        expr = parse_expression("z div 2")
+        assert expr.op is BinaryOp.DIV
+
+    def test_left_associativity(self):
+        expr = parse_expression("10 - 3 - 2")
+        assert expr.op is BinaryOp.SUB
+        assert isinstance(expr.left, Binary)
+        assert isinstance(expr.right, IntLiteral)
+
+    def test_incomplete_expression_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("1 +")
+
+    def test_error_message_names_expectation(self):
+        with pytest.raises(ParseError) as info:
+            parse_expression("(1")
+        assert "')'" in str(info.value)

@@ -1,0 +1,187 @@
+"""Round-trip tests for the pretty-printer (including a hypothesis AST
+generator: parse(render(ast)) == ast)."""
+
+from hypothesis import given, strategies as st
+
+from repro.gcl.ast import (
+    Assign,
+    Binary,
+    BinaryOp,
+    BoolLiteral,
+    Call,
+    Choose,
+    GuardedCommand,
+    If,
+    IntLiteral,
+    ProgramAst,
+    Seq,
+    Skip,
+    Unary,
+    UnaryOp,
+    VarDecl,
+    VarRef,
+)
+from repro.gcl.parser import parse_expression, parse_program_ast
+from repro.gcl.pretty import render_expr, render_program, render_stmt
+
+names = st.sampled_from(["x", "y", "z"])
+
+int_exprs = st.recursive(
+    st.one_of(
+        st.integers(min_value=0, max_value=99).map(IntLiteral),
+        names.map(VarRef),
+    ),
+    lambda children: st.one_of(
+        st.tuples(
+            st.sampled_from(
+                [BinaryOp.ADD, BinaryOp.SUB, BinaryOp.MUL, BinaryOp.DIV, BinaryOp.MOD]
+            ),
+            children,
+            children,
+        ).map(lambda t: Binary(op=t[0], left=t[1], right=t[2])),
+        children.map(lambda e: Unary(op=UnaryOp.NEG, operand=e)),
+        st.tuples(children, children).map(
+            lambda t: Call(function="max", args=t)
+        ),
+        children.map(lambda e: Call(function="abs", args=(e,))),
+    ),
+    max_leaves=8,
+)
+
+bool_exprs = st.recursive(
+    st.one_of(
+        st.booleans().map(BoolLiteral),
+        st.tuples(
+            st.sampled_from(
+                [
+                    BinaryOp.EQ,
+                    BinaryOp.NE,
+                    BinaryOp.LT,
+                    BinaryOp.LE,
+                    BinaryOp.GT,
+                    BinaryOp.GE,
+                ]
+            ),
+            int_exprs,
+            int_exprs,
+        ).map(lambda t: Binary(op=t[0], left=t[1], right=t[2])),
+    ),
+    lambda children: st.one_of(
+        st.tuples(
+            st.sampled_from([BinaryOp.AND, BinaryOp.OR]), children, children
+        ).map(lambda t: Binary(op=t[0], left=t[1], right=t[2])),
+        children.map(lambda e: Unary(op=UnaryOp.NOT, operand=e)),
+    ),
+    max_leaves=6,
+)
+
+statements = st.recursive(
+    st.one_of(
+        st.just(Skip()),
+        st.tuples(names, int_exprs).map(
+            lambda t: Assign(targets=(t[0],), values=(t[1],))
+        ),
+        st.tuples(int_exprs, int_exprs).map(
+            lambda t: Choose(target="x", low=t[0], high=t[1])
+        ),
+    ),
+    lambda children: st.one_of(
+        st.tuples(bool_exprs, children, children).map(
+            lambda t: If(condition=t[0], then_branch=t[1], else_branch=t[2])
+        ),
+        st.lists(children, min_size=2, max_size=3).map(
+            lambda parts: Seq(statements=tuple(parts))
+        ),
+    ),
+    max_leaves=5,
+)
+
+
+def _flatten_seq(stmt):
+    """Normalise nested Seq nodes: the printer flattens a; (b; c) to
+    a; b; c, so compare modulo association."""
+    if isinstance(stmt, Seq):
+        flat = []
+        for part in stmt.statements:
+            inner = _flatten_seq(part)
+            if isinstance(inner, Seq):
+                flat.extend(inner.statements)
+            else:
+                flat.append(inner)
+        return Seq(statements=tuple(flat))
+    if isinstance(stmt, If):
+        return If(
+            condition=stmt.condition,
+            then_branch=_flatten_seq(stmt.then_branch),
+            else_branch=_flatten_seq(stmt.else_branch),
+        )
+    return stmt
+
+
+class TestExpressionRoundTrip:
+    @given(int_exprs)
+    def test_int_expressions(self, expr):
+        assert parse_expression(render_expr(expr)) == expr
+
+    @given(bool_exprs)
+    def test_bool_expressions(self, expr):
+        assert parse_expression(render_expr(expr)) == expr
+
+    def test_minimal_parentheses(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert render_expr(expr) == "1 + 2 * 3"
+
+    def test_needed_parentheses_kept(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert render_expr(expr) == "(1 + 2) * 3"
+
+
+class TestStatementRoundTrip:
+    @given(statements)
+    def test_statements(self, stmt):
+        source = f"program T do a: true -> {render_stmt(stmt)} od"
+        parsed = parse_program_ast(source).commands[0].body
+        assert _flatten_seq(parsed) == _flatten_seq(stmt)
+
+
+class TestProgramRoundTrip:
+    def test_p2_round_trips(self):
+        source = """
+        program P2
+        var x := 0, y := 10
+        do
+             la: x < y -> x := x + 1
+          [] lb: x < y -> skip
+        od
+        """
+        ast = parse_program_ast(source)
+        assert parse_program_ast(render_program(ast)) == ast
+
+    def test_range_declaration_round_trips(self):
+        ast = parse_program_ast(
+            "program R var x in 0 .. 3 do a: x > 0 -> x := x - 1 od"
+        )
+        assert parse_program_ast(render_program(ast)) == ast
+
+    @given(st.lists(statements, min_size=1, max_size=3), bool_exprs)
+    def test_generated_programs_round_trip(self, bodies, guard):
+        commands = tuple(
+            GuardedCommand(label=f"c{i}", guard=guard, body=body)
+            for i, body in enumerate(bodies)
+        )
+        ast = ProgramAst(
+            name="G",
+            declarations=(
+                VarDecl("x", IntLiteral(0), IntLiteral(0)),
+                VarDecl("y", IntLiteral(1), IntLiteral(2)),
+                VarDecl("z", IntLiteral(0), IntLiteral(0)),
+            ),
+            commands=commands,
+        )
+        reparsed = parse_program_ast(render_program(ast))
+        assert reparsed.name == ast.name
+        assert reparsed.variables() == ast.variables()
+        assert len(reparsed.commands) == len(ast.commands)
+        for a, b in zip(reparsed.commands, ast.commands):
+            assert a.guard == b.guard
+            assert _flatten_seq(a.body) == _flatten_seq(b.body)

@@ -1,0 +1,90 @@
+"""Tests for program semantics (Program as a transition system)."""
+
+import pytest
+
+from repro.gcl.errors import EvalError
+from repro.gcl.program import parse_program
+
+P3 = """
+program P3
+var x := 0, y := 2, z := 5
+do
+     la: x < y and z mod 3 == 0 -> x := x + 1
+  [] lb: x < y -> z := z - 1
+od
+"""
+
+
+class TestProgramSemantics:
+    def test_commands_in_order(self):
+        assert parse_program(P3).commands() == ("la", "lb")
+
+    def test_single_initial_state(self):
+        program = parse_program(P3)
+        (initial,) = list(program.initial_states())
+        assert initial["z"] == 5
+
+    def test_range_initial_states(self):
+        program = parse_program(
+            "program R var x in 0 .. 2 do a: x > 0 -> x := x - 1 od"
+        )
+        values = sorted(s["x"] for s in program.initial_states())
+        assert values == [0, 1, 2]
+
+    def test_later_range_may_reference_earlier_var(self):
+        program = parse_program(
+            "program R var n := 2, x in 0 .. n do a: x > 0 -> x := x - 1 od"
+        )
+        assert len(list(program.initial_states())) == 3
+
+    def test_empty_initial_range_raises(self):
+        program = parse_program(
+            "program R var x in 2 .. 1 do a: x > 0 -> x := x - 1 od"
+        )
+        with pytest.raises(EvalError):
+            list(program.initial_states())
+
+    def test_enabled_respects_guards(self):
+        program = parse_program(P3)
+        s = program.state(x=0, y=2, z=5)
+        assert program.enabled(s) == frozenset({"lb"})
+        s0 = program.state(x=0, y=2, z=3)
+        assert program.enabled(s0) == frozenset({"la", "lb"})
+
+    def test_terminal_state(self):
+        program = parse_program(P3)
+        s = program.state(x=2, y=2, z=0)
+        assert program.is_terminal(s)
+
+    def test_post_executes_enabled_only(self):
+        program = parse_program(P3)
+        s = program.state(x=0, y=2, z=4)
+        posts = dict(program.post(s))
+        assert set(posts) == {"lb"}
+        assert posts["lb"]["z"] == 3
+
+    def test_nondeterministic_command_multiple_successors(self):
+        program = parse_program(
+            "program N var x := 0 do a: x == 0 -> choose x in 1 .. 3 od"
+        )
+        (initial,) = list(program.initial_states())
+        targets = sorted(t["x"] for _, t in program.post(initial))
+        assert targets == [1, 2, 3]
+
+    def test_state_constructor_validates_names(self):
+        program = parse_program(P3)
+        with pytest.raises(ValueError):
+            program.state(x=0, y=2)  # missing z
+        with pytest.raises(ValueError):
+            program.state(x=0, y=2, z=0, w=1)
+
+    def test_command_lookup(self):
+        program = parse_program(P3)
+        assert program.command("la").label == "la"
+        with pytest.raises(KeyError):
+            program.command("nope")
+
+    def test_guard_holds(self):
+        program = parse_program(P3)
+        assert program.guard_holds("lb", program.state(x=0, y=2, z=1))
+        assert not program.guard_holds("la", program.state(x=0, y=2, z=1))

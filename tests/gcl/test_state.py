@@ -1,0 +1,49 @@
+"""Tests for immutable program states."""
+
+import pytest
+
+from repro.gcl.state import ProgramState
+
+
+class TestProgramState:
+    def test_mapping_interface(self):
+        s = ProgramState(("x", "y"), (1, 2))
+        assert s["x"] == 1
+        assert dict(s) == {"x": 1, "y": 2}
+        assert len(s) == 2
+        assert "x" in s
+
+    def test_missing_name(self):
+        s = ProgramState(("x",), (1,))
+        with pytest.raises(KeyError):
+            s["z"]
+
+    def test_arity_checked(self):
+        with pytest.raises(ValueError):
+            ProgramState(("x", "y"), (1,))
+
+    def test_equality_and_hash(self):
+        a = ProgramState(("x",), (1,))
+        b = ProgramState(("x",), (1,))
+        c = ProgramState(("x",), (2,))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_updated_is_functional(self):
+        a = ProgramState(("x", "y"), (1, 2))
+        b = a.updated({"x": 5})
+        assert b["x"] == 5 and b["y"] == 2
+        assert a["x"] == 1  # original untouched
+
+    def test_updated_rejects_unknown(self):
+        a = ProgramState(("x",), (1,))
+        with pytest.raises(KeyError):
+            a.updated({"zz": 1})
+
+    def test_from_dict_sorts_names(self):
+        s = ProgramState.from_dict({"b": 2, "a": 1})
+        assert s.names == ("a", "b")
+
+    def test_repr_shows_bindings(self):
+        assert "x=1" in repr(ProgramState(("x",), (1,)))

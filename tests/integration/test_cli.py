@@ -1,0 +1,174 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+P2 = """
+program P2
+var x := 0, y := 4
+do
+     la: x < y -> x := x + 1
+  [] lb: x < y -> skip
+od
+"""
+
+SPIN = """
+program Spin
+var x := 0
+do
+  go: true -> skip
+od
+"""
+
+
+@pytest.fixture
+def p2_file(tmp_path):
+    path = tmp_path / "p2.gcl"
+    path.write_text(P2)
+    return str(path)
+
+
+@pytest.fixture
+def spin_file(tmp_path):
+    path = tmp_path / "spin.gcl"
+    path.write_text(SPIN)
+    return str(path)
+
+
+class TestShow:
+    def test_round_trips_program(self, p2_file, capsys):
+        assert main(["show", p2_file]) == 0
+        out = capsys.readouterr().out
+        assert "program P2" in out
+        assert "la: x < y" in out
+
+
+class TestExplore:
+    def test_reports_counts(self, p2_file, capsys):
+        assert main(["explore", p2_file]) == 0
+        out = capsys.readouterr().out
+        assert "5 states" in out
+        assert "terminal states: 1" in out
+
+
+class TestDecide:
+    def test_fairly_terminating_returns_zero(self, p2_file, capsys):
+        assert main(["decide", p2_file]) == 0
+        assert "fairly terminates" in capsys.readouterr().out
+
+    def test_counterexample_returns_one(self, spin_file, capsys):
+        assert main(["decide", spin_file]) == 1
+        assert "counterexample" in capsys.readouterr().out
+
+    def test_bounded_note(self, tmp_path, capsys):
+        path = tmp_path / "up.gcl"
+        path.write_text("program Up var x := 0 do a: true -> x := x + 1 od")
+        assert main(["decide", str(path), "--max-states", "10"]) == 0
+        assert "explored" in capsys.readouterr().out
+
+
+class TestSynthesize:
+    def test_success(self, p2_file, capsys):
+        assert main(["synthesize", p2_file, "--stacks"]) == 0
+        out = capsys.readouterr().out
+        assert "synthesised and verified" in out
+        assert "(la: 0 / T:" in out
+
+    def test_failure_reports_witness(self, spin_file, capsys):
+        assert main(["synthesize", spin_file]) == 1
+        assert "does not fairly terminate" in capsys.readouterr().out
+
+    def test_incomplete_exploration_is_an_error(self, tmp_path, capsys):
+        path = tmp_path / "up.gcl"
+        path.write_text("program Up var x := 0 do a: true -> x := x + 1 od")
+        assert main(["synthesize", str(path), "--max-states", "5"]) == 2
+
+
+class TestSimulate:
+    def test_fair_run(self, p2_file, capsys):
+        assert main(["simulate", p2_file]) == 0
+        out = capsys.readouterr().out
+        assert "terminated" in out
+        assert "la: executed 4 times" in out
+
+    def test_starved_run(self, p2_file, capsys):
+        assert main(["simulate", p2_file, "--steps", "50", "--starve", "la"]) == 0
+        out = capsys.readouterr().out
+        assert "still running" in out
+        assert "la: executed 0 times" in out
+
+
+class TestCompare:
+    def test_reports_all_methods(self, p2_file, capsys):
+        assert main(["compare", p2_file]) == 0
+        out = capsys.readouterr().out
+        assert "stack assertions" in out
+        assert "helpful directions" in out
+        assert "explicit scheduler" in out
+
+    def test_incomplete_exploration_rejected(self, tmp_path):
+        path = tmp_path / "up.gcl"
+        path.write_text("program Up var x := 0 do a: true -> x := x + 1 od")
+        assert main(["compare", str(path), "--max-states", "5"]) == 2
+
+
+class TestNotions:
+    def test_hierarchy_reported(self, p2_file, capsys):
+        assert main(["notions", p2_file]) == 0
+        out = capsys.readouterr().out
+        assert "weak fairness" in out
+        assert "strong fairness" in out
+        assert "impartiality" in out
+        # P2 terminates under all three.
+        assert "does NOT terminate" not in out
+
+    def test_spin_fails_all(self, spin_file, capsys):
+        assert main(["notions", spin_file]) == 0
+        out = capsys.readouterr().out
+        assert out.count("does NOT terminate") == 3
+
+
+class TestResponse:
+    def test_holding_property(self, p2_file, capsys):
+        # In P2, x == 2 always eventually leads to x == 4 under fairness.
+        code = main(
+            [
+                "response",
+                p2_file,
+                "--trigger",
+                "x == 2",
+                "--response",
+                "x == 4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "holds under strong fairness" in out
+        assert "response measure synthesised and verified" in out
+
+    def test_failing_property(self, spin_file, capsys):
+        code = main(
+            ["response", spin_file, "--trigger", "true", "--response", "false"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAILS" in out
+        assert "counterexample" in out
+
+
+class TestSynthesizeProfile:
+    def test_profile_flag(self, p2_file, capsys):
+        assert main(["synthesize", p2_file, "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "stack heights" in out
+        assert "active on la" in out
+
+
+class TestTree:
+    def test_reports_construction_stats(self, p2_file, capsys):
+        assert main(["tree", p2_file, "--max-depth", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "case 1" in out
+        assert "longest chain" in out
+        assert "PASS" in out

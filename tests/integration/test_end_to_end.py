@@ -1,0 +1,171 @@
+"""Cross-validation of the whole pipeline.
+
+These tests tie the independent components together: the decision
+procedure, the synthesiser, the checker, the Theorem 1 witness extractor,
+the Theorem 3 construction, and the simulator must all tell one consistent
+story about the same programs.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    StackAssertion,
+    annotate,
+    check_fair_termination,
+    check_measure,
+    explore,
+    parse_program,
+    synthesize_measure,
+    theorem2_quotient,
+    unfairness_witness,
+)
+from repro.completeness import (
+    NotFairlyTerminatingError,
+    add_history_variable,
+    theorem3_construction,
+)
+from repro.fairness import (
+    STRONG_FAIRNESS,
+    AdversarialScheduler,
+    RoundRobinScheduler,
+    simulate,
+)
+from repro.workloads import (
+    dining_philosophers,
+    nested_rings,
+    p2,
+    p2_assertion,
+    p4_bounded,
+    p4_assertion,
+    random_system,
+)
+
+
+class TestMeasureRoutesAgree:
+    """Three independent routes to a fair termination measure for the same
+    program — the hand annotation, the synthesiser, and the Theorem 2
+    quotient — all verify against the same checker."""
+
+    def test_p2_three_routes(self):
+        program = p2(4)
+        graph = explore(program)
+        hand = annotate(program, p2_assertion()).check(graph=graph)
+        assert hand.is_fair_termination_measure
+        synthesis = synthesize_measure(graph)
+        assert check_measure(graph, synthesis.assignment()).ok
+        quotient = theorem2_quotient(program, max_depth=12, base_graph=graph)
+        assert quotient.verify().ok
+
+    def test_p4_bounded_two_routes(self):
+        program = p4_bounded(2, 6, 3)
+        graph = explore(program)
+        hand = annotate(program, p4_assertion(3)).check(graph=graph)
+        assert hand.is_fair_termination_measure
+        synthesis = synthesize_measure(graph)
+        assert check_measure(graph, synthesis.assignment()).ok
+
+
+class TestTheoremOneClosesTheLoop:
+    def test_witness_from_checker_counterexample_machinery(self):
+        """Drive P2 adversarially, build the lasso it traces, and let the
+        *measure* explain why that run is unfair — then cross-check with the
+        fairness spec."""
+        program = p2(4)
+        result = simulate(
+            program, AdversarialScheduler(avoid={"la"}), max_steps=50
+        )
+        assert not result.terminated
+        # The adversarial run sits on the lb self-loop at its final state.
+        from repro.ts import Lasso, Path
+
+        final = result.trace.final_state
+        lasso = Lasso(
+            stem=Path.singleton(final), cycle=Path((final, final), ("lb",))
+        )
+        witness = unfairness_witness(program, p2_assertion().compile(), lasso)
+        violations = STRONG_FAIRNESS.violations(
+            lasso, program.enabled, program.commands()
+        )
+        assert witness.command in {v.command for v in violations}
+
+    def test_witness_on_synthesised_measure(self):
+        system = nested_rings(2)
+        graph = explore(system)
+        synthesis = synthesize_measure(graph)
+        # Spin at b forever: unfair against exit_0.
+        from repro.ts import Lasso, Path
+
+        lasso = Lasso(
+            stem=Path.singleton("b") if False else _path_to_b(system),
+            cycle=Path(("b", "b"), ("spin",)),
+        )
+        witness = unfairness_witness(system, synthesis.assignment(), lasso)
+        assert witness.command == "exit_0"
+
+
+def _path_to_b(system):
+    from repro.ts import Path
+
+    path = Path.singleton("a_2")
+    path = path.extend("enter_2", "a_1")
+    return path.extend("enter_1", "b")
+
+
+class TestTheoremThreeOnRealPrograms:
+    @pytest.mark.parametrize("depth", [4, 6])
+    def test_construction_verifies_on_philosophers(self, depth):
+        system = dining_philosophers(2)
+        graph = explore(add_history_variable(system), max_depth=depth)
+        measure = theorem3_construction(graph)
+        assert measure.verify().ok
+        assert measure.order.is_well_founded()
+
+
+class TestDecisionSimulationConsistency:
+    @settings(deadline=None, max_examples=25)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_fairly_terminating_systems_halt_under_round_robin(self, seed):
+        system = random_system(seed, states=8, commands=3, extra_edges=6)
+        graph = explore(system)
+        if not check_fair_termination(graph).fairly_terminates:
+            return
+        result = simulate(
+            system, RoundRobinScheduler(system.commands()), max_steps=20_000
+        )
+        assert result.terminated
+
+    @settings(deadline=None, max_examples=25)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_synthesis_failure_witness_runs_forever(self, seed):
+        system = random_system(seed, states=8, commands=3, extra_edges=6)
+        graph = explore(system)
+        try:
+            synthesize_measure(graph)
+        except NotFairlyTerminatingError as error:
+            lasso = error.witness.lasso
+            # Replay the lasso: every transition must exist in the system.
+            for t in list(lasso.stem.transitions()) + list(
+                lasso.cycle.transitions()
+            ):
+                assert (t.command, t.target) in set(system.post(t.source))
+
+
+class TestUserWorkflow:
+    def test_readme_quickstart(self):
+        program = parse_program(
+            """
+            program P2
+            var x := 0, y := 10
+            do
+                 la: x < y -> x := x + 1
+              [] lb: x < y -> skip
+            od
+            """
+        )
+        proof = annotate(
+            program, StackAssertion.parse(["la", "T: max(y - x, 0)"])
+        )
+        result = proof.check()
+        result.raise_if_failed()
+        assert result.is_fair_termination_measure

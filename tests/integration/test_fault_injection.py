@@ -1,0 +1,154 @@
+"""Metamorphic fault-injection tests.
+
+Two properties anchor the checker's trustworthiness:
+
+1. **Sensitivity** — corrupting a verified measure is usually caught; the
+   checker never crashes on a corrupted one.
+2. **Soundness end-to-end** — *whatever* assignment happens to pass the
+   checker on a complete graph is a real fair termination measure: the
+   Theorem 1 extractor must succeed on every in-SCC infinite computation
+   and name a genuinely starved command.  This holds for corrupted-but-
+   still-passing mutants just as for synthesised originals.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.completeness import NotFairlyTerminatingError, synthesize_measure
+from repro.fairness import STRONG_FAIRNESS
+from repro.measures import (
+    Hypothesis,
+    MeasureContradiction,
+    Stack,
+    StackAssignment,
+    check_measure,
+    unfairness_witness,
+)
+from repro.ts import (
+    cycle_through_all,
+    decompose,
+    explore,
+    find_path_indices,
+    internal_transitions,
+    lasso_from_indices,
+)
+from repro.wf import NATURALS
+from repro.workloads import random_system
+
+
+def synthesized_table(graph):
+    synthesis = synthesize_measure(graph)
+    return {
+        graph.state_of(i): synthesis.stacks[i] for i in range(len(graph))
+    }
+
+
+def mutate(table, graph, rng):
+    """One random corruption of a stack table."""
+    states = list(table)
+    victim = rng.choice(states)
+    stack = table[victim]
+    mutated = dict(table)
+    kind = rng.randrange(3)
+    if kind == 0:
+        # Bump a measure value.
+        level = rng.randrange(stack.height)
+        hypothesis = stack.level(level)
+        delta = rng.choice([-1, 1, 5])
+        new_value = max(0, (hypothesis.value or 0) + delta)
+        mutated[victim] = stack.replace(
+            level, Hypothesis(hypothesis.subject, new_value)
+        )
+    elif kind == 1 and stack.height > 1:
+        # Drop the top hypothesis.
+        mutated[victim] = Stack(stack.entries[:-1])
+    else:
+        # Replace the top hypothesis's subject with another command.
+        commands = list(graph.system.commands())
+        if stack.height > 1:
+            level = stack.height - 1
+            current = stack.level(level)
+            others = [c for c in commands if stack.level_of(c) is None]
+            if others:
+                mutated[victim] = stack.replace(
+                    level, Hypothesis(rng.choice(others), current.value)
+                )
+    return mutated
+
+
+def scc_lassos(graph):
+    for component in decompose(graph).components:
+        if not internal_transitions(graph, component):
+            continue
+        cycle = cycle_through_all(graph, component)
+        stem = find_path_indices(graph, graph.initial_indices, cycle[0].source)
+        yield lasso_from_indices(graph, stem, cycle)
+
+
+class TestFaultInjection:
+    @settings(deadline=None, max_examples=40)
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_checker_is_total_and_passing_mutants_stay_sound(
+        self, seed, mutation_seed
+    ):
+        graph = explore(random_system(seed, states=8, commands=3, extra_edges=7))
+        try:
+            table = synthesized_table(graph)
+        except NotFairlyTerminatingError:
+            return
+        rng = random.Random(mutation_seed)
+        mutated = mutate(table, graph, rng)
+        assignment = StackAssignment.from_dict(mutated, NATURALS)
+        result = check_measure(graph, assignment)  # must not crash
+        if not result.ok:
+            return
+        # A passing mutant is still a measure: Theorem 1 must work on every
+        # in-SCC infinite computation and blame a truly starved command.
+        for lasso in scc_lassos(graph):
+            witness = unfairness_witness(graph.system, assignment, lasso)
+            starved = {
+                v.command
+                for v in STRONG_FAIRNESS.violations(
+                    lasso, graph.system.enabled, graph.system.commands()
+                )
+            }
+            assert witness.command in starved
+
+    @settings(deadline=None, max_examples=25)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_t_value_corruption_on_a_chain_is_caught(self, seed):
+        """A targeted corruption that must always be detected: reversing
+        the T-descent on a transition between different SCC ranks."""
+        graph = explore(random_system(seed, states=8, commands=3, extra_edges=7))
+        try:
+            table = synthesized_table(graph)
+        except NotFairlyTerminatingError:
+            return
+        # Find an inter-rank transition and equalise the T-values across it.
+        for t in graph.transitions:
+            source = graph.state_of(t.source)
+            target = graph.state_of(t.target)
+            source_t = table[source].termination_measure()
+            target_t = table[target].termination_measure()
+            if source_t > target_t and table[source].height == 1:
+                broken = dict(table)
+                broken[source] = Stack([Hypothesis("T", target_t)])
+                assignment = StackAssignment.from_dict(broken, NATURALS)
+                result = check_measure(graph, assignment)
+                assert not result.ok
+                return
+
+    def test_contradiction_raised_on_obviously_bogus_measure(self):
+        graph = explore(random_system(3, states=6, commands=2, extra_edges=5))
+        constant = Stack([Hypothesis("T", 0)])
+        assignment = StackAssignment(lambda s: constant, NATURALS)
+        lassos = list(scc_lassos(graph))
+        if not lassos:
+            pytest.skip("seed produced an acyclic system")
+        with pytest.raises(MeasureContradiction):
+            unfairness_witness(graph.system, assignment, lassos[0])

@@ -1,0 +1,151 @@
+"""Tests for the assertion-file format."""
+
+import pytest
+
+from repro.measures import annotate
+from repro.measures.assertfile import (
+    AssertionFileError,
+    load_assertion_file,
+    parse_assertion_file,
+)
+from repro.wf import BoundedNaturals, NATURALS
+from repro.workloads import p2, p4_bounded
+
+
+class TestParsing:
+    def test_single_default_case(self):
+        assertion = parse_assertion_file(
+            """
+            la
+            T: max(y - x, 0)
+            """
+        )
+        assert len(assertion.cases) == 1
+        assert assertion.cases[0].condition is None
+        assert assertion.order is NATURALS
+
+    def test_comments_and_blank_lines(self):
+        assertion = parse_assertion_file(
+            """
+            # the paper's P2' annotation
+            la          # the starved command
+
+            T: max(y - x, 0)
+            """
+        )
+        assert [s.subject for s in assertion.cases[0].hypotheses] == ["la", "T"]
+
+    def test_order_declaration(self):
+        assertion = parse_assertion_file(
+            """
+            order naturals(117)
+            T: z mod 117
+            """
+        )
+        assert assertion.order == BoundedNaturals(117)
+
+    def test_guarded_cases(self):
+        assertion = parse_assertion_file(
+            """
+            case x < 2:
+                la
+                T: y - x
+            case:
+                T: y - x
+            """
+        )
+        assert len(assertion.cases) == 2
+        assert assertion.cases[0].condition == "x < 2"
+        assert assertion.cases[1].condition is None
+
+    def test_unknown_order_rejected(self):
+        with pytest.raises(AssertionFileError) as info:
+            parse_assertion_file("order ordinals\nT: 0")
+        assert "line 1" in str(info.value)
+
+    def test_order_must_come_first(self):
+        with pytest.raises(AssertionFileError):
+            parse_assertion_file("T: 0\norder naturals")
+
+    def test_duplicate_order_rejected(self):
+        with pytest.raises(AssertionFileError):
+            parse_assertion_file("order naturals\norder naturals\nT: 0")
+
+    def test_empty_case_rejected(self):
+        with pytest.raises(AssertionFileError):
+            parse_assertion_file("case x < 1:\ncase:\nT: 0")
+
+    def test_termination_must_be_last(self):
+        with pytest.raises(AssertionFileError) as info:
+            parse_assertion_file("T: 0\nla")
+        assert "T-hypothesis" in str(info.value)
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(AssertionFileError):
+            parse_assertion_file("# just a comment\n")
+
+    def test_garbage_line_reported_with_number(self):
+        with pytest.raises(AssertionFileError) as info:
+            parse_assertion_file("la\n???\nT: 0")
+        assert "line 2" in str(info.value)
+
+
+class TestEndToEnd:
+    def test_p2_prime_from_file(self, tmp_path):
+        path = tmp_path / "p2.assert"
+        path.write_text("la\nT: max(y - x, 0)\n")
+        assertion = load_assertion_file(str(path))
+        result = annotate(p2(5), assertion).check()
+        assert result.is_fair_termination_measure
+        assert assertion.description == str(path)
+
+    def test_p4_prime_from_file(self, tmp_path):
+        path = tmp_path / "p4.assert"
+        path.write_text(
+            "# P4' (paper §3.4)\nlb\nla: z mod 117\nT: max(y - x, 0)\n"
+        )
+        assertion = load_assertion_file(str(path))
+        result = annotate(p4_bounded(3, 240), assertion).check()
+        assert result.is_fair_termination_measure
+
+
+class TestCli:
+    def test_check_subcommand_pass(self, tmp_path, capsys):
+        from repro.cli import main
+
+        program = tmp_path / "p2.gcl"
+        program.write_text(
+            "program P2 var x := 0, y := 5 do "
+            "la: x < y -> x := x + 1 [] lb: x < y -> skip od"
+        )
+        assertion = tmp_path / "p2.assert"
+        assertion.write_text("la\nT: max(y - x, 0)\n")
+        code = main(["check", str(program), "--assertion", str(assertion)])
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_check_subcommand_fail_shows_violations(self, tmp_path, capsys):
+        from repro.cli import main
+
+        program = tmp_path / "p2.gcl"
+        program.write_text(
+            "program P2 var x := 0, y := 5 do "
+            "la: x < y -> x := x + 1 [] lb: x < y -> skip od"
+        )
+        assertion = tmp_path / "bad.assert"
+        assertion.write_text("lb\nT: max(y - x, 0)\n")  # wrong hypothesis
+        code = main(["check", str(program), "--assertion", str(assertion)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "verification conditions fail" in out
+
+    def test_check_subcommand_unknown_label(self, tmp_path, capsys):
+        from repro.cli import main
+
+        program = tmp_path / "p.gcl"
+        program.write_text("program P var x := 0 do a: x < 1 -> x := x + 1 od")
+        assertion = tmp_path / "p.assert"
+        assertion.write_text("zz\nT: 1 - x\n")
+        code = main(["check", str(program), "--assertion", str(assertion)])
+        assert code == 2

@@ -1,0 +1,156 @@
+"""Tests for the stack-assertion language."""
+
+import pytest
+
+from repro.gcl import EvalError, parse_program
+from repro.measures import (
+    HypothesisSpec,
+    StackAssertion,
+    StackCase,
+    annotate,
+    parse_hypothesis_spec,
+)
+from repro.wf import NATURALS, BoundedNaturals
+
+
+class TestSpecParsing:
+    def test_with_measure(self):
+        spec = parse_hypothesis_spec("la: z mod 117")
+        assert spec.subject == "la"
+        assert spec.measure == "z mod 117"
+
+    def test_bare(self):
+        spec = parse_hypothesis_spec("lb")
+        assert spec.subject == "lb"
+        assert spec.measure is None
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_hypothesis_spec("???")
+
+
+class TestStackCaseValidation:
+    def test_termination_must_be_last(self):
+        with pytest.raises(ValueError):
+            StackCase(hypotheses=(HypothesisSpec("la"),))
+
+    def test_termination_needs_measure(self):
+        with pytest.raises(ValueError):
+            StackCase(hypotheses=(HypothesisSpec("T"),))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            StackCase(hypotheses=())
+
+
+class TestCompilation:
+    def program(self):
+        return parse_program(
+            """
+            program Q
+            var x := 0, y := 4
+            do
+                 la: x < y -> x := x + 1
+              [] lb: x < y -> skip
+            od
+            """
+        )
+
+    def test_single_case_evaluates(self):
+        assertion = StackAssertion.parse(["la", "T: max(y - x, 0)"])
+        assignment = assertion.compile()
+        program = self.program()
+        stack = assignment(program.state(x=1, y=4))
+        assert stack.termination_measure() == 3
+        assert stack.level(1).subject == "la"
+        assert stack.level(1).value is None
+
+    def test_callable_measure(self):
+        assertion = StackAssertion.parse(
+            [("la", lambda s: 42), ("T", "y - x")]
+        )
+        stack = assertion.compile()(self.program().state(x=0, y=4))
+        assert stack.measure("la") == 42
+
+    def test_cases_select_by_condition(self):
+        assertion = StackAssertion(
+            [
+                StackCase(
+                    hypotheses=(
+                        HypothesisSpec("la"),
+                        HypothesisSpec("T", "y - x"),
+                    ),
+                    condition="x < 2",
+                ),
+                StackCase(hypotheses=(HypothesisSpec("T", "y - x"),)),
+            ]
+        )
+        compiled = assertion.compile()
+        program = self.program()
+        assert compiled(program.state(x=0, y=4)).height == 2
+        assert compiled(program.state(x=3, y=4)).height == 1
+
+    def test_boolean_measure_rejected_at_evaluation(self):
+        assertion = StackAssertion.parse(["T: x < y"])
+        with pytest.raises(EvalError):
+            assertion.compile()(self.program().state(x=0, y=4))
+
+    def test_custom_order_carried(self):
+        assertion = StackAssertion.parse(
+            ["T: max(y - x, 0)"], order=BoundedNaturals(10)
+        )
+        assert assertion.compile().order == BoundedNaturals(10)
+
+    def test_no_case_applies_raises(self):
+        assertion = StackAssertion(
+            [
+                StackCase(
+                    hypotheses=(HypothesisSpec("T", "0"),), condition="false"
+                )
+            ]
+        )
+        with pytest.raises(EvalError):
+            assertion.compile()(self.program().state(x=0, y=4))
+
+    def test_needs_at_least_one_case(self):
+        with pytest.raises(ValueError):
+            StackAssertion([])
+
+    def test_render_shows_lines(self):
+        assertion = StackAssertion.parse(["la: z", "T: y - x"])
+        rendered = assertion.render()
+        assert "la: z" in rendered
+        assert "T: y - x" in rendered
+
+
+class TestAnnotate:
+    def test_unknown_label_rejected(self):
+        program = parse_program(
+            "program Q var x := 0 do a: x < 1 -> x := x + 1 od"
+        )
+        with pytest.raises(ValueError):
+            annotate(program, StackAssertion.parse(["zz", "T: 1 - x"]))
+
+    def test_check_runs_end_to_end(self):
+        program = parse_program(
+            """
+            program Q
+            var x := 0, y := 3
+            do
+                 la: x < y -> x := x + 1
+              [] lb: x < y -> skip
+            od
+            """
+        )
+        proof = annotate(program, StackAssertion.parse(["la", "T: max(y - x, 0)"]))
+        result = proof.check()
+        assert result.is_fair_termination_measure
+
+    def test_render_combines_assertion_and_program(self):
+        program = parse_program(
+            "program Q var x := 0 do a: x < 1 -> x := x + 1 od"
+        )
+        proof = annotate(program, StackAssertion.parse(["T: 1 - x"]))
+        rendered = proof.render()
+        assert "T: 1 - x" in rendered
+        assert "program Q" in rendered

@@ -1,0 +1,51 @@
+"""Tests for StackAssignment plumbing."""
+
+import pytest
+
+from repro.measures import TERMINATION, Hypothesis, Stack, StackAssignment
+from repro.wf import NATURALS, NotInDomainError
+
+
+def t_stack(w):
+    return Stack([Hypothesis(TERMINATION, w)])
+
+
+class TestStackAssignment:
+    def test_from_dict_lookup(self):
+        assignment = StackAssignment.from_dict({"s": t_stack(1)}, NATURALS)
+        assert assignment("s").termination_measure() == 1
+
+    def test_from_dict_missing_state(self):
+        assignment = StackAssignment.from_dict({"s": t_stack(1)}, NATURALS)
+        with pytest.raises(KeyError):
+            assignment("other")
+
+    def test_callable_backing(self):
+        assignment = StackAssignment(lambda s: t_stack(s), NATURALS)
+        assert assignment(3).termination_measure() == 3
+
+    def test_type_checked(self):
+        assignment = StackAssignment(lambda s: 42, NATURALS)
+        with pytest.raises(TypeError):
+            assignment("s")
+
+    def test_validate_values(self):
+        good = StackAssignment(lambda s: t_stack(0), NATURALS)
+        good.validate_values("s")
+        bad = StackAssignment(lambda s: t_stack(-1), NATURALS)
+        with pytest.raises(NotInDomainError):
+            bad.validate_values("s")
+
+    def test_restricted_falls_back(self):
+        primary = StackAssignment.from_dict({"a": t_stack(1)}, NATURALS)
+        combined = primary.restricted(lambda s: t_stack(9))
+        assert combined("a").termination_measure() == 1
+        assert combined("zz").termination_measure() == 9
+
+    def test_restricted_none_is_identity(self):
+        primary = StackAssignment.from_dict({"a": t_stack(1)}, NATURALS)
+        assert primary.restricted(None) is primary
+
+    def test_description_carried(self):
+        assignment = StackAssignment(lambda s: t_stack(0), NATURALS, "demo")
+        assert assignment.description == "demo"

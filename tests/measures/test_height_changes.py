@@ -1,0 +1,89 @@
+"""Tests for transitions between stacks of different heights.
+
+The paper's stacks may grow and shrink (the contents *above* the active
+hypothesis "may change in any way" — including appearing or disappearing);
+these tests pin the checker's behaviour at height seams.
+"""
+
+from repro.measures import (
+    TERMINATION,
+    Hypothesis,
+    Stack,
+    StackAssignment,
+    check_measure,
+    find_active_level,
+)
+from repro.ts import ExplicitSystem, explore
+from repro.wf import NATURALS
+
+
+def T(w):
+    return Hypothesis(TERMINATION, w)
+
+
+class TestHeightSeams:
+    def test_shrinking_stack_with_t_descent(self):
+        # Active at level 0: everything above may vanish.
+        data, _ = find_active_level(
+            Stack([T(2), Hypothesis("a", 1), Hypothesis("b")]),
+            Stack([T(1)]),
+            "a",
+            frozenset(),
+            NATURALS,
+        )
+        assert data.level == 0
+
+    def test_growing_stack_with_t_descent(self):
+        data, _ = find_active_level(
+            Stack([T(2)]),
+            Stack([T(1), Hypothesis("a", 9), Hypothesis("b")]),
+            "b",
+            frozenset(),
+            NATURALS,
+        )
+        assert data.level == 0
+
+    def test_shrink_below_active_level_fails(self):
+        # The active hypothesis must exist at the same level in BOTH
+        # stacks; losing it while T stalls leaves nothing active.
+        data, failures = find_active_level(
+            Stack([T(1), Hypothesis("a")]),
+            Stack([T(1)]),
+            "b",
+            frozenset({"a"}),
+            NATURALS,
+        )
+        assert data is None
+
+    def test_growth_above_active_enabled_level(self):
+        data, _ = find_active_level(
+            Stack([T(1), Hypothesis("a")]),
+            Stack([T(1), Hypothesis("a"), Hypothesis("c", 7)]),
+            "b",
+            frozenset({"a"}),
+            NATURALS,
+        )
+        assert (data.level, data.subject) == (1, "a")
+
+    def test_end_to_end_height_mixing(self):
+        # A three-state chain whose stacks shrink as progress is made.
+        system = ExplicitSystem(
+            commands=("go", "other"),
+            initial=[0],
+            transitions=[(0, "go", 1), (0, "other", 0), (1, "go", 2)],
+        )
+        graph = explore(system)
+        table = {
+            0: Stack([T(2), Hypothesis("go", 0)]),
+            1: Stack([T(1)]),
+            2: Stack([T(0)]),
+        }
+        result = check_measure(
+            graph, StackAssignment.from_dict(table, NATURALS)
+        )
+        assert result.ok
+        # The self-loop relies on 'go' being enabled (level 1); the chain
+        # steps use T descent and drop the hypothesis freely.
+        levels = {w.transition.command: w.level for w in result.witnesses}
+        assert levels["other"] == 1
+        assert levels["go"] == 0

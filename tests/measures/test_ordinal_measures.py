@@ -1,0 +1,112 @@
+"""Tests for ordinal-valued measures (the [AP86] connection, §2)."""
+
+import pytest
+
+from repro import StackAssertion, annotate, explore, parse_program
+from repro.baselines import TerminationMeasure, check_termination_measure
+from repro.measures import HypothesisSpec, StackCase
+from repro.wf import OMEGA, ORDINALS, omega_power, ordinal
+
+NESTED = """
+program Nested
+var u := 3, v := 0, cap := 4
+do
+     refill: u > 0 and v == 0 -> u := u - 1; choose v in 0 .. cap
+  [] dec:    v > 0 -> v := v - 1
+od
+"""
+
+PENDING = """
+program Pending
+var phase := 1, n := 0, cap := 6
+do
+     start: phase == 1 -> phase := 0; choose n in 0 .. cap
+  [] dec:   phase == 0 and n > 0 -> n := n - 1
+  [] idle:  phase == 1 -> skip
+od
+"""
+
+
+class TestOrdinalFloyd:
+    def test_omega_u_plus_v_decreases_everywhere(self):
+        graph = explore(parse_program(NESTED))
+        measure = TerminationMeasure(
+            lambda s: OMEGA * s["u"] + ordinal(s["v"]), order=ORDINALS
+        )
+        result = check_termination_measure(graph, measure)
+        assert result.ok and result.complete
+
+    def test_swapped_measure_fails(self):
+        # v·ω + u does not decrease on refills (wrong nesting order).
+        graph = explore(parse_program(NESTED))
+        measure = TerminationMeasure(
+            lambda s: OMEGA * s["v"] + ordinal(s["u"]), order=ORDINALS
+        )
+        result = check_termination_measure(graph, measure)
+        assert not result.ok
+
+    def test_natural_attempt_fails_uniformly(self):
+        # Any measure ignoring cap, e.g. u + v, fails on refills that pick
+        # a large v.
+        from repro.wf import NATURALS
+
+        graph = explore(parse_program(NESTED))
+        measure = TerminationMeasure(lambda s: s["u"] + s["v"], order=NATURALS)
+        result = check_termination_measure(graph, measure)
+        assert not result.ok
+
+
+class TestOrdinalStackAssertions:
+    def assertion(self):
+        return StackAssertion(
+            cases=[
+                StackCase(
+                    hypotheses=(
+                        HypothesisSpec("start"),
+                        HypothesisSpec("T", lambda s: OMEGA),
+                    ),
+                    condition="phase == 1",
+                ),
+                StackCase(
+                    hypotheses=(HypothesisSpec("T", lambda s: ordinal(s["n"])),),
+                ),
+            ],
+            order=ORDINALS,
+        )
+
+    def test_pending_choice_verifies(self):
+        proof = annotate(parse_program(PENDING), self.assertion())
+        result = proof.check()
+        assert result.is_fair_termination_measure
+
+    def test_start_step_realises_omega_descent(self):
+        program = parse_program(PENDING)
+        graph = explore(program)
+        result = annotate(program, self.assertion()).check(graph=graph)
+        start_levels = {
+            w.level for w in result.witnesses if w.transition.command == "start"
+        }
+        assert start_levels == {0}  # ω ≻ n: the T-hypothesis is active
+        idle_levels = {
+            w.level for w in result.witnesses if w.transition.command == "idle"
+        }
+        assert idle_levels == {1}  # the starved start explains idling
+
+    def test_omega_tower_values_accepted(self):
+        # Sanity: the checker handles deeper CNF values too.
+        program = parse_program(
+            "program Two var x := 2 do a: x > 0 -> x := x - 1 od"
+        )
+        values = {2: omega_power(2), 1: OMEGA + 3, 0: ordinal(0)}
+        assertion = StackAssertion(
+            cases=[
+                StackCase(
+                    hypotheses=(
+                        HypothesisSpec("T", lambda s: values[s["x"]]),
+                    ),
+                )
+            ],
+            order=ORDINALS,
+        )
+        result = annotate(program, assertion).check()
+        assert result.is_fair_termination_measure

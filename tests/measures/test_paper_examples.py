@@ -1,0 +1,137 @@
+"""The paper's worked examples, verified mechanically.
+
+These tests are the executable form of Sections 3.1–3.4 and the §4.2 case
+analysis: the exact annotations ``P1'``–``P4'`` pass the verification
+conditions, perturbed annotations fail, and the active-hypothesis levels
+match the paper's per-command argument.
+"""
+
+import pytest
+
+from repro.baselines import check_termination_measure, TerminationMeasure
+from repro.measures import StackAssertion, annotate, check_measure
+from repro.ts import explore
+from repro.workloads import (
+    p1,
+    p1_assertion,
+    p2,
+    p2_assertion,
+    p3,
+    p3_assertion,
+    p3_bounded,
+    p4,
+    p4_assertion,
+    p4_bounded,
+)
+
+
+class TestP1:
+    def test_floyd_measure_passes(self):
+        program = p1(10)
+        graph = explore(program)
+        measure = TerminationMeasure(
+            lambda s: max(s["y"] - s["x"], 0), description="max{y-x, 0}"
+        )
+        assert check_termination_measure(graph, measure).ok
+
+    def test_stack_form_passes_too(self):
+        # P1' as a stack assertion of height 1.
+        result = annotate(p1(10), p1_assertion()).check()
+        assert result.is_fair_termination_measure
+        assert result.active_levels() == {0: 10}
+
+
+class TestP2:
+    def test_paper_annotation_verifies(self):
+        result = annotate(p2(8), p2_assertion()).check()
+        assert result.is_fair_termination_measure
+
+    def test_active_levels_match_va_vt(self):
+        # (V_a): lb-steps keep μ^T constant with la enabled → level 1;
+        # (V_T): la-steps decrease μ^T → level 0.  Exactly y each.
+        result = annotate(p2(8), p2_assertion()).check()
+        assert result.active_levels() == {0: 8, 1: 8}
+
+    def test_floyd_alone_fails_on_p2(self):
+        graph = explore(p2(8))
+        measure = TerminationMeasure(lambda s: max(s["y"] - s["x"], 0))
+        result = check_termination_measure(graph, measure)
+        assert not result.ok  # skip transitions do not decrease it
+
+    def test_wrong_hypothesis_fails(self):
+        bad = StackAssertion.parse(["lb", "T: max(y - x, 0)"])
+        result = annotate(p2(8), bad).check()
+        assert not result.ok  # lb is the executed command on skip steps
+
+
+class TestP3:
+    def test_paper_annotation_verifies_on_bounded_region(self):
+        result = annotate(p3(3, 240), p3_assertion()).check(max_states=2000)
+        assert result.ok
+        assert not result.complete  # unbounded z: explored region only
+
+    def test_paper_annotation_exact_on_bounded_variant(self):
+        result = annotate(p3_bounded(3, 240), p3_assertion()).check()
+        assert result.is_fair_termination_measure
+
+    def test_modulus_117_in_range(self):
+        # μ^{ℓa} = z mod 117 stays within {0..116} — checkable by declaring
+        # the bounded order... the T-measure shares the order, so use plain
+        # naturals and assert the evaluated values directly.
+        program = p3_bounded(2, 240)
+        assignment = p3_assertion().compile()
+        graph = explore(program)
+        for i in range(len(graph)):
+            value = assignment(graph.state_of(i)).measure("la")
+            assert 0 <= value < 117
+
+    def test_missing_la_measure_fails(self):
+        # Without the ℓa progress measure, lb-steps at z ≢ 0 have no active
+        # hypothesis: μ^T is constant and la is not enabled.
+        bad = StackAssertion.parse(["la", "T: max(y - x, 0)"])
+        result = annotate(p3_bounded(3, 240), bad).check()
+        assert not result.ok
+
+
+class TestP4:
+    def test_paper_annotation_verifies_on_bounded_region(self):
+        result = annotate(p4(3, 240), p4_assertion()).check(max_states=2000)
+        assert result.ok
+
+    def test_paper_annotation_exact_on_bounded_variant(self):
+        result = annotate(p4_bounded(3, 240), p4_assertion()).check()
+        assert result.is_fair_termination_measure
+
+    def test_section_4_2_case_analysis(self):
+        """§4.2: ℓa ⇒ T active (level 0); ℓb ⇒ ℓa-hypothesis active
+        (level 1); ℓc ⇒ ℓb-hypothesis active (level 2)."""
+        graph = explore(p4_bounded(3, 240))
+        result = annotate(p4_bounded(3, 240), p4_assertion()).check(graph=graph)
+        assert result.ok
+        by_command = {}
+        for witness in result.witnesses:
+            by_command.setdefault(witness.transition.command, set()).add(
+                witness.level
+            )
+        assert by_command["la"] == {0}
+        assert by_command["lb"] == {1}
+        # ℓc steps use level 2 except where ℓa is enabled (z ≡ 0), where
+        # the checker's lowest-level preference picks level 1 — the §5
+        # freedom in choosing the active hypothesis.
+        assert by_command["lc"] <= {1, 2}
+        assert 2 in by_command["lc"]
+
+    def test_dropping_lb_level_fails(self):
+        # P3's annotation is not enough once ℓc exists (§3.4).
+        result = annotate(p4_bounded(3, 240), p3_assertion()).check()
+        assert not result.ok
+
+    def test_earlier_methods_would_need_three_programs(self):
+        from repro.baselines import helpful_directions_proof
+
+        graph = explore(p4_bounded(2, 10, 5))
+        proof = helpful_directions_proof(graph)
+        # "it would have been necessary to reason about three different
+        # programs: the original and two syntactically derived programs."
+        assert proof.nesting_depth >= 2
+        assert proof.derived_program_count >= 3

@@ -1,0 +1,109 @@
+"""Tests for the executable Theorem 1 (unfairness witness extraction)."""
+
+import pytest
+
+from repro.fairness import STRONG_FAIRNESS
+from repro.measures import (
+    MeasureContradiction,
+    TERMINATION,
+    Hypothesis,
+    Stack,
+    StackAssignment,
+    unfairness_witness,
+)
+from repro.ts import Lasso, Path
+from repro.wf import NATURALS
+from repro.workloads import p2, p2_assertion, p4, p4_assertion
+
+
+def p2_adversarial_lasso(program):
+    """The ⟨x=0⟩ lb-self-loop: the run an adversarial scheduler produces."""
+    start = program.state(x=0, y=program.state(x=0, y=0)["y"] if False else 5)
+    start = next(iter(program.initial_states()))
+    return Lasso(
+        stem=Path.singleton(start),
+        cycle=Path((start, start), ("lb",)),
+    )
+
+
+class TestWitnessExtraction:
+    def test_p2_witness_blames_la(self):
+        program = p2(5)
+        assignment = p2_assertion().compile()
+        witness = unfairness_witness(
+            program, assignment, p2_adversarial_lasso(program)
+        )
+        assert witness.command == "la"
+        assert witness.level == 1
+        assert len(witness.enabled_at) == 1
+        # Cross-check against the independent fairness spec.
+        lasso = p2_adversarial_lasso(program)
+        violations = STRONG_FAIRNESS.violations(
+            lasso, program.enabled, program.commands()
+        )
+        assert [v.command for v in violations] == [witness.command]
+
+    def test_p4_skip_loop_blamed_correctly(self):
+        program = p4(distance=2, z0=7, modulus=3)
+        assignment = p4_assertion(modulus=3).compile()
+        start = next(iter(program.initial_states()))
+        lasso = Lasso(
+            stem=Path.singleton(start), cycle=Path((start, start), ("lc",))
+        )
+        witness = unfairness_witness(program, assignment, lasso)
+        # On the lc-loop with z=7 (≢ 0 mod 3): la is disabled and its
+        # measure is frozen, lb is enabled; the lb-hypothesis at level 2 is
+        # the one the proof identifies.
+        assert witness.command == "lb"
+        assert witness.level == 2
+
+    def test_p4_lc_loop_at_z_multiple_blames_la(self):
+        program = p4(distance=2, z0=6, modulus=3)
+        assignment = p4_assertion(modulus=3).compile()
+        start = next(iter(program.initial_states()))
+        # z = 6 ≡ 0 (mod 3): both la and lb are candidates; the *lowest*
+        # active level around the cycle is la's level 1 (enabled).
+        lasso = Lasso(
+            stem=Path.singleton(start), cycle=Path((start, start), ("lc",))
+        )
+        witness = unfairness_witness(program, assignment, lasso)
+        assert witness.command in {"la", "lb"}
+        violations = STRONG_FAIRNESS.violations(
+            lasso, program.enabled, program.commands()
+        )
+        assert witness.command in {v.command for v in violations}
+
+
+class TestContradictions:
+    def test_bogus_measure_rejected(self):
+        program = p2(5)
+        # Constant stacks: nothing is ever active on the lb loop.
+        constant = Stack([Hypothesis(TERMINATION, 0)])
+        assignment = StackAssignment(lambda s: constant, NATURALS)
+        with pytest.raises(MeasureContradiction):
+            unfairness_witness(program, assignment, p2_adversarial_lasso(program))
+
+    def test_t_descent_on_cycle_rejected(self):
+        program = p2(5)
+        # A 2-cycle la;?? does not exist; instead fabricate T-decrease on a
+        # self-loop via a stateful counter — the checker must catch that the
+        # "measure" decreases at level 0 forever.
+        values = iter(range(10**6, 0, -1))
+        assignment = StackAssignment(
+            lambda s: Stack([Hypothesis(TERMINATION, next(values))]), NATURALS
+        )
+        with pytest.raises(MeasureContradiction) as info:
+            unfairness_witness(program, assignment, p2_adversarial_lasso(program))
+        assert "level 0" in str(info.value)
+
+    def test_executed_hypothesis_on_cycle_rejected(self):
+        program = p2(5)
+        # Stack whose level-1 hypothesis is the executed lb command.
+        assignment = StackAssignment(
+            lambda s: Stack(
+                [Hypothesis(TERMINATION, 0), Hypothesis("lb")]
+            ),
+            NATURALS,
+        )
+        with pytest.raises(MeasureContradiction):
+            unfairness_witness(program, assignment, p2_adversarial_lasso(program))

@@ -1,0 +1,115 @@
+"""Tests for hypotheses and stacks."""
+
+import pytest
+
+from repro.measures import TERMINATION, Hypothesis, Stack, stacks_equal_below
+
+
+class TestHypothesis:
+    def test_termination_needs_value(self):
+        with pytest.raises(ValueError):
+            Hypothesis(TERMINATION)
+
+    def test_bare_unfairness_hypothesis(self):
+        h = Hypothesis("la")
+        assert not h.has_measure
+        assert not h.is_termination
+
+    def test_with_value(self):
+        h = Hypothesis("la").with_value(3)
+        assert h.value == 3
+        assert h.subject == "la"
+
+    def test_empty_subject_rejected(self):
+        with pytest.raises(ValueError):
+            Hypothesis("")
+
+    def test_str(self):
+        assert str(Hypothesis("la", 3)) == "la: 3"
+        assert str(Hypothesis("la")) == "la"
+
+
+def stack(*entries):
+    return Stack(entries)
+
+
+class TestStack:
+    def test_termination_at_bottom_required(self):
+        with pytest.raises(ValueError):
+            stack(Hypothesis("la", 1))
+
+    def test_nonempty_required(self):
+        with pytest.raises(ValueError):
+            Stack(())
+
+    def test_termination_only_at_bottom(self):
+        with pytest.raises(ValueError):
+            stack(
+                Hypothesis(TERMINATION, 0),
+                Hypothesis(TERMINATION, 1),
+            )
+
+    def test_duplicate_subjects_rejected(self):
+        with pytest.raises(ValueError):
+            stack(
+                Hypothesis(TERMINATION, 0),
+                Hypothesis("la", 1),
+                Hypothesis("la", 2),
+            )
+
+    def test_top_down_matches_paper_display(self):
+        s = Stack.top_down(
+            [Hypothesis("lb"), Hypothesis("la", 3), Hypothesis(TERMINATION, 7)]
+        )
+        assert s.level(0).subject == TERMINATION
+        assert s.level(1).subject == "la"
+        assert s.level(2).subject == "lb"
+
+    def test_levels_and_measures(self):
+        s = stack(
+            Hypothesis(TERMINATION, 7),
+            Hypothesis("la", 3),
+            Hypothesis("lb"),
+        )
+        assert s.height == 3
+        assert s.level_of("la") == 1
+        assert s.level_of("zz") is None
+        assert s.measure("la") == 3
+        assert s.measure(TERMINATION) == 7
+        assert s.measure("lb") is None
+        assert s.termination_measure() == 7
+        assert s.subjects() == (TERMINATION, "la", "lb")
+
+    def test_below(self):
+        s = stack(Hypothesis(TERMINATION, 7), Hypothesis("la", 3))
+        assert s.below(1) == (Hypothesis(TERMINATION, 7),)
+        assert s.below(0) == ()
+
+    def test_equality_and_hash(self):
+        a = stack(Hypothesis(TERMINATION, 1), Hypothesis("la", 2))
+        b = stack(Hypothesis(TERMINATION, 1), Hypothesis("la", 2))
+        assert a == b and hash(a) == hash(b)
+        assert a != stack(Hypothesis(TERMINATION, 1))
+
+    def test_replace(self):
+        s = stack(Hypothesis(TERMINATION, 1), Hypothesis("la", 2))
+        s2 = s.replace(1, Hypothesis("la", 9))
+        assert s2.measure("la") == 9
+        assert s.measure("la") == 2
+
+    def test_render_is_top_down(self):
+        s = stack(Hypothesis(TERMINATION, 7), Hypothesis("la", 3), Hypothesis("lb"))
+        assert s.render() == "(lb / la: 3 / T: 7)"
+
+
+class TestStacksEqualBelow:
+    def test_prefix_comparison(self):
+        a = stack(Hypothesis(TERMINATION, 1), Hypothesis("la", 2))
+        b = stack(Hypothesis(TERMINATION, 1), Hypothesis("la", 9))
+        assert stacks_equal_below(a, b, 1)
+        assert not stacks_equal_below(a, b, 2)
+
+    def test_level_zero_trivially_equal(self):
+        a = stack(Hypothesis(TERMINATION, 1))
+        b = stack(Hypothesis(TERMINATION, 5))
+        assert stacks_equal_below(a, b, 0)

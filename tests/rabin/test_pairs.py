@@ -1,0 +1,117 @@
+"""Tests for Rabin pairs conditions and the unfairness-as-Rabin encoding."""
+
+from repro.fairness import STRONG_FAIRNESS, check_fair_termination
+from repro.rabin import (
+    CommandHistorySystem,
+    RabinPair,
+    fair_termination_rabin_condition,
+)
+from repro.ts import ExplicitSystem, Lasso, Path, explore
+from repro.workloads import p2
+
+
+class TestCommandHistorySystem:
+    def test_states_carry_last_command(self):
+        program = p2(3)
+        annotated = CommandHistorySystem(program)
+        ((base, last),) = list(annotated.initial_states())
+        assert last is None
+        posts = dict(annotated.post((base, None)))
+        assert posts["la"][1] == "la"
+        assert posts["lb"][1] == "lb"
+
+    def test_behaviour_preserved(self):
+        program = p2(3)
+        base_graph = explore(program)
+        annotated_graph = explore(CommandHistorySystem(program))
+        # Annotation multiplies states by (at most) the in-command count but
+        # must not change the fair-termination verdict.
+        assert check_fair_termination(base_graph).fairly_terminates == (
+            check_fair_termination(annotated_graph).fairly_terminates
+        )
+
+
+def annotated_lasso(program, commands, start=None):
+    """Run the command sequence and loop it, over annotated states."""
+    system = CommandHistorySystem(program)
+    state = (
+        (start, None)
+        if start is not None
+        else next(iter(system.initial_states()))
+    )
+    states = [state]
+    for command in commands:
+        posts = [t for c, t in system.post(states[-1]) if c == command]
+        states.append(posts[0])
+    cycle_states = states[1:]  # after the first pass the last-command repeats
+    # Build the cycle: repeat the command sequence from states[-1].
+    cycle = [states[-1]]
+    for command in commands:
+        posts = [t for c, t in system.post(cycle[-1]) if c == command]
+        cycle.append(posts[0])
+    return Lasso(
+        stem=Path(tuple(states), tuple(commands)),
+        cycle=Path(tuple(cycle), tuple(commands)),
+    )
+
+
+class TestUnfairnessAsRabinCondition:
+    def test_unfair_lasso_satisfies_condition(self):
+        program = p2(3)
+        condition = fair_termination_rabin_condition(program)
+        lasso = annotated_lasso(program, ["lb"])
+        assert condition.satisfied_on_lasso(lasso)
+        pair = condition.witnessing_pair(lasso)
+        assert pair.name == "unfair(la)"
+
+    def test_fair_lasso_violates_condition(self):
+        # An artificial fair loop: both commands executed forever.
+        system = ExplicitSystem(
+            ("a", "b"),
+            [0],
+            [(0, "a", 1), (1, "b", 0)],
+        )
+        condition = fair_termination_rabin_condition(system)
+        annotated = CommandHistorySystem(system)
+        lasso = Lasso(
+            stem=Path(((0, None), (1, "a"), (0, "b")), ("a", "b")),
+            cycle=Path(((0, "b"), (1, "a"), (0, "b")), ("a", "b")),
+        )
+        assert not condition.satisfied_on_lasso(lasso)
+
+    def test_agreement_with_strong_fairness_spec(self):
+        """A computation satisfies the unfairness Rabin condition iff the
+        strong-fairness spec calls it unfair."""
+        program = p2(3)
+        condition = fair_termination_rabin_condition(program)
+        for commands in (["lb"], ["la", "lb"], ["lb", "lb"]):
+            try:
+                lasso = annotated_lasso(program, commands)
+            except (IndexError, ValueError):
+                continue  # not executable, or does not close into a cycle
+            base_lasso = Lasso(
+                stem=Path(
+                    tuple(s for s, _ in lasso.stem.states),
+                    lasso.stem.commands,
+                ),
+                cycle=Path(
+                    tuple(s for s, _ in lasso.cycle.states),
+                    lasso.cycle.commands,
+                ),
+            )
+            unfair = not STRONG_FAIRNESS.is_fair(
+                base_lasso, program.enabled, program.commands()
+            )
+            assert condition.satisfied_on_lasso(lasso) == unfair
+
+
+class TestRabinPair:
+    def test_pair_semantics(self):
+        pair = RabinPair(
+            name="demo",
+            inf_target=lambda s: s == "L",
+            fin_avoid=lambda s: s == "U",
+        )
+        assert pair.satisfied_on_cycle(["L", "x"])
+        assert not pair.satisfied_on_cycle(["L", "U"])
+        assert not pair.satisfied_on_cycle(["x", "y"])

@@ -1,0 +1,70 @@
+"""Tests for coloured trees (the explicit Rabin-side object)."""
+
+from repro.measures import annotate
+from repro.rabin.trees import ColouredTree, description_sizes
+from repro.ts import explore
+from repro.workloads import p2, p2_assertion, p4_bounded, p4_assertion
+
+
+class TestColouredTree:
+    def build(self, program, assertion):
+        graph = explore(program)
+        assignment = assertion.compile()
+        return graph, assignment, ColouredTree.from_assignment(graph, assignment)
+
+    def test_depth_matches_stack_height(self):
+        _, _, tree = self.build(p2(4), p2_assertion())
+        assert tree.depth() == 2
+
+    def test_colours_are_subjects(self):
+        _, _, tree = self.build(p2(4), p2_assertion())
+        assert tree.colours() == frozenset({"T", "la"})
+
+    def test_states_counted_at_leaves(self):
+        graph, _, tree = self.build(p2(4), p2_assertion())
+        total = 0
+        work = [tree.root]
+        while work:
+            node = work.pop()
+            total += node.states_here
+            work.extend(node.children.values())
+        assert total == len(graph)
+
+    def test_vertex_count_grows_with_state_space(self):
+        _, _, small = self.build(p2(4), p2_assertion())
+        _, _, large = self.build(p2(40), p2_assertion())
+        assert large.vertex_count() > small.vertex_count()
+
+    def test_leaf_count_bounded_by_states(self):
+        graph, _, tree = self.build(p4_bounded(2, 10, 5), p4_assertion(5))
+        assert tree.leaf_count() <= len(graph)
+
+    def test_render_lists_vertices(self):
+        _, _, tree = self.build(p2(3), p2_assertion())
+        rendered = tree.render()
+        assert "T: " in rendered
+        assert "la" in rendered
+
+    def test_render_truncates(self):
+        _, _, tree = self.build(p2(40), p2_assertion())
+        rendered = tree.render(max_lines=5)
+        assert rendered.endswith("...")
+
+
+class TestDescriptionSizes:
+    def test_tree_grows_while_assertion_is_constant(self):
+        """The §5 point, quantified: the explicit tree description scales
+        with the state space; the self-contained assertion does not."""
+        assertion = p2_assertion()
+        text = assertion.render()
+        sizes = []
+        for distance in (5, 50, 500):
+            graph = explore(p2(distance))
+            tree_size, text_size = description_sizes(
+                graph, assertion.compile(), text
+            )
+            sizes.append((tree_size, text_size))
+        tree_sizes = [t for t, _ in sizes]
+        text_sizes = [a for _, a in sizes]
+        assert tree_sizes[0] < tree_sizes[1] < tree_sizes[2]
+        assert len(set(text_sizes)) == 1

@@ -1,0 +1,49 @@
+"""Unit tests for response properties and the obligation dynamics."""
+
+from repro.response import ResponseProperty, termination_as_response
+from repro.workloads import p2
+
+
+def prop(trigger, response):
+    return ResponseProperty(name="t", trigger=trigger, response=response)
+
+
+class TestObligationDynamics:
+    def test_trigger_raises(self):
+        p = prop(lambda s: s == "A", lambda s: s == "Z")
+        assert p.step_pending(False, "A") is True
+
+    def test_response_discharges(self):
+        p = prop(lambda s: s == "A", lambda s: s == "Z")
+        assert p.step_pending(True, "Z") is False
+
+    def test_pending_persists(self):
+        p = prop(lambda s: s == "A", lambda s: s == "Z")
+        assert p.step_pending(True, "B") is True
+        assert p.step_pending(False, "B") is False
+
+    def test_response_wins_over_trigger(self):
+        # A state that both triggers and responds leaves no obligation:
+        # the request is served on arrival.
+        p = prop(lambda s: True, lambda s: True)
+        assert p.step_pending(False, "X") is False
+        assert p.initial_pending("X") is False
+
+    def test_initial_pending(self):
+        p = prop(lambda s: s == "A", lambda s: s == "Z")
+        assert p.initial_pending("A") is True
+        assert p.initial_pending("B") is False
+
+    def test_str_mentions_name(self):
+        assert "t" in str(prop(lambda s: True, lambda s: False))
+
+
+class TestTerminationAsResponse:
+    def test_pending_iff_running(self):
+        program = p2(3)
+        p = termination_as_response(program)
+        running = program.state(x=0, y=3)
+        terminal = program.state(x=3, y=3)
+        assert p.initial_pending(running)
+        assert not p.step_pending(True, terminal)
+        assert p.step_pending(True, running)

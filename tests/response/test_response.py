@@ -1,0 +1,179 @@
+"""Tests for fair response (the [MP91] generalization)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fairness import STRONG_FAIRNESS, check_fair_termination
+from repro.response import (
+    ObligationSystem,
+    ResponseProperty,
+    ResponseViolatedError,
+    check_fair_response,
+    check_response_measure,
+    pending_indices,
+    synthesize_response_measure,
+    termination_as_response,
+)
+from repro.ts import ExplicitSystem, explore
+from repro.workloads import p2, random_system, request_server
+
+
+def waits(state):
+    return state == "wait"
+
+
+def idles(state):
+    return state == "idle"
+
+
+SERVED = ResponseProperty(name="served", trigger=waits, response=idles)
+
+
+class TestObligationProduct:
+    def test_pending_bit_evolution(self):
+        system = request_server()
+        product = ObligationSystem(system, SERVED)
+        ((state, pending),) = list(product.initial_states())
+        assert state == "idle" and not pending
+        posts = dict(product.post(("idle", False)))
+        assert posts["request"] == ("wait", True)
+        # Granting discharges.
+        posts = dict(product.post(("wait", True)))
+        assert posts["grant"] == ("idle", False)
+        assert posts["work"] == ("wait", True)
+
+    def test_retrigger_after_discharge(self):
+        system = request_server()
+        product = ObligationSystem(system, SERVED)
+        posts = dict(product.post(("idle", False)))
+        assert posts["request"][1] is True
+
+    def test_enabled_matches_base(self):
+        system = request_server()
+        product = ObligationSystem(system, SERVED)
+        assert product.enabled(("wait", True)) == system.enabled("wait")
+
+
+class TestDecision:
+    def test_server_satisfies_response_under_fairness(self):
+        system = request_server(noise_states=2)
+        result = check_fair_response(system, SERVED)
+        assert result.holds and result.decisive
+        assert result.pending_states > 0
+
+    def test_server_does_not_fairly_terminate(self):
+        """Response is strictly more general: the server runs forever
+        fairly (request/grant forever), yet every request is served."""
+        graph = explore(request_server())
+        assert not check_fair_termination(graph).fairly_terminates
+
+    def test_unreachable_response_fails_with_witness(self):
+        never = ResponseProperty(
+            name="never",
+            trigger=waits,
+            response=lambda s: s == "nonexistent",
+        )
+        result = check_fair_response(request_server(), never)
+        assert not result.holds
+        witness = result.witness
+        assert witness is not None
+        # The witness is genuinely fair and all-pending.
+        product = ObligationSystem(request_server(), never)
+        assert STRONG_FAIRNESS.is_fair(
+            witness.lasso, product.enabled, product.commands()
+        )
+        assert all(pending for _s, pending in witness.lasso.cycle_states())
+
+    def test_termination_as_response_matches_fair_termination(self):
+        for make in (lambda: p2(4), request_server):
+            system = make()
+            graph = explore(system)
+            terminates = check_fair_termination(graph).fairly_terminates
+            prop = termination_as_response(system)
+            result = check_fair_response(system, prop)
+            assert result.holds == terminates
+
+    @settings(deadline=None, max_examples=30)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_termination_reduction_on_random_systems(self, seed):
+        system = random_system(seed, states=8, commands=3, extra_edges=7)
+        graph = explore(system)
+        terminates = check_fair_termination(graph).fairly_terminates
+        result = check_fair_response(system, termination_as_response(system))
+        assert result.holds == terminates
+
+
+class TestResponseMeasures:
+    def test_synthesis_verifies_on_server(self):
+        system = request_server(noise_states=2)
+        product_graph = explore(ObligationSystem(system, SERVED))
+        pending = pending_indices(product_graph)
+        synthesis = synthesize_response_measure(product_graph, pending)
+        result = check_response_measure(
+            product_graph, pending, synthesis.assignment()
+        )
+        assert result.ok
+        assert result.transitions_checked > 0
+        # The pending region's unfairness hypothesis is the starved grant.
+        assert synthesis.regions[0].helpful == "grant"
+
+    def test_discharging_transitions_exempt(self):
+        system = request_server()
+        product_graph = explore(ObligationSystem(system, SERVED))
+        pending = pending_indices(product_graph)
+        synthesis = synthesize_response_measure(product_graph, pending)
+        result = check_response_measure(
+            product_graph, pending, synthesis.assignment()
+        )
+        # Checked transitions = pending→pending only (the work self-loop).
+        internal = [
+            t
+            for t in product_graph.transitions
+            if t.source in set(pending) and t.target in set(pending)
+        ]
+        assert result.transitions_checked == len(internal)
+
+    def test_violated_property_raises_with_witness(self):
+        never = ResponseProperty(
+            name="never", trigger=waits, response=lambda s: False
+        )
+        product_graph = explore(ObligationSystem(request_server(), never))
+        pending = pending_indices(product_graph)
+        with pytest.raises(ResponseViolatedError) as info:
+            synthesize_response_measure(product_graph, pending)
+        assert info.value.witness is not None
+
+    def test_bad_measure_rejected(self):
+        from repro.measures import TERMINATION, Hypothesis, Stack, StackAssignment
+        from repro.wf import NATURALS
+
+        system = request_server()
+        product_graph = explore(ObligationSystem(system, SERVED))
+        pending = pending_indices(product_graph)
+        constant = Stack([Hypothesis(TERMINATION, 0)])
+        assignment = StackAssignment(lambda s: constant, NATURALS)
+        result = check_response_measure(product_graph, pending, assignment)
+        assert not result.ok  # the work self-loop has no active hypothesis
+
+    @settings(deadline=None, max_examples=30)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_synthesis_agrees_with_decision_on_random_systems(self, seed):
+        system = random_system(seed, states=8, commands=3, extra_edges=7)
+        # Property: states with an even index eventually lead to state 0.
+        prop = ResponseProperty(
+            name="even-leads-home",
+            trigger=lambda s: s % 2 == 0 and s != 0,
+            response=lambda s: s == 0,
+        )
+        product_graph = explore(ObligationSystem(system, prop))
+        pending = pending_indices(product_graph)
+        decision = check_fair_response(system, prop, product_graph=product_graph)
+        if decision.holds:
+            synthesis = synthesize_response_measure(product_graph, pending)
+            result = check_response_measure(
+                product_graph, pending, synthesis.assignment()
+            )
+            assert result.ok
+        else:
+            with pytest.raises(ResponseViolatedError):
+                synthesize_response_measure(product_graph, pending)

@@ -1,0 +1,129 @@
+"""Tests for reachability exploration and its completeness accounting."""
+
+import pytest
+
+from repro.gcl import parse_program
+from repro.ts import ExplicitSystem, ExplorationLimitError, explore
+
+
+def chain(length):
+    return ExplicitSystem(
+        commands=("next",),
+        initial=[0],
+        transitions=[(i, "next", i + 1) for i in range(length)],
+    )
+
+
+class TestCompleteExploration:
+    def test_all_states_found(self):
+        graph = explore(chain(5))
+        assert len(graph) == 6
+        assert graph.complete
+        assert not graph.frontier
+
+    def test_unreachable_states_excluded(self):
+        system = ExplicitSystem(
+            commands=("a",),
+            initial=[0],
+            transitions=[(0, "a", 1), (7, "a", 8)],
+        )
+        graph = explore(system)
+        assert len(graph) == 2
+        assert not graph.contains(7)
+
+    def test_discovery_order_is_bfs(self):
+        system = ExplicitSystem(
+            commands=("a", "b"),
+            initial=[0],
+            transitions=[(0, "a", 1), (0, "b", 2), (1, "a", 3), (2, "a", 3)],
+        )
+        graph = explore(system)
+        assert list(graph.states) == [0, 1, 2, 3]
+
+    def test_index_round_trip(self):
+        graph = explore(chain(3))
+        for i in range(len(graph)):
+            assert graph.index_of(graph.state_of(i)) == i
+
+    def test_enabled_and_terminal(self):
+        graph = explore(chain(2))
+        assert graph.enabled_at(0) == frozenset({"next"})
+        assert graph.terminal_indices() == [2]
+        assert graph.is_terminal(2)
+
+    def test_incoming_outgoing(self):
+        graph = explore(chain(2))
+        assert len(graph.outgoing(0)) == 1
+        assert len(graph.incoming(1)) == 1
+        assert graph.outgoing(0)[0].command == "next"
+
+    def test_no_initial_states_rejected(self):
+        system = ExplicitSystem(("a",), [], [(0, "a", 1)])
+        with pytest.raises(ValueError):
+            explore(system)
+
+    def test_multiple_initial_states(self):
+        system = ExplicitSystem(
+            commands=("a",),
+            initial=[0, 10],
+            transitions=[(0, "a", 1), (10, "a", 11)],
+        )
+        graph = explore(system)
+        assert list(graph.initial_indices) == [0, 1]
+
+
+class TestBoundedExploration:
+    def test_max_depth_cuts(self):
+        graph = explore(chain(10), max_depth=3)
+        assert not graph.complete
+        assert len(graph) == 5  # depths 0..4 discovered, depth 4 unexpanded
+        assert graph.frontier == {4}
+
+    def test_max_states_cuts(self):
+        graph = explore(chain(100), max_states=10)
+        assert not graph.complete
+        assert len(graph) <= 10
+
+    def test_strict_mode_raises(self):
+        with pytest.raises(ExplorationLimitError):
+            explore(chain(100), max_states=5, strict=True)
+
+    def test_frontier_states_have_no_outgoing(self):
+        graph = explore(chain(10), max_depth=3)
+        for index in graph.frontier:
+            assert not graph.outgoing(index)
+
+    def test_infinite_state_program_bounded(self):
+        program = parse_program(
+            "program Up var x := 0 do a: true -> x := x + 1 od"
+        )
+        graph = explore(program, max_states=50)
+        assert not graph.complete
+        assert len(graph) == 50
+
+
+class TestDerivedFacts:
+    def test_commands_executed_within(self):
+        system = ExplicitSystem(
+            commands=("stay", "leave"),
+            initial=[0],
+            transitions=[(0, "stay", 0), (0, "leave", 1)],
+        )
+        graph = explore(system)
+        inside = graph.commands_executed_within({graph.index_of(0)})
+        assert inside == frozenset({"stay"})
+
+    def test_commands_enabled_within(self):
+        system = ExplicitSystem(
+            commands=("stay", "leave"),
+            initial=[0],
+            transitions=[(0, "stay", 0), (0, "leave", 1)],
+        )
+        graph = explore(system)
+        assert graph.commands_enabled_within({graph.index_of(0)}) == frozenset(
+            {"stay", "leave"}
+        )
+
+    def test_describe_mentions_completeness(self):
+        assert "complete" in explore(chain(2)).describe()
+        assert "bounded" in explore(chain(10), max_depth=2).describe()

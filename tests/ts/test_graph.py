@@ -1,0 +1,125 @@
+"""Tests for SCC decomposition over explored graphs."""
+
+from hypothesis import given, strategies as st
+
+from repro.ts import (
+    ExplicitSystem,
+    condensation_edges,
+    decompose,
+    explore,
+    internal_transitions,
+    is_nontrivial_scc,
+    tarjan_scc,
+)
+
+
+def graph_of(transitions, commands=("a",), initial=(0,)):
+    return explore(ExplicitSystem(commands, list(initial), transitions))
+
+
+class TestTarjan:
+    def test_single_cycle(self):
+        components = tarjan_scc([0, 1, 2], {0: [1], 1: [2], 2: [0]})
+        assert len(components) == 1
+        assert sorted(components[0]) == [0, 1, 2]
+
+    def test_dag_gives_singletons(self):
+        components = tarjan_scc([0, 1, 2], {0: [1], 1: [2]})
+        assert [sorted(c) for c in components] == [[2], [1], [0]]
+
+    def test_reverse_topological_emission(self):
+        # Two SCCs: {0,1} → {2,3}; sinks first.
+        components = tarjan_scc(
+            [0, 1, 2, 3], {0: [1], 1: [0, 2], 2: [3], 3: [2]}
+        )
+        assert sorted(components[0]) == [2, 3]
+        assert sorted(components[1]) == [0, 1]
+
+
+class TestDecompose:
+    def test_rank_decreases_along_edges(self):
+        graph = graph_of(
+            [(0, "a", 1), (1, "a", 0), (1, "a", 2), (2, "a", 3), (3, "a", 2)]
+        )
+        decomposition = decompose(graph)
+        for t in graph.transitions:
+            a = decomposition.component_of[t.source]
+            b = decomposition.component_of[t.target]
+            assert a >= b  # reverse topological: edges never climb
+
+    def test_restriction_ignores_external_edges(self):
+        graph = graph_of([(0, "a", 1), (1, "a", 0), (1, "a", 2), (2, "a", 1)])
+        # Restricted to {0, 1}: a two-state SCC.
+        i0, i1 = graph.index_of(0), graph.index_of(1)
+        decomposition = decompose(graph, restrict_to=[i0, i1])
+        assert decomposition.component_of[i0] == decomposition.component_of[i1]
+
+    def test_internal_transitions(self):
+        graph = graph_of([(0, "a", 0), (0, "a", 1)])
+        i0 = graph.index_of(0)
+        inside = internal_transitions(graph, [i0])
+        assert len(inside) == 1
+        assert inside[0].command == "a"
+
+    def test_nontrivial_detection(self):
+        graph = graph_of([(0, "a", 0), (0, "a", 1)])
+        assert is_nontrivial_scc(graph, [graph.index_of(0)])
+        assert not is_nontrivial_scc(graph, [graph.index_of(1)])
+
+    def test_condensation_edges(self):
+        graph = graph_of([(0, "a", 1), (1, "a", 0), (1, "a", 2)])
+        decomposition = decompose(graph)
+        edges = condensation_edges(graph, decomposition)
+        assert len(edges) == 1
+        (edge,) = edges
+        assert edge[0] > edge[1]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=7),
+                st.integers(min_value=0, max_value=7),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_components_partition_states(self, edges):
+        transitions = [(a, "a", b) for a, b in edges] + [
+            (0, "a", i) for i in range(8)
+        ]
+        graph = graph_of(transitions)
+        decomposition = decompose(graph)
+        seen = [i for component in decomposition.components for i in component]
+        assert sorted(seen) == list(range(len(graph)))
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=6),
+                st.integers(min_value=0, max_value=6),
+            ),
+            min_size=1,
+            max_size=18,
+        )
+    )
+    def test_mutual_reachability_within_components(self, edges):
+        transitions = [(a, "a", b) for a, b in edges] + [
+            (0, "a", i) for i in range(7)
+        ]
+        graph = graph_of(transitions)
+        decomposition = decompose(graph)
+        # Brute-force reachability.
+        n = len(graph)
+        reach = [[False] * n for _ in range(n)]
+        for i in range(n):
+            reach[i][i] = True
+        for _ in range(n):
+            for t in graph.transitions:
+                for i in range(n):
+                    if reach[i][t.source]:
+                        reach[i][t.target] = True
+        for component in decomposition.components:
+            for a in component:
+                for b in component:
+                    assert reach[a][b] and reach[b][a]

@@ -1,0 +1,134 @@
+"""Tests for paths, lassos and witness-building helpers."""
+
+import pytest
+
+from repro.ts import (
+    ExplicitSystem,
+    Lasso,
+    Path,
+    cycle_through_all,
+    explore,
+    find_path_indices,
+    lasso_from_indices,
+)
+
+
+class TestPath:
+    def test_arity_invariant(self):
+        with pytest.raises(ValueError):
+            Path(states=(1, 2), commands=())
+
+    def test_singleton(self):
+        path = Path.singleton("s")
+        assert len(path) == 0
+        assert path.first == path.last == "s"
+
+    def test_extend(self):
+        path = Path.singleton(0).extend("a", 1).extend("b", 2)
+        assert path.states == (0, 1, 2)
+        assert path.commands == ("a", "b")
+
+    def test_transitions(self):
+        path = Path.singleton(0).extend("a", 1)
+        (t,) = list(path.transitions())
+        assert (t.source, t.command, t.target) == (0, "a", 1)
+
+
+class TestLasso:
+    def good(self):
+        stem = Path.singleton(0).extend("a", 1)
+        cycle = Path((1, 2, 1), ("b", "c"))
+        return Lasso(stem=stem, cycle=cycle)
+
+    def test_structure_validated(self):
+        with pytest.raises(ValueError):
+            Lasso(stem=Path.singleton(0), cycle=Path.singleton(0))  # empty cycle
+        with pytest.raises(ValueError):
+            Lasso(
+                stem=Path.singleton(0),
+                cycle=Path((1, 2, 1), ("b", "c")),  # stem ends elsewhere
+            )
+        with pytest.raises(ValueError):
+            Lasso(
+                stem=Path.singleton(1),
+                cycle=Path((1, 2, 3), ("b", "c")),  # cycle not closed
+            )
+
+    def test_executed_infinitely_often(self):
+        assert self.good().executed_infinitely_often() == frozenset({"b", "c"})
+
+    def test_cycle_states_drop_duplicate_knot(self):
+        assert self.good().cycle_states() == (1, 2)
+
+    def test_prefix_unrolls_cycle(self):
+        prefix = self.good().prefix(5)
+        assert prefix.commands == ("a", "b", "c", "b", "c")
+        assert prefix.states == (0, 1, 2, 1, 2, 1)
+
+    def test_describe_mentions_loop(self):
+        assert "loop" in self.good().describe()
+
+
+def fixture_graph():
+    system = ExplicitSystem(
+        commands=("a", "b"),
+        initial=[0],
+        transitions=[
+            (0, "a", 1),
+            (1, "a", 2),
+            (2, "b", 1),
+            (1, "b", 1),
+        ],
+    )
+    return explore(system)
+
+
+class TestWitnessHelpers:
+    def test_find_path(self):
+        graph = fixture_graph()
+        path = find_path_indices(graph, [0], graph.index_of(2))
+        assert [t.command for t in path] == ["a", "a"]
+
+    def test_find_path_respects_allowed(self):
+        graph = fixture_graph()
+        i1, i2 = graph.index_of(1), graph.index_of(2)
+        with pytest.raises(ValueError):
+            find_path_indices(graph, [0], i2, allowed=[0, i1])
+
+    def test_find_path_to_self_is_empty(self):
+        graph = fixture_graph()
+        assert find_path_indices(graph, [0], 0) == []
+
+    def test_cycle_through_all_covers_every_internal_transition(self):
+        graph = fixture_graph()
+        component = [graph.index_of(1), graph.index_of(2)]
+        tour = cycle_through_all(graph, component)
+        taken = {(t.source, t.command, t.target) for t in tour}
+        internal = {
+            (t.source, t.command, t.target)
+            for t in graph.transitions
+            if t.source in set(component) and t.target in set(component)
+        }
+        assert internal <= taken
+        # And it is a closed walk.
+        assert tour[0].source == tour[-1].target
+
+    def test_cycle_through_all_needs_internal_transition(self):
+        graph = fixture_graph()
+        with pytest.raises(ValueError):
+            cycle_through_all(graph, [graph.index_of(0)])
+
+    def test_lasso_from_indices(self):
+        graph = fixture_graph()
+        component = [graph.index_of(1), graph.index_of(2)]
+        tour = cycle_through_all(graph, component)
+        stem = find_path_indices(graph, [0], tour[0].source)
+        lasso = lasso_from_indices(graph, stem, tour)
+        assert lasso.stem.first == 0
+        assert lasso.cycle.first == lasso.cycle.last
+
+    def test_lasso_from_indices_rejects_broken_chain(self):
+        graph = fixture_graph()
+        t_a = graph.outgoing(0)[0]
+        with pytest.raises(ValueError):
+            lasso_from_indices(graph, [], [t_a, t_a])

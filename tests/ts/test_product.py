@@ -1,0 +1,76 @@
+"""Tests for interleaving composition and guarded overlays."""
+
+import pytest
+
+from repro.ts import ExplicitSystem, GuardedOverlay, InterleavingComposition, explore
+
+
+def toggler():
+    return ExplicitSystem(
+        commands=("flip",),
+        initial=["off"],
+        transitions=[("off", "flip", "on"), ("on", "flip", "off")],
+    )
+
+
+def one_shot():
+    return ExplicitSystem(
+        commands=("go",),
+        initial=["ready"],
+        transitions=[("ready", "go", "done")],
+    )
+
+
+class TestInterleavingComposition:
+    def test_commands_are_prefixed(self):
+        composed = InterleavingComposition([("p", toggler()), ("q", one_shot())])
+        assert composed.commands() == ("p.flip", "q.go")
+
+    def test_initial_states_are_products(self):
+        composed = InterleavingComposition([("p", toggler()), ("q", one_shot())])
+        assert list(composed.initial_states()) == [("off", "ready")]
+
+    def test_one_component_moves_per_step(self):
+        composed = InterleavingComposition([("p", toggler()), ("q", one_shot())])
+        posts = dict(composed.post(("off", "ready")))
+        assert posts["p.flip"] == ("on", "ready")
+        assert posts["q.go"] == ("off", "done")
+
+    def test_state_space_size(self):
+        composed = InterleavingComposition([("p", toggler()), ("q", toggler())])
+        graph = explore(composed)
+        assert len(graph) == 4
+
+    def test_shared_guard_vetoes(self):
+        # q.go only allowed once p is on.
+        def guard(state, name, label):
+            if name == "q" and label == "go":
+                return state[0] == "on"
+            return True
+
+        composed = InterleavingComposition(
+            [("p", toggler()), ("q", one_shot())], shared_guard=guard
+        )
+        assert composed.enabled(("off", "ready")) == frozenset({"p.flip"})
+        assert "q.go" in composed.enabled(("on", "ready"))
+
+    def test_duplicate_process_names_rejected(self):
+        with pytest.raises(ValueError):
+            InterleavingComposition([("p", toggler()), ("p", toggler())])
+
+    def test_empty_composition_rejected(self):
+        with pytest.raises(ValueError):
+            InterleavingComposition([])
+
+
+class TestGuardedOverlay:
+    def test_restriction_prunes(self):
+        base = toggler()
+        overlay = GuardedOverlay(base, lambda state, cmd: state == "off")
+        assert overlay.enabled("off") == frozenset({"flip"})
+        assert overlay.enabled("on") == frozenset()
+        assert list(overlay.post("on")) == []
+
+    def test_commands_unchanged(self):
+        overlay = GuardedOverlay(toggler(), lambda state, cmd: True)
+        assert overlay.commands() == ("flip",)

@@ -1,0 +1,82 @@
+"""Tests for explicit transition systems and validation."""
+
+import pytest
+
+from repro.ts import ExplicitSystem, RenamedSystem, Transition
+
+
+def tiny():
+    return ExplicitSystem(
+        commands=("a", "b"),
+        initial=[0],
+        transitions=[(0, "a", 1), (0, "b", 0), (1, "a", 2)],
+    )
+
+
+class TestExplicitSystem:
+    def test_commands(self):
+        assert tiny().commands() == ("a", "b")
+
+    def test_enabled_derived_from_transitions(self):
+        system = tiny()
+        assert system.enabled(0) == frozenset({"a", "b"})
+        assert system.enabled(1) == frozenset({"a"})
+        assert system.enabled(2) == frozenset()
+
+    def test_post(self):
+        assert set(tiny().post(0)) == {("a", 1), ("b", 0)}
+
+    def test_is_terminal(self):
+        assert tiny().is_terminal(2)
+        assert not tiny().is_terminal(0)
+
+    def test_transitions_from(self):
+        transitions = list(tiny().transitions_from(1))
+        assert transitions == [Transition(1, "a", 2)]
+
+    def test_unknown_command_in_transition_rejected(self):
+        with pytest.raises(ValueError):
+            ExplicitSystem(("a",), [0], [(0, "zz", 1)])
+
+    def test_explicit_enabled_must_cover_executed(self):
+        with pytest.raises(ValueError):
+            ExplicitSystem(
+                ("a",), [0], [(0, "a", 1)], enabled={0: frozenset()}
+            )
+
+    def test_enabled_without_transition_rejected(self):
+        with pytest.raises(ValueError):
+            ExplicitSystem(
+                ("a", "b"),
+                [0],
+                [(0, "a", 1)],
+                enabled={0: frozenset({"a", "b"})},
+            )
+
+    def test_duplicate_commands_rejected(self):
+        with pytest.raises(ValueError):
+            ExplicitSystem(("a", "a"), [0], [(0, "a", 0)])
+
+    def test_empty_commands_rejected(self):
+        with pytest.raises(ValueError):
+            ExplicitSystem((), [0], [])
+
+    def test_known_states_includes_targets(self):
+        assert tiny().known_states == frozenset({0, 1, 2})
+
+
+class TestRenamedSystem:
+    def test_states_mapped_through(self):
+        renamed = RenamedSystem(
+            tiny(), rename=lambda s: f"s{s}", unrename=lambda s: int(s[1:])
+        )
+        assert list(renamed.initial_states()) == ["s0"]
+        assert set(renamed.post("s0")) == {("a", "s1"), ("b", "s0")}
+        assert renamed.enabled("s1") == frozenset({"a"})
+
+    def test_non_inverse_rename_detected(self):
+        renamed = RenamedSystem(
+            tiny(), rename=lambda s: "same", unrename=lambda s: 0
+        )
+        with pytest.raises(ValueError):
+            list(renamed.post("other"))

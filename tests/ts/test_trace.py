@@ -1,0 +1,71 @@
+"""Tests for execution traces."""
+
+from repro.ts import TraceRecorder
+
+
+def make_trace(steps, final="end", terminated=True, final_enabled=frozenset()):
+    recorder = TraceRecorder()
+    for state, enabled, command in steps:
+        recorder.record(state, frozenset(enabled), command)
+    return recorder.finish(final, final_enabled, terminated)
+
+
+class TestExecutionTrace:
+    def test_counts(self):
+        trace = make_trace(
+            [
+                (0, {"a", "b"}, "a"),
+                (1, {"a", "b"}, "b"),
+                (2, {"b"}, "b"),
+            ]
+        )
+        assert trace.execution_counts() == {"a": 1, "b": 2}
+        assert trace.enabled_counts() == {"a": 2, "b": 3}
+        assert len(trace) == 3
+
+    def test_states_and_commands(self):
+        trace = make_trace([(0, {"a"}, "a"), (1, {"a"}, "a")], final=2)
+        assert trace.states() == (0, 1, 2)
+        assert trace.commands() == ("a", "a")
+
+    def test_starvation_span(self):
+        trace = make_trace(
+            [
+                (0, {"a", "b"}, "b"),
+                (1, {"a", "b"}, "b"),
+                (2, {"a", "b"}, "a"),
+                (3, {"a", "b"}, "b"),
+            ]
+        )
+        assert trace.starvation_span("a") == 2
+
+    def test_starvation_resets_when_disabled(self):
+        trace = make_trace(
+            [
+                (0, {"a", "b"}, "b"),
+                (1, {"b"}, "b"),
+                (2, {"a", "b"}, "b"),
+            ]
+        )
+        assert trace.starvation_span("a") == 1
+
+    def test_suffix_violations(self):
+        trace = make_trace(
+            [
+                (0, {"a", "b"}, "b"),
+                (1, {"a", "b"}, "b"),
+                (2, {"a", "b"}, "b"),
+            ],
+            terminated=False,
+        )
+        assert trace.suffix_violations(2) == ["a"]
+
+    def test_suffix_violations_window_capped(self):
+        trace = make_trace([(0, {"a", "b"}, "b")], terminated=False)
+        assert trace.suffix_violations(100) == ["a"]
+
+    def test_no_violation_when_executed(self):
+        trace = make_trace(
+            [(0, {"a"}, "a"), (1, {"a"}, "a")], terminated=False
+        )
+        assert trace.suffix_violations(2) == []

@@ -1,0 +1,99 @@
+"""Tests for lexicographic orders."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.wf import (
+    NATURALS,
+    BoundedLengthLexOrder,
+    HomogeneousLexOrder,
+    LexicographicOrder,
+    NotInDomainError,
+)
+
+pairs = st.tuples(
+    st.integers(min_value=0, max_value=8), st.integers(min_value=0, max_value=8)
+)
+
+
+class TestLexicographicOrder:
+    def test_needs_components(self):
+        with pytest.raises(ValueError):
+            LexicographicOrder([])
+
+    def test_first_component_decides(self):
+        order = LexicographicOrder([NATURALS, NATURALS])
+        assert order.gt((2, 0), (1, 99))
+        assert not order.gt((1, 99), (2, 0))
+
+    def test_tie_falls_through(self):
+        order = LexicographicOrder([NATURALS, NATURALS])
+        assert order.gt((1, 3), (1, 2))
+        assert not order.gt((1, 2), (1, 2))
+
+    def test_wrong_width_rejected(self):
+        order = LexicographicOrder([NATURALS, NATURALS])
+        with pytest.raises(NotInDomainError):
+            order.gt((1, 2, 3), (1, 2))
+
+    @given(pairs, pairs)
+    def test_matches_python_tuple_order(self, a, b):
+        order = LexicographicOrder([NATURALS, NATURALS])
+        assert order.gt(a, b) == (a > b)
+
+
+class TestHomogeneousLexOrder:
+    def test_width_enforced(self):
+        order = HomogeneousLexOrder(NATURALS, 3)
+        assert order.contains((1, 2, 3))
+        assert not order.contains((1, 2))
+
+    def test_positive_width_required(self):
+        with pytest.raises(ValueError):
+            HomogeneousLexOrder(NATURALS, 0)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=5), min_size=3, max_size=3),
+        st.lists(st.integers(min_value=0, max_value=5), min_size=3, max_size=3),
+    )
+    def test_matches_tuple_order(self, a, b):
+        order = HomogeneousLexOrder(NATURALS, 3)
+        assert order.gt(tuple(a), tuple(b)) == (tuple(a) > tuple(b))
+
+
+class TestBoundedLengthLexOrder:
+    def test_length_bound(self):
+        order = BoundedLengthLexOrder(NATURALS, 2)
+        assert order.contains((1,))
+        assert order.contains(())
+        assert not order.contains((1, 2, 3))
+
+    def test_proper_prefix_is_smaller(self):
+        order = BoundedLengthLexOrder(NATURALS, 3)
+        assert order.gt((1, 2), (1,))
+        assert not order.gt((1,), (1, 2))
+
+    def test_content_beats_length(self):
+        order = BoundedLengthLexOrder(NATURALS, 3)
+        assert order.gt((2,), (1, 9, 9))
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=4), max_size=3),
+        st.lists(st.integers(min_value=0, max_value=4), max_size=3),
+        st.lists(st.integers(min_value=0, max_value=4), max_size=3),
+    )
+    def test_transitive(self, a, b, c):
+        order = BoundedLengthLexOrder(NATURALS, 3)
+        a, b, c = tuple(a), tuple(b), tuple(c)
+        if order.gt(a, b) and order.gt(b, c):
+            assert order.gt(a, c)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=4), max_size=3),
+        st.lists(st.integers(min_value=0, max_value=4), max_size=3),
+    )
+    def test_total_on_distinct(self, a, b):
+        order = BoundedLengthLexOrder(NATURALS, 3)
+        a, b = tuple(a), tuple(b)
+        if a != b:
+            assert order.gt(a, b) != order.gt(b, a)

@@ -1,0 +1,81 @@
+"""Tests for multisets and the Dershowitz–Manna extension."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.wf import NATURALS, Multiset, MultisetExtension
+
+small_multisets = st.lists(
+    st.integers(min_value=0, max_value=4), max_size=5
+).map(Multiset)
+
+
+class TestMultiset:
+    def test_counts(self):
+        m = Multiset([1, 1, 2])
+        assert m.count(1) == 2
+        assert m.count(2) == 1
+        assert m.count(9) == 0
+        assert len(m) == 3
+
+    def test_from_mapping(self):
+        m = Multiset({1: 2, 2: 0})
+        assert m.count(1) == 2
+        assert 2 not in m.elements()
+
+    def test_negative_multiplicity_rejected(self):
+        with pytest.raises(ValueError):
+            Multiset({1: -1})
+
+    def test_equality_ignores_insertion_order(self):
+        assert Multiset([1, 2, 1]) == Multiset([2, 1, 1])
+        assert hash(Multiset([1, 2])) == hash(Multiset([2, 1]))
+
+    def test_union_and_difference(self):
+        a, b = Multiset([1, 1, 2]), Multiset([1, 3])
+        assert a.union(b) == Multiset([1, 1, 1, 2, 3])
+        assert a.difference(b) == Multiset([1, 2])
+        assert b.difference(a) == Multiset([3])
+
+    def test_iteration_respects_multiplicity(self):
+        assert sorted(Multiset([2, 2, 5])) == [2, 2, 5]
+
+
+class TestDershowitzManna:
+    def setup_method(self):
+        self.order = MultisetExtension(NATURALS)
+
+    def test_removing_decreases(self):
+        assert self.order.gt(Multiset([3, 1]), Multiset([1]))
+
+    def test_replace_big_by_smaller_copies(self):
+        assert self.order.gt(Multiset([3]), Multiset([2, 2, 2, 2]))
+
+    def test_adding_bigger_does_not_decrease(self):
+        assert not self.order.gt(Multiset([1]), Multiset([1, 3]))
+
+    def test_equal_not_greater(self):
+        assert not self.order.gt(Multiset([1, 2]), Multiset([2, 1]))
+
+    def test_empty_is_minimum(self):
+        assert self.order.gt(Multiset([0]), Multiset([]))
+        assert not self.order.gt(Multiset([]), Multiset([0]))
+
+    def test_incomparable_swap(self):
+        # {2} vs {1, 1, 1}: 2 > 1 so replacing 2 by three 1s decreases.
+        assert self.order.gt(Multiset([2]), Multiset([1, 1, 1]))
+        assert not self.order.gt(Multiset([1, 1, 1]), Multiset([2]))
+
+    @given(small_multisets, small_multisets)
+    def test_antisymmetric(self, a, b):
+        assert not (self.order.gt(a, b) and self.order.gt(b, a))
+
+    @given(small_multisets, small_multisets, small_multisets)
+    def test_transitive(self, a, b, c):
+        if self.order.gt(a, b) and self.order.gt(b, c):
+            assert self.order.gt(a, c)
+
+    @given(small_multisets, small_multisets)
+    def test_union_monotone(self, a, extra):
+        if len(extra) > 0:
+            assert self.order.gt(a.union(extra), a)

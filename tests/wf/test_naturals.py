@@ -1,0 +1,84 @@
+"""Unit tests for the natural-number orders."""
+
+import pytest
+
+from repro.wf import NATURALS, BoundedNaturals, NotInDomainError
+
+
+class TestNaturals:
+    def test_contains_non_negative_ints(self):
+        assert NATURALS.contains(0)
+        assert NATURALS.contains(10**9)
+
+    def test_rejects_negative(self):
+        assert not NATURALS.contains(-1)
+
+    def test_rejects_bool(self):
+        assert not NATURALS.contains(True)
+
+    def test_rejects_non_int(self):
+        assert not NATURALS.contains(1.5)
+        assert not NATURALS.contains("3")
+
+    def test_gt(self):
+        assert NATURALS.gt(3, 2)
+        assert not NATURALS.gt(2, 3)
+        assert not NATURALS.gt(2, 2)
+
+    def test_ge(self):
+        assert NATURALS.ge(2, 2)
+        assert NATURALS.ge(3, 2)
+        assert not NATURALS.ge(2, 3)
+
+    def test_gt_outside_domain_raises(self):
+        with pytest.raises(NotInDomainError):
+            NATURALS.gt(-1, 0)
+        with pytest.raises(NotInDomainError):
+            NATURALS.gt(0, -1)
+
+    def test_is_well_founded(self):
+        assert NATURALS.is_well_founded()
+
+    def test_max_min(self):
+        assert NATURALS.max_of([3, 1, 2]) == 3
+        assert NATURALS.min_of([3, 1, 2]) == 1
+
+    def test_max_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            NATURALS.max_of([])
+
+    def test_descending_chain_detection(self):
+        assert NATURALS.is_descending_chain([5, 3, 2, 0])
+        assert not NATURALS.is_descending_chain([5, 5, 2])
+        assert not NATURALS.is_descending_chain([2, 3])
+
+    def test_describe_mentions_naturals(self):
+        assert "ℕ" in NATURALS.describe()
+
+
+class TestBoundedNaturals:
+    def test_membership_window(self):
+        order = BoundedNaturals(117)
+        assert order.contains(0)
+        assert order.contains(116)
+        assert not order.contains(117)
+        assert not order.contains(-1)
+
+    def test_gt_inside_window(self):
+        order = BoundedNaturals(5)
+        assert order.gt(4, 0)
+        assert not order.gt(0, 4)
+
+    def test_gt_escaping_value_raises(self):
+        order = BoundedNaturals(5)
+        with pytest.raises(NotInDomainError):
+            order.gt(5, 1)
+
+    def test_zero_bound_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedNaturals(0)
+
+    def test_equality_by_bound(self):
+        assert BoundedNaturals(4) == BoundedNaturals(4)
+        assert BoundedNaturals(4) != BoundedNaturals(5)
+        assert hash(BoundedNaturals(4)) == hash(BoundedNaturals(4))

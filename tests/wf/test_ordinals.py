@@ -1,0 +1,160 @@
+"""Unit and property tests for CNF ordinals below ε₀."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.wf import OMEGA, ONE, ORDINALS, ZERO, Ordinal, omega_power, ordinal
+
+
+# A strategy for smallish ordinals: ω^e·c sums with e itself possibly ω-level.
+@st.composite
+def ordinals(draw, depth=2):
+    if depth == 0:
+        return ordinal(draw(st.integers(min_value=0, max_value=5)))
+    n_terms = draw(st.integers(min_value=0, max_value=3))
+    result = ordinal(0)
+    exponents = set()
+    for _ in range(n_terms):
+        e = draw(ordinals(depth=depth - 1))
+        if e in exponents:
+            continue
+        exponents.add(e)
+        c = draw(st.integers(min_value=1, max_value=4))
+        result = result.natural_sum(omega_power(e, c))
+    return result
+
+
+class TestConstruction:
+    def test_zero_is_empty(self):
+        assert ZERO.is_zero()
+        assert ZERO.is_finite()
+        assert ZERO.to_int() == 0
+
+    def test_finite_round_trip(self):
+        assert ordinal(7).to_int() == 7
+
+    def test_ordinal_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ordinal(-1)
+
+    def test_ordinal_rejects_bool(self):
+        with pytest.raises(ValueError):
+            ordinal(True)
+
+    def test_cnf_exponents_must_decrease(self):
+        with pytest.raises(ValueError):
+            Ordinal(((ZERO, 1), (ONE, 1)))
+
+    def test_cnf_coefficients_positive(self):
+        with pytest.raises(ValueError):
+            Ordinal(((ZERO, 0),))
+
+    def test_omega_is_limit(self):
+        assert OMEGA.is_limit()
+        assert not OMEGA.is_finite()
+
+    def test_successor_detection(self):
+        assert (OMEGA + 1).is_successor()
+        assert not (OMEGA + 1).is_limit()
+
+    def test_to_int_of_infinite_raises(self):
+        with pytest.raises(ValueError):
+            OMEGA.to_int()
+
+
+class TestComparison:
+    def test_finite_ordering_matches_ints(self):
+        assert ordinal(2) < ordinal(3)
+        assert ordinal(3) == 3
+
+    def test_omega_above_all_finite(self):
+        assert ordinal(10**6) < OMEGA
+
+    def test_omega_tower(self):
+        assert OMEGA < omega_power(OMEGA)
+        assert omega_power(2) < omega_power(3)
+        assert OMEGA * 2 < omega_power(2)
+
+    def test_lexicographic_on_cnf(self):
+        a = omega_power(2) + OMEGA * 3 + 1
+        b = omega_power(2) + OMEGA * 4
+        assert a < b
+
+    @given(ordinals(), ordinals())
+    def test_trichotomy(self, a, b):
+        assert (a < b) + (a == b) + (b < a) == 1
+
+    @given(ordinals(), ordinals(), ordinals())
+    def test_transitivity(self, a, b, c):
+        if a < b and b < c:
+            assert a < c
+
+    @given(ordinals())
+    def test_hash_consistent_with_eq(self, a):
+        clone = Ordinal(a.terms)
+        assert clone == a
+        assert hash(clone) == hash(a)
+
+
+class TestArithmetic:
+    def test_left_absorption(self):
+        assert 1 + OMEGA == OMEGA
+        assert ordinal(5) + OMEGA == OMEGA
+
+    def test_right_addition_grows(self):
+        assert OMEGA < OMEGA + 1
+
+    def test_addition_merges_equal_degree(self):
+        assert OMEGA + OMEGA == OMEGA * 2
+
+    def test_multiplication_left_absorption(self):
+        assert 2 * OMEGA == OMEGA
+
+    def test_multiplication_right_growth(self):
+        assert OMEGA * 2 == OMEGA + OMEGA
+        assert OMEGA < OMEGA * 2
+
+    def test_multiplication_omega_omega(self):
+        assert OMEGA * OMEGA == omega_power(2)
+
+    def test_mul_zero(self):
+        assert OMEGA * ZERO == ZERO
+        assert ZERO * OMEGA == ZERO
+
+    @given(ordinals(), ordinals())
+    def test_addition_monotone_right(self, a, b):
+        if b > ZERO:
+            assert a < a + b
+
+    @given(ordinals(), ordinals(), ordinals())
+    def test_addition_associative(self, a, b, c):
+        assert (a + b) + c == a + (b + c)
+
+    @given(ordinals(), ordinals())
+    def test_natural_sum_commutative(self, a, b):
+        assert a.natural_sum(b) == b.natural_sum(a)
+
+    @given(ordinals(), ordinals())
+    def test_natural_sum_dominates_plain(self, a, b):
+        # The Hessenberg sum never loses terms, so it is ≥ ordinal sum.
+        assert not (a.natural_sum(b) < a + b)
+
+    @given(ordinals())
+    def test_add_zero_identity(self, a):
+        assert a + ZERO == a
+        assert ZERO + a == a
+
+
+class TestOrderInterface:
+    def test_contains_only_ordinals(self):
+        assert ORDINALS.contains(OMEGA)
+        assert not ORDINALS.contains(3)
+
+    def test_gt(self):
+        assert ORDINALS.gt(OMEGA, ordinal(5))
+
+    def test_rendering(self):
+        assert str(ZERO) == "0"
+        assert str(OMEGA) == "ω"
+        assert "ω^2" in str(omega_power(2) + 1)
+        assert str(OMEGA * 3) == "ω·3"

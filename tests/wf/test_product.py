@@ -1,0 +1,55 @@
+"""Tests for componentwise product orders."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.wf import NATURALS, PointwiseProduct, StrictProduct
+
+pair = st.tuples(
+    st.integers(min_value=0, max_value=6), st.integers(min_value=0, max_value=6)
+)
+
+
+class TestPointwiseProduct:
+    def setup_method(self):
+        self.order = PointwiseProduct([NATURALS, NATURALS])
+
+    def test_needs_components(self):
+        with pytest.raises(ValueError):
+            PointwiseProduct([])
+
+    def test_strict_in_one_weak_in_other(self):
+        assert self.order.gt((2, 3), (1, 3))
+        assert self.order.gt((2, 3), (2, 2))
+
+    def test_incomparable_when_mixed(self):
+        assert not self.order.gt((2, 1), (1, 2))
+        assert not self.order.gt((1, 2), (2, 1))
+
+    def test_equal_not_greater(self):
+        assert not self.order.gt((1, 1), (1, 1))
+
+    @given(pair, pair)
+    def test_agrees_with_componentwise_definition(self, a, b):
+        expected = all(x >= y for x, y in zip(a, b)) and a != b
+        assert self.order.gt(a, b) == expected
+
+    @given(pair, pair, pair)
+    def test_transitive(self, a, b, c):
+        if self.order.gt(a, b) and self.order.gt(b, c):
+            assert self.order.gt(a, c)
+
+
+class TestStrictProduct:
+    def setup_method(self):
+        self.order = StrictProduct([NATURALS, NATURALS])
+
+    def test_requires_descent_everywhere(self):
+        assert self.order.gt((2, 3), (1, 2))
+        assert not self.order.gt((2, 3), (1, 3))
+
+    @given(pair, pair)
+    def test_coarser_than_pointwise(self, a, b):
+        pointwise = PointwiseProduct([NATURALS, NATURALS])
+        if self.order.gt(a, b):
+            assert pointwise.gt(a, b)

@@ -1,0 +1,195 @@
+"""Tests for the distributed workloads."""
+
+import pytest
+
+from repro.fairness import (
+    AdversarialScheduler,
+    RoundRobinScheduler,
+    check_fair_termination,
+    simulate,
+)
+from repro.ts import explore
+from repro.workloads import dining_philosophers, mutual_exclusion, token_ring
+
+
+class TestDiningPhilosophers:
+    def test_fairly_terminates(self):
+        for count in (2, 3, 4):
+            result = check_fair_termination(explore(dining_philosophers(count)))
+            assert result.fairly_terminates, count
+
+    def test_infinite_runs_exist(self):
+        from repro.baselines import NotTerminatingError, synthesize_floyd
+
+        with pytest.raises(NotTerminatingError):
+            synthesize_floyd(explore(dining_philosophers(3)))
+
+    def test_neighbours_never_eat_together(self):
+        count = 4
+        graph = explore(dining_philosophers(count))
+        for index in range(len(graph)):
+            state = graph.state_of(index)
+            for i in range(count):
+                if state[i] == "E":
+                    assert state[(i + 1) % count] != "E"
+
+    def test_everyone_eats_under_fair_scheduling(self):
+        system = dining_philosophers(3)
+        result = simulate(
+            system, RoundRobinScheduler(system.commands()), max_steps=10_000
+        )
+        assert result.terminated
+        final = result.trace.final_state
+        assert all(phase == "D" for phase in final)
+
+    def test_adversary_can_starve_a_philosopher(self):
+        system = dining_philosophers(3)
+        result = simulate(
+            system,
+            AdversarialScheduler(avoid={"phil0.pick"}, prefer=("phil0.ponder",)),
+            max_steps=400,
+        )
+        assert not result.terminated
+        assert result.executed("phil0.pick") == 0
+
+    def test_too_few_philosophers_rejected(self):
+        with pytest.raises(ValueError):
+            dining_philosophers(1)
+
+
+class TestMutualExclusion:
+    def test_fairly_terminates(self):
+        for processes, rounds in ((2, 1), (2, 2), (3, 1)):
+            graph = explore(mutual_exclusion(processes, rounds))
+            assert check_fair_termination(graph).fairly_terminates
+
+    def test_mutual_exclusion_invariant(self):
+        graph = explore(mutual_exclusion(3, 1))
+        for index in range(len(graph)):
+            state = graph.state_of(index)
+            critical = sum(1 for phase in state if phase[0] == "C")
+            assert critical <= 1
+
+    def test_fair_run_serves_all_rounds(self):
+        system = mutual_exclusion(2, 3)
+        result = simulate(
+            system, RoundRobinScheduler(system.commands()), max_steps=10_000
+        )
+        assert result.terminated
+        assert result.executed("proc0.enter") == 3
+        assert result.executed("proc1.enter") == 3
+
+    def test_too_few_processes_rejected(self):
+        with pytest.raises(ValueError):
+            mutual_exclusion(1)
+
+
+class TestRequestServer:
+    def test_runs_forever_fairly(self):
+        from repro.workloads import request_server
+
+        graph = explore(request_server(2))
+        result = check_fair_termination(graph)
+        assert not result.fairly_terminates  # request/grant forever is fair
+
+    def test_response_holds(self):
+        from repro.response import ResponseProperty, check_fair_response
+        from repro.workloads import request_server
+
+        prop = ResponseProperty(
+            name="served",
+            trigger=lambda s: s == "wait",
+            response=lambda s: s == "idle",
+        )
+        assert check_fair_response(request_server(3), prop).holds
+
+    def test_noise_parameter_grows_state_space(self):
+        from repro.workloads import request_server
+
+        small = explore(request_server(1))
+        large = explore(request_server(5))
+        assert len(large) > len(small)
+
+    def test_noise_validated(self):
+        from repro.workloads import request_server
+
+        with pytest.raises(ValueError):
+            request_server(0)
+
+
+class TestProducerConsumer:
+    def test_fairly_terminates(self):
+        from repro.workloads import producer_consumer
+
+        graph = explore(producer_consumer(3, 2))
+        assert check_fair_termination(graph).fairly_terminates
+
+    def test_buffer_never_overflows(self):
+        from repro.workloads import producer_consumer
+
+        capacity = 2
+        graph = explore(producer_consumer(4, capacity))
+        for index in range(len(graph)):
+            assert 0 <= graph.state_of(index)[-1] <= capacity
+
+    def test_drain_response_holds(self):
+        from repro.response import ResponseProperty, check_fair_response
+        from repro.workloads import producer_consumer
+
+        prop = ResponseProperty(
+            name="drained",
+            trigger=lambda s: s[-1] > 0,
+            response=lambda s: s[-1] == 0,
+        )
+        result = check_fair_response(producer_consumer(3, 2), prop)
+        assert result.holds and result.decisive
+
+    def test_synthesised_measure_verifies(self):
+        from repro.completeness import synthesize_measure
+        from repro.measures import check_measure
+        from repro.workloads import producer_consumer
+
+        graph = explore(producer_consumer(3, 2))
+        synthesis = synthesize_measure(graph)
+        assert check_measure(graph, synthesis.assignment()).ok
+
+    def test_quiescent_state_reached_fairly(self):
+        from repro.workloads import producer_consumer
+
+        system = producer_consumer(2, 1)
+        result = simulate(
+            system, RoundRobinScheduler(system.commands()), max_steps=10_000
+        )
+        assert result.terminated
+        final = result.trace.final_state
+        assert final[0] == 0 and final[-1] == 0  # all produced, all consumed
+
+    def test_parameters_validated(self):
+        from repro.workloads import producer_consumer
+
+        with pytest.raises(ValueError):
+            producer_consumer(0, 1)
+        with pytest.raises(ValueError):
+            producer_consumer(1, 0)
+
+
+class TestTokenRing:
+    def test_state_count(self):
+        graph = explore(token_ring(5))
+        assert len(graph) == 6
+
+    def test_fairly_terminates(self):
+        assert check_fair_termination(explore(token_ring(6))).fairly_terminates
+
+    def test_per_station_commands(self):
+        assert len(token_ring(3).commands()) == 6
+
+    def test_token_reaches_the_end_fairly(self):
+        system = token_ring(4)
+        result = simulate(system, RoundRobinScheduler(system.commands()))
+        assert result.terminated
+        assert result.trace.final_state == 4
+
+    def test_needs_a_station(self):
+        with pytest.raises(ValueError):
+            token_ring(0)

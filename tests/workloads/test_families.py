@@ -1,0 +1,122 @@
+"""Tests for the parametric program families."""
+
+import pytest
+
+from repro.fairness import check_fair_termination
+from repro.ts import explore
+from repro.workloads import (
+    counter_grid,
+    distractor_loop,
+    modulus_chain,
+    nested_rings,
+    random_system,
+)
+
+
+class TestNestedRings:
+    def test_state_count(self):
+        graph = explore(nested_rings(3))
+        assert len(graph) == 5  # a_3, a_2, a_1, b, t
+
+    def test_fairly_terminates(self):
+        for depth in (0, 1, 2, 4):
+            result = check_fair_termination(explore(nested_rings(depth)))
+            assert result.fairly_terminates, depth
+
+    def test_not_plainly_terminating(self):
+        from repro.baselines import NotTerminatingError, synthesize_floyd
+
+        with pytest.raises(NotTerminatingError):
+            synthesize_floyd(explore(nested_rings(2)))
+
+    def test_depth_zero_is_spin_with_exit(self):
+        graph = explore(nested_rings(0))
+        assert len(graph) == 2
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ValueError):
+            nested_rings(-1)
+
+
+class TestCounterGrid:
+    def test_state_count(self):
+        graph = explore(counter_grid(3, 4))
+        assert len(graph) == 4 * 5
+
+    def test_fairly_terminates(self):
+        assert check_fair_termination(explore(counter_grid(2, 3))).fairly_terminates
+
+    def test_terminal_state_unique(self):
+        graph = explore(counter_grid(2, 2))
+        terminals = graph.terminal_indices()
+        assert len(terminals) == 1
+        assert graph.state_of(terminals[0]).as_dict() == {"u": 0, "v": 0}
+
+
+class TestDistractorLoop:
+    def test_command_count(self):
+        assert len(distractor_loop(3, 5).commands()) == 6
+
+    def test_fairly_terminates(self):
+        assert check_fair_termination(
+            explore(distractor_loop(3, 4))
+        ).fairly_terminates
+
+    def test_needs_a_distractor(self):
+        with pytest.raises(ValueError):
+            distractor_loop(3, 0)
+
+
+class TestModulusChain:
+    def test_fairly_terminates(self):
+        for stages in (1, 2):
+            result = check_fair_termination(explore(modulus_chain(stages)))
+            assert result.fairly_terminates, stages
+
+    def test_stage_count_grows_commands(self):
+        assert len(modulus_chain(3).commands()) == 1 + 3 + 1
+
+    def test_needs_a_stage(self):
+        with pytest.raises(ValueError):
+            modulus_chain(0)
+
+
+class TestEscapeRing:
+    def test_strong_but_not_weak(self):
+        from repro.fairness import find_weakly_fair_cycle
+        from repro.workloads import escape_ring
+
+        graph = explore(escape_ring(3))
+        assert check_fair_termination(graph).fairly_terminates
+        assert find_weakly_fair_cycle(graph) is not None
+
+    def test_period_one_is_continuously_enabled(self):
+        from repro.fairness import find_weakly_fair_cycle
+        from repro.workloads import escape_ring
+
+        # With period 1 the escape is continuously enabled on the self-loop:
+        # even weak fairness forbids starving it.
+        graph = explore(escape_ring(1))
+        assert find_weakly_fair_cycle(graph) is None
+
+    def test_period_validated(self):
+        from repro.workloads import escape_ring
+
+        with pytest.raises(ValueError):
+            escape_ring(0)
+
+
+class TestRandomSystem:
+    def test_deterministic_in_seed(self):
+        a = explore(random_system(5))
+        b = explore(random_system(5))
+        assert a.states == b.states
+        assert a.transitions == b.transitions
+
+    def test_all_states_reachable(self):
+        graph = explore(random_system(1, states=15))
+        assert len(graph) == 15
+
+    def test_parameters_respected(self):
+        system = random_system(2, states=6, commands=4)
+        assert len(system.commands()) == 4

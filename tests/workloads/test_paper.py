@@ -1,0 +1,66 @@
+"""Tests for the paper's programs as workload builders."""
+
+import pytest
+
+from repro.fairness import check_fair_termination
+from repro.ts import explore
+from repro.workloads import (
+    p1,
+    p2,
+    p3,
+    p3_bounded,
+    p4,
+    p4_bounded,
+)
+
+
+class TestStructure:
+    def test_p1_single_command(self):
+        assert p1(5).commands() == ("la",)
+
+    def test_p2_commands(self):
+        assert p2(5).commands() == ("la", "lb")
+
+    def test_p3_guard_uses_modulus(self):
+        program = p3(2, 10, modulus=5)
+        assert program.guard_holds("la", program.state(x=0, y=2, z=10))
+        assert not program.guard_holds("la", program.state(x=0, y=2, z=9))
+
+    def test_p4_has_skip_command(self):
+        assert p4(2, 10, 5).commands() == ("la", "lb", "lc")
+
+
+class TestSemantics:
+    def test_p1_terminates_outright(self):
+        graph = explore(p1(6))
+        assert graph.complete
+        assert len(graph.terminal_indices()) == 1
+
+    def test_p2_fairly_terminates(self):
+        result = check_fair_termination(explore(p2(6)))
+        assert result.fairly_terminates and result.decisive
+
+    def test_p3_unbounded_state_space(self):
+        graph = explore(p3(2, 10, 5), max_states=200)
+        assert not graph.complete  # z escapes downwards
+
+    def test_p3_bounded_is_finite_and_fair_terminating(self):
+        graph = explore(p3_bounded(2, 10, 5))
+        assert graph.complete
+        assert check_fair_termination(graph).fairly_terminates
+
+    def test_p4_bounded_is_finite_and_fair_terminating(self):
+        graph = explore(p4_bounded(2, 10, 5))
+        assert graph.complete
+        assert check_fair_termination(graph).fairly_terminates
+
+    def test_p4_without_fairness_does_not_terminate(self):
+        from repro.baselines import NotTerminatingError, synthesize_floyd
+
+        with pytest.raises(NotTerminatingError):
+            synthesize_floyd(explore(p4_bounded(2, 10, 5)))
+
+    def test_distance_zero_is_immediately_terminal(self):
+        graph = explore(p2(0))
+        assert len(graph) == 1
+        assert graph.terminal_indices() == [0]
