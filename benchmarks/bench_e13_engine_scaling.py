@@ -1,0 +1,181 @@
+"""E13 — the indexed engine against the seed implementation, at scale.
+
+The engine PR rewired the hot paths (decide → synthesise → verify) onto
+interned state indices, packed CSR transition arrays and memoized graph
+analyses, and added a process-pool fan-out (``n_jobs``).  The seed's
+serial implementations are preserved verbatim in
+:mod:`repro.engine.reference` as the "before" column; this bench runs
+both (plus the engine at ``n_jobs=4``) over one workload per family and
+asserts
+
+* **byte-identical results** — the serial and parallel engine runs (and
+  the reference) produce the same verdicts, witnesses, stacks and
+  verification outcomes, compared as serialized JSON; and
+* **≥ 1.5× wall-clock speedup** on the largest family (the counter grid)
+  for the engine at ``n_jobs=4`` against the seed's serial path.
+
+Rows land in the experiment tables (see EXPERIMENTS.md §E13) and in
+``BENCH_engine.json`` at the repo root.  ``ENGINE_BENCH_SMOKE=1``
+shrinks every workload to CI size and drops the speedup assertion —
+tiny instances measure nothing, but they exercise every code path,
+including the pool.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from common import record_table
+
+from repro.analysis import Table
+from repro.completeness import synthesize_measure
+from repro.engine.reference import (
+    check_measure_reference,
+    find_fair_cycle_reference,
+    synthesize_measure_reference,
+)
+from repro.fairness import find_fair_cycle
+from repro.measures import check_measure
+from repro.ts import explore
+from repro.workloads import engine_scaling_suite
+
+SMOKE = os.environ.get("ENGINE_BENCH_SMOKE") == "1"
+SCALE = "smoke" if SMOKE else "full"
+REPEATS = 1 if SMOKE else 3
+JOBS = 4
+LARGEST = "grid"  # the family the speedup criterion is judged on
+MIN_SPEEDUP = 1.5
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def _witness_fingerprint(witness) -> object:
+    if witness is None:
+        return None
+    return {
+        "lasso": witness.lasso.describe(),
+        "region": list(witness.region),
+        "enabled": sorted(witness.enabled_on_cycle),
+        "executed": sorted(witness.executed_on_cycle),
+    }
+
+
+def _fingerprint(graph, witness, synthesis, check) -> str:
+    """The run's complete observable outcome, as canonical JSON.
+
+    Serial, parallel and reference runs must agree on this *string* —
+    that is the acceptance bar's "byte-identical verdicts/witnesses".
+    """
+    payload = {
+        "states": len(graph),
+        "transitions": len(graph.transitions),
+        "verdict": "fair-cycle" if witness is not None else "terminates",
+        "witness": _witness_fingerprint(witness),
+        "stacks": None,
+        "check": None,
+    }
+    if synthesis is not None:
+        payload["stacks"] = [
+            synthesis.stacks[index].render() for index in range(len(graph))
+        ]
+        payload["check"] = {
+            "transitions_checked": check.transitions_checked,
+            "ok": check.ok,
+            "witnesses": [
+                [str(w.transition), w.level, w.subject, w.reason]
+                for w in check.witnesses
+            ],
+            "violations": len(check.violations),
+        }
+    return json.dumps(payload, sort_keys=True)
+
+
+def _pipeline_reference(graph):
+    witness = find_fair_cycle_reference(graph)
+    if witness is not None:
+        return _fingerprint(graph, witness, None, None)
+    synthesis = synthesize_measure_reference(graph)
+    check = check_measure_reference(graph, synthesis.assignment())
+    return _fingerprint(graph, None, synthesis, check)
+
+
+def _pipeline_engine(graph, n_jobs):
+    witness = find_fair_cycle(graph)
+    if witness is not None:
+        return _fingerprint(graph, witness, None, None)
+    synthesis = synthesize_measure(graph, n_jobs=n_jobs)
+    check = check_measure(graph, synthesis.assignment(), n_jobs=n_jobs)
+    return _fingerprint(graph, None, synthesis, check)
+
+
+def _timed(make_system, pipeline):
+    """Best-of-``REPEATS`` wall clock; each repeat explores afresh so the
+    engine's memoized analyses are rebuilt (their cost is part of the
+    measurement, not amortised away)."""
+    best = float("inf")
+    fingerprint = None
+    for _ in range(REPEATS):
+        graph = explore(make_system())
+        start = time.perf_counter()
+        result = pipeline(graph)
+        best = min(best, time.perf_counter() - start)
+        assert fingerprint is None or fingerprint == result
+        fingerprint = result
+    return best, fingerprint
+
+
+def test_e13_engine_scaling():
+    table = Table(
+        "E13 — indexed engine vs seed pipeline "
+        f"({'smoke sizes' if SMOKE else 'full sizes'})",
+        ["workload", "states", "verdict", "seed s", "engine s",
+         f"jobs={JOBS} s", "speedup", "identical"],
+    )
+    rows = []
+    speedups = {}
+    for name, make in engine_scaling_suite(SCALE):
+        graph = explore(make())
+        seed_s, fp_reference = _timed(make, _pipeline_reference)
+        serial_s, fp_serial = _timed(make, lambda g: _pipeline_engine(g, 1))
+        jobs_s, fp_parallel = _timed(make, lambda g: _pipeline_engine(g, JOBS))
+        assert fp_serial == fp_parallel, f"{name}: serial != n_jobs={JOBS}"
+        assert fp_serial == fp_reference, f"{name}: engine != seed"
+        verdict = json.loads(fp_serial)["verdict"]
+        speedup = seed_s / jobs_s if jobs_s > 0 else float("inf")
+        speedups[name] = speedup
+        table.add(
+            name, len(graph), verdict, f"{seed_s:.3f}", f"{serial_s:.3f}",
+            f"{jobs_s:.3f}", f"{speedup:.2f}x", "yes",
+        )
+        rows.append({
+            "workload": name,
+            "states": len(graph),
+            "transitions": len(graph.transitions),
+            "verdict": verdict,
+            "seed_seconds": seed_s,
+            "engine_serial_seconds": serial_s,
+            f"engine_jobs{JOBS}_seconds": jobs_s,
+            "speedup": speedup,
+            "identical": True,
+        })
+    record_table(table)
+
+    largest = next(name for name in speedups if name.startswith(LARGEST))
+    OUTPUT.write_text(json.dumps({
+        "experiment": "E13",
+        "scale": SCALE,
+        "jobs": JOBS,
+        "repeats": REPEATS,
+        "largest_family": largest,
+        "largest_speedup": speedups[largest],
+        "min_speedup_required": MIN_SPEEDUP,
+        "rows": rows,
+    }, indent=2) + "\n")
+
+    if not SMOKE:
+        assert speedups[largest] >= MIN_SPEEDUP, (
+            f"engine at n_jobs={JOBS} is only {speedups[largest]:.2f}x the "
+            f"seed pipeline on {largest} (need {MIN_SPEEDUP}x)"
+        )

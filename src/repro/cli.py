@@ -14,13 +14,16 @@ Subcommands
   report its statistics.
 
 All subcommands accept ``--max-states``/``--max-depth`` exploration bounds
-(infinite-state programs need them).
+(infinite-state programs need them) and ``--jobs N`` to fan verification and
+synthesis out over a process pool (results are identical to the serial run;
+``synthesize`` and ``check`` print an engine-timing footer).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Optional, Sequence
 
 from repro.completeness.construction import longest_chain_length, theorem3_construction
@@ -48,6 +51,21 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--max-depth", type=int, default=None, help="exploration depth bound"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for verification/synthesis "
+        "(default/1 = serial; results are identical either way)",
+    )
+
+
+def _engine_footer(args: argparse.Namespace, **timings: float) -> str:
+    """One-line engine report: phase timings plus the worker count used."""
+    from repro.engine import resolve_jobs
+
+    parts = " · ".join(f"{name} {value:.3f}s" for name, value in timings.items())
+    return f"engine: {parts} (jobs={resolve_jobs(args.jobs)})"
 
 
 def _cmd_show(args: argparse.Namespace) -> int:
@@ -86,7 +104,9 @@ def _cmd_decide(args: argparse.Namespace) -> int:
 
 def _cmd_synthesize(args: argparse.Namespace) -> int:
     program = _load(args.file)
+    t0 = time.perf_counter()
     graph = explore(program, max_states=args.max_states, max_depth=args.max_depth)
+    t_explore = time.perf_counter() - t0
     if not graph.complete:
         print(
             "error: synthesis needs the complete reachable graph; raise "
@@ -94,20 +114,26 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    t0 = time.perf_counter()
     try:
-        synthesis = synthesize_measure(graph)
+        synthesis = synthesize_measure(graph, n_jobs=args.jobs)
     except NotFairlyTerminatingError as error:
         print(f"{program.name} does not fairly terminate: {error}")
         if error.witness is not None:
             print(f"  {error.witness.lasso.describe()}")
         return 1
-    check = check_measure(graph, synthesis.assignment())
+    t_synthesize = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    check = check_measure(graph, synthesis.assignment(), n_jobs=args.jobs)
+    t_verify = time.perf_counter() - t0
     check.raise_if_failed()
     print(
         f"{program.name}: fair termination measure synthesised and verified "
         f"({check.transitions_checked} transitions, max stack height "
         f"{synthesis.max_stack_height()})"
     )
+    print(_engine_footer(args, explore=t_explore, synthesise=t_synthesize,
+                         verify=t_verify))
     if args.stacks:
         for index in range(len(graph)):
             state = graph.state_of(index)
@@ -148,8 +174,13 @@ def _cmd_check(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    result = proof.check(max_states=args.max_states, max_depth=args.max_depth)
+    t0 = time.perf_counter()
+    result = proof.check(
+        max_states=args.max_states, max_depth=args.max_depth, n_jobs=args.jobs
+    )
+    t_check = time.perf_counter() - t0
     print(f"{program.name} with {args.assertion}: {result.summary()}")
+    print(_engine_footer(args, check=t_check))
     if result.ok:
         if not result.complete:
             print(

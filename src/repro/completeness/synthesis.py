@@ -28,6 +28,15 @@ nesting chain are distinct.
 Synthesised measures are returned *unverified*; callers (and every test)
 push them through :func:`repro.measures.verification.check_measure`, which
 re-derives the verification conditions independently.
+
+Engine notes: requirement predicates (arbitrary Python callables) are
+evaluated exactly once per state and once per transition, up front; the
+recursive decomposition then runs purely on integer indices and interned
+requirement names over the graph's packed CSR arrays.  Because the
+precomputed context is plain picklable data, the per-top-SCC work — regions
+are independent: they touch disjoint states — can fan out over a process
+pool (``n_jobs``), with results merged in component order so stacks,
+regions and error behaviour are identical to the serial run.
 """
 
 from __future__ import annotations
@@ -35,6 +44,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.engine.analysis import tarjan_scc_csr
+from repro.engine.packed import PackedGraph
+from repro.engine.parallel import chunk_items, parallel_map, resolve_jobs
 from repro.fairness.generalized import (
     FairnessRequirement,
     GeneralFairCycle,
@@ -44,8 +56,8 @@ from repro.fairness.generalized import (
 from repro.measures.assignment import StackAssignment
 from repro.measures.hypotheses import TERMINATION, Hypothesis
 from repro.measures.stack import Stack
-from repro.ts.explore import IndexedTransition, ReachableGraph
-from repro.ts.graph import decompose, internal_transitions
+from repro.ts.explore import ReachableGraph
+from repro.ts.graph import decompose
 from repro.wf.naturals import NATURALS
 
 
@@ -104,9 +116,192 @@ class SynthesisResult:
         return sum(region.total_regions() for region in self.regions)
 
 
+@dataclass(frozen=True)
+class _SynthesisContext:
+    """Plain-data view of one synthesis problem.
+
+    Everything a region processor needs, free of transition systems,
+    assignments and requirement callables — so it pickles, and so the
+    recursion never calls back into Python predicates:
+
+    * ``packed`` — the graph's CSR arrays;
+    * ``demanded`` — per state, the frozenset of requirement names
+      demanding service there (each ``enabled_at`` evaluated once);
+    * ``fulfilled`` — per transition id, the frozenset of requirement
+      names that transition fulfils (each ``fulfilled_by`` evaluated once);
+    * ``names`` — requirement names in declaration order (the helpful
+      choice scans them in this order, matching the seed exactly).
+    """
+
+    packed: PackedGraph
+    demanded: Tuple[frozenset, ...]
+    fulfilled: Tuple[frozenset, ...]
+    names: Tuple[str, ...]
+
+
+class _RegionUnfair(Exception):
+    """Internal: a (sub)region fulfils every demanded requirement, i.e. it
+    hosts a fair cycle.  Carries the region size for the error message; the
+    caller attaches the (expensively computed) witness."""
+
+    def __init__(self, region_size: int) -> None:
+        super().__init__(region_size)
+        self.region_size = region_size
+
+
+def _build_context(
+    graph: ReachableGraph,
+    requirements: Sequence[FairnessRequirement],
+) -> _SynthesisContext:
+    names = tuple(r.name for r in requirements)
+    if all(r.kind == "command" for r in requirements):
+        # Command fairness: "demanded" is enabledness and "fulfilled" is
+        # execution of the named command, both already cached on the graph —
+        # no predicate calls (and no per-state GCL guard re-evaluation).
+        analyses = graph.analyses
+        name_set = frozenset(names)
+        demanded = tuple(
+            enabled if enabled <= name_set else enabled & name_set
+            for enabled in (
+                graph.enabled_at(i) for i in range(len(graph))
+            )
+        )
+        commands = analyses.commands
+        empty: frozenset = frozenset()
+        fulfilled = tuple(
+            commands.singleton(cmd_id)
+            if commands.label_of(cmd_id) in name_set
+            else empty
+            for cmd_id in analyses.packed.cmd
+        )
+    else:
+        demanded = tuple(
+            frozenset(
+                r.name for r in requirements if r.enabled_at(graph.state_of(i))
+            )
+            for i in range(len(graph))
+        )
+        fulfilled = tuple(
+            frozenset(
+                r.name
+                for r in requirements
+                if r.fulfilled_by(
+                    graph.state_of(t.source), t.command, graph.state_of(t.target)
+                )
+            )
+            for t in graph.transitions
+        )
+    return _SynthesisContext(
+        packed=graph.analyses.packed,
+        demanded=demanded,
+        fulfilled=fulfilled,
+        names=names,
+    )
+
+
+def _internal_eids(ctx: _SynthesisContext, members: set) -> List[int]:
+    packed = ctx.packed
+    out_start, out_eid, dst = packed.out_start, packed.out_eid, packed.dst
+    result: List[int] = []
+    for i in sorted(members):
+        for pos in range(out_start[i], out_start[i + 1]):
+            eid = out_eid[pos]
+            if dst[eid] in members:
+                result.append(eid)
+    return result
+
+
+def _process_region_indexed(
+    region: List[int],
+    level: int,
+    ctx: _SynthesisContext,
+    entries: Dict[int, List[Hypothesis]],
+) -> RegionInfo:
+    """Assign level-``level`` hypotheses inside one strongly connected
+    region and recurse into its sub-SCCs, index-natively.
+
+    Appends to ``entries[index]`` (creating the list if absent) and returns
+    the region's :class:`RegionInfo`; raises :class:`_RegionUnfair` when the
+    region starves nothing.
+    """
+    members = set(region)
+    internal = _internal_eids(ctx, members)
+    demanded = ctx.demanded
+    fulfilled = ctx.fulfilled
+    helpful: Optional[str] = None
+    enabled_here: List[int] = []
+    for name in ctx.names:
+        candidates = [i for i in region if name in demanded[i]]
+        if candidates and not any(name in fulfilled[e] for e in internal):
+            helpful = name
+            enabled_here = candidates
+            break
+    if helpful is None:
+        raise _RegionUnfair(len(region))
+
+    rest = sorted(members - set(enabled_here))
+    sub_components = tarjan_scc_csr(ctx.packed, rest)
+    sub_rank: Dict[int, int] = {}
+    for position, component in enumerate(sub_components):
+        for node in component:
+            sub_rank[node] = position
+
+    # Measure for the helpful hypothesis: 0 on states where it demands
+    # service (activity there is by demand; the value is immaterial), and
+    # 1 + sub-SCC rank elsewhere, so transitions between different sub-SCCs
+    # strictly decrease it.
+    for index in enabled_here:
+        entries.setdefault(index, []).append(Hypothesis(helpful, 0))
+    for index in rest:
+        entries.setdefault(index, []).append(
+            Hypothesis(helpful, 1 + sub_rank[index])
+        )
+
+    info = RegionInfo(
+        level=level,
+        helpful=helpful,
+        states=tuple(region),
+        enabled_here=tuple(sorted(enabled_here)),
+    )
+    for component in sub_components:
+        sub_members = set(component)
+        if not _internal_eids(ctx, sub_members):
+            continue
+        info.children.append(
+            _process_region_indexed(
+                sorted(sub_members), level + 1, ctx, entries
+            )
+        )
+    return info
+
+
+def _synthesis_chunk_worker(
+    payload: Tuple[_SynthesisContext, Sequence[Sequence[int]]],
+):
+    """Worker: process a chunk of independent top-level SCC regions.
+
+    Returns one entry per region, in order: ``("ok", extra, info)`` with
+    the hypotheses appended above the base stacks, or
+    ``("unfair", region_size)``.  Module level for picklability; also the
+    serial path's engine.
+    """
+    ctx, regions = payload
+    results = []
+    for region in regions:
+        extra: Dict[int, List[Hypothesis]] = {}
+        try:
+            info = _process_region_indexed(list(region), 1, ctx, extra)
+        except _RegionUnfair as unfair:
+            results.append(("unfair", unfair.region_size))
+        else:
+            results.append(("ok", extra, info))
+    return results
+
+
 def synthesize_measure(
     graph: ReachableGraph,
     requirements: Optional[Sequence[FairnessRequirement]] = None,
+    n_jobs: int | None = None,
 ) -> SynthesisResult:
     """Synthesise a fair termination measure over a complete finite graph.
 
@@ -115,6 +310,12 @@ def synthesize_measure(
     demanded-but-unfulfilled requirements, and the result must be verified
     with ``check_measure(..., requirements=requirements)``.  Omitted, the
     paper's per-command strong fairness is used.
+
+    ``n_jobs`` distributes the top-level SCC regions — independent
+    sub-problems touching disjoint states — over a process pool; results
+    merge in component order, so stacks, regions and failure behaviour are
+    identical to the serial run (``None``/``0``/``1``, or whenever the pool
+    is unavailable).
 
     Raises :class:`NotFairlyTerminatingError` (with a fair-cycle witness)
     when none exists, and ``ValueError`` on incomplete graphs — a measure
@@ -128,6 +329,7 @@ def synthesize_measure(
     if requirements is None:
         requirements = command_requirements(graph.system)
     top = decompose(graph)
+    ctx = _build_context(graph, requirements)
     # Reverse-topological component position: every inter-SCC transition
     # strictly decreases it.
     base_entries: Dict[int, List[Hypothesis]] = {
@@ -135,18 +337,40 @@ def synthesize_measure(
         for index in range(len(graph))
     }
 
+    nontrivial = [
+        component
+        for component in top.components
+        if _internal_eids(ctx, set(component))
+    ]
+
     regions: List[RegionInfo] = []
-    for component in top.components:
-        if not internal_transitions(graph, component):
-            continue
-        region = _process_region(
-            graph,
-            list(component),
-            level=1,
-            requirements=tuple(requirements),
-            entries=base_entries,
-        )
-        regions.append(region)
+    jobs = resolve_jobs(n_jobs)
+    if jobs <= 1 or len(nontrivial) < 2:
+        outcomes = _synthesis_chunk_worker((ctx, nontrivial))
+    else:
+        chunks = chunk_items(nontrivial, jobs)
+        payloads = [(ctx, chunk) for chunk in chunks]
+        outcomes = [
+            outcome
+            for chunk_result in parallel_map(
+                _synthesis_chunk_worker, payloads, n_jobs=jobs
+            )
+            for outcome in chunk_result
+        ]
+
+    for outcome in outcomes:
+        if outcome[0] == "unfair":
+            witness = find_generally_fair_cycle(graph, requirements)
+            raise NotFairlyTerminatingError(
+                f"region of {outcome[1]} states fulfils every demanded "
+                "requirement internally — it hosts a fair cycle, so the "
+                "program does not fairly terminate",
+                witness,
+            )
+        _, extra, info = outcome
+        for index, appended in extra.items():
+            base_entries[index].extend(appended)
+        regions.append(info)
 
     stacks = {
         index: Stack(entries) for index, entries in base_entries.items()
@@ -154,29 +378,38 @@ def synthesize_measure(
     return SynthesisResult(graph=graph, stacks=stacks, regions=regions)
 
 
-def _demanded_within(
+def process_regions(
     graph: ReachableGraph,
-    region: Sequence[int],
-    requirement: FairnessRequirement,
-) -> List[int]:
-    return [
-        index
-        for index in region
-        if requirement.enabled_at(graph.state_of(index))
-    ]
+    components: Sequence[Sequence[int]],
+    requirements: Sequence[FairnessRequirement],
+    entries: Dict[int, List[Hypothesis]],
+    level: int = 1,
+) -> List[RegionInfo]:
+    """Process several disjoint strongly connected regions with one shared
+    indexed context (requirement predicates evaluated once for all of them).
 
-
-def _fulfilled_within(
-    graph: ReachableGraph,
-    internal: Sequence[IndexedTransition],
-    requirement: FairnessRequirement,
-) -> bool:
-    return any(
-        requirement.fulfilled_by(
-            graph.state_of(t.source), t.command, graph.state_of(t.target)
-        )
-        for t in internal
-    )
+    Trivial components (no internal transition) are skipped.  Used by
+    :mod:`repro.response.measure`, which decomposes a pending region and
+    runs the standard construction inside each of its SCCs.
+    """
+    ctx = _build_context(graph, requirements)
+    regions: List[RegionInfo] = []
+    try:
+        for component in components:
+            if not _internal_eids(ctx, set(component)):
+                continue
+            regions.append(
+                _process_region_indexed(list(component), level, ctx, entries)
+            )
+    except _RegionUnfair as unfair:
+        witness = find_generally_fair_cycle(graph, requirements)
+        raise NotFairlyTerminatingError(
+            f"region of {unfair.region_size} states fulfils every demanded "
+            "requirement internally — it hosts a fair cycle, so the program "
+            "does not fairly terminate",
+            witness,
+        ) from None
+    return regions
 
 
 def _process_region(
@@ -186,56 +419,22 @@ def _process_region(
     requirements: Sequence[FairnessRequirement],
     entries: Dict[int, List[Hypothesis]],
 ) -> RegionInfo:
-    """Assign level-``level`` hypotheses inside one strongly connected
-    region and recurse into its sub-SCCs."""
-    members = set(region)
-    internal = internal_transitions(graph, region)
-    helpful: Optional[FairnessRequirement] = None
-    enabled_here: List[int] = []
-    for requirement in requirements:
-        demanded = _demanded_within(graph, region, requirement)
-        if demanded and not _fulfilled_within(graph, internal, requirement):
-            helpful = requirement
-            enabled_here = demanded
-            break
-    if helpful is None:
+    """Assign hypotheses inside one strongly connected region (state-level
+    compatibility entry point).
+
+    Builds the indexed context for the *whole* graph and delegates; raises
+    :class:`NotFairlyTerminatingError` like the seed implementation did.
+    Callers with several regions should use :func:`process_regions`, which
+    shares one context across all of them.
+    """
+    ctx = _build_context(graph, requirements)
+    try:
+        return _process_region_indexed(list(region), level, ctx, entries)
+    except _RegionUnfair as unfair:
         witness = find_generally_fair_cycle(graph, requirements)
         raise NotFairlyTerminatingError(
-            f"region of {len(region)} states fulfils every demanded "
+            f"region of {unfair.region_size} states fulfils every demanded "
             "requirement internally — it hosts a fair cycle, so the program "
             "does not fairly terminate",
             witness,
-        )
-
-    rest = sorted(members - set(enabled_here))
-    sub = decompose(graph, restrict_to=rest)
-
-    # Measure for the helpful hypothesis: 0 on states where it demands
-    # service (activity there is by demand; the value is immaterial), and
-    # 1 + sub-SCC rank elsewhere, so transitions between different sub-SCCs
-    # strictly decrease it.
-    for index in enabled_here:
-        entries[index].append(Hypothesis(helpful.name, 0))
-    for index in rest:
-        entries[index].append(
-            Hypothesis(helpful.name, 1 + sub.component_of[index])
-        )
-
-    info = RegionInfo(
-        level=level,
-        helpful=helpful.name,
-        states=tuple(region),
-        enabled_here=tuple(sorted(enabled_here)),
-    )
-    for component in sub.components:
-        if not internal_transitions(graph, component):
-            continue
-        child = _process_region(
-            graph,
-            list(component),
-            level=level + 1,
-            requirements=requirements,
-            entries=entries,
-        )
-        info.children.append(child)
-    return info
+        ) from None

@@ -1,0 +1,38 @@
+"""High-performance engine layer: interning, packed graphs, parallel maps.
+
+Every pipeline in the reproduction — Theorem 1 measure checking, the §6
+fairness baseline, and Theorem 3 synthesis — funnels through explicit-state
+exploration and per-transition checks.  This package keeps those hot paths
+index-native:
+
+* :mod:`repro.engine.interning` — states hashed once at discovery;
+* :mod:`repro.engine.packed` — transitions as flat int arrays (CSR
+  adjacency), command labels interned to bit positions;
+* :mod:`repro.engine.analysis` — SCC decomposition and per-region
+  enabled/executed command sets, computed once and cached on the graph;
+* :mod:`repro.engine.parallel` — a chunked, deterministic process-pool map
+  with a serial fallback, used by ``check_measure``, ``synthesize_measure``
+  and the benchmark sweeps;
+* :mod:`repro.engine.reference` — the pre-engine algorithms, preserved
+  verbatim as the "before" baseline for benchmarks and as an independent
+  oracle for equivalence tests.
+
+The engine never changes verdicts: every fast path is required (and tested)
+to produce results bit-identical to the straightforward implementation.
+"""
+
+from repro.engine.interning import StateInterner
+from repro.engine.packed import CommandTable, PackedGraph
+from repro.engine.parallel import chunk_items, parallel_map, resolve_jobs
+from repro.engine.analysis import GraphAnalyses, tarjan_scc_csr
+
+__all__ = [
+    "CommandTable",
+    "GraphAnalyses",
+    "PackedGraph",
+    "StateInterner",
+    "chunk_items",
+    "parallel_map",
+    "resolve_jobs",
+    "tarjan_scc_csr",
+]

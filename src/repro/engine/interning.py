@@ -1,0 +1,63 @@
+"""State interning: hash each discovered state exactly once.
+
+Exploration is the one place the engine still touches :class:`State`
+objects; everything downstream works on the integer indices handed out
+here.  The interner's fast path is a single ``dict.setdefault`` — the old
+``index.get`` / insert pair hashed every already-known successor twice,
+which on dense graphs (every state re-discovered once per incoming edge)
+doubles the hashing bill of exploration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.ts.system import State
+
+
+class StateInterner:
+    """Bidirectional ``State ↔ index`` map with a single-hash intern path."""
+
+    __slots__ = ("_index", "_states")
+
+    def __init__(self) -> None:
+        self._index: Dict[State, int] = {}
+        self._states: List[State] = []
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __contains__(self, state: State) -> bool:
+        return state in self._index
+
+    def intern(self, state: State) -> Tuple[int, bool]:
+        """``(index, is_new)`` for ``state``, hashing it exactly once.
+
+        ``setdefault`` probes the table a single time: if the state is
+        already interned the candidate index is discarded, otherwise the
+        insert has already happened and only the side tables need updating.
+        """
+        candidate = len(self._states)
+        index = self._index.setdefault(state, candidate)
+        if index != candidate:
+            return index, False
+        self._states.append(state)
+        return index, True
+
+    def lookup(self, state: State) -> int | None:
+        """The index of ``state`` without interning it (one hash)."""
+        return self._index.get(state)
+
+    def state_of(self, index: int) -> State:
+        """The state interned at ``index``."""
+        return self._states[index]
+
+    @property
+    def states(self) -> List[State]:
+        """All interned states in discovery order (shared, do not mutate)."""
+        return self._states
+
+    @property
+    def index(self) -> Dict[State, int]:
+        """The underlying ``State → index`` dict (shared, do not mutate)."""
+        return self._index

@@ -1,0 +1,83 @@
+"""Deterministic chunked process-pool map with a serial fallback.
+
+The engine's parallel fan-out is deliberately boring: split the work items
+into at most ``n_jobs`` contiguous chunks, farm the chunks out to a
+process pool, and reassemble the results *in submission order*.  Chunks
+are contiguous and ordered, so any reduction the caller performs over the
+concatenated results is bit-identical to running the same function
+serially — parallelism never changes a verdict, a witness, or even the
+order of a violation list.
+
+The pool is an optimisation, not a dependency: ``n_jobs=None``/``0``/``1``
+runs serially in-process, and any failure to *create* the pool (sandboxes
+without fork, missing ``/dev/shm``, interpreter shutdown) silently falls
+back to the serial path.  Worker functions must be module-level (picklable)
+and must receive picklable payloads — closures over transition systems or
+assignments stay in the parent; callers ship precomputed plain data.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_jobs(n_jobs: Optional[int]) -> int:
+    """Normalise an ``n_jobs`` argument to a positive worker count.
+
+    ``None`` and ``0`` mean serial; negative values mean "all cores"
+    (joblib's ``-1`` convention).
+    """
+    if n_jobs is None or n_jobs == 0:
+        return 1
+    if n_jobs < 0:
+        return max(1, os.cpu_count() or 1)
+    return n_jobs
+
+
+def chunk_items(items: Sequence[T], chunks: int) -> List[Sequence[T]]:
+    """Split ``items`` into at most ``chunks`` contiguous, ordered parts.
+
+    Parts differ in size by at most one, every item appears exactly once,
+    and concatenating the parts yields ``items`` — the invariant all
+    determinism guarantees rest on.
+    """
+    total = len(items)
+    chunks = max(1, min(chunks, total)) if total else 1
+    base, extra = divmod(total, chunks)
+    parts: List[Sequence[T]] = []
+    start = 0
+    for i in range(chunks):
+        size = base + (1 if i < extra else 0)
+        parts.append(items[start : start + size])
+        start += size
+    return parts
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    n_jobs: Optional[int] = None,
+) -> List[R]:
+    """``[fn(item) for item in items]``, possibly across processes.
+
+    Results always come back in input order.  With ``n_jobs`` ≤ 1, with
+    fewer than two items, or when the process pool cannot be created, the
+    map runs serially in-process; the output is identical either way.
+    ``fn`` must be picklable (module-level) for the parallel path.
+    """
+    jobs = resolve_jobs(n_jobs)
+    if jobs <= 1 or len(items) < 2:
+        return [fn(item) for item in items]
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+            return list(pool.map(fn, items))
+    except (ImportError, OSError, RuntimeError, PermissionError):
+        # Pool unavailable (restricted sandbox, no fork, shutdown): the
+        # serial path computes the same thing, just on one core.
+        return [fn(item) for item in items]

@@ -1,0 +1,287 @@
+"""The pre-engine algorithms, preserved as baseline and oracle.
+
+These are the seed implementations of SCC decomposition, measure checking
+and measure synthesis, kept byte-for-byte in behaviour (and deliberately
+in *cost*: the reference ``decompose`` scans every graph transition per
+call, and the reference synthesis re-evaluates requirement predicates per
+region — the exact quadratic churn the engine removes).
+
+Two consumers:
+
+* ``benchmarks/bench_e13_engine_scaling.py`` uses them as the "before"
+  column of the speedup table;
+* ``tests/engine`` uses them as an independently-written oracle that the
+  engine fast paths must match bit-for-bit.
+
+Do not optimise this module.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.fairness.generalized import FairnessRequirement, command_requirements
+from repro.measures.assignment import StackAssignment
+from repro.measures.hypotheses import TERMINATION, Hypothesis
+from repro.measures.stack import Stack
+from repro.measures.verification import (
+    ActiveWitness,
+    MeasureCheckResult,
+    TransitionViolation,
+    find_active_level_general,
+)
+from repro.ts.explore import IndexedTransition, ReachableGraph
+from repro.ts.graph import SccDecomposition, tarjan_scc
+
+
+def decompose_reference(
+    graph: ReachableGraph,
+    restrict_to=None,
+) -> SccDecomposition:
+    """Seed ``decompose``: rebuilds the successor dict from *all* graph
+    transitions on every call."""
+    if restrict_to is None:
+        members: Set[int] = set(range(len(graph)))
+    else:
+        members = set(restrict_to)
+    successors: Dict[int, List[int]] = {i: [] for i in members}
+    for t in graph.transitions:
+        if t.source in members and t.target in members:
+            successors[t.source].append(t.target)
+    components = tarjan_scc(sorted(members), successors)
+    component_of: Dict[int, int] = {}
+    for position, component in enumerate(components):
+        for node in component:
+            component_of[node] = position
+    return SccDecomposition(
+        components=tuple(tuple(sorted(c)) for c in components),
+        component_of=component_of,
+    )
+
+
+def internal_transitions_reference(
+    graph: ReachableGraph,
+    members,
+) -> List[IndexedTransition]:
+    """Seed ``internal_transitions`` (set-materialising, object-returning)."""
+    inside = set(members)
+    return [
+        t
+        for i in inside
+        for t in graph.outgoing(i)
+        if t.target in inside
+    ]
+
+
+def check_measure_reference(
+    graph: ReachableGraph,
+    assignment: StackAssignment,
+    keep_witnesses: bool = True,
+    requirements=None,
+) -> MeasureCheckResult:
+    """Seed ``check_measure``: per-transition frozenset churn, no pooling."""
+    order = assignment.order
+    stacks: List[Stack] = []
+    for index in range(len(graph)):
+        state = graph.state_of(index)
+        stack = assignment(state)
+        for hypothesis in stack:
+            if hypothesis.value is not None:
+                order.check_member(hypothesis.value)
+        stacks.append(stack)
+
+    witnesses: List[ActiveWitness] = []
+    violations: List[TransitionViolation] = []
+    for transition in graph.transitions:
+        source_stack = stacks[transition.source]
+        target_stack = stacks[transition.target]
+        if requirements is None:
+            invalidated = frozenset({transition.command})
+            active_subjects = graph.enabled_at(transition.source) | graph.enabled_at(
+                transition.target
+            )
+        else:
+            source_state = graph.state_of(transition.source)
+            target_state = graph.state_of(transition.target)
+            invalidated = frozenset(
+                r.name
+                for r in requirements
+                if r.fulfilled_by(source_state, transition.command, target_state)
+            )
+            active_subjects = frozenset(
+                r.name
+                for r in requirements
+                if r.enabled_at(source_state) or r.enabled_at(target_state)
+            )
+        data, failures = find_active_level_general(
+            source_stack,
+            target_stack,
+            invalidated,
+            active_subjects,
+            order,
+        )
+        plain = graph.to_transition(transition)
+        if data is None:
+            violations.append(
+                TransitionViolation(
+                    transition=plain,
+                    source_stack=source_stack,
+                    target_stack=target_stack,
+                    failures=tuple(failures),
+                )
+            )
+        elif keep_witnesses:
+            witnesses.append(
+                ActiveWitness(
+                    transition=plain,
+                    level=data.level,
+                    subject=data.subject,
+                    reason=data.reason,
+                )
+            )
+
+    return MeasureCheckResult(
+        witnesses=witnesses,
+        violations=violations,
+        transitions_checked=len(graph.transitions),
+        complete=graph.complete,
+        order_well_founded=order.is_well_founded(),
+    )
+
+
+def synthesize_measure_reference(
+    graph: ReachableGraph,
+    requirements: Optional[Sequence[FairnessRequirement]] = None,
+):
+    """Seed ``synthesize_measure``: requirement predicates re-evaluated per
+    region, full-transition-scan decompositions per recursion level."""
+    from repro.completeness.synthesis import (
+        NotFairlyTerminatingError,
+        RegionInfo,
+        SynthesisResult,
+    )
+    from repro.fairness.generalized import find_generally_fair_cycle
+
+    if not graph.complete:
+        raise ValueError(
+            "synthesis needs the complete reachable graph; "
+            f"exploration left {len(graph.frontier)} frontier states"
+        )
+    if requirements is None:
+        requirements = command_requirements(graph.system)
+
+    def demanded_within(region, requirement):
+        return [
+            index
+            for index in region
+            if requirement.enabled_at(graph.state_of(index))
+        ]
+
+    def fulfilled_within(internal, requirement):
+        return any(
+            requirement.fulfilled_by(
+                graph.state_of(t.source), t.command, graph.state_of(t.target)
+            )
+            for t in internal
+        )
+
+    def process_region(region: List[int], level: int, entries) -> RegionInfo:
+        members = set(region)
+        internal = internal_transitions_reference(graph, region)
+        helpful = None
+        enabled_here: List[int] = []
+        for requirement in requirements:
+            demanded = demanded_within(region, requirement)
+            if demanded and not fulfilled_within(internal, requirement):
+                helpful = requirement
+                enabled_here = demanded
+                break
+        if helpful is None:
+            witness = find_generally_fair_cycle(graph, requirements)
+            raise NotFairlyTerminatingError(
+                f"region of {len(region)} states fulfils every demanded "
+                "requirement internally — it hosts a fair cycle, so the "
+                "program does not fairly terminate",
+                witness,
+            )
+        rest = sorted(members - set(enabled_here))
+        sub = decompose_reference(graph, restrict_to=rest)
+        for index in enabled_here:
+            entries[index].append(Hypothesis(helpful.name, 0))
+        for index in rest:
+            entries[index].append(
+                Hypothesis(helpful.name, 1 + sub.component_of[index])
+            )
+        info = RegionInfo(
+            level=level,
+            helpful=helpful.name,
+            states=tuple(region),
+            enabled_here=tuple(sorted(enabled_here)),
+        )
+        for component in sub.components:
+            if not internal_transitions_reference(graph, component):
+                continue
+            info.children.append(
+                process_region(list(component), level + 1, entries)
+            )
+        return info
+
+    top = decompose_reference(graph)
+    base_entries: Dict[int, List[Hypothesis]] = {
+        index: [Hypothesis(TERMINATION, top.component_of[index])]
+        for index in range(len(graph))
+    }
+    regions: List[RegionInfo] = []
+    for component in top.components:
+        if not internal_transitions_reference(graph, component):
+            continue
+        regions.append(
+            process_region(list(component), 1, base_entries)
+        )
+    stacks = {index: Stack(entries) for index, entries in base_entries.items()}
+    return SynthesisResult(graph=graph, stacks=stacks, regions=regions)
+
+
+def find_fair_cycle_reference(graph: ReachableGraph, restrict_to=None):
+    """Seed ``find_fair_cycle``: per-iteration full-scan decompositions."""
+    from repro.fairness.checker import FairCycle
+    from repro.ts.lasso import (
+        cycle_through_all,
+        find_path_indices,
+        lasso_from_indices,
+    )
+
+    region: Set[int] = (
+        set(range(len(graph))) if restrict_to is None else set(restrict_to)
+    )
+    pending: List[Set[int]] = [region]
+    while pending:
+        current = pending.pop()
+        decomposition = decompose_reference(graph, restrict_to=current)
+        for component in decomposition.components:
+            internal = internal_transitions_reference(graph, component)
+            if not internal:
+                continue
+            enabled = frozenset(
+                cmd for i in component for cmd in graph.enabled_at(i)
+            )
+            executed = frozenset(t.command for t in internal)
+            violating = enabled - executed
+            if not violating:
+                cycle = cycle_through_all(graph, component)
+                stem = find_path_indices(
+                    graph, graph.initial_indices, cycle[0].source
+                )
+                lasso = lasso_from_indices(graph, stem, cycle)
+                return FairCycle(
+                    lasso=lasso,
+                    region=tuple(component),
+                    enabled_on_cycle=enabled,
+                    executed_on_cycle=executed,
+                )
+            survivors = {
+                i for i in component if not (graph.enabled_at(i) & violating)
+            }
+            if survivors:
+                pending.append(survivors)
+    return None

@@ -31,7 +31,7 @@ from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.fairness.spec import STRONG_FAIRNESS
 from repro.ts.explore import ReachableGraph
-from repro.ts.graph import decompose, internal_transitions
+from repro.ts.graph import decompose
 from repro.ts.lasso import (
     Lasso,
     cycle_through_all,
@@ -84,18 +84,27 @@ def find_fair_cycle(
     # not be trusted, but they only ever *lose* outgoing transitions in our
     # graph (kept transitions all originate from fully expanded states), so
     # they simply cannot appear on any explored cycle — no special-casing.
+    analyses = graph.analyses
+    enabled_masks = analyses.enabled_masks
+    whole = restrict_to is None
     pending: List[Set[int]] = [region]
     while pending:
         current = pending.pop()
-        decomposition = decompose(graph, restrict_to=current)
+        # The first iteration over the whole graph reuses the memoized
+        # decomposition; refinement steps walk only their region's edges.
+        decomposition = decompose(
+            graph, restrict_to=None if whole else current
+        )
+        whole = False
         for component in decomposition.components:
-            internal = internal_transitions(graph, component)
-            if not internal:
+            component_set = set(component)
+            executed_mask = analyses.executed_mask_within(component_set)
+            if not executed_mask:
+                # No internal transition — a trivial component.
                 continue
-            enabled = graph.commands_enabled_within(component)
-            executed = frozenset(t.command for t in internal)
-            violating = enabled - executed
-            if not violating:
+            enabled_mask = analyses.enabled_mask_within(component_set)
+            violating_mask = enabled_mask & ~executed_mask
+            if not violating_mask:
                 cycle = cycle_through_all(graph, component)
                 stem = find_path_indices(
                     graph, graph.initial_indices, cycle[0].source
@@ -104,15 +113,15 @@ def find_fair_cycle(
                 return FairCycle(
                     lasso=lasso,
                     region=tuple(component),
-                    enabled_on_cycle=enabled,
-                    executed_on_cycle=executed,
+                    enabled_on_cycle=analyses.labels_of_mask(enabled_mask),
+                    executed_on_cycle=analyses.labels_of_mask(executed_mask),
                 )
             # Remove every state enabling a violating command; what remains
             # may still host a fair cycle one level down.
             survivors = {
                 i
-                for i in component
-                if not (graph.enabled_at(i) & violating)
+                for i in component_set
+                if not (enabled_masks[i] & violating_mask)
             }
             if survivors:
                 pending.append(survivors)
@@ -160,23 +169,25 @@ def find_weakly_fair_cycle(graph: ReachableGraph) -> Optional[FairCycle]:
     ``S`` (it is continuously enabled along any of them), so no refinement
     is needed: the per-SCC test is complete.
     """
+    analyses = graph.analyses
+    enabled_masks = analyses.enabled_masks
     decomposition = decompose(graph)
     for component in decomposition.components:
-        internal = internal_transitions(graph, component)
-        if not internal:
+        component_set = set(component)
+        executed_mask = analyses.executed_mask_within(component_set)
+        if not executed_mask:
             continue
-        everywhere_enabled = frozenset.intersection(
-            *(graph.enabled_at(i) for i in component)
-        )
-        executed = frozenset(t.command for t in internal)
-        if everywhere_enabled <= executed:
+        everywhere_mask = enabled_masks[component[0]]
+        for i in component:
+            everywhere_mask &= enabled_masks[i]
+        if not (everywhere_mask & ~executed_mask):
             cycle = cycle_through_all(graph, component)
             stem = find_path_indices(graph, graph.initial_indices, cycle[0].source)
             return FairCycle(
                 lasso=lasso_from_indices(graph, stem, cycle),
                 region=tuple(component),
-                enabled_on_cycle=graph.commands_enabled_within(component),
-                executed_on_cycle=executed,
+                enabled_on_cycle=graph.commands_enabled_within(component_set),
+                executed_on_cycle=analyses.labels_of_mask(executed_mask),
             )
     return None
 
@@ -192,19 +203,21 @@ def find_impartial_cycle(graph: ReachableGraph) -> Optional[FairCycle]:
     impartial term`` (tested, not just asserted here).
     """
     all_commands = frozenset(graph.system.commands())
+    analyses = graph.analyses
     decomposition = decompose(graph)
     for component in decomposition.components:
-        internal = internal_transitions(graph, component)
-        if not internal:
+        component_set = set(component)
+        executed_mask = analyses.executed_mask_within(component_set)
+        if not executed_mask:
             continue
-        executed = frozenset(t.command for t in internal)
+        executed = analyses.labels_of_mask(executed_mask)
         if executed == all_commands:
             cycle = cycle_through_all(graph, component)
             stem = find_path_indices(graph, graph.initial_indices, cycle[0].source)
             return FairCycle(
                 lasso=lasso_from_indices(graph, stem, cycle),
                 region=tuple(component),
-                enabled_on_cycle=graph.commands_enabled_within(component),
+                enabled_on_cycle=graph.commands_enabled_within(component_set),
                 executed_on_cycle=executed,
             )
     return None
@@ -220,7 +233,8 @@ def enumerate_unfair_commands(
     candidate *unfairness hypotheses* (helpful directions) of the region,
     and the synthesiser picks its level-1 hypothesis among them.
     """
-    internal = internal_transitions(graph, component)
-    executed = frozenset(t.command for t in internal)
-    enabled = graph.commands_enabled_within(component)
-    return enabled - executed
+    analyses = graph.analyses
+    members = set(component)
+    executed_mask = analyses.executed_mask_within(members)
+    enabled_mask = analyses.enabled_mask_within(members)
+    return analyses.labels_of_mask(enabled_mask & ~executed_mask)

@@ -44,11 +44,20 @@ from repro.ts.system import CommandLabel, State, TransitionSystem
 
 @dataclass(frozen=True)
 class FairnessRequirement:
-    """One fairness constraint: when it demands service and what serves it."""
+    """One fairness constraint: when it demands service and what serves it.
+
+    ``kind`` is a performance tag, not a semantic one: requirements built by
+    :func:`command_requirements` carry ``kind="command"``, promising that
+    ``enabled_at`` is exactly "the named command is enabled" and
+    ``fulfilled_by`` exactly "the named command is executed" — which lets
+    index-native consumers answer both from the explored graph's cached
+    enabled sets instead of calling back into the predicates per state.
+    """
 
     name: str
     enabled_at: Callable[[State], bool]
     fulfilled_by: Callable[[State, CommandLabel, State], bool]
+    kind: str = "general"
 
     def __str__(self) -> str:
         return f"requirement {self.name!r}"
@@ -65,6 +74,7 @@ def command_requirements(
                 name=command,
                 enabled_at=lambda state, _c=command: _c in system.enabled(state),
                 fulfilled_by=lambda s, c, t, _c=command: c == _c,
+                kind="command",
             )
         )
     return tuple(requirements)

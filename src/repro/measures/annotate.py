@@ -31,16 +31,18 @@ class AnnotatedProgram:
         max_states: Optional[int] = None,
         max_depth: Optional[int] = None,
         graph: Optional[ReachableGraph] = None,
+        n_jobs: Optional[int] = None,
     ) -> MeasureCheckResult:
         """Verify the annotation over the (possibly bounded) reachable graph.
 
         Pass a pre-explored ``graph`` to amortise exploration across several
-        checks of the same program.
+        checks of the same program; ``n_jobs`` fans the transition checks out
+        over a process pool (results are identical to the serial run).
         """
         if graph is None:
             graph = explore(self.program, max_states=max_states, max_depth=max_depth)
         assignment = self.assertion.compile()
-        return check_measure(graph, assignment)
+        return check_measure(graph, assignment, n_jobs=n_jobs)
 
     def render(self) -> str:
         """The annotated program in paper style: assertion above the loop."""

@@ -24,8 +24,9 @@ termination measure** (Theorem 1 then applies; see
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.engine.parallel import chunk_items, parallel_map, resolve_jobs
 from repro.measures.assignment import StackAssignment
 from repro.measures.hypotheses import TERMINATION
 from repro.measures.stack import Stack, stacks_equal_below
@@ -257,11 +258,37 @@ class ActiveWitnessData:
     reason: str
 
 
+#: One transition's inputs to the level search, as plain picklable data:
+#: ``(source_stack, target_stack, invalidated, active_subjects)``.
+_TransitionTask = Tuple[Stack, Stack, frozenset, frozenset]
+
+
+def _check_chunk(
+    payload: Tuple[Sequence[_TransitionTask], WellFoundedOrder],
+):
+    """Worker: run the level search over one chunk of transitions.
+
+    Returns, per transition, either ``ActiveWitnessData`` or the failure
+    tuple — plain data the parent reattaches to its transitions.  Module
+    level (and closure-free) so the process pool can pickle it; also the
+    serial path, so both paths run literally the same code.
+    """
+    tasks, order = payload
+    results = []
+    for source_stack, target_stack, invalidated, active_subjects in tasks:
+        data, failures = find_active_level_general(
+            source_stack, target_stack, invalidated, active_subjects, order
+        )
+        results.append(data if data is not None else tuple(failures))
+    return results
+
+
 def check_measure(
     graph: ReachableGraph,
     assignment: StackAssignment,
     keep_witnesses: bool = True,
     requirements=None,
+    n_jobs: int | None = None,
 ) -> MeasureCheckResult:
     """Check the verification conditions on every explored transition.
 
@@ -275,6 +302,13 @@ def check_measure(
     requirements; a hypothesis is active when its requirement demands
     service in either endpoint, and invalidated when the transition fulfils
     it.  Omitted, hypotheses name commands (the paper's strong fairness).
+
+    ``n_jobs`` fans the per-transition checks out over a process pool
+    (``repro.engine.parallel``): transitions are split into contiguous
+    chunks and the per-chunk results concatenated in order, so witnesses
+    and violations — contents *and* order — are identical to the serial
+    run.  ``None``/``0``/``1`` stay serial; pool failures fall back to
+    serial.
     """
     order = assignment.order
     stacks: List[Stack] = []
@@ -286,60 +320,93 @@ def check_measure(
                 order.check_member(hypothesis.value)
         stacks.append(stack)
 
-    witnesses: List[ActiveWitness] = []
-    violations: List[TransitionViolation] = []
-    for transition in graph.transitions:
-        source_stack = stacks[transition.source]
-        target_stack = stacks[transition.target]
-        if requirements is None:
-            invalidated = frozenset({transition.command})
-            active_subjects = graph.enabled_at(transition.source) | graph.enabled_at(
-                transition.target
-            )
-        else:
-            source_state = graph.state_of(transition.source)
-            target_state = graph.state_of(transition.target)
-            invalidated = frozenset(
-                r.name
-                for r in requirements
-                if r.fulfilled_by(source_state, transition.command, target_state)
-            )
-            active_subjects = frozenset(
-                r.name
-                for r in requirements
-                if r.enabled_at(source_state) or r.enabled_at(target_state)
-            )
-        data, failures = find_active_level_general(
-            source_stack,
-            target_stack,
-            invalidated,
-            active_subjects,
-            order,
-        )
-        plain = graph.to_transition(transition)
-        if data is None:
-            violations.append(
-                TransitionViolation(
-                    transition=plain,
-                    source_stack=source_stack,
-                    target_stack=target_stack,
-                    failures=tuple(failures),
+    transitions = graph.transitions
+    analyses = graph.analyses
+    packed = analyses.packed
+    src, cmd, dst = packed.src, packed.cmd, packed.dst
+    enabled_masks = analyses.enabled_masks
+    commands = analyses.commands
+
+    # Per-transition inputs, precomputed in the parent so workers never see
+    # the (closure-laden, unpicklable) assignment or requirement objects.
+    # Enabled-union frozensets are shared via the mask cache; the
+    # invalidated singleton per command is interned in the command table.
+    tasks: List[_TransitionTask] = []
+    if requirements is None:
+        for eid in range(len(transitions)):
+            s, t = src[eid], dst[eid]
+            tasks.append(
+                (
+                    stacks[s],
+                    stacks[t],
+                    commands.singleton(cmd[eid]),
+                    commands.labels_of_mask(enabled_masks[s] | enabled_masks[t]),
                 )
             )
-        elif keep_witnesses:
-            witnesses.append(
-                ActiveWitness(
-                    transition=plain,
-                    level=data.level,
-                    subject=data.subject,
-                    reason=data.reason,
+    else:
+        demanded = [
+            frozenset(
+                r.name for r in requirements if r.enabled_at(graph.state_of(i))
+            )
+            for i in range(len(graph))
+        ]
+        for transition in transitions:
+            source_state = graph.state_of(transition.source)
+            target_state = graph.state_of(transition.target)
+            tasks.append(
+                (
+                    stacks[transition.source],
+                    stacks[transition.target],
+                    frozenset(
+                        r.name
+                        for r in requirements
+                        if r.fulfilled_by(
+                            source_state, transition.command, target_state
+                        )
+                    ),
+                    demanded[transition.source] | demanded[transition.target],
+                )
+            )
+
+    jobs = resolve_jobs(n_jobs)
+    if jobs <= 1:
+        outcomes = _check_chunk((tasks, order))
+    else:
+        chunks = chunk_items(tasks, jobs)
+        payloads = [(chunk, order) for chunk in chunks]
+        outcomes = [
+            outcome
+            for chunk_result in parallel_map(_check_chunk, payloads, n_jobs=jobs)
+            for outcome in chunk_result
+        ]
+
+    witnesses: List[ActiveWitness] = []
+    violations: List[TransitionViolation] = []
+    for eid, outcome in enumerate(outcomes):
+        if isinstance(outcome, ActiveWitnessData):
+            if keep_witnesses:
+                witnesses.append(
+                    ActiveWitness(
+                        transition=graph.to_transition(transitions[eid]),
+                        level=outcome.level,
+                        subject=outcome.subject,
+                        reason=outcome.reason,
+                    )
+                )
+        else:
+            violations.append(
+                TransitionViolation(
+                    transition=graph.to_transition(transitions[eid]),
+                    source_stack=stacks[src[eid]],
+                    target_stack=stacks[dst[eid]],
+                    failures=outcome,
                 )
             )
 
     return MeasureCheckResult(
         witnesses=witnesses,
         violations=violations,
-        transitions_checked=len(graph.transitions),
+        transitions_checked=len(transitions),
         complete=graph.complete,
         order_well_founded=order.is_well_founded(),
     )

@@ -23,7 +23,7 @@ from typing import Dict, List, Sequence
 from repro.completeness.synthesis import (
     NotFairlyTerminatingError,
     RegionInfo,
-    _process_region,
+    process_regions,
 )
 from repro.fairness.checker import find_fair_cycle
 from repro.fairness.generalized import command_requirements
@@ -37,7 +37,7 @@ from repro.measures.verification import (
     find_active_level,
 )
 from repro.ts.explore import ReachableGraph
-from repro.ts.graph import decompose, internal_transitions
+from repro.ts.graph import decompose
 from repro.wf.naturals import NATURALS
 
 
@@ -164,20 +164,13 @@ def synthesize_response_measure(
         for index in pending
     }
     requirements = tuple(command_requirements(product_graph.system))
-    regions: List[RegionInfo] = []
     try:
-        for component in decomposition.components:
-            if not internal_transitions(product_graph, component):
-                continue
-            regions.append(
-                _process_region(
-                    product_graph,
-                    list(component),
-                    level=1,
-                    requirements=requirements,
-                    entries=entries,
-                )
-            )
+        regions: List[RegionInfo] = process_regions(
+            product_graph,
+            decomposition.components,
+            requirements,
+            entries,
+        )
     except NotFairlyTerminatingError:
         witness = find_fair_cycle(product_graph, restrict_to=pending)
         raise ResponseViolatedError(

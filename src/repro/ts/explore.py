@@ -8,6 +8,12 @@ theorem about the program.  For infinite-state programs (the paper's
 ``P1``–``P4`` over unbounded integers) exploration is *bounded* and the graph
 records its frontier, so downstream analyses can — and do — say precisely
 what was and was not covered, instead of silently truncating.
+
+States are interned (hashed once at discovery, :mod:`repro.engine.interning`)
+and every downstream analysis works on integer indices; the graph lazily
+builds a packed-array view plus cached analyses
+(:attr:`ReachableGraph.analyses`) that the hot paths — measure checking,
+fair-cycle search, synthesis — run on.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
+from repro.engine.interning import StateInterner
 from repro.ts.system import CommandLabel, State, Transition, TransitionSystem
 
 
@@ -44,7 +51,10 @@ class ReachableGraph:
       expanded (non-empty exactly when incomplete).
 
     All verification-condition checking, fair-cycle detection, SCC analysis
-    and synthesis run over this structure.
+    and synthesis run over this structure.  Index-native callers should use
+    :attr:`analyses` (packed transition arrays, per-state enabled bitmasks
+    and memoized SCC decomposition — computed once, cached here) instead of
+    round-tripping through :class:`State` objects.
     """
 
     def __init__(
@@ -55,21 +65,34 @@ class ReachableGraph:
         enabled: Sequence[frozenset],
         initial_count: int,
         frontier: Iterable[int],
+        index: Dict[State, int] | None = None,
     ) -> None:
         self._system = system
         self._states = tuple(states)
-        self._index: Dict[State, int] = {s: i for i, s in enumerate(self._states)}
+        if index is None:
+            index = {s: i for i, s in enumerate(self._states)}
+        self._index: Dict[State, int] = index
         if len(self._index) != len(self._states):
             raise ValueError("duplicate states in exploration result")
         self._transitions = tuple(transitions)
         self._enabled = tuple(enabled)
         self._initial_count = initial_count
         self._frontier = frozenset(frontier)
-        self._out: List[List[IndexedTransition]] = [[] for _ in self._states]
-        self._in: List[List[IndexedTransition]] = [[] for _ in self._states]
+        out: List[List[IndexedTransition]] = [[] for _ in self._states]
+        incoming: List[List[IndexedTransition]] = [[] for _ in self._states]
         for t in self._transitions:
-            self._out[t.source].append(t)
-            self._in[t.target].append(t)
+            out[t.source].append(t)
+            incoming[t.target].append(t)
+        # Per-state tuples are built once; ``outgoing``/``incoming`` hand the
+        # same tuple back on every call instead of re-allocating.
+        self._out: Tuple[Tuple[IndexedTransition, ...], ...] = tuple(
+            tuple(ts) for ts in out
+        )
+        self._in: Tuple[Tuple[IndexedTransition, ...], ...] = tuple(
+            tuple(ts) for ts in incoming
+        )
+        self._analyses = None
+        self._scc_cache = None  # full-graph SccDecomposition, set by decompose()
 
     # -- basic queries -------------------------------------------------
 
@@ -124,11 +147,11 @@ class ReachableGraph:
 
     def outgoing(self, index: int) -> Sequence[IndexedTransition]:
         """Outgoing transitions of the state at ``index``."""
-        return tuple(self._out[index])
+        return self._out[index]
 
     def incoming(self, index: int) -> Sequence[IndexedTransition]:
         """Incoming transitions of the state at ``index``."""
-        return tuple(self._in[index])
+        return self._in[index]
 
     def is_terminal(self, index: int) -> bool:
         """Whether the state at ``index`` enables no command."""
@@ -142,24 +165,38 @@ class ReachableGraph:
         """Convert an indexed transition back to state form."""
         return Transition(self._states[t.source], t.command, self._states[t.target])
 
+    # -- engine view -----------------------------------------------------
+
+    @property
+    def analyses(self):
+        """Cached :class:`repro.engine.analysis.GraphAnalyses` for this graph.
+
+        Built on first use: packed ``(src, cmd_id, dst)`` arrays with CSR
+        adjacency, per-state enabled bitmasks, and the memoized full-graph
+        SCC decomposition.  Shared by every analysis over this graph.
+        """
+        if self._analyses is None:
+            from repro.engine.analysis import GraphAnalyses
+
+            self._analyses = GraphAnalyses(self)
+        return self._analyses
+
     # -- derived facts ---------------------------------------------------
 
     def commands_executed_within(self, indices: Iterable[int]) -> frozenset:
-        """Commands executed on transitions staying inside ``indices``."""
-        members = set(indices)
-        return frozenset(
-            t.command
-            for i in members
-            for t in self._out[i]
-            if t.target in members
-        )
+        """Commands executed on transitions staying inside ``indices``.
+
+        ``indices`` may be any iterable; passing a ``set``/``frozenset``
+        skips re-materialisation, and the answer is assembled from cached
+        bitmasks rather than per-call frozenset churn.
+        """
+        analyses = self.analyses
+        return analyses.labels_of_mask(analyses.executed_mask_within(indices))
 
     def commands_enabled_within(self, indices: Iterable[int]) -> frozenset:
         """Commands enabled at some state of ``indices``."""
-        result: Set[CommandLabel] = set()
-        for i in indices:
-            result |= self._enabled[i]
-        return frozenset(result)
+        analyses = self.analyses
+        return analyses.labels_of_mask(analyses.enabled_mask_within(indices))
 
     def describe(self) -> str:
         """One-line summary used by reports."""
@@ -190,22 +227,14 @@ def explore(
         exploration instead of returning an incomplete graph.
     """
     system.validate_commands()
-    states: List[State] = []
-    index: Dict[State, int] = {}
+    interner = StateInterner()
+    states = interner.states
     depth: List[int] = []
 
-    def discover(state: State, d: int) -> int:
-        existing = index.get(state)
-        if existing is not None:
-            return existing
-        i = len(states)
-        index[state] = i
-        states.append(state)
-        depth.append(d)
-        return i
-
     for s in system.initial_states():
-        discover(s, 0)
+        _, is_new = interner.intern(s)
+        if is_new:
+            depth.append(0)
     initial_count = len(states)
     if initial_count == 0:
         raise ValueError("system has no initial states")
@@ -227,14 +256,26 @@ def explore(
             continue
         expanded.add(i)
         state = states[i]
+        successor_depth = depth[i] + 1
+        at_budget = max_states is not None and len(states) >= max_states
         for command, target in system.post(state):
-            if target not in index and max_states is not None and len(states) >= max_states:
-                frontier.add(i)
-                truncated = True
-                # The state stays expanded for the transitions already
-                # recorded; mark it frontier because this successor is lost.
-                break
-            j = discover(target, depth[i] + 1)
+            if at_budget:
+                # At the state budget only already-interned successors may
+                # be recorded; a genuinely new one is lost, so the source
+                # becomes frontier.
+                j = interner.lookup(target)
+                if j is None:
+                    frontier.add(i)
+                    truncated = True
+                    # The state stays expanded for the transitions already
+                    # recorded; mark it frontier because this successor is
+                    # lost.
+                    break
+            else:
+                j, is_new = interner.intern(target)
+                if is_new:
+                    depth.append(successor_depth)
+                    at_budget = max_states is not None and len(states) >= max_states
             transitions.append(IndexedTransition(i, command, j))
             if j not in expanded:
                 queue.append(j)
@@ -250,9 +291,8 @@ def explore(
         if i not in expanded:
             frontier.add(i)
 
-    for i, state in enumerate(states):
-        enabled_set = frozenset(system.enabled(state))
-        enabled.append(enabled_set)
+    for state in states:
+        enabled.append(frozenset(system.enabled(state)))
 
     # Keep only transitions whose source was genuinely expanded; a partially
     # expanded frontier state may have recorded a prefix of its successors,
@@ -266,4 +306,5 @@ def explore(
         enabled=enabled,
         initial_count=initial_count,
         frontier=frontier,
+        index=interner.index,
     )

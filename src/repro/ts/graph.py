@@ -4,6 +4,13 @@ Fair-cycle detection, measure synthesis and the helpful-directions baseline
 all decompose the reachable graph into SCCs.  Tarjan's algorithm is
 implemented iteratively (explored graphs can be deep, and Python's recursion
 limit is not a correctness budget).
+
+:func:`decompose` runs on the graph's packed engine view
+(:attr:`ReachableGraph.analyses`): the full-graph decomposition is computed
+once and cached on the graph, and restricted decompositions walk only the
+region's CSR slices instead of re-scanning every transition of the graph —
+the seed behaviour, preserved verbatim in
+:mod:`repro.engine.reference`, made synthesis quadratic in practice.
 """
 
 from __future__ import annotations
@@ -111,37 +118,43 @@ def decompose(
     Transitions leaving the restriction set are ignored, so recursion into
     sub-regions — the heart of both Streett emptiness and measure synthesis —
     is a plain restricted call.
+
+    The unrestricted decomposition is computed once per graph and cached;
+    component order (reverse topological) and membership are identical to
+    the straightforward dict-based Tarjan (tested against
+    :func:`repro.engine.reference.decompose_reference`).
     """
-    if restrict_to is None:
-        members: Set[int] = set(range(len(graph)))
-    else:
-        members = set(restrict_to)
-    successors: Dict[int, List[int]] = {i: [] for i in members}
-    for t in graph.transitions:
-        if t.source in members and t.target in members:
-            successors[t.source].append(t.target)
-    components = tarjan_scc(sorted(members), successors)
+    if restrict_to is None and graph._scc_cache is not None:
+        return graph._scc_cache
+    components = graph.analyses.components(
+        None if restrict_to is None else list(restrict_to)
+    )
     component_of: Dict[int, int] = {}
     for position, component in enumerate(components):
         for node in component:
             component_of[node] = position
-    return SccDecomposition(
+    result = SccDecomposition(
         components=tuple(tuple(sorted(c)) for c in components),
         component_of=component_of,
     )
+    if restrict_to is None:
+        graph._scc_cache = result
+    return result
 
 
 def internal_transitions(
     graph: ReachableGraph,
     members: Iterable[int],
 ) -> List[IndexedTransition]:
-    """Transitions of ``graph`` with both endpoints in ``members``."""
-    inside = set(members)
+    """Transitions of ``graph`` with both endpoints in ``members``.
+
+    ``members`` may be any iterable; sets/frozensets are used as-is.  The
+    walk touches only the members' CSR slices and returns the transitions
+    grouped by source in ascending index order.
+    """
+    transitions = graph.transitions
     return [
-        t
-        for i in inside
-        for t in graph.outgoing(i)
-        if t.target in inside
+        transitions[eid] for eid in graph.analyses.internal_eids(members)
     ]
 
 
@@ -160,9 +173,12 @@ def condensation_edges(
 ) -> Set[Tuple[int, int]]:
     """Edges between distinct components (by component position)."""
     edges: Set[Tuple[int, int]] = set()
-    for t in graph.transitions:
-        a = decomposition.component_of.get(t.source)
-        b = decomposition.component_of.get(t.target)
+    packed = graph.analyses.packed
+    component_of = decomposition.component_of
+    src, dst = packed.src, packed.dst
+    for eid in range(len(packed)):
+        a = component_of.get(src[eid])
+        b = component_of.get(dst[eid])
         if a is not None and b is not None and a != b:
             edges.add((a, b))
     return edges

@@ -9,6 +9,7 @@ from repro.workloads.distributed import (
 )
 from repro.workloads.families import (
     counter_grid,
+    engine_scaling_suite,
     escape_ring,
     distractor_loop,
     modulus_chain,
@@ -36,6 +37,7 @@ __all__ = [
     "mutual_exclusion",
     "token_ring",
     "counter_grid",
+    "engine_scaling_suite",
     "escape_ring",
     "distractor_loop",
     "modulus_chain",

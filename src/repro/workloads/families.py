@@ -186,3 +186,31 @@ def random_system(
         initial=[0],
         transitions=transitions,
     )
+
+
+def engine_scaling_suite(scale: str = "full") -> List[Tuple[str, object]]:
+    """The ``(name, factory)`` workload list for engine scaling experiments.
+
+    One entry per family, sized so the largest ("grid") dominates wall
+    clock; ``scale="smoke"`` substitutes tiny instances for CI, where the
+    point is exercising every code path, not measuring anything.  Shared by
+    :mod:`benchmarks.bench_e13_engine_scaling` and the engine equivalence
+    tests so they always agree on what "each workload family" means.
+    """
+    if scale == "smoke":
+        return [
+            ("grid(5,5)", lambda: counter_grid(5, 5)),
+            ("chain(2 stages)", lambda: modulus_chain(2, fuel=3)),
+            ("rings(3)", lambda: nested_rings(3)),
+            ("distractors(2,2)", lambda: distractor_loop(2, 2)),
+            ("random(7)", lambda: random_system(7)),
+        ]
+    if scale != "full":
+        raise ValueError(f"unknown scale {scale!r} (expected 'full' or 'smoke')")
+    return [
+        ("grid(69,69)", lambda: counter_grid(69, 69)),
+        ("chain(3 stages)", lambda: modulus_chain(3, fuel=5)),
+        ("rings(24)", lambda: nested_rings(24)),
+        ("distractors(6,6)", lambda: distractor_loop(6, 6)),
+        ("random(7,64)", lambda: random_system(7, states=64, extra_edges=48)),
+    ]

@@ -1,0 +1,161 @@
+"""The engine never changes verdicts: equivalence against the seed oracle.
+
+Two independent equalities, checked per workload family:
+
+* **engine == reference** — the indexed fast paths (cached analyses,
+  masks, packed CSR recursion) produce the same decomposition, fair-cycle
+  witnesses, synthesised stacks and verification results as the seed
+  implementations preserved in :mod:`repro.engine.reference`;
+* **parallel == serial** — ``n_jobs=2`` produces results identical to
+  ``n_jobs=1``, including the order of witness and violation lists.
+"""
+
+import pytest
+
+from repro.completeness.synthesis import (
+    NotFairlyTerminatingError,
+    synthesize_measure,
+)
+from repro.engine.reference import (
+    check_measure_reference,
+    decompose_reference,
+    find_fair_cycle_reference,
+    synthesize_measure_reference,
+)
+from repro.fairness.checker import find_fair_cycle
+from repro.measures.verification import check_measure
+from repro.ts.explore import explore
+from repro.ts.graph import decompose
+from repro.workloads import engine_scaling_suite
+
+FAMILIES = engine_scaling_suite("smoke")
+
+
+@pytest.fixture(scope="module", params=FAMILIES, ids=[n for n, _ in FAMILIES])
+def graph(request):
+    _, make = request.param
+    return explore(make())
+
+
+def _flatten_regions(regions):
+    out = []
+
+    def visit(region):
+        out.append(
+            (region.level, region.helpful, region.states, region.enabled_here)
+        )
+        for child in region.children:
+            visit(child)
+
+    for region in regions:
+        visit(region)
+    return out
+
+
+def _witness_key(witness):
+    """Comparison key covering both FairCycle and GeneralFairCycle."""
+    if witness is None:
+        return None
+    return (
+        witness.lasso.describe(),
+        witness.region,
+        getattr(witness, "enabled_on_cycle", None),
+        getattr(witness, "executed_on_cycle", None),
+    )
+
+
+def _check_key(result):
+    return (
+        [
+            (w.transition, w.level, w.subject, w.reason)
+            for w in result.witnesses
+        ],
+        list(result.violations),
+        result.transitions_checked,
+        result.ok,
+    )
+
+
+def _synthesize_outcome(graph, n_jobs=None):
+    try:
+        result = synthesize_measure(graph, n_jobs=n_jobs)
+    except NotFairlyTerminatingError as error:
+        return ("unfair", _witness_key(error.witness))
+    return ("ok", result.stacks, _flatten_regions(result.regions), result)
+
+
+class TestEngineMatchesReference:
+    def test_decomposition(self, graph):
+        engine = decompose(graph)
+        reference = decompose_reference(graph)
+        assert engine.components == reference.components
+        assert engine.component_of == reference.component_of
+
+    def test_restricted_decomposition(self, graph):
+        region = list(range(0, len(graph), 2))
+        engine = decompose(graph, restrict_to=region)
+        reference = decompose_reference(graph, restrict_to=region)
+        assert engine.components == reference.components
+
+    def test_fair_cycle(self, graph):
+        assert _witness_key(find_fair_cycle(graph)) == _witness_key(
+            find_fair_cycle_reference(graph)
+        )
+
+    def test_synthesis_and_verification(self, graph):
+        outcome = _synthesize_outcome(graph)
+        try:
+            reference = synthesize_measure_reference(graph)
+        except NotFairlyTerminatingError as error:
+            assert outcome == ("unfair", _witness_key(error.witness))
+            return
+        assert outcome[0] == "ok"
+        assert outcome[1] == reference.stacks
+        assert outcome[2] == _flatten_regions(reference.regions)
+        assignment = reference.assignment()
+        assert _check_key(check_measure(graph, assignment)) == _check_key(
+            check_measure_reference(graph, assignment)
+        )
+
+
+class TestParallelMatchesSerial:
+    def test_synthesis(self, graph):
+        serial = _synthesize_outcome(graph, n_jobs=1)
+        parallel = _synthesize_outcome(graph, n_jobs=2)
+        assert serial[0] == parallel[0]
+        if serial[0] == "ok":
+            assert serial[1] == parallel[1]
+            assert serial[2] == parallel[2]
+        else:
+            assert serial == parallel
+
+    def test_verification(self, graph):
+        outcome = _synthesize_outcome(graph)
+        if outcome[0] != "ok":
+            pytest.skip("no measure exists for this family")
+        assignment = outcome[3].assignment()
+        assert _check_key(
+            check_measure(graph, assignment, n_jobs=2)
+        ) == _check_key(check_measure(graph, assignment, n_jobs=1))
+
+    def test_verification_of_wrong_measure_reports_same_violations(self, graph):
+        outcome = _synthesize_outcome(graph)
+        if outcome[0] != "ok":
+            pytest.skip("no measure exists for this family")
+        # Truncate every stack to its base hypothesis: violations appear in
+        # non-trivial families, and their order must survive the fan-out.
+        from repro.measures.assignment import StackAssignment
+        from repro.measures.stack import Stack
+        from repro.wf.naturals import NATURALS
+
+        broken = StackAssignment.from_dict(
+            {
+                graph.state_of(index): Stack(list(stack)[:1])
+                for index, stack in outcome[3].stacks.items()
+            },
+            NATURALS,
+            description="deliberately truncated measure",
+        )
+        serial = check_measure(graph, broken, n_jobs=1)
+        parallel = check_measure(graph, broken, n_jobs=2)
+        assert _check_key(serial) == _check_key(parallel)

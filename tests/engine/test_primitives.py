@@ -1,0 +1,135 @@
+"""Unit tests for the engine primitives: interner, packed arrays, chunking."""
+
+import pytest
+
+from repro.engine import (
+    CommandTable,
+    PackedGraph,
+    StateInterner,
+    chunk_items,
+    parallel_map,
+    resolve_jobs,
+    tarjan_scc_csr,
+)
+
+
+class TestStateInterner:
+    def test_first_intern_is_fresh(self):
+        interner = StateInterner()
+        index, fresh = interner.intern(("a", 1))
+        assert index == 0 and fresh
+
+    def test_reintern_returns_same_index(self):
+        interner = StateInterner()
+        first, _ = interner.intern(("a", 1))
+        interner.intern(("b", 2))
+        again, fresh = interner.intern(("a", 1))
+        assert again == first and not fresh
+
+    def test_indices_are_discovery_order(self):
+        interner = StateInterner()
+        for expected, state in enumerate(["x", "y", "z"]):
+            index, fresh = interner.intern(state)
+            assert index == expected and fresh
+        assert list(interner.states) == ["x", "y", "z"]
+
+    def test_lookup(self):
+        interner = StateInterner()
+        interner.intern("x")
+        assert interner.lookup("x") == 0
+        assert interner.lookup("missing") is None
+
+
+class TestCommandTable:
+    def test_ids_are_dense_in_declaration_order(self):
+        table = CommandTable(["a", "b"])
+        assert table.id_of("a") == 0
+        assert table.id_of("b") == 1
+        assert table.label_of(1) == "b"
+        assert len(table) == 2
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ValueError):
+            CommandTable(["a", "a"])
+
+    def test_singleton_and_masks(self):
+        table = CommandTable(["a", "b"])
+        a, b = table.id_of("a"), table.id_of("b")
+        assert table.singleton(a) == frozenset({"a"})
+        mask = table.mask_of(["a", "b"])
+        assert table.labels_of_mask(mask) == frozenset({"a", "b"})
+        assert table.labels_of_mask(0) == frozenset()
+        # The mask cache must not conflate distinct masks.
+        assert table.labels_of_mask(1 << b) == frozenset({"b"})
+
+
+class TestPackedGraph:
+    def test_csr_roundtrip_preserves_transition_order(self):
+        triples = [(0, 0, 1), (0, 1, 2), (1, 0, 0), (2, 0, 2), (0, 0, 0)]
+        packed = PackedGraph.build(3, triples)
+        # out_eids yields each state's transitions in original insertion order.
+        assert list(packed.out_eids(0)) == [0, 1, 4]
+        assert list(packed.out_eids(1)) == [2]
+        assert list(packed.out_eids(2)) == [3]
+        assert [packed.dst[e] for e in packed.out_eids(0)] == [1, 2, 0]
+
+    def test_empty_graph(self):
+        packed = PackedGraph.build(0, [])
+        assert len(packed.src) == 0
+
+    def test_successors(self):
+        packed = PackedGraph.build(2, [(0, 0, 1), (0, 0, 1), (1, 0, 0)])
+        assert list(packed.successors(0)) == [1, 1]
+
+
+class TestTarjanCsr:
+    def test_two_sccs_in_reverse_topological_order(self):
+        # 0 <-> 1 -> 2 <-> 3 : the sink SCC {2,3} must come first.
+        packed = PackedGraph.build(
+            4, [(0, 0, 1), (1, 0, 0), (1, 0, 2), (2, 0, 3), (3, 0, 2)]
+        )
+        components = tarjan_scc_csr(packed)
+        assert [sorted(c) for c in components] == [[2, 3], [0, 1]]
+
+    def test_restriction_to_members(self):
+        packed = PackedGraph.build(
+            4, [(0, 0, 1), (1, 0, 0), (1, 0, 2), (2, 0, 3), (3, 0, 2)]
+        )
+        components = tarjan_scc_csr(packed, members={0, 1})
+        assert [sorted(c) for c in components] == [[0, 1]]
+
+    def test_singletons(self):
+        packed = PackedGraph.build(3, [(0, 0, 1), (1, 0, 2)])
+        components = tarjan_scc_csr(packed)
+        assert [list(c) for c in components] == [[2], [1], [0]]
+
+
+class TestParallelPlumbing:
+    def test_resolve_jobs(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(0) == 1
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(3) == 3
+
+    def test_chunk_items_contiguous_ordered_balanced(self):
+        items = list(range(10))
+        chunks = chunk_items(items, 3)
+        assert [x for chunk in chunks for x in chunk] == items
+        sizes = [len(chunk) for chunk in chunks]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_chunk_items_more_chunks_than_items(self):
+        chunks = chunk_items([1, 2], 5)
+        assert [x for chunk in chunks for x in chunk] == [1, 2]
+        assert all(chunk for chunk in chunks)
+
+    def test_parallel_map_serial_path(self):
+        assert parallel_map(_double, [1, 2, 3], n_jobs=1) == [2, 4, 6]
+
+    def test_parallel_map_pool_preserves_order(self):
+        items = list(range(20))
+        assert parallel_map(_double, items, n_jobs=2) == [x * 2 for x in items]
+
+
+def _double(x):
+    return x * 2
