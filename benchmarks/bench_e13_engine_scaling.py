@@ -16,19 +16,21 @@ asserts
 
 Rows land in the experiment tables (see EXPERIMENTS.md §E13) and in
 ``BENCH_engine.json`` at the repo root.  ``ENGINE_BENCH_SMOKE=1``
-shrinks every workload to CI size and drops the speedup assertion —
-tiny instances measure nothing, but they exercise every code path,
-including the pool.
+shrinks every workload to CI size — tiny instances measure nothing, but
+they exercise every code path, including the pool.  The **speedup gate
+applies only at full scale**; at smoke scale the headline number is the
+serial-engine speedup (process pools on millisecond workloads measure
+pool overhead, not the engine), and the verdict records which scale and
+column produced it.
 """
 
 from __future__ import annotations
 
 import json
 import os
-import time
 from pathlib import Path
 
-from common import record_table
+from common import MIN_REPEATS, record_table, timed_median
 
 from repro.analysis import Table
 from repro.completeness import synthesize_measure
@@ -44,10 +46,15 @@ from repro.workloads import engine_scaling_suite
 
 SMOKE = os.environ.get("ENGINE_BENCH_SMOKE") == "1"
 SCALE = "smoke" if SMOKE else "full"
-REPEATS = 1 if SMOKE else 3
+REPEATS = MIN_REPEATS if SMOKE else max(MIN_REPEATS, 3)
 JOBS = 4
 LARGEST = "grid"  # the family the speedup criterion is judged on
 MIN_SPEEDUP = 1.5
+#: A jobs row may not lose to its serial counterpart by more than 10%
+#: (plus a small absolute allowance so sub-millisecond noise cannot trip
+#: the relative bound on smoke-sized rows).
+JOBS_TOLERANCE = 1.10
+JOBS_SLACK_SECONDS = 0.05
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
 
@@ -111,19 +118,17 @@ def _pipeline_engine(graph, n_jobs):
 
 
 def _timed(make_system, pipeline):
-    """Best-of-``REPEATS`` wall clock; each repeat explores afresh so the
-    engine's memoized analyses are rebuilt (their cost is part of the
-    measurement, not amortised away)."""
-    best = float("inf")
-    fingerprint = None
-    for _ in range(REPEATS):
-        graph = explore(make_system())
-        start = time.perf_counter()
-        result = pipeline(graph)
-        best = min(best, time.perf_counter() - start)
-        assert fingerprint is None or fingerprint == result
-        fingerprint = result
-    return best, fingerprint
+    """Median-of-``REPEATS`` wall clock (after a warmup run); each repeat
+    explores afresh so the engine's memoized analyses are rebuilt (their
+    cost is part of the measurement, not amortised away)."""
+    median, results = timed_median(
+        pipeline,
+        repeats=REPEATS,
+        setup=lambda: explore(make_system()),
+    )
+    fingerprint = results[0]
+    assert all(result == fingerprint for result in results)
+    return median, fingerprint
 
 
 def test_e13_engine_scaling():
@@ -134,7 +139,7 @@ def test_e13_engine_scaling():
          f"jobs={JOBS} s", "speedup", "identical"],
     )
     rows = []
-    speedups = {}
+    headline_speedups = {}
     for name, make in engine_scaling_suite(SCALE):
         graph = explore(make())
         seed_s, fp_reference = _timed(make, _pipeline_reference)
@@ -142,12 +147,20 @@ def test_e13_engine_scaling():
         jobs_s, fp_parallel = _timed(make, lambda g: _pipeline_engine(g, JOBS))
         assert fp_serial == fp_parallel, f"{name}: serial != n_jobs={JOBS}"
         assert fp_serial == fp_reference, f"{name}: engine != seed"
+        assert jobs_s <= serial_s * JOBS_TOLERANCE + JOBS_SLACK_SECONDS, (
+            f"{name}: n_jobs={JOBS} took {jobs_s:.3f}s vs {serial_s:.3f}s "
+            f"serial — adaptive dispatch should never lose to serial"
+        )
         verdict = json.loads(fp_serial)["verdict"]
-        speedup = seed_s / jobs_s if jobs_s > 0 else float("inf")
-        speedups[name] = speedup
+        serial_speedup = seed_s / serial_s if serial_s > 0 else float("inf")
+        jobs_speedup = seed_s / jobs_s if jobs_s > 0 else float("inf")
+        # At smoke scale the jobs column measures pool overhead on
+        # millisecond workloads; the serial engine is the honest headline.
+        headline = serial_speedup if SMOKE else jobs_speedup
+        headline_speedups[name] = headline
         table.add(
             name, len(graph), verdict, f"{seed_s:.3f}", f"{serial_s:.3f}",
-            f"{jobs_s:.3f}", f"{speedup:.2f}x", "yes",
+            f"{jobs_s:.3f}", f"{headline:.2f}x", "yes",
         )
         rows.append({
             "workload": name,
@@ -157,25 +170,36 @@ def test_e13_engine_scaling():
             "seed_seconds": seed_s,
             "engine_serial_seconds": serial_s,
             f"engine_jobs{JOBS}_seconds": jobs_s,
-            "speedup": speedup,
+            "serial_speedup": serial_speedup,
+            f"jobs{JOBS}_speedup": jobs_speedup,
+            "speedup": headline,
             "identical": True,
         })
     record_table(table)
 
-    largest = next(name for name in speedups if name.startswith(LARGEST))
+    largest = next(
+        name for name in headline_speedups if name.startswith(LARGEST)
+    )
     OUTPUT.write_text(json.dumps({
         "experiment": "E13",
         "scale": SCALE,
         "jobs": JOBS,
         "repeats": REPEATS,
         "largest_family": largest,
-        "largest_speedup": speedups[largest],
-        "min_speedup_required": MIN_SPEEDUP,
+        "largest_speedup": headline_speedups[largest],
+        "verdict": {
+            "scale": SCALE,
+            "headline_column": "engine_serial" if SMOKE else f"jobs{JOBS}",
+            "speedup_gate_applies": not SMOKE,
+            "min_speedup_required": MIN_SPEEDUP if not SMOKE else None,
+            "jobs_vs_serial_tolerance": JOBS_TOLERANCE,
+        },
+        "min_speedup_required": MIN_SPEEDUP if not SMOKE else None,
         "rows": rows,
     }, indent=2) + "\n")
 
     if not SMOKE:
-        assert speedups[largest] >= MIN_SPEEDUP, (
-            f"engine at n_jobs={JOBS} is only {speedups[largest]:.2f}x the "
+        assert headline_speedups[largest] >= MIN_SPEEDUP, (
+            f"engine is only {headline_speedups[largest]:.2f}x the "
             f"seed pipeline on {largest} (need {MIN_SPEEDUP}x)"
         )

@@ -5,13 +5,27 @@ EXPERIMENTS.md) as an :class:`repro.analysis.Table` and registers it with
 :func:`record_table`; the conftest's terminal-summary hook prints every
 registered table after the benchmark run, so the tables land in
 ``bench_output.txt`` even under pytest's output capture.
+
+:func:`timed_median` is the one timing primitive: warmup iterations are
+discarded (first-call costs — imports, pool spin-up, allocator warm-up —
+are not what the experiments measure) and the reported figure is the
+*median* of at least :data:`MIN_REPEATS` timed runs, so a single
+scheduling hiccup cannot swing a sub-millisecond row.
 """
 
 from __future__ import annotations
 
-from typing import List
+import statistics
+import time
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.analysis.report import Table
+
+#: Benches must time at least this many repeats — smoke runs included.
+MIN_REPEATS = 3
+
+#: Untimed iterations discarded before measurement starts.
+DEFAULT_WARMUP = 1
 
 _TABLES: List[Table] = []
 
@@ -24,3 +38,37 @@ def record_table(table: Table) -> None:
 def recorded_tables() -> List[Table]:
     """All tables registered so far (consumed by the conftest hook)."""
     return _TABLES
+
+
+def timed_median(
+    run: Callable[..., Any],
+    *,
+    repeats: int = MIN_REPEATS,
+    warmup: int = DEFAULT_WARMUP,
+    setup: Optional[Callable[[], Any]] = None,
+) -> Tuple[float, List[Any]]:
+    """``(median_seconds, timed_results)`` for ``repeats`` calls of ``run``.
+
+    ``setup`` (if given) is called before every iteration, *outside* the
+    timed region, and its value is passed to ``run`` — use it to rebuild
+    per-iteration state (a fresh graph, a cold cache) without billing the
+    rebuild to the measurement.  The first ``warmup`` iterations run and
+    are discarded; the remaining ``repeats`` are timed and their results
+    returned in order so callers can assert run-to-run agreement.
+    """
+    if repeats < MIN_REPEATS:
+        raise ValueError(
+            f"repeats must be >= {MIN_REPEATS}, got {repeats} "
+            "(single-shot timings of sub-millisecond rows are pure noise)"
+        )
+    durations: List[float] = []
+    results: List[Any] = []
+    for iteration in range(warmup + repeats):
+        argument = setup() if setup is not None else None
+        start = time.perf_counter()
+        result = run(argument) if setup is not None else run()
+        elapsed = time.perf_counter() - start
+        if iteration >= warmup:
+            durations.append(elapsed)
+            results.append(result)
+    return statistics.median(durations), results

@@ -20,7 +20,11 @@ import sys
 from repro import check_fair_termination, check_measure, explore, synthesize_measure
 from repro.analysis import Table
 from repro.baselines import NotTerminatingError, synthesize_floyd
-from repro.fairness import AdversarialScheduler, RoundRobinScheduler, simulate
+from repro.fairness import (
+    AdversarialScheduler,
+    LeastRecentlyExecutedScheduler,
+    simulate,
+)
 from repro.workloads import dining_philosophers
 
 
@@ -61,10 +65,15 @@ def main() -> None:
             shown += 1
     table.show()
 
-    # Schedules: round-robin feeds everyone; an adversary can starve one.
-    fair = simulate(system, RoundRobinScheduler(system.commands()), max_steps=10_000)
-    print(f"\nround-robin: terminated={fair.terminated} in {fair.steps} steps; "
-          f"final={''.join(fair.trace.final_state)}")
+    # Schedules: a strongly fair scheduler feeds everyone; an adversary
+    # can starve one.
+    fair = simulate(
+        system,
+        LeastRecentlyExecutedScheduler(system.commands()),
+        max_steps=10_000,
+    )
+    print(f"\nfair scheduler: terminated={fair.terminated} in {fair.steps} "
+          f"steps; final={''.join(fair.trace.final_state)}")
     adversary = AdversarialScheduler(
         avoid={"phil0.pick"}, prefer=("phil0.ponder",)
     )

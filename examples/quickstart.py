@@ -27,7 +27,11 @@ from repro import (
     parse_program,
     unfairness_witness,
 )
-from repro.fairness import AdversarialScheduler, RoundRobinScheduler, simulate
+from repro.fairness import (
+    AdversarialScheduler,
+    LeastRecentlyExecutedScheduler,
+    simulate,
+)
 from repro.ts import Lasso, Path
 
 
@@ -47,8 +51,8 @@ def main() -> None:
     print(annotate(program, P2_PRIME).render())
 
     # 2. Scheduling matters: fair vs adversarial runs.
-    fair = simulate(program, RoundRobinScheduler(program.commands()))
-    print(f"round-robin (fair) scheduler: terminated={fair.terminated} "
+    fair = simulate(program, LeastRecentlyExecutedScheduler(program.commands()))
+    print(f"strongly fair scheduler: terminated={fair.terminated} "
           f"after {fair.steps} steps")
     unfair = simulate(program, AdversarialScheduler(avoid={"la"}), max_steps=1000)
     print(f"adversarial scheduler (starving la): terminated={unfair.terminated}; "

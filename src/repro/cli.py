@@ -30,7 +30,10 @@ from repro.completeness.construction import longest_chain_length, theorem3_const
 from repro.completeness.history import add_history_variable
 from repro.completeness.synthesis import NotFairlyTerminatingError, synthesize_measure
 from repro.fairness.checker import check_fair_termination
-from repro.fairness.scheduler import AdversarialScheduler, RoundRobinScheduler
+from repro.fairness.scheduler import (
+    AdversarialScheduler,
+    LeastRecentlyExecutedScheduler,
+)
 from repro.fairness.simulate import simulate
 from repro.gcl.pretty import render_program
 from repro.gcl.program import Program, parse_program
@@ -41,6 +44,21 @@ from repro.ts.explore import explore
 def _load(path: str) -> Program:
     with open(path, "r", encoding="utf-8") as handle:
         return parse_program(handle.read())
+
+
+def _explore(args: argparse.Namespace, program: Program):
+    """Explore honouring ``--max-states``/``--max-depth``/``--cache-dir``."""
+    from repro.engine.diskcache import explore_with_cache
+
+    graph, hit = explore_with_cache(
+        program,
+        max_states=args.max_states,
+        max_depth=args.max_depth,
+        cache_dir=args.cache_dir,
+    )
+    if args.cache_dir is not None:
+        print(f"graph cache: {'hit' if hit else 'miss'} ({args.cache_dir})")
+    return graph
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -56,7 +74,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=None,
         help="worker processes for verification/synthesis "
-        "(default/1 = serial; results are identical either way)",
+        "(default/1 = serial; small graphs auto-fall back to serial; "
+        "results are identical either way)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="cache explored graphs on disk, keyed by the canonical "
+        "program text and the exploration bounds; repeated runs skip "
+        "exploration entirely",
     )
 
 
@@ -76,7 +103,7 @@ def _cmd_show(args: argparse.Namespace) -> int:
 
 def _cmd_explore(args: argparse.Namespace) -> int:
     program = _load(args.file)
-    graph = explore(program, max_states=args.max_states, max_depth=args.max_depth)
+    graph = _explore(args, program)
     print(f"{program.name}: {graph.describe()}")
     terminal = graph.terminal_indices()
     print(f"terminal states: {len(terminal)}")
@@ -87,7 +114,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
 
 def _cmd_decide(args: argparse.Namespace) -> int:
     program = _load(args.file)
-    graph = explore(program, max_states=args.max_states, max_depth=args.max_depth)
+    graph = _explore(args, program)
     result = check_fair_termination(graph)
     print(f"{program.name}: {result}")
     if result.witness is not None:
@@ -105,7 +132,7 @@ def _cmd_decide(args: argparse.Namespace) -> int:
 def _cmd_synthesize(args: argparse.Namespace) -> int:
     program = _load(args.file)
     t0 = time.perf_counter()
-    graph = explore(program, max_states=args.max_states, max_depth=args.max_depth)
+    graph = _explore(args, program)
     t_explore = time.perf_counter() - t0
     if not graph.complete:
         print(
@@ -152,8 +179,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         scheduler = AdversarialScheduler(avoid=set(args.starve))
         kind = f"adversarial (starving {args.starve})"
     else:
-        scheduler = RoundRobinScheduler(program.commands())
-        kind = "round-robin (strongly fair)"
+        scheduler = LeastRecentlyExecutedScheduler(program.commands())
+        kind = "least-recently-executed (strongly fair)"
     result = simulate(program, scheduler, max_steps=args.steps)
     outcome = "terminated" if result.terminated else "still running"
     print(f"{program.name} under {kind}: {outcome} after {result.steps} steps")
@@ -198,7 +225,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     program = _load(args.file)
-    graph = explore(program, max_states=args.max_states, max_depth=args.max_depth)
+    graph = _explore(args, program)
     if not graph.complete:
         print(
             "error: the comparison needs the complete reachable graph",
@@ -223,7 +250,7 @@ def _cmd_notions(args: argparse.Namespace) -> int:
     )
 
     program = _load(args.file)
-    graph = explore(program, max_states=args.max_states, max_depth=args.max_depth)
+    graph = _explore(args, program)
     rows = [
         ("weak fairness (justice)", find_weakly_fair_cycle(graph)),
         ("strong fairness", find_fair_cycle(graph)),

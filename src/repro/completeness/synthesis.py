@@ -46,7 +46,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.analysis import tarjan_scc_csr
 from repro.engine.packed import PackedGraph
-from repro.engine.parallel import chunk_items, parallel_map, resolve_jobs
+from repro.engine.parallel import chunk_items, effective_jobs, parallel_map
 from repro.fairness.generalized import (
     FairnessRequirement,
     GeneralFairCycle,
@@ -344,7 +344,10 @@ def synthesize_measure(
     ]
 
     regions: List[RegionInfo] = []
-    jobs = resolve_jobs(n_jobs)
+    # Adaptive dispatch: the recursion's work scales with the transitions
+    # inside the candidate regions; below the cutoff the pool's fixed costs
+    # dominate and the request is demoted to serial (never-slower rule).
+    jobs = effective_jobs(n_jobs, len(graph.transitions))
     if jobs <= 1 or len(nontrivial) < 2:
         outcomes = _synthesis_chunk_worker((ctx, nontrivial))
     else:

@@ -11,8 +11,13 @@ index-native:
 * :mod:`repro.engine.analysis` — SCC decomposition and per-region
   enabled/executed command sets, computed once and cached on the graph;
 * :mod:`repro.engine.parallel` — a chunked, deterministic process-pool map
-  with a serial fallback, used by ``check_measure``, ``synthesize_measure``
-  and the benchmark sweeps;
+  with a serial fallback, a **persistent worker pool** reused across calls,
+  and **adaptive dispatch** (small work demotes to serial, so ``--jobs N``
+  never loses to the serial path), used by ``check_measure``,
+  ``synthesize_measure`` and the benchmark sweeps;
+* :mod:`repro.engine.diskcache` — an optional cross-run on-disk cache of
+  explored graphs, keyed by the canonical program text and the exploration
+  bounds (CLI ``--cache-dir``);
 * :mod:`repro.engine.reference` — the pre-engine algorithms, preserved
   verbatim as the "before" baseline for benchmarks and as an independent
   oracle for equivalence tests.
@@ -23,16 +28,38 @@ to produce results bit-identical to the straightforward implementation.
 
 from repro.engine.interning import StateInterner
 from repro.engine.packed import CommandTable, PackedGraph
-from repro.engine.parallel import chunk_items, parallel_map, resolve_jobs
+from repro.engine.parallel import (
+    PARALLEL_WORK_CUTOFF,
+    chunk_items,
+    effective_jobs,
+    get_pool,
+    parallel_map,
+    resolve_jobs,
+    shutdown_pool,
+)
 from repro.engine.analysis import GraphAnalyses, tarjan_scc_csr
+from repro.engine.diskcache import (
+    exploration_cache_key,
+    explore_with_cache,
+    load_cached_graph,
+    store_graph,
+)
 
 __all__ = [
     "CommandTable",
     "GraphAnalyses",
     "PackedGraph",
+    "PARALLEL_WORK_CUTOFF",
     "StateInterner",
     "chunk_items",
+    "effective_jobs",
+    "exploration_cache_key",
+    "explore_with_cache",
+    "get_pool",
+    "load_cached_graph",
     "parallel_map",
     "resolve_jobs",
+    "shutdown_pool",
+    "store_graph",
     "tarjan_scc_csr",
 ]

@@ -1,0 +1,211 @@
+"""Cross-run on-disk cache of explored graphs.
+
+Repeated CLI and benchmark invocations re-explore the same program with the
+same bounds from scratch — for finite-state workloads that is the dominant
+cost of the whole pipeline.  This module persists a
+:class:`~repro.ts.explore.ReachableGraph` to disk and reloads it
+bit-identically (same state order, same transitions, same enabled sets,
+same frontier), so a second run skips exploration entirely.
+
+The cache key is content-addressed: the SHA-256 of the *canonical* program
+text (the pretty-printer's rendering, so formatting differences do not
+fragment the cache) together with the exploration bounds and the on-disk
+format version.  Only :class:`~repro.gcl.program.Program` systems are
+cacheable — their states are plain integer valuations; other transition
+systems silently bypass the cache.
+
+Entries are JSON (no pickle: a shared cache directory must not be a code
+execution vector) and are written atomically (temp file + ``os.replace``),
+so concurrent runs at worst redo work.  Unreadable, corrupt or
+version-mismatched entries are treated as misses and overwritten.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Tuple
+
+from repro.gcl.pretty import render_program
+from repro.gcl.program import Program
+from repro.gcl.state import ProgramState
+
+if False:  # typing only — ts.explore imports this package, keep it lazy
+    from repro.ts.explore import ReachableGraph
+
+#: Bump when the serialized layout changes; old entries become misses.
+FORMAT_VERSION = 1
+
+
+def exploration_cache_key(
+    program: Program,
+    max_states: Optional[int] = None,
+    max_depth: Optional[int] = None,
+) -> str:
+    """The content hash naming this ``(program, bounds)`` exploration.
+
+    Canonicalising through the pretty printer makes the key insensitive to
+    whitespace/comment differences in the source text while remaining
+    sensitive to any semantic change (different guard, bound, initial
+    range, command order — all alter the rendering).
+    """
+    canonical = render_program(program.ast)
+    payload = json.dumps(
+        {
+            "format": FORMAT_VERSION,
+            "program": canonical,
+            "max_states": max_states,
+            "max_depth": max_depth,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _entry_path(cache_dir: os.PathLike, key: str) -> Path:
+    return Path(cache_dir) / f"graph-{key}.json"
+
+
+def store_graph(
+    graph: ReachableGraph,
+    cache_dir: os.PathLike,
+    key: str,
+) -> Path:
+    """Serialize ``graph`` under ``cache_dir`` (atomically); returns the path.
+
+    The graph's system must be a :class:`Program` (states are
+    :class:`ProgramState` valuations over the program's variables).
+    """
+    program = graph.system
+    if not isinstance(program, Program):
+        raise TypeError(
+            f"only Program graphs are cacheable, got {type(program).__name__}"
+        )
+    names = program.variable_names
+    labels = list(program.commands())
+    label_slot = {label: i for i, label in enumerate(labels)}
+    payload = {
+        "format": FORMAT_VERSION,
+        "key": key,
+        "program": program.name,
+        "names": list(names),
+        "commands": labels,
+        "states": [list(state.values) for state in graph.states],
+        "transitions": [
+            [t.source, label_slot[t.command], t.target]
+            for t in graph.transitions
+        ],
+        "enabled": [
+            sorted(label_slot[c] for c in graph.enabled_at(i))
+            for i in range(len(graph))
+        ],
+        "initial_count": len(graph.initial_indices),
+        "frontier": sorted(graph.frontier),
+    }
+    directory = Path(cache_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    target = _entry_path(directory, key)
+    handle, temp_path = tempfile.mkstemp(
+        dir=directory, prefix=".graph-", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(handle, "w", encoding="utf-8") as stream:
+            json.dump(payload, stream, separators=(",", ":"))
+        os.replace(temp_path, target)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+    return target
+
+
+def load_cached_graph(
+    program: Program,
+    cache_dir: os.PathLike,
+    key: str,
+) -> Optional[ReachableGraph]:
+    """Reload a cached exploration of ``program``; ``None`` on any miss.
+
+    The reconstructed graph is attached to the *given* program instance, so
+    downstream code (synthesis, simulation, products) behaves exactly as if
+    the graph had just been explored.
+    """
+    from repro.ts.explore import IndexedTransition, ReachableGraph
+
+    path = _entry_path(cache_dir, key)
+    try:
+        with open(path, "r", encoding="utf-8") as stream:
+            payload = json.load(stream)
+    except (OSError, ValueError):
+        return None
+    try:
+        if payload["format"] != FORMAT_VERSION or payload["key"] != key:
+            return None
+        names = tuple(payload["names"])
+        labels = payload["commands"]
+        if names != program.variable_names or tuple(labels) != program.commands():
+            return None
+        states = [
+            ProgramState(names, tuple(values)) for values in payload["states"]
+        ]
+        transitions = [
+            IndexedTransition(source, labels[slot], target)
+            for source, slot, target in payload["transitions"]
+        ]
+        enabled = [
+            frozenset(labels[slot] for slot in slots)
+            for slots in payload["enabled"]
+        ]
+        return ReachableGraph(
+            system=program,
+            states=states,
+            transitions=transitions,
+            enabled=enabled,
+            initial_count=payload["initial_count"],
+            frontier=payload["frontier"],
+        )
+    except (KeyError, IndexError, TypeError, ValueError):
+        return None
+
+
+def explore_with_cache(
+    program: Program,
+    max_states: Optional[int] = None,
+    max_depth: Optional[int] = None,
+    cache_dir: Optional[os.PathLike] = None,
+    strict: bool = False,
+) -> Tuple[ReachableGraph, bool]:
+    """``(graph, was_cache_hit)`` — explore, or reload a previous run.
+
+    With ``cache_dir=None`` this is plain
+    :func:`~repro.ts.explore.explore`.  Otherwise a hit skips exploration
+    entirely; a miss explores and stores the result for the next run.
+    Non-``Program`` systems cannot be cached — call ``explore`` directly
+    for those.
+    """
+    from repro.ts.explore import explore
+
+    if cache_dir is None:
+        return (
+            explore(
+                program,
+                max_states=max_states,
+                max_depth=max_depth,
+                strict=strict,
+            ),
+            False,
+        )
+    key = exploration_cache_key(program, max_states, max_depth)
+    cached = load_cached_graph(program, cache_dir, key)
+    if cached is not None:
+        return cached, True
+    graph = explore(
+        program, max_states=max_states, max_depth=max_depth, strict=strict
+    )
+    store_graph(graph, cache_dir, key)
+    return graph, False

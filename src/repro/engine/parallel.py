@@ -1,4 +1,4 @@
-"""Deterministic chunked process-pool map with a serial fallback.
+"""Deterministic chunked process-pool map with adaptive serial dispatch.
 
 The engine's parallel fan-out is deliberately boring: split the work items
 into at most ``n_jobs`` contiguous chunks, farm the chunks out to a
@@ -7,6 +7,21 @@ are contiguous and ordered, so any reduction the caller performs over the
 concatenated results is bit-identical to running the same function
 serially — parallelism never changes a verdict, a witness, or even the
 order of a violation list.
+
+Two policies keep ``--jobs N`` from ever losing to the serial path:
+
+* **Adaptive dispatch** (:func:`effective_jobs`): callers report an
+  estimated work size (transitions to check, internal transitions to
+  recurse over); below :data:`PARALLEL_WORK_CUTOFF` — or on a single-core
+  machine, where a process pool can only add overhead — the request is
+  demoted to serial.  ``REPRO_FORCE_PARALLEL=1`` disables the demotion so
+  tests and smoke benches can exercise the pool at any scale.
+* **A persistent worker pool** (:func:`get_pool`): the first parallel map
+  creates the :class:`~concurrent.futures.ProcessPoolExecutor` lazily and
+  every later map reuses it, so repeated ``check_measure`` /
+  ``synthesize_measure`` calls pay worker start-up once per process, not
+  once per call.  The pool is resized (recreated) only when a map asks for
+  more workers than it has, and is shut down at interpreter exit.
 
 The pool is an optimisation, not a dependency: ``n_jobs=None``/``0``/``1``
 runs serially in-process, and any failure to *create* the pool (sandboxes
@@ -18,11 +33,23 @@ assignments stay in the parent; callers ship precomputed plain data.
 
 from __future__ import annotations
 
+import atexit
 import os
 from typing import Callable, List, Optional, Sequence, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: Estimated work units (per-item checks, transitions, …) below which a
+#: parallel request is demoted to serial.  Chunk pickling plus result
+#: transfer costs on the order of milliseconds; under this cutoff the
+#: serial path finishes before a pool would have received its first chunk.
+PARALLEL_WORK_CUTOFF = 20_000
+
+_FORCE_ENV = "REPRO_FORCE_PARALLEL"
+
+_pool = None
+_pool_workers = 0
 
 
 def resolve_jobs(n_jobs: Optional[int]) -> int:
@@ -36,6 +63,65 @@ def resolve_jobs(n_jobs: Optional[int]) -> int:
     if n_jobs < 0:
         return max(1, os.cpu_count() or 1)
     return n_jobs
+
+
+def effective_jobs(n_jobs: Optional[int], work_estimate: int) -> int:
+    """The worker count actually worth using for ``work_estimate`` units.
+
+    Returns 1 (serial) when the caller asked for serial, when the machine
+    has a single core (a process pool cannot beat in-process execution
+    there), or when the estimated work is below
+    :data:`PARALLEL_WORK_CUTOFF` — this is the guarantee behind
+    "``--jobs N`` is never slower than serial": small problems simply never
+    reach the pool.  Setting ``REPRO_FORCE_PARALLEL=1`` skips the demotion
+    (tests use it to exercise the pool on tiny inputs).
+    """
+    jobs = resolve_jobs(n_jobs)
+    if jobs <= 1:
+        return 1
+    if os.environ.get(_FORCE_ENV) == "1":
+        return jobs
+    if (os.cpu_count() or 1) <= 1:
+        return 1
+    if work_estimate < PARALLEL_WORK_CUTOFF:
+        return 1
+    return jobs
+
+
+def get_pool(workers: int):
+    """The shared process pool, created lazily and grown on demand.
+
+    Returns ``None`` when a pool cannot be created (restricted sandboxes,
+    interpreter shutdown) — callers fall back to serial.  The pool persists
+    across calls; a request for more workers than the current pool has
+    replaces it (the old pool finishes its work and is shut down).
+    """
+    global _pool, _pool_workers
+    if _pool is not None and _pool_workers >= workers:
+        return _pool
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        new_pool = ProcessPoolExecutor(max_workers=workers)
+    except (ImportError, OSError, RuntimeError, PermissionError):
+        return None
+    if _pool is not None:
+        _pool.shutdown(wait=False)
+    _pool = new_pool
+    _pool_workers = workers
+    return _pool
+
+
+def shutdown_pool() -> None:
+    """Shut the persistent pool down (idempotent; re-created on next use)."""
+    global _pool, _pool_workers
+    if _pool is not None:
+        _pool.shutdown(wait=True)
+        _pool = None
+        _pool_workers = 0
+
+
+atexit.register(shutdown_pool)
 
 
 def chunk_items(items: Sequence[T], chunks: int) -> List[Sequence[T]]:
@@ -67,17 +153,27 @@ def parallel_map(
     Results always come back in input order.  With ``n_jobs`` ≤ 1, with
     fewer than two items, or when the process pool cannot be created, the
     map runs serially in-process; the output is identical either way.
-    ``fn`` must be picklable (module-level) for the parallel path.
+    ``fn`` must be picklable (module-level) for the parallel path.  The
+    pool is the shared persistent executor (:func:`get_pool`); a pool that
+    breaks mid-map is discarded and the whole map re-runs serially, which
+    computes the same thing.
     """
+    global _pool, _pool_workers
     jobs = resolve_jobs(n_jobs)
     if jobs <= 1 or len(items) < 2:
         return [fn(item) for item in items]
+    pool = get_pool(min(jobs, len(items)))
+    if pool is None:
+        return [fn(item) for item in items]
     try:
-        from concurrent.futures import ProcessPoolExecutor
-
-        with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
-            return list(pool.map(fn, items))
-    except (ImportError, OSError, RuntimeError, PermissionError):
-        # Pool unavailable (restricted sandbox, no fork, shutdown): the
-        # serial path computes the same thing, just on one core.
+        return list(pool.map(fn, items))
+    except (OSError, RuntimeError, PermissionError):
+        # Broken pool (killed worker, sandbox restriction discovered late):
+        # drop it so the next call starts fresh, and finish serially.
+        try:
+            pool.shutdown(wait=False)
+        except Exception:
+            pass
+        _pool = None
+        _pool_workers = 0
         return [fn(item) for item in items]

@@ -4,8 +4,13 @@ A scheduler picks, at each step, which enabled command to execute.  The
 notion of fairness constrains exactly this choice, so schedulers make the
 paper's hypotheses *runnable*:
 
-* :class:`RoundRobinScheduler` is strongly fair by construction (every
-  persistently re-enabled command gets its turn within one rotation);
+* :class:`LeastRecentlyExecutedScheduler` is strongly fair by construction
+  (a starved command eventually becomes the oldest and is chosen the next
+  time it is enabled);
+* :class:`RoundRobinScheduler` guarantees bounded waiting for *continuously*
+  enabled commands (weak fairness), but a command enabled only
+  intermittently can dodge its rotation slot forever — it is **not**
+  strongly fair in general;
 * :class:`RandomScheduler` is strongly fair with probability 1;
 * :class:`AdversarialScheduler` starves a chosen set of commands whenever it
   can — exactly the scheduler that keeps ``P2`` alive forever by always
@@ -46,10 +51,12 @@ class RoundRobinScheduler(Scheduler):
 
     Maintains a rotating pointer over the full command tuple; at each step
     the first enabled command at-or-after the pointer runs, and the pointer
-    advances past it.  Any command enabled infinitely often is executed
-    infinitely often: the pointer sweeps the whole tuple every ``N``
-    executions, and each sweep gives the command a slot in which it is
-    chosen whenever enabled.
+    advances past it.  A command that *stays* enabled is chosen within one
+    rotation (bounded waiting — weak fairness), but a command enabled only
+    intermittently can be disabled precisely whenever the pointer reaches
+    it and starve forever, so round-robin is **not** strongly fair; use
+    :class:`LeastRecentlyExecutedScheduler` where strong fairness is
+    required.
     """
 
     def __init__(self, commands: Sequence[CommandLabel]) -> None:
@@ -70,6 +77,51 @@ class RoundRobinScheduler(Scheduler):
                 self._next = (index + 1) % len(self._commands)
                 return command
         raise ValueError(f"no enabled command among {list(enabled)}")
+
+
+class LeastRecentlyExecutedScheduler(Scheduler):
+    """Execute the enabled command that has waited longest — strongly fair.
+
+    Tracks, per command, the step at which it last executed (initially its
+    position in the command tuple, so ties break by declaration order and a
+    fresh scheduler sweeps the commands like round-robin).  Each step runs
+    the enabled command with the *oldest* last-execution stamp.
+
+    **Strong fairness, by construction**: suppose command ``c`` is enabled
+    infinitely often but executes only finitely often.  After ``c``'s last
+    execution, every command that executes infinitely often eventually
+    carries a younger stamp than ``c``, and commands that stop executing
+    keep fixed stamps — so from some point on, ``c`` is the unique oldest
+    among {``c``} ∪ {still-executing commands}.  The next time ``c`` is
+    enabled, it is chosen — contradiction.  Hence every command enabled
+    infinitely often executes infinitely often.
+    """
+
+    def __init__(self, commands: Sequence[CommandLabel]) -> None:
+        if not commands:
+            raise ValueError(
+                "least-recently-executed needs a non-empty command list"
+            )
+        self._commands = tuple(commands)
+        self.reset()
+
+    def reset(self) -> None:
+        # Stamps start negative in declaration order: a fresh scheduler
+        # prefers earlier-declared commands, like round-robin's first sweep.
+        self._last = {
+            command: index - len(self._commands)
+            for index, command in enumerate(self._commands)
+        }
+        self._step = 0
+
+    def choose(self, state: State, enabled: Sequence[CommandLabel]) -> CommandLabel:
+        known = [c for c in enabled if c in self._last]
+        if not known:
+            raise ValueError(f"no enabled command among {list(enabled)}")
+        command = min(known, key=self._last.__getitem__)
+        self._last[command] = self._step
+        self._step += 1
+        return command
 
 
 class RandomScheduler(Scheduler):

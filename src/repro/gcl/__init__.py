@@ -1,4 +1,14 @@
-"""The guarded-command language: lexer, parser, evaluator, semantics."""
+"""The guarded-command language: lexer, parser, evaluator, compiler,
+semantics."""
+
+from repro.gcl.compile import (
+    CompiledCommand,
+    CompiledProgram,
+    compile_bool,
+    compile_int,
+    compile_program,
+    compile_stmt,
+)
 
 from repro.gcl.ast import (
     Assign,
@@ -72,4 +82,10 @@ __all__ = [
     "Program",
     "parse_program",
     "ProgramState",
+    "CompiledCommand",
+    "CompiledProgram",
+    "compile_bool",
+    "compile_int",
+    "compile_program",
+    "compile_stmt",
 ]

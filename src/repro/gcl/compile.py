@@ -1,0 +1,413 @@
+"""Compilation of GCL guards and command bodies to Python closures.
+
+:mod:`repro.gcl.eval` walks the syntax tree on *every* evaluation — an
+``isinstance`` chain plus a ``names.index`` scan per variable reference,
+paid once per guard per state during exploration.  This module lowers each
+expression and statement once, at program-construction time, into nested
+closures over the program's *value tuple* (variables resolved to tuple
+slots), so the per-state cost is a few indexed loads and arithmetic ops.
+
+The contract is **exact semantic parity** with the interpreter, enforced by
+the differential tests in ``tests/gcl/test_compile.py``:
+
+* ``and``/``or`` short-circuit (the right operand may be undefined when
+  irrelevant);
+* ``div``/``mod`` follow the mathematical (floor) convention and raise
+  :class:`EvalError` on a zero divisor, with the interpreter's messages;
+* an empty ``choose`` range raises :class:`EvalError`;
+* unknown variables raise :class:`EvalError` (expressions) or ``KeyError``
+  (assignment targets) exactly when — and in the order that — the
+  interpreter would, *after* evaluating whatever the interpreter evaluates
+  first;
+* type mismatches ("expected an integer/boolean, got …") surface with the
+  evaluated value in the message, like the interpreter's post-evaluation
+  checks;
+* post-state lists are deduplicated preserving first-occurrence order.
+
+Compilation itself never raises on semantically-broken programs: errors are
+lowered to closures that raise at execution time, so a compiled program
+fails exactly where an interpreted one would.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.gcl.ast import (
+    Assign,
+    Binary,
+    BinaryOp,
+    BoolLiteral,
+    Call,
+    Choose,
+    COMPARISONS,
+    CONNECTIVES,
+    Expr,
+    GuardedCommand,
+    If,
+    IntLiteral,
+    ProgramAst,
+    Seq,
+    Skip,
+    Stmt,
+    Unary,
+    UnaryOp,
+    VarRef,
+)
+from repro.gcl.errors import EvalError
+from repro.gcl.state import ProgramState
+
+Values = Tuple[int, ...]
+IntFn = Callable[[Values], int]
+BoolFn = Callable[[Values], bool]
+BodyFn = Callable[[Values], List[Values]]
+
+
+# ---------------------------------------------------------------------------
+# Shared runtime helpers (the closures close over these, keeping each
+# compiled node tiny)
+# ---------------------------------------------------------------------------
+
+
+def _div(left: int, right: int) -> int:
+    if right == 0:
+        raise EvalError("division by zero")
+    return left // right
+
+
+def _mod(left: int, right: int) -> int:
+    if right == 0:
+        raise EvalError("modulo by zero")
+    return left % right
+
+
+def _call_builtin(function: str, args: Sequence[int]) -> int:
+    # Mirrors the interpreter's ``_evaluate_call`` — including evaluating
+    # the arguments *before* rejecting an unknown builtin.
+    if function == "min":
+        return min(args)
+    if function == "max":
+        return max(args)
+    if function == "abs":
+        return abs(args[0])
+    raise EvalError(f"unknown builtin {function!r}")
+
+
+def _raise_expected_int(value: object) -> int:
+    raise EvalError(f"expected an integer, got {value!r}")
+
+
+def _raise_expected_bool(value: object) -> bool:
+    raise EvalError(f"expected a boolean, got {value!r}")
+
+
+def _raise_unknown_variable(name: str) -> int:
+    raise EvalError(f"unknown variable {name!r}")
+
+
+# ---------------------------------------------------------------------------
+# Expression compilation
+# ---------------------------------------------------------------------------
+
+# Static result type of a node: GCL's expression language is simply typed —
+# every node's result type is known from its constructor alone, so context
+# mismatches can be resolved at compile time (into closures that evaluate
+# the operand and then raise the interpreter's message).
+
+_INT_BINARY = {
+    BinaryOp.ADD,
+    BinaryOp.SUB,
+    BinaryOp.MUL,
+    BinaryOp.DIV,
+    BinaryOp.MOD,
+}
+
+
+def _is_bool_typed(expr: Expr) -> bool:
+    if isinstance(expr, BoolLiteral):
+        return True
+    if isinstance(expr, Unary):
+        return expr.op is UnaryOp.NOT
+    if isinstance(expr, Binary):
+        return expr.op in COMPARISONS or expr.op in CONNECTIVES
+    return False
+
+
+def compile_int(expr: Expr, slots: Dict[str, int]) -> IntFn:
+    """Compile ``expr`` for an integer context (``evaluate_int`` parity)."""
+    if _is_bool_typed(expr):
+        # The interpreter evaluates first, then rejects the boolean with
+        # the value in the message; inner EvalErrors win, as they do there.
+        fn = compile_bool(expr, slots)
+        return lambda values: _raise_expected_int(fn(values))
+    if isinstance(expr, IntLiteral):
+        constant = expr.value
+        return lambda values: constant
+    if isinstance(expr, VarRef):
+        slot = slots.get(expr.name)
+        if slot is None:
+            name = expr.name
+            return lambda values: _raise_unknown_variable(name)
+        return lambda values, slot=slot: values[slot]
+    if isinstance(expr, Unary) and expr.op is UnaryOp.NEG:
+        operand = compile_int(expr.operand, slots)
+        return lambda values: -operand(values)
+    if isinstance(expr, Binary) and expr.op in _INT_BINARY:
+        left = compile_int(expr.left, slots)
+        right = compile_int(expr.right, slots)
+        op = expr.op
+        if op is BinaryOp.ADD:
+            return lambda values: left(values) + right(values)
+        if op is BinaryOp.SUB:
+            return lambda values: left(values) - right(values)
+        if op is BinaryOp.MUL:
+            return lambda values: left(values) * right(values)
+        if op is BinaryOp.DIV:
+            return lambda values: _div(left(values), right(values))
+        return lambda values: _mod(left(values), right(values))
+    if isinstance(expr, Call):
+        args = tuple(compile_int(a, slots) for a in expr.args)
+        function = expr.function
+        if function == "abs" and len(args) == 1:
+            arg = args[0]
+            return lambda values: abs(arg(values))
+        if function == "min" and len(args) == 2:
+            a, b = args
+            return lambda values: min(a(values), b(values))
+        if function == "max" and len(args) == 2:
+            a, b = args
+            return lambda values: max(a(values), b(values))
+        return lambda values: _call_builtin(
+            function, [a(values) for a in args]
+        )
+    return _compile_unhandled_expr(expr)
+
+
+def compile_bool(expr: Expr, slots: Dict[str, int]) -> BoolFn:
+    """Compile ``expr`` for a boolean context (``evaluate_bool`` parity)."""
+    if isinstance(expr, BoolLiteral):
+        constant = expr.value
+        return lambda values: constant
+    if isinstance(expr, Unary) and expr.op is UnaryOp.NOT:
+        operand = compile_bool(expr.operand, slots)
+        return lambda values: not operand(values)
+    if isinstance(expr, Binary):
+        op = expr.op
+        if op in CONNECTIVES:
+            left = compile_bool(expr.left, slots)
+            right = compile_bool(expr.right, slots)
+            if op is BinaryOp.AND:
+                # ``left and right``: short-circuits, and both operands are
+                # bool-compiled, so the result is a genuine bool.
+                return lambda values: left(values) and right(values)
+            return lambda values: left(values) or right(values)
+        if op in COMPARISONS:
+            left = compile_int(expr.left, slots)
+            right = compile_int(expr.right, slots)
+            if op is BinaryOp.EQ:
+                return lambda values: left(values) == right(values)
+            if op is BinaryOp.NE:
+                return lambda values: left(values) != right(values)
+            if op is BinaryOp.LT:
+                return lambda values: left(values) < right(values)
+            if op is BinaryOp.LE:
+                return lambda values: left(values) <= right(values)
+            if op is BinaryOp.GT:
+                return lambda values: left(values) > right(values)
+            return lambda values: left(values) >= right(values)
+    if isinstance(
+        expr, (IntLiteral, VarRef, Call)
+    ) or (isinstance(expr, Unary) and expr.op is UnaryOp.NEG) or (
+        isinstance(expr, Binary) and expr.op in _INT_BINARY
+    ):
+        fn = compile_int(expr, slots)
+        return lambda values: _raise_expected_bool(fn(values))
+    return _compile_unhandled_expr(expr)
+
+
+def _compile_unhandled_expr(expr: Expr):
+    # The interpreter raises on *evaluation* of a node it does not know;
+    # lowering to a raising closure keeps program construction total.
+    message = f"unhandled expression node {type(expr).__name__}"
+    def fail(values):
+        raise EvalError(message)
+    return fail
+
+
+# ---------------------------------------------------------------------------
+# Statement compilation
+# ---------------------------------------------------------------------------
+
+
+def compile_stmt(stmt: Stmt, slots: Dict[str, int]) -> BodyFn:
+    """Compile a statement into ``values → [post-values]`` (no dedup)."""
+    if isinstance(stmt, Skip):
+        return lambda values: [values]
+    if isinstance(stmt, Assign):
+        value_fns = tuple(compile_int(v, slots) for v in stmt.values)
+        unknown = sorted(set(stmt.targets) - set(slots))
+        if unknown:
+            # Interpreter order: all right-hand sides evaluate first, then
+            # ``ProgramState.updated`` raises KeyError on unknown targets.
+            def fail_assign(values):
+                for fn in value_fns:
+                    fn(values)
+                raise KeyError(f"unknown variables {unknown}")
+            return fail_assign
+        indices = tuple(slots[t] for t in stmt.targets)
+        if len(indices) == 1:
+            index = indices[0]
+            value_fn = value_fns[0]
+            def run_single(values):
+                out = list(values)
+                out[index] = value_fn(values)
+                return [tuple(out)]
+            return run_single
+        def run_assign(values):
+            out = list(values)
+            # Right-hand sides all read the pre-state tuple: simultaneous
+            # assignment, in the interpreter's left-to-right order.
+            for index, fn in zip(indices, value_fns):
+                out[index] = fn(values)
+            return [tuple(out)]
+        return run_assign
+    if isinstance(stmt, Choose):
+        low_fn = compile_int(stmt.low, slots)
+        high_fn = compile_int(stmt.high, slots)
+        target = stmt.target
+        slot = slots.get(target)
+        if slot is None:
+            def fail_choose(values):
+                low, high = low_fn(values), high_fn(values)
+                if low > high:
+                    raise EvalError(
+                        f"choose {target} in {low}..{high}: empty range"
+                    )
+                raise KeyError(f"unknown variables {[target]}")
+            return fail_choose
+        def run_choose(values):
+            low, high = low_fn(values), high_fn(values)
+            if low > high:
+                raise EvalError(
+                    f"choose {target} in {low}..{high}: empty range"
+                )
+            out = []
+            scratch = list(values)
+            for value in range(low, high + 1):
+                scratch[slot] = value
+                out.append(tuple(scratch))
+            return out
+        return run_choose
+    if isinstance(stmt, If):
+        condition = compile_bool(stmt.condition, slots)
+        then_fn = compile_stmt(stmt.then_branch, slots)
+        else_fn = compile_stmt(stmt.else_branch, slots)
+        return lambda values: (
+            then_fn(values) if condition(values) else else_fn(values)
+        )
+    if isinstance(stmt, Seq):
+        parts = tuple(compile_stmt(part, slots) for part in stmt.statements)
+        def run_seq(values):
+            frontier = [values]
+            for part in parts:
+                frontier = [post for pre in frontier for post in part(pre)]
+            return frontier
+        return run_seq
+    message = f"unhandled statement node {type(stmt).__name__}"
+    def fail(values):
+        raise EvalError(message)
+    return fail
+
+
+# ---------------------------------------------------------------------------
+# Commands and programs
+# ---------------------------------------------------------------------------
+
+
+class CompiledCommand:
+    """One guarded command lowered to closures over the value tuple."""
+
+    __slots__ = ("label", "guard", "body", "_deterministic")
+
+    def __init__(
+        self, command: GuardedCommand, slots: Dict[str, int]
+    ) -> None:
+        self.label = command.label
+        self.guard: BoolFn = compile_bool(command.guard, slots)
+        self.body: BodyFn = compile_stmt(command.body, slots)
+        # A body without ``choose`` yields exactly one post-state, so the
+        # dedup pass (and its set allocation) can be skipped entirely.
+        self._deterministic = not _contains_choose(command.body)
+
+    def execute(self, values: Values) -> List[Values]:
+        """All post-value tuples, deduplicated preserving order."""
+        results = self.body(values)
+        if self._deterministic or len(results) < 2:
+            return results
+        unique: List[Values] = []
+        seen = set()
+        for post in results:
+            if post not in seen:
+                seen.add(post)
+                unique.append(post)
+        return unique
+
+
+def _contains_choose(stmt: Stmt) -> bool:
+    if isinstance(stmt, Choose):
+        return True
+    if isinstance(stmt, If):
+        return _contains_choose(stmt.then_branch) or _contains_choose(
+            stmt.else_branch
+        )
+    if isinstance(stmt, Seq):
+        return any(_contains_choose(part) for part in stmt.statements)
+    return False
+
+
+class CompiledProgram:
+    """All of a program's commands, compiled against its variable layout.
+
+    The slot map is the declaration order of
+    :meth:`~repro.gcl.ast.ProgramAst.variables` — the same order
+    :class:`~repro.gcl.state.ProgramState` tuples produced by
+    :class:`~repro.gcl.program.Program` use, so value tuples move between
+    the two without translation.
+    """
+
+    __slots__ = ("names", "slots", "commands", "by_label")
+
+    def __init__(self, ast: ProgramAst) -> None:
+        self.names: Tuple[str, ...] = ast.variables()
+        self.slots: Dict[str, int] = {
+            name: index for index, name in enumerate(self.names)
+        }
+        self.commands: Tuple[CompiledCommand, ...] = tuple(
+            CompiledCommand(command, self.slots) for command in ast.commands
+        )
+        self.by_label: Dict[str, CompiledCommand] = {
+            compiled.label: compiled for compiled in self.commands
+        }
+
+    def enabled_labels(self, values: Values) -> frozenset:
+        """Labels whose guards hold on ``values`` (declaration order)."""
+        return frozenset(
+            compiled.label
+            for compiled in self.commands
+            if compiled.guard(values)
+        )
+
+    def execute_command(
+        self, label: str, state: ProgramState
+    ) -> List[ProgramState]:
+        """Run one command's body from ``state`` (for tests and tools)."""
+        names = self.names
+        return [
+            ProgramState(names, post)
+            for post in self.by_label[label].execute(state.values)
+        ]
+
+
+def compile_program(ast: ProgramAst) -> CompiledProgram:
+    """Lower every guard and body of ``ast`` into closures, once."""
+    return CompiledProgram(ast)

@@ -4,30 +4,68 @@ A :class:`Program` is the paper's ``*[ ℓ₁: g₁ → c₁ □ ... □ ℓ_N: 
 loop.  Its states are variable valuations; command ``ℓᵢ`` is *enabled* in a
 state iff its guard holds there; a transition executes one enabled command's
 body atomically.  The loop terminates in states where no guard holds.
+
+Two execution engines implement those semantics:
+
+* the **interpreter** (:mod:`repro.gcl.eval`) walks the syntax tree on every
+  evaluation — the reference semantics, kept deliberately simple;
+* the **compiled** forms (:mod:`repro.gcl.compile`) lower each guard and
+  body once into closures over the value tuple, and a per-program
+  *successor cache* memoizes ``(enabled, post)`` per visited state so
+  revisited states never re-evaluate guards or re-execute bodies.
+
+``compiled=True`` (the default) uses the fast path; the two are kept in
+exact semantic parity by differential tests (``tests/gcl/test_compile.py``),
+and exploration results are bit-identical either way.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.gcl.ast import GuardedCommand, ProgramAst
+from repro.gcl.compile import CompiledProgram
 from repro.gcl.errors import EvalError
 from repro.gcl.eval import evaluate_bool, evaluate_int, execute
 from repro.gcl.parser import parse_program_ast
 from repro.gcl.state import ProgramState
 from repro.ts.system import CommandLabel, State, TransitionSystem
 
+#: One memoized expansion: (enabled labels, ((label, post-state), ...)).
+_Expansion = Tuple[frozenset, Tuple[Tuple[CommandLabel, ProgramState], ...]]
+
 
 class Program(TransitionSystem):
-    """Executable semantics of a :class:`~repro.gcl.ast.ProgramAst`."""
+    """Executable semantics of a :class:`~repro.gcl.ast.ProgramAst`.
 
-    def __init__(self, ast: ProgramAst) -> None:
+    ``compiled=False`` forces the tree-walking interpreter for every guard
+    and body — used by the reference column of the exploration benchmarks
+    and by the differential parity tests; behaviour is identical.
+    """
+
+    def __init__(self, ast: ProgramAst, compiled: bool = True) -> None:
         self._ast = ast
         self._names: Tuple[str, ...] = ast.variables()
         self._commands: Dict[str, GuardedCommand] = {
             c.label: c for c in ast.commands
         }
         self._labels: Tuple[str, ...] = ast.command_labels()
+        self._compiled: Optional[CompiledProgram] = (
+            CompiledProgram(ast) if compiled else None
+        )
+        # Successor cache.  Exploration visits each state once, but
+        # products, simulations, lasso replays and repeated explorations of
+        # the same Program revisit states heavily; entries are plain tuples
+        # over already-interned states, so the cache costs one dict slot per
+        # distinct state actually expanded.  ``_enabled`` is filled by
+        # guard-only queries too (bounded exploration asks for enabledness
+        # of frontier states it never expands — that must not run bodies).
+        self._enabled_cache: Dict[ProgramState, frozenset] = {}
+        self._posts_cache: Dict[
+            ProgramState, Tuple[Tuple[CommandLabel, ProgramState], ...]
+        ] = {}
+        self._cache_hits = 0
+        self._cache_misses = 0
 
     # -- metadata ----------------------------------------------------------
 
@@ -46,6 +84,11 @@ class Program(TransitionSystem):
         """Declared variables, in declaration order."""
         return self._names
 
+    @property
+    def uses_compiled_evaluation(self) -> bool:
+        """Whether guards/bodies run as compiled closures."""
+        return self._compiled is not None
+
     def command(self, label: str) -> GuardedCommand:
         """The guarded command with the given label."""
         try:
@@ -55,6 +98,78 @@ class Program(TransitionSystem):
                 f"program {self.name!r} has no command {label!r} "
                 f"(has {list(self._labels)})"
             ) from None
+
+    # -- successor cache ---------------------------------------------------
+
+    def successor_cache_stats(self) -> Tuple[int, int]:
+        """``(hits, misses)`` of the per-state expansion cache."""
+        return self._cache_hits, self._cache_misses
+
+    def clear_successor_cache(self) -> None:
+        """Drop all memoized expansions (frees the per-state tuples)."""
+        self._enabled_cache.clear()
+        self._posts_cache.clear()
+        self._cache_hits = 0
+        self._cache_misses = 0
+
+    def _is_canonical(self, state: ProgramState) -> bool:
+        # Compiled slots assume declaration order; a state built with a
+        # different name ordering (``ProgramState.from_dict`` sorts) must
+        # take the interpreter path so its post-states preserve *its*
+        # ordering, exactly as ``ProgramState.updated`` would.
+        return self._compiled is not None and state.names == self._names
+
+    def _compute_enabled(self, state: ProgramState) -> frozenset:
+        """Guards only — never executes a body (frontier states rely on
+        this: bounded exploration asks for their enabledness without
+        expanding them, and a body error there must not surface)."""
+        if self._is_canonical(state):
+            return self._compiled.enabled_labels(state.values)
+        return frozenset(
+            label
+            for label in self._labels
+            if evaluate_bool(self._commands[label].guard, state)
+        )
+
+    def _compute_expansion(self, state: ProgramState) -> _Expansion:
+        """Guards and bodies interleaved in label order — the interpreter's
+        evaluation (and therefore error) order, one guard pass for both."""
+        enabled: List[CommandLabel] = []
+        posts: List[Tuple[CommandLabel, ProgramState]] = []
+        if self._is_canonical(state):
+            values = state.values
+            names = self._names
+            for command in self._compiled.commands:
+                if command.guard(values):
+                    enabled.append(command.label)
+                    for post in command.execute(values):
+                        posts.append((command.label, ProgramState(names, post)))
+        else:
+            for label in self._labels:
+                command = self._commands[label]
+                if evaluate_bool(command.guard, state):
+                    enabled.append(label)
+                    for target in execute(command.body, state):
+                        posts.append((label, target))
+        return frozenset(enabled), tuple(posts)
+
+    def expand(self, state: State) -> _Expansion:
+        """``(enabled, posts)`` computed together and memoized per state.
+
+        Guards are evaluated once per distinct expanded state *ever*:
+        exploration, products, simulation and lasso replay all share the
+        cache.
+        """
+        assert isinstance(state, ProgramState)
+        posts = self._posts_cache.get(state)
+        if posts is not None:
+            self._cache_hits += 1
+            return self._enabled_cache[state], posts
+        self._cache_misses += 1
+        enabled, posts = self._compute_expansion(state)
+        self._enabled_cache[state] = enabled
+        self._posts_cache[state] = posts
+        return enabled, posts
 
     # -- TransitionSystem ----------------------------------------------------
 
@@ -91,20 +206,18 @@ class Program(TransitionSystem):
 
     def enabled(self, state: State) -> frozenset:
         assert isinstance(state, ProgramState)
-        return frozenset(
-            label
-            for label in self._labels
-            if evaluate_bool(self._commands[label].guard, state)
-        )
+        cached = self._enabled_cache.get(state)
+        if cached is not None:
+            self._cache_hits += 1
+            return cached
+        self._cache_misses += 1
+        enabled = self._compute_enabled(state)
+        self._enabled_cache[state] = enabled
+        return enabled
 
     def post(self, state: State) -> Iterable[Tuple[CommandLabel, State]]:
         assert isinstance(state, ProgramState)
-        for label in self._labels:
-            command = self._commands[label]
-            if not evaluate_bool(command.guard, state):
-                continue
-            for target in execute(command.body, state):
-                yield label, target
+        return self.expand(state)[1]
 
     # -- conveniences ----------------------------------------------------------
 
@@ -123,9 +236,12 @@ class Program(TransitionSystem):
 
     def guard_holds(self, label: str, state: ProgramState) -> bool:
         """Whether command ``label``'s guard holds in ``state``."""
-        return evaluate_bool(self.command(label).guard, state)
+        command = self.command(label)  # validates the label either way
+        if self._is_canonical(state):
+            return self._compiled.by_label[label].guard(state.values)
+        return evaluate_bool(command.guard, state)
 
 
-def parse_program(source: str) -> Program:
+def parse_program(source: str, compiled: bool = True) -> Program:
     """Parse GCL source text into an executable :class:`Program`."""
-    return Program(parse_program_ast(source))
+    return Program(parse_program_ast(source), compiled=compiled)

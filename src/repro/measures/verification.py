@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.engine.parallel import chunk_items, parallel_map, resolve_jobs
+from repro.engine.parallel import chunk_items, effective_jobs, parallel_map
 from repro.measures.assignment import StackAssignment
 from repro.measures.hypotheses import TERMINATION
 from repro.measures.stack import Stack, stacks_equal_below
@@ -368,7 +368,10 @@ def check_measure(
                 )
             )
 
-    jobs = resolve_jobs(n_jobs)
+    # Adaptive dispatch: one work unit per transition.  Small graphs are
+    # demoted to serial so ``--jobs N`` never pays pool overhead it cannot
+    # amortise (REPRO_FORCE_PARALLEL=1 overrides, for pool smoke tests).
+    jobs = effective_jobs(n_jobs, len(tasks))
     if jobs <= 1:
         outcomes = _check_chunk((tasks, order))
     else:

@@ -240,7 +240,7 @@ def explore(
         raise ValueError("system has no initial states")
 
     transitions: List[IndexedTransition] = []
-    enabled: List[frozenset] = []
+    enabled_at: Dict[int, frozenset] = {}
     expanded: Set[int] = set()
     frontier: Set[int] = set()
     queue = deque(range(initial_count))
@@ -258,7 +258,11 @@ def explore(
         state = states[i]
         successor_depth = depth[i] + 1
         at_budget = max_states is not None and len(states) >= max_states
-        for command, target in system.post(state):
+        # ``expand`` hands back enabledness and successors from one guard
+        # pass (and lets compiled systems answer from their successor
+        # cache); unexpanded states get a guards-only query at the end.
+        enabled_at[i], posts = system.expand(state)
+        for command, target in posts:
             if at_budget:
                 # At the state budget only already-interned successors may
                 # be recorded; a genuinely new one is lost, so the source
@@ -291,8 +295,12 @@ def explore(
         if i not in expanded:
             frontier.add(i)
 
-    for state in states:
-        enabled.append(frozenset(system.enabled(state)))
+    enabled: List[frozenset] = [
+        frozenset(
+            enabled_at[i] if i in enabled_at else system.enabled(states[i])
+        )
+        for i in range(len(states))
+    ]
 
     # Keep only transitions whose source was genuinely expanded; a partially
     # expanded frontier state may have recorded a prefix of its successors,

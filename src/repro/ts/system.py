@@ -69,6 +69,17 @@ class TransitionSystem(ABC):
         """Whether no command is enabled (the program has terminated)."""
         return not self.enabled(state)
 
+    def expand(self, state: State) -> Tuple[frozenset, Tuple[Tuple[CommandLabel, State], ...]]:
+        """``(enabled(state), tuple(post(state)))`` computed together.
+
+        Exploration expands through this hook so systems that derive both
+        answers from the same work — a GCL program evaluates each guard
+        once for enabledness *and* body execution — can override it and
+        share (or cache) that work.  The default simply delegates, so the
+        two views always agree.
+        """
+        return self.enabled(state), tuple(self.post(state))
+
     def transitions_from(self, state: State) -> Iterable[Transition]:
         """The outgoing :class:`Transition` objects of ``state``."""
         for command, target in self.post(state):

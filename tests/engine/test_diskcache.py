@@ -1,0 +1,162 @@
+"""The cross-run on-disk graph cache: bit-identity, keying, robustness."""
+
+import json
+
+import pytest
+
+from repro.engine import (
+    exploration_cache_key,
+    explore_with_cache,
+    load_cached_graph,
+    store_graph,
+)
+from repro.gcl import Program, parse_program
+from repro.ts import explore
+from repro.workloads import counter_grid, modulus_chain, p2
+
+
+def _fingerprint(graph):
+    return (
+        list(graph.states),
+        list(graph.transitions),
+        [graph.enabled_at(i) for i in range(len(graph))],
+        list(graph.initial_indices),
+        sorted(graph.frontier),
+    )
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "factory", [lambda: p2(5), lambda: counter_grid(3, 3),
+                    lambda: modulus_chain(2)],
+        ids=["p2", "grid", "chain"],
+    )
+    def test_reload_is_bit_identical(self, factory, tmp_path):
+        program = factory()
+        graph, hit = explore_with_cache(program, cache_dir=tmp_path)
+        assert not hit
+        reloaded, hit = explore_with_cache(factory(), cache_dir=tmp_path)
+        assert hit
+        assert _fingerprint(reloaded) == _fingerprint(graph)
+        # The reloaded graph is attached to the *new* program instance.
+        assert reloaded.system is not graph.system
+
+    def test_bounded_exploration_round_trips_frontier(self, tmp_path):
+        program = p2(50)
+        graph, hit = explore_with_cache(
+            program, max_states=10, cache_dir=tmp_path
+        )
+        assert not hit
+        assert graph.frontier  # the bound actually truncated something
+        reloaded, hit = explore_with_cache(
+            p2(50), max_states=10, cache_dir=tmp_path
+        )
+        assert hit
+        assert _fingerprint(reloaded) == _fingerprint(graph)
+
+    def test_none_cache_dir_is_plain_exploration(self):
+        graph, hit = explore_with_cache(p2(5), cache_dir=None)
+        assert not hit
+        assert _fingerprint(graph) == _fingerprint(explore(p2(5)))
+
+
+class TestCacheKey:
+    def test_insensitive_to_formatting(self):
+        dense = parse_program(
+            "program T var x := 0 do a: x < 3 -> x := x + 1 od"
+        )
+        spaced = parse_program(
+            """
+            program T
+            var x := 0
+            do
+                a: x < 3 -> x := x + 1
+            od
+            """
+        )
+        assert exploration_cache_key(dense) == exploration_cache_key(spaced)
+
+    def test_sensitive_to_program_semantics(self):
+        base = parse_program(
+            "program T var x := 0 do a: x < 3 -> x := x + 1 od"
+        )
+        changed = parse_program(
+            "program T var x := 0 do a: x < 4 -> x := x + 1 od"
+        )
+        assert exploration_cache_key(base) != exploration_cache_key(changed)
+
+    def test_sensitive_to_bounds(self):
+        program = p2(5)
+        keys = {
+            exploration_cache_key(program),
+            exploration_cache_key(program, max_states=10),
+            exploration_cache_key(program, max_depth=10),
+            exploration_cache_key(program, max_states=10, max_depth=10),
+        }
+        assert len(keys) == 4
+
+    def test_different_bounds_do_not_share_entries(self, tmp_path):
+        explore_with_cache(p2(50), max_states=10, cache_dir=tmp_path)
+        graph, hit = explore_with_cache(p2(50), cache_dir=tmp_path)
+        assert not hit  # unbounded run must not reuse the truncated graph
+        assert not graph.frontier
+
+
+class TestRobustness:
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        program = p2(5)
+        key = exploration_cache_key(program)
+        graph = explore(program)
+        path = store_graph(graph, tmp_path, key)
+        path.write_text("{ not json")
+        assert load_cached_graph(p2(5), tmp_path, key) is None
+        # explore_with_cache recovers by re-exploring and re-storing.
+        reloaded, hit = explore_with_cache(p2(5), cache_dir=tmp_path)
+        assert not hit
+        assert _fingerprint(reloaded) == _fingerprint(graph)
+        again, hit = explore_with_cache(p2(5), cache_dir=tmp_path)
+        assert hit
+
+    def test_version_mismatch_is_a_miss(self, tmp_path):
+        program = p2(5)
+        key = exploration_cache_key(program)
+        path = store_graph(explore(program), tmp_path, key)
+        payload = json.loads(path.read_text())
+        payload["format"] = -1
+        path.write_text(json.dumps(payload))
+        assert load_cached_graph(p2(5), tmp_path, key) is None
+
+    def test_entry_for_other_program_is_a_miss(self, tmp_path):
+        key = exploration_cache_key(p2(5))
+        store_graph(explore(p2(5)), tmp_path, key)
+        # Same key on disk, but the program shape disagrees: reject.
+        assert load_cached_graph(counter_grid(2, 2), tmp_path, key) is None
+
+    def test_missing_entry_is_a_miss(self, tmp_path):
+        assert load_cached_graph(p2(5), tmp_path, "0" * 64) is None
+
+    def test_only_programs_are_cacheable(self, tmp_path):
+        from repro.workloads import nested_rings
+
+        graph = explore(nested_rings(2))
+        with pytest.raises(TypeError):
+            store_graph(graph, tmp_path, "0" * 64)
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        explore_with_cache(p2(5), cache_dir=tmp_path)
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+
+
+class TestSuccessorCacheStats:
+    def test_exploration_populates_then_hits(self):
+        program = counter_grid(3, 3)
+        explore(program)
+        hits, misses = program.successor_cache_stats()
+        assert misses > 0
+        explore(program)
+        hits_after, misses_after = program.successor_cache_stats()
+        assert misses_after == misses  # second pass re-executes nothing
+        assert hits_after > hits
+        program.clear_successor_cache()
+        assert program.successor_cache_stats() == (0, 0)

@@ -1,0 +1,118 @@
+"""Adaptive dispatch and the persistent pool.
+
+The CI guard behind "``--jobs N`` is never slower than serial": parallel
+requests below :data:`~repro.engine.parallel.PARALLEL_WORK_CUTOFF` must
+be demoted to serial, the demotion must be overridable for tests, and the
+worker pool must be created once and reused.
+"""
+
+import os
+
+import pytest
+
+import repro.engine.parallel as parallel
+from repro.engine import (
+    PARALLEL_WORK_CUTOFF,
+    effective_jobs,
+    get_pool,
+    parallel_map,
+    resolve_jobs,
+    shutdown_pool,
+)
+
+
+@pytest.fixture
+def force_parallel(monkeypatch):
+    monkeypatch.setenv("REPRO_FORCE_PARALLEL", "1")
+
+
+@pytest.fixture
+def no_force(monkeypatch):
+    monkeypatch.delenv("REPRO_FORCE_PARALLEL", raising=False)
+
+
+class TestEffectiveJobs:
+    def test_serial_requests_stay_serial(self, no_force):
+        assert effective_jobs(None, 10**9) == 1
+        assert effective_jobs(0, 10**9) == 1
+        assert effective_jobs(1, 10**9) == 1
+
+    def test_small_work_is_demoted_to_serial(self, no_force):
+        """The guard: below the cutoff, ``--jobs N`` never reaches the pool."""
+        assert effective_jobs(4, 0) == 1
+        assert effective_jobs(4, PARALLEL_WORK_CUTOFF - 1) == 1
+        assert effective_jobs(8, 100) == 1
+
+    def test_large_work_keeps_requested_jobs_on_multicore(
+        self, no_force, monkeypatch
+    ):
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        assert effective_jobs(4, PARALLEL_WORK_CUTOFF) == 4
+        assert effective_jobs(4, PARALLEL_WORK_CUTOFF * 10) == 4
+
+    def test_single_core_always_demotes(self, no_force, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        assert effective_jobs(4, PARALLEL_WORK_CUTOFF * 10) == 1
+
+    def test_force_env_skips_demotion(self, force_parallel):
+        assert effective_jobs(4, 1) == 4
+
+    def test_negative_means_all_cores(self, no_force, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 6)
+        assert resolve_jobs(-1) == 6
+        assert effective_jobs(-1, PARALLEL_WORK_CUTOFF) == 6
+
+
+def _square(x):
+    return x * x
+
+
+class TestPersistentPool:
+    def test_pool_is_reused_across_maps(self):
+        shutdown_pool()
+        try:
+            first = get_pool(2)
+            if first is None:
+                pytest.skip("process pool unavailable in this sandbox")
+            assert get_pool(2) is first
+            assert get_pool(1) is first  # smaller requests reuse it too
+            items = list(range(20))
+            expected = [_square(i) for i in items]
+            assert parallel_map(_square, items, n_jobs=2) == expected
+            assert get_pool(2) is first  # the map did not replace the pool
+        finally:
+            shutdown_pool()
+
+    def test_growth_replaces_pool(self):
+        shutdown_pool()
+        try:
+            small = get_pool(1)
+            if small is None:
+                pytest.skip("process pool unavailable in this sandbox")
+            grown = get_pool(2)
+            assert grown is not None
+            assert grown is not small
+            assert get_pool(2) is grown
+        finally:
+            shutdown_pool()
+
+    def test_shutdown_is_idempotent(self):
+        shutdown_pool()
+        shutdown_pool()
+        assert parallel._pool is None
+
+    def test_serial_map_never_touches_pool(self):
+        shutdown_pool()
+        assert parallel_map(_square, list(range(5)), n_jobs=1) == [
+            0, 1, 4, 9, 16,
+        ]
+        assert parallel._pool is None
+
+
+class TestParallelMapDeterminism:
+    @pytest.mark.parametrize("n_jobs", [None, 1, 2, 4])
+    def test_order_preserved(self, n_jobs):
+        items = list(range(37))
+        assert parallel_map(_square, items, n_jobs=n_jobs) == [
+            _square(i) for i in items
+        ]

@@ -4,6 +4,7 @@ import pytest
 
 from repro.fairness import (
     AdversarialScheduler,
+    LeastRecentlyExecutedScheduler,
     RandomScheduler,
     RoundRobinScheduler,
     ScriptedScheduler,
@@ -45,6 +46,59 @@ class TestRoundRobin:
     def test_empty_command_list_rejected(self):
         with pytest.raises(ValueError):
             RoundRobinScheduler(())
+
+
+class TestLeastRecentlyExecuted:
+    def test_fresh_scheduler_sweeps_in_declaration_order(self):
+        scheduler = LeastRecentlyExecutedScheduler(("a", "b", "c"))
+        choices = [scheduler.choose(None, ("a", "b", "c")) for _ in range(6)]
+        assert choices == ["a", "b", "c", "a", "b", "c"]
+
+    def test_oldest_enabled_command_wins(self):
+        scheduler = LeastRecentlyExecutedScheduler(("a", "b", "c"))
+        assert scheduler.choose(None, ("b", "c")) == "b"
+        assert scheduler.choose(None, ("b", "c")) == "c"
+        # "a" has never executed, so it is oldest the moment it is enabled.
+        assert scheduler.choose(None, ("a", "b", "c")) == "a"
+
+    def test_intermittently_enabled_command_not_starved(self):
+        # The round-robin counterexample: "c" is enabled only every third
+        # step, exactly when the rotation pointer is elsewhere.  Under LRE,
+        # "c" grows oldest and is chosen whenever it reappears.
+        scheduler = LeastRecentlyExecutedScheduler(("a", "b", "c"))
+        executions = {"a": 0, "b": 0, "c": 0}
+        for step in range(30):
+            enabled = ("a", "b", "c") if step % 3 == 0 else ("a", "b")
+            executions[scheduler.choose(None, enabled)] += 1
+        assert executions["c"] > 0
+
+    def test_no_enabled_raises(self):
+        scheduler = LeastRecentlyExecutedScheduler(("a",))
+        with pytest.raises(ValueError):
+            scheduler.choose(None, ())
+
+    def test_reset(self):
+        scheduler = LeastRecentlyExecutedScheduler(("a", "b"))
+        scheduler.choose(None, ("a", "b"))
+        scheduler.reset()
+        assert scheduler.choose(None, ("a", "b")) == "a"
+
+    def test_empty_command_list_rejected(self):
+        with pytest.raises(ValueError):
+            LeastRecentlyExecutedScheduler(())
+
+    def test_round_robin_counterexample_terminates(self):
+        # Regression for the seed-2531 random system: fairly terminating per
+        # the decision procedure, yet round-robin runs forever because one
+        # command is enabled only when the pointer has just passed it.  A
+        # strongly fair scheduler must drive it to termination.
+        from repro.fairness import simulate
+        from repro.workloads import random_system
+
+        system = random_system(2531, states=8, commands=3, extra_edges=6)
+        scheduler = LeastRecentlyExecutedScheduler(system.commands())
+        result = simulate(system, scheduler, max_steps=20_000)
+        assert result.terminated
 
 
 class TestRandomScheduler:

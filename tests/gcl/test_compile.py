@@ -1,0 +1,259 @@
+"""Differential tests: compiled closures vs the tree-walking interpreter.
+
+The compiled path (:mod:`repro.gcl.compile`) must be *semantically
+invisible*: every guard evaluation, every post-state set (including
+order), and every error — class and message — must match the reference
+interpreter (:mod:`repro.gcl.eval`) exactly.  These tests drive every
+command of every GCL workload family through both engines from the same
+reachable pre-states, then pin the error-path parity on small crafted
+programs.
+"""
+
+import pytest
+
+from repro.gcl import (
+    EvalError,
+    Program,
+    compile_bool,
+    compile_int,
+    compile_program,
+    parse_expression,
+    parse_program,
+)
+from repro.gcl.eval import evaluate, evaluate_bool, execute
+from repro.gcl.state import ProgramState
+from repro.ts import explore
+from repro.workloads import (
+    counter_grid,
+    distractor_loop,
+    modulus_chain,
+    p1,
+    p2,
+    p3,
+    p3_bounded,
+    p4,
+    p4_bounded,
+)
+
+# Every GCL-program workload family, with exploration bounds for the
+# unbounded ones (p3/p4 diverge without a state cap).
+WORKLOADS = [
+    ("p1", lambda: p1(6), None),
+    ("p2", lambda: p2(6), None),
+    ("p3", lambda: p3(), 150),
+    ("p3_bounded", lambda: p3_bounded(), None),
+    ("p4", lambda: p4(), 150),
+    ("p4_bounded", lambda: p4_bounded(), None),
+    ("counter_grid", lambda: counter_grid(4, 4), None),
+    ("distractor_loop", lambda: distractor_loop(3, 2), None),
+    ("modulus_chain", lambda: modulus_chain(2), None),
+]
+
+
+@pytest.mark.parametrize(
+    "factory,max_states",
+    [(factory, bound) for _, factory, bound in WORKLOADS],
+    ids=[name for name, _, _ in WORKLOADS],
+)
+def test_every_command_agrees_with_interpreter(factory, max_states):
+    """Each command of each family: identical guards AND identical
+    post-state lists (same states, same order) from every reachable state."""
+    ast = factory().ast
+    interpreted = Program(ast, compiled=False)
+    compiled = compile_program(ast)
+    graph = explore(interpreted, max_states=max_states)
+    assert len(graph) > 0
+    for state in graph.states:
+        for command in ast.commands:
+            holds = evaluate_bool(command.guard, state)
+            assert compiled.by_label[command.label].guard(state.values) is holds
+            if holds:
+                expected = execute(command.body, state)
+                actual = compiled.execute_command(command.label, state)
+                assert actual == expected, (
+                    f"{command.label} at {state}: "
+                    f"compiled {actual} != interpreted {expected}"
+                )
+
+
+@pytest.mark.parametrize(
+    "factory,max_states",
+    [(factory, bound) for _, factory, bound in WORKLOADS],
+    ids=[name for name, _, _ in WORKLOADS],
+)
+def test_exploration_is_bit_identical(factory, max_states):
+    """Whole-graph parity: interpreted and compiled exploration produce the
+    same state order, transitions, enabled sets and frontier."""
+    ast = factory().ast
+    graphs = [
+        explore(Program(ast, compiled=flag), max_states=max_states)
+        for flag in (False, True)
+    ]
+    interpreted, compiled = graphs
+    assert list(compiled.states) == list(interpreted.states)
+    assert list(compiled.transitions) == list(interpreted.transitions)
+    assert [
+        compiled.enabled_at(i) for i in range(len(compiled))
+    ] == [interpreted.enabled_at(i) for i in range(len(interpreted))]
+    assert compiled.frontier == interpreted.frontier
+
+
+# ---------------------------------------------------------------------------
+# Error parity — class and message must match the interpreter exactly
+# ---------------------------------------------------------------------------
+
+
+def _program_pair(body, variables="x := 0, y := 0"):
+    source = f"program T var {variables} do a: true -> {body} od"
+    return (
+        parse_program(source, compiled=False),
+        parse_program(source, compiled=True),
+    )
+
+
+def _outcome(program, state):
+    try:
+        return ("ok", tuple(program.post(state)))
+    except (EvalError, KeyError) as error:
+        return (type(error).__name__, str(error))
+
+
+def _assert_same_outcome(body, variables="x := 0, y := 0", **valuation):
+    interpreted, compiled = _program_pair(body, variables)
+    results = [
+        _outcome(program, program.state(**valuation))
+        for program in (interpreted, compiled)
+    ]
+    assert results[0] == results[1], (
+        f"{body!r}: interpreted {results[0]} != compiled {results[1]}"
+    )
+    return results[0]
+
+
+class TestErrorParity:
+    def test_division_by_zero(self):
+        kind, message = _assert_same_outcome("x := x div y", x=1, y=0)
+        assert (kind, message) == ("EvalError", "division by zero")
+
+    def test_modulo_by_zero(self):
+        kind, message = _assert_same_outcome("x := x mod y", x=1, y=0)
+        assert (kind, message) == ("EvalError", "modulo by zero")
+
+    def test_empty_choose_range(self):
+        kind, message = _assert_same_outcome(
+            "choose x in y .. 0 - 1", x=0, y=0
+        )
+        assert kind == "EvalError"
+        assert "empty range" in message
+
+    def test_unknown_variable_in_expression(self):
+        kind, message = _assert_same_outcome("x := nope + 1", x=0, y=0)
+        assert (kind, message) == ("EvalError", "unknown variable 'nope'")
+
+    def test_unknown_assignment_target(self):
+        kind, message = _assert_same_outcome("q := x + 1", x=0, y=0)
+        assert kind == "KeyError"
+        assert "q" in message
+
+    def test_integer_where_boolean_expected(self):
+        kind, message = _assert_same_outcome(
+            "if x + 1 then skip else skip fi", x=0, y=0
+        )
+        assert kind == "EvalError"
+        assert message.startswith("expected a boolean")
+
+    def test_boolean_where_integer_expected(self):
+        kind, message = _assert_same_outcome("x := (x == y)", x=0, y=0)
+        assert kind == "EvalError"
+        assert message.startswith("expected an integer")
+
+    def test_unknown_builtin(self):
+        # The parser rejects unknown function names, so this error is only
+        # reachable through a hand-built AST; both engines must still agree
+        # (and must evaluate the arguments before rejecting the call, so an
+        # argument error wins over the unknown-builtin error).
+        from repro.gcl import Call, IntLiteral
+
+        expr = Call(function="frobnicate", args=(IntLiteral(value=1),))
+        state = ProgramState.from_dict(dict(x=0))
+        slots = {"x": 0}
+        with pytest.raises(EvalError, match="unknown builtin 'frobnicate'"):
+            evaluate(expr, state)
+        with pytest.raises(EvalError, match="unknown builtin 'frobnicate'"):
+            compile_int(expr, slots)(state.values)
+
+        bad_arg = Call(
+            function="frobnicate", args=(parse_expression("1 div 0"),)
+        )
+        with pytest.raises(EvalError, match="division by zero"):
+            evaluate(bad_arg, state)
+        with pytest.raises(EvalError, match="division by zero"):
+            compile_int(bad_arg, slots)(state.values)
+
+    def test_guard_errors_surface_identically(self):
+        source = (
+            "program T var x := 1, y := 0 "
+            "do a: x div y == 0 -> skip od"
+        )
+        for compiled in (False, True):
+            program = parse_program(source, compiled=compiled)
+            state = program.state(x=1, y=0)
+            with pytest.raises(EvalError, match="division by zero"):
+                program.post(state)
+
+
+class TestShortCircuit:
+    """Short-circuiting is semantics, not an optimisation: the right-hand
+    side of ``and``/``or`` may be a division that must never run."""
+
+    CASES = [
+        ("y != 0 and x div y > 0", dict(x=4, y=0), False),
+        ("y != 0 and x div y > 0", dict(x=4, y=2), True),
+        ("y == 0 or x div y > 0", dict(x=4, y=0), True),
+        ("y == 0 or x div y > 0", dict(x=4, y=2), True),
+    ]
+
+    @pytest.mark.parametrize("source,valuation,expected", CASES)
+    def test_compiled_matches_interpreter(self, source, valuation, expected):
+        expr = parse_expression(source)
+        state = ProgramState.from_dict(valuation)
+        slots = {name: i for i, name in enumerate(state.names)}
+        compiled = compile_bool(expr, slots)
+        assert evaluate_bool(expr, state) is expected
+        assert compiled(state.values) is expected
+
+
+class TestExpressionCompilation:
+    """Spot checks of the closure layer itself (no Program wrapping)."""
+
+    CASES = [
+        ("7 div 2", {}, 3),
+        ("-7 div 2", {}, -4),  # mathematical floor division
+        ("7 mod 2", {}, 1),
+        ("z mod 117", dict(z=-1), 116),
+        ("z mod 117", dict(z=-117), 0),
+        ("1 + 2 * 3", {}, 7),
+        ("-x", dict(x=4), -4),
+        ("min(3, 1, 2)", {}, 1),
+        ("max(y - x, 0)", dict(x=5, y=2), 0),
+        ("abs(0 - 9)", {}, 9),
+    ]
+
+    @pytest.mark.parametrize("source,valuation,expected", CASES)
+    def test_compiled_int_matches_interpreter(
+        self, source, valuation, expected
+    ):
+        expr = parse_expression(source)
+        state = ProgramState.from_dict(valuation)
+        slots = {name: i for i, name in enumerate(state.names)}
+        assert evaluate(expr, state) == expected
+        assert compile_int(expr, slots)(state.values) == expected
+
+    def test_nondeterministic_bodies_dedup_in_first_seen_order(self):
+        interpreted, compiled_prog = _program_pair(
+            "choose x in 1 .. 3; x := x mod 2", variables="x := 0"
+        )
+        for program in (interpreted, compiled_prog):
+            state = program.state(x=0)
+            posts = [target for _, target in program.post(state)]
+            assert [p["x"] for p in posts] == [1, 0]

@@ -28,7 +28,7 @@ from repro.completeness import (
 from repro.fairness import (
     STRONG_FAIRNESS,
     AdversarialScheduler,
-    RoundRobinScheduler,
+    LeastRecentlyExecutedScheduler,
     simulate,
 )
 from repro.workloads import (
@@ -125,13 +125,19 @@ class TestTheoremThreeOnRealPrograms:
 class TestDecisionSimulationConsistency:
     @settings(deadline=None, max_examples=25)
     @given(st.integers(min_value=0, max_value=10_000))
-    def test_fairly_terminating_systems_halt_under_round_robin(self, seed):
+    def test_fairly_terminating_systems_halt_under_fair_scheduler(self, seed):
+        # Round-robin is only weakly fair (an intermittently enabled command
+        # can dodge its rotation slot forever — seed 2531 exhibits this), so
+        # the decision procedure's verdict is matched against a scheduler
+        # that is strongly fair by construction.
         system = random_system(seed, states=8, commands=3, extra_edges=6)
         graph = explore(system)
         if not check_fair_termination(graph).fairly_terminates:
             return
         result = simulate(
-            system, RoundRobinScheduler(system.commands()), max_steps=20_000
+            system,
+            LeastRecentlyExecutedScheduler(system.commands()),
+            max_steps=20_000,
         )
         assert result.terminated
 
