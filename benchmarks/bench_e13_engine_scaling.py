@@ -30,7 +30,7 @@ import json
 import os
 from pathlib import Path
 
-from common import MIN_REPEATS, record_table, timed_median
+from common import MIN_REPEATS, last_peak_rss_kb, record_table, timed_median
 
 from repro.analysis import Table
 from repro.completeness import synthesize_measure
@@ -55,6 +55,10 @@ MIN_SPEEDUP = 1.5
 #: the relative bound on smoke-sized rows).
 JOBS_TOLERANCE = 1.10
 JOBS_SLACK_SECONDS = 0.05
+#: At full scale, no family may regress below this fraction of the seed —
+#: the guard against "fast on the big graphs, slower on the tiny ones"
+#: (the pre-lazy analyses setup cost E13 once caught on random(7,64)).
+MIN_SERIAL_FLOOR = 0.95
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
 
@@ -173,6 +177,7 @@ def test_e13_engine_scaling():
             "serial_speedup": serial_speedup,
             f"jobs{JOBS}_speedup": jobs_speedup,
             "speedup": headline,
+            "peak_rss_kb": last_peak_rss_kb(),
             "identical": True,
         })
     record_table(table)
@@ -193,6 +198,7 @@ def test_e13_engine_scaling():
             "speedup_gate_applies": not SMOKE,
             "min_speedup_required": MIN_SPEEDUP if not SMOKE else None,
             "jobs_vs_serial_tolerance": JOBS_TOLERANCE,
+            "min_serial_floor": MIN_SERIAL_FLOOR if not SMOKE else None,
         },
         "min_speedup_required": MIN_SPEEDUP if not SMOKE else None,
         "rows": rows,
@@ -203,3 +209,11 @@ def test_e13_engine_scaling():
             f"engine is only {headline_speedups[largest]:.2f}x the "
             f"seed pipeline on {largest} (need {MIN_SPEEDUP}x)"
         )
+        # No-regression floor: the engine must not lose to the seed on
+        # *any* family, tiny ones included.
+        for row in rows:
+            assert row["serial_speedup"] >= MIN_SERIAL_FLOOR, (
+                f"{row['workload']}: engine serial is "
+                f"{row['serial_speedup']:.2f}x the seed "
+                f"(floor {MIN_SERIAL_FLOOR}x)"
+            )

@@ -35,7 +35,7 @@ import os
 import tempfile
 from pathlib import Path
 
-from common import MIN_REPEATS, record_table, timed_median
+from common import MIN_REPEATS, last_peak_rss_kb, record_table, timed_median
 
 from repro.analysis import Table
 from repro.engine import explore_with_cache
@@ -164,6 +164,7 @@ def test_e14_explore_scaling():
                 "warm_cache_seconds": warm_s,
                 "disk_hit_seconds": disk_s,
                 "speedup": speedup,
+                "peak_rss_kb": last_peak_rss_kb(),
                 "identical": True,
             })
     record_table(table)

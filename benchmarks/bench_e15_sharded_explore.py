@@ -1,0 +1,258 @@
+"""E15 — sharded million-state exploration vs serial, time and memory.
+
+The sharding PR made ``explore()`` frontier-parallel (per-BFS-round
+hash-sharded fan-out over the persistent pool, bit-identical merge — see
+DESIGN §6d) and replaced the graph's per-state transition lists with
+packed ``array('q')`` columns plus enabled bitmasks.  This bench measures
+both claims on the million-state families of
+:func:`repro.workloads.large_scaling_suite`:
+
+* **serial vs sharded wall clock** — ``explore`` at ``n_jobs`` ∈ {serial,
+  2, 4}, each run in a *fresh child process* (fork) so successor caches,
+  interned objects and allocator state cannot leak between
+  configurations, with the child reporting its own exploration seconds
+  and peak RSS;
+* **bit-identical graphs** — every configuration and every repeat must
+  produce the same :func:`~repro.engine.shard.graph_digest`;
+* **compact vs legacy memory** — one child explores and keeps the compact
+  graph; another additionally materializes the pre-PR per-state-list
+  representation (``IndexedTransition`` tuples, per-state outgoing/
+  incoming tuples, per-state enabled frozensets) on top of it; the ratio
+  of their peak RSS bounds the compact build's footprint from above
+  (the legacy child's peak also covers the compact columns, so the true
+  ratio is slightly *smaller* than reported).
+
+Gates (full scale only, recorded in the verdict): sharded ≥ 2× serial on
+the largest family — applied only on multi-core machines, since adaptive
+dispatch correctly refuses to fan out on one core — and compact peak RSS
+≤ 0.6× the legacy representation.  ``ENGINE_BENCH_SMOKE=1`` shrinks the
+workloads to CI size (hundreds of states; digests and plumbing are still
+exercised end to end).  Rows land in ``BENCH_shard.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+from pathlib import Path
+
+from common import MIN_REPEATS, peak_rss_kb, record_table
+
+from repro.analysis import Table
+from repro.engine.shard import graph_digest
+from repro.ts import explore
+from repro.workloads import large_scaling_suite
+
+SMOKE = os.environ.get("ENGINE_BENCH_SMOKE") == "1"
+SCALE = "smoke" if SMOKE else "full"
+REPEATS = MIN_REPEATS
+JOBS_COLUMNS = (2, 4)
+LARGEST = "hypercube"  # the family the acceptance gates are judged on
+MIN_SPEEDUP = 2.0
+MAX_RSS_RATIO = 0.6
+CORES = os.cpu_count() or 1
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_shard.json"
+
+
+# ---------------------------------------------------------------------------
+# Child-process measurement (module-level: must pickle across fork/spawn)
+# ---------------------------------------------------------------------------
+
+
+def _family_system(family: str):
+    factories = dict(large_scaling_suite(SCALE))
+    return factories[family]()
+
+
+def _child_explore(family: str, n_jobs):
+    """Explore ``family`` in this (child) process; self-reported metrics."""
+    system = _family_system(family)
+    start = time.perf_counter()
+    graph = explore(system, n_jobs=n_jobs)
+    seconds = time.perf_counter() - start
+    return {
+        "seconds": seconds,
+        "digest": graph_digest(graph),
+        "states": len(graph),
+        "transitions": len(graph.transitions),
+        "peak_rss_kb": peak_rss_kb(),
+    }
+
+
+def _child_legacy_rss(family: str):
+    """Explore, then materialize the pre-sharding per-state representation
+    (what ``ReachableGraph`` stored before the packed columns): the full
+    ``IndexedTransition`` tuple, per-state outgoing/incoming tuples and a
+    fresh frozenset of enabled commands per state."""
+    system = _family_system(family)
+    graph = explore(system)
+    transitions = tuple(graph.transitions)
+    out = [[] for _ in range(len(graph))]
+    incoming = [[] for _ in range(len(graph))]
+    for t in transitions:
+        out[t.source].append(t)
+        incoming[t.target].append(t)
+    out_tuples = tuple(tuple(ts) for ts in out)
+    in_tuples = tuple(tuple(ts) for ts in incoming)
+    enabled = tuple(
+        frozenset(set(graph.enabled_at(i))) for i in range(len(graph))
+    )
+    # Keep everything alive until the high-water mark is read.
+    alive = (transitions, out_tuples, in_tuples, enabled)
+    return {
+        "peak_rss_kb": peak_rss_kb(),
+        "transitions": len(alive[0]),
+    }
+
+
+def _in_fresh_child(fn, *args):
+    """Run ``fn(*args)`` in a brand-new single-worker process.
+
+    A fresh process per measurement gives each configuration a clean RSS
+    baseline (``ru_maxrss`` is a lifetime high-water mark) and an empty
+    successor cache.  Falls back to in-process execution where process
+    pools are unavailable (restricted sandboxes) — the JSON records which.
+    """
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            return pool.submit(fn, *args).result(), True
+    except (ImportError, OSError, RuntimeError, PermissionError):
+        return fn(*args), False
+
+
+# ---------------------------------------------------------------------------
+# The experiment
+# ---------------------------------------------------------------------------
+
+
+def _measure_config(family: str, n_jobs):
+    runs = []
+    isolated = True
+    for _ in range(REPEATS):
+        result, in_child = _in_fresh_child(_child_explore, family, n_jobs)
+        isolated = isolated and in_child
+        runs.append(result)
+    digest = runs[0]["digest"]
+    assert all(run["digest"] == digest for run in runs), (
+        f"{family}, n_jobs={n_jobs}: digest varies across repeats"
+    )
+    return {
+        "seconds": statistics.median(run["seconds"] for run in runs),
+        "digest": digest,
+        "states": runs[0]["states"],
+        "transitions": runs[0]["transitions"],
+        "peak_rss_kb": runs[0]["peak_rss_kb"],
+        "isolated": isolated,
+    }
+
+
+def test_e15_sharded_explore():
+    speedup_gate = not SMOKE and CORES >= 2
+    table = Table(
+        "E15 — sharded exploration vs serial "
+        f"({'smoke sizes' if SMOKE else 'full sizes'}, {CORES} cores)",
+        ["workload", "states", "serial s"]
+        + [f"jobs={j} s" for j in JOBS_COLUMNS]
+        + ["best speedup", "rss ratio", "identical"],
+    )
+    rows = []
+    best_speedups = {}
+    rss_ratios = {}
+    for name, _factory in large_scaling_suite(SCALE):
+        serial = _measure_config(name, None)
+        shard_cols = {j: _measure_config(name, j) for j in JOBS_COLUMNS}
+        for j, col in shard_cols.items():
+            assert col["digest"] == serial["digest"], (
+                f"{name}: n_jobs={j} graph differs from serial"
+            )
+            assert col["states"] == serial["states"]
+            assert col["transitions"] == serial["transitions"]
+        legacy, legacy_isolated = _in_fresh_child(_child_legacy_rss, name)
+        compact_rss = serial["peak_rss_kb"]
+        legacy_rss = legacy["peak_rss_kb"]
+        rss_ratio = (
+            compact_rss / legacy_rss
+            if compact_rss and legacy_rss
+            else None
+        )
+        speedups = {
+            j: (serial["seconds"] / col["seconds"] if col["seconds"] > 0
+                else float("inf"))
+            for j, col in shard_cols.items()
+        }
+        best = max(speedups.values())
+        best_speedups[name] = best
+        rss_ratios[name] = rss_ratio
+        table.add(
+            name,
+            serial["states"],
+            f"{serial['seconds']:.3f}",
+            *(f"{shard_cols[j]['seconds']:.3f}" for j in JOBS_COLUMNS),
+            f"{best:.2f}x",
+            f"{rss_ratio:.2f}" if rss_ratio is not None else "n/a",
+            "yes",
+        )
+        rows.append({
+            "workload": name,
+            "states": serial["states"],
+            "transitions": serial["transitions"],
+            "graph_digest": serial["digest"],
+            "serial_seconds": serial["seconds"],
+            **{
+                f"jobs{j}_seconds": shard_cols[j]["seconds"]
+                for j in JOBS_COLUMNS
+            },
+            **{f"jobs{j}_speedup": speedups[j] for j in JOBS_COLUMNS},
+            "best_speedup": best,
+            "peak_rss_kb": compact_rss,
+            "legacy_peak_rss_kb": legacy_rss,
+            "rss_ratio": rss_ratio,
+            "child_isolated": serial["isolated"] and legacy_isolated,
+            "identical": True,
+        })
+    record_table(table)
+
+    largest = next(name for name in best_speedups if name.startswith(LARGEST))
+    rss_gate = not SMOKE and rss_ratios[largest] is not None
+    OUTPUT.write_text(json.dumps({
+        "experiment": "E15",
+        "scale": SCALE,
+        "cores": CORES,
+        "repeats": REPEATS,
+        "jobs_columns": list(JOBS_COLUMNS),
+        "largest_family": largest,
+        "largest_best_speedup": best_speedups[largest],
+        "largest_rss_ratio": rss_ratios[largest],
+        "verdict": {
+            "scale": SCALE,
+            "digests_identical": True,
+            "speedup_gate_applies": speedup_gate,
+            "speedup_gate_reason": (
+                None if speedup_gate else
+                ("smoke scale" if SMOKE else
+                 f"single-core machine ({CORES} core): adaptive dispatch "
+                 "correctly stays serial, so a parallel speedup is "
+                 "unmeasurable here")
+            ),
+            "min_speedup_required": MIN_SPEEDUP if speedup_gate else None,
+            "rss_gate_applies": rss_gate,
+            "max_rss_ratio_required": MAX_RSS_RATIO if rss_gate else None,
+        },
+        "rows": rows,
+    }, indent=2) + "\n")
+
+    if speedup_gate:
+        assert best_speedups[largest] >= MIN_SPEEDUP, (
+            f"sharded exploration is only {best_speedups[largest]:.2f}x "
+            f"serial on {largest} (need {MIN_SPEEDUP}x)"
+        )
+    if rss_gate:
+        assert rss_ratios[largest] <= MAX_RSS_RATIO, (
+            f"compact graph peak RSS is {rss_ratios[largest]:.2f}x the "
+            f"legacy representation on {largest} "
+            f"(must be ≤ {MAX_RSS_RATIO}x)"
+        )

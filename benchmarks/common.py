@@ -11,6 +11,13 @@ discarded (first-call costs — imports, pool spin-up, allocator warm-up —
 are not what the experiments measure) and the reported figure is the
 *median* of at least :data:`MIN_REPEATS` timed runs, so a single
 scheduling hiccup cannot swing a sub-millisecond row.
+
+Every ``timed_median`` call also snapshots the process's peak RSS
+(:func:`peak_rss_kb`, via ``resource.getrusage``) so each ``BENCH_*.json``
+row records memory alongside time.  ``ru_maxrss`` is a *high-water mark* —
+monotone over the process lifetime — so within one bench process the
+column reads "peak RSS up to and including this row"; benches that need
+per-configuration peaks (E15) measure in fresh child processes instead.
 """
 
 from __future__ import annotations
@@ -21,6 +28,11 @@ from typing import Any, Callable, List, Optional, Tuple
 
 from repro.analysis.report import Table
 
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None
+
 #: Benches must time at least this many repeats — smoke runs included.
 MIN_REPEATS = 3
 
@@ -28,6 +40,32 @@ MIN_REPEATS = 3
 DEFAULT_WARMUP = 1
 
 _TABLES: List[Table] = []
+
+_LAST_PEAK_RSS_KB: Optional[int] = None
+
+
+def peak_rss_kb() -> Optional[int]:
+    """The process's peak resident set size in KiB (``None`` if unknown).
+
+    Linux reports ``ru_maxrss`` in KiB; macOS reports bytes and is
+    normalised here.  The value is a lifetime high-water mark.
+    """
+    if resource is None:
+        return None
+    try:
+        maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    except (OSError, ValueError):  # pragma: no cover - exotic sandboxes
+        return None
+    import sys
+
+    if sys.platform == "darwin":  # pragma: no cover - linux CI
+        return int(maxrss // 1024)
+    return int(maxrss)
+
+
+def last_peak_rss_kb() -> Optional[int]:
+    """Peak RSS snapshotted by the most recent :func:`timed_median` call."""
+    return _LAST_PEAK_RSS_KB
 
 
 def record_table(table: Table) -> None:
@@ -61,6 +99,7 @@ def timed_median(
             f"repeats must be >= {MIN_REPEATS}, got {repeats} "
             "(single-shot timings of sub-millisecond rows are pure noise)"
         )
+    global _LAST_PEAK_RSS_KB
     durations: List[float] = []
     results: List[Any] = []
     for iteration in range(warmup + repeats):
@@ -71,4 +110,5 @@ def timed_median(
         if iteration >= warmup:
             durations.append(elapsed)
             results.append(result)
+    _LAST_PEAK_RSS_KB = peak_rss_kb()
     return statistics.median(durations), results

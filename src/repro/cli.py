@@ -47,7 +47,8 @@ def _load(path: str) -> Program:
 
 
 def _explore(args: argparse.Namespace, program: Program):
-    """Explore honouring ``--max-states``/``--max-depth``/``--cache-dir``."""
+    """Explore honouring ``--max-states``/``--max-depth``/``--jobs``/
+    ``--cache-dir``/``--cache-max-mb``."""
     from repro.engine.diskcache import explore_with_cache
 
     graph, hit = explore_with_cache(
@@ -55,6 +56,8 @@ def _explore(args: argparse.Namespace, program: Program):
         max_states=args.max_states,
         max_depth=args.max_depth,
         cache_dir=args.cache_dir,
+        n_jobs=args.jobs,
+        cache_max_mb=args.cache_max_mb,
     )
     if args.cache_dir is not None:
         print(f"graph cache: {'hit' if hit else 'miss'} ({args.cache_dir})")
@@ -73,17 +76,25 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--jobs",
         type=int,
         default=None,
-        help="worker processes for verification/synthesis "
-        "(default/1 = serial; small graphs auto-fall back to serial; "
-        "results are identical either way)",
+        help="worker processes for exploration/verification/synthesis "
+        "(default/1 = serial; small work auto-falls back to serial; "
+        "results are bit-identical either way)",
     )
     parser.add_argument(
         "--cache-dir",
         default=None,
         metavar="DIR",
         help="cache explored graphs on disk, keyed by the canonical "
-        "program text and the exploration bounds; repeated runs skip "
-        "exploration entirely",
+        "program text, the exploration bounds and the job count; repeated "
+        "runs skip exploration entirely",
+    )
+    parser.add_argument(
+        "--cache-max-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="size cap for --cache-dir; when the cache exceeds it, least "
+        "recently used entries are evicted (default: unbounded)",
     )
 
 

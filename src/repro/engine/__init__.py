@@ -15,9 +15,13 @@ index-native:
   and **adaptive dispatch** (small work demotes to serial, so ``--jobs N``
   never loses to the serial path), used by ``check_measure``,
   ``synthesize_measure`` and the benchmark sweeps;
+* :mod:`repro.engine.shard` — hash-sharded frontier-parallel exploration
+  over the persistent pool, bit-identical to the serial BFS by
+  construction (CLI ``--jobs`` on ``explore``/``decide``/``synthesize``);
 * :mod:`repro.engine.diskcache` — an optional cross-run on-disk cache of
-  explored graphs, keyed by the canonical program text and the exploration
-  bounds (CLI ``--cache-dir``);
+  explored graphs, keyed by the canonical program text, the exploration
+  bounds and the (normalised) job count, with an optional size cap and
+  LRU eviction (CLI ``--cache-dir`` / ``--cache-max-mb``);
 * :mod:`repro.engine.reference` — the pre-engine algorithms, preserved
   verbatim as the "before" baseline for benchmarks and as an independent
   oracle for equivalence tests.
@@ -39,10 +43,16 @@ from repro.engine.parallel import (
 )
 from repro.engine.analysis import GraphAnalyses, tarjan_scc_csr
 from repro.engine.diskcache import (
+    evict_cache,
     exploration_cache_key,
     explore_with_cache,
     load_cached_graph,
     store_graph,
+)
+from repro.engine.shard import (
+    SHARD_ROUND_CUTOFF,
+    explore_sharded,
+    graph_digest,
 )
 
 __all__ = [
@@ -50,12 +60,16 @@ __all__ = [
     "GraphAnalyses",
     "PackedGraph",
     "PARALLEL_WORK_CUTOFF",
+    "SHARD_ROUND_CUTOFF",
     "StateInterner",
     "chunk_items",
     "effective_jobs",
+    "evict_cache",
     "exploration_cache_key",
+    "explore_sharded",
     "explore_with_cache",
     "get_pool",
+    "graph_digest",
     "load_cached_graph",
     "parallel_map",
     "resolve_jobs",

@@ -123,23 +123,14 @@ class GraphAnalyses:
     )
 
     def __init__(self, graph: "ReachableGraph") -> None:
-        labels = list(graph.system.commands())
-        known = set(labels)
-        # Defensive: enabled sets and transitions should only mention
-        # declared commands, but a stray label must not corrupt bitmasks.
-        for t in graph.transitions:
-            if t.command not in known:
-                known.add(t.command)
-                labels.append(t.command)
-        self.commands = CommandTable(labels)
-        id_of = self.commands.id_of
-        self.packed = PackedGraph.build(
-            len(graph),
-            ((t.source, id_of(t.command), t.target) for t in graph.transitions),
-        )
-        self.enabled_masks: List[int] = [
-            self.commands.mask_of(graph.enabled_at(i)) for i in range(len(graph))
-        ]
+        # The graph already owns the interned command table, the packed
+        # transition columns (CSR-indexed lazily) and the per-state enabled
+        # bitmasks — exploration streamed straight into them.  Reuse them:
+        # construction does no per-transition work, so sub-cutoff graphs
+        # never pay engine setup they don't use.
+        self.commands: CommandTable = graph.command_table
+        self.packed: PackedGraph = graph.packed
+        self.enabled_masks: Sequence[int] = graph.enabled_masks
         self._full_components: Optional[List[List[int]]] = None
 
     # -- SCC ------------------------------------------------------------

@@ -18,6 +18,11 @@ Entries are JSON (no pickle: a shared cache directory must not be a code
 execution vector) and are written atomically (temp file + ``os.replace``),
 so concurrent runs at worst redo work.  Unreadable, corrupt or
 version-mismatched entries are treated as misses and overwritten.
+
+The cache is unbounded by default; :func:`evict_cache` (CLI
+``--cache-max-mb``) trims it to a size budget in least-recently-used
+order — loads touch an entry's mtime, deletions tolerate concurrent
+removal, and corrupt entries are ordinary eviction candidates.
 """
 
 from __future__ import annotations
@@ -44,14 +49,21 @@ def exploration_cache_key(
     program: Program,
     max_states: Optional[int] = None,
     max_depth: Optional[int] = None,
+    n_jobs: Optional[int] = None,
 ) -> str:
-    """The content hash naming this ``(program, bounds)`` exploration.
+    """The content hash naming this ``(program, bounds, jobs)`` exploration.
 
     Canonicalising through the pretty printer makes the key insensitive to
     whitespace/comment differences in the source text while remaining
     sensitive to any semantic change (different guard, bound, initial
-    range, command order — all alter the rendering).
+    range, command order — all alter the rendering).  ``n_jobs`` enters the
+    key normalised through :func:`~repro.engine.parallel.resolve_jobs`
+    (``None``/``0``/``1`` share one key): the sharded explorer is
+    bit-identical to serial, but keying on the job count keeps every entry
+    attributable to the exact invocation that produced it.
     """
+    from repro.engine.parallel import resolve_jobs
+
     canonical = render_program(program.ast)
     payload = json.dumps(
         {
@@ -59,6 +71,7 @@ def exploration_cache_key(
             "program": canonical,
             "max_states": max_states,
             "max_depth": max_depth,
+            "jobs": resolve_jobs(n_jobs),
         },
         sort_keys=True,
     )
@@ -144,6 +157,12 @@ def load_cached_graph(
     except (OSError, ValueError):
         return None
     try:
+        # Touch the entry so LRU eviction sees it as recently used; a
+        # concurrent eviction racing this load just means a refetch later.
+        os.utime(path)
+    except OSError:
+        pass
+    try:
         if payload["format"] != FORMAT_VERSION or payload["key"] != key:
             return None
         names = tuple(payload["names"])
@@ -173,20 +192,71 @@ def load_cached_graph(
         return None
 
 
+def evict_cache(
+    cache_dir: os.PathLike,
+    max_mb: Optional[float],
+) -> list:
+    """Trim the cache directory to ``max_mb`` megabytes, LRU first.
+
+    Entries are removed oldest-mtime-first until the remaining entries fit
+    the budget (loads touch mtime, so mtime order *is* recency order).  The
+    budget is a hard cap: a single entry larger than it is itself evicted.
+    Corrupt entries are ordinary candidates — eviction never reads entry
+    contents — and files that vanish mid-scan (concurrent eviction or
+    store) are skipped, so deletion is effectively atomic from the caller's
+    view.  Returns the paths removed.  ``max_mb=None`` is a no-op
+    (unbounded cache, the default).
+    """
+    if max_mb is None:
+        return []
+    budget = int(max_mb * 1024 * 1024)
+    entries = []
+    total = 0
+    try:
+        candidates = list(Path(cache_dir).glob("graph-*.json"))
+    except OSError:
+        return []
+    for path in candidates:
+        try:
+            stat = path.stat()
+        except OSError:
+            continue  # vanished under us — somebody else's eviction
+        entries.append((stat.st_mtime, path.name, path, stat.st_size))
+        total += stat.st_size
+    entries.sort()  # oldest first; name breaks mtime ties deterministically
+    removed = []
+    for _, _, path, size in entries:
+        if total <= budget:
+            break
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            pass  # already gone — still no longer occupies the budget
+        except OSError:
+            continue  # undeletable entry: leave it, keep trimming others
+        total -= size
+        removed.append(path)
+    return removed
+
+
 def explore_with_cache(
     program: Program,
     max_states: Optional[int] = None,
     max_depth: Optional[int] = None,
     cache_dir: Optional[os.PathLike] = None,
     strict: bool = False,
+    n_jobs: Optional[int] = None,
+    cache_max_mb: Optional[float] = None,
 ) -> Tuple[ReachableGraph, bool]:
     """``(graph, was_cache_hit)`` — explore, or reload a previous run.
 
     With ``cache_dir=None`` this is plain
     :func:`~repro.ts.explore.explore`.  Otherwise a hit skips exploration
-    entirely; a miss explores and stores the result for the next run.
-    Non-``Program`` systems cannot be cached — call ``explore`` directly
-    for those.
+    entirely; a miss explores (sharded across ``n_jobs`` workers when
+    requested), stores the result for the next run, and — when
+    ``cache_max_mb`` is set — trims the cache to the size budget, least
+    recently used entries first.  Non-``Program`` systems cannot be cached
+    — call ``explore`` directly for those.
     """
     from repro.ts.explore import explore
 
@@ -197,15 +267,21 @@ def explore_with_cache(
                 max_states=max_states,
                 max_depth=max_depth,
                 strict=strict,
+                n_jobs=n_jobs,
             ),
             False,
         )
-    key = exploration_cache_key(program, max_states, max_depth)
+    key = exploration_cache_key(program, max_states, max_depth, n_jobs)
     cached = load_cached_graph(program, cache_dir, key)
     if cached is not None:
         return cached, True
     graph = explore(
-        program, max_states=max_states, max_depth=max_depth, strict=strict
+        program,
+        max_states=max_states,
+        max_depth=max_depth,
+        strict=strict,
+        n_jobs=n_jobs,
     )
     store_graph(graph, cache_dir, key)
+    evict_cache(cache_dir, cache_max_mb)
     return graph, False

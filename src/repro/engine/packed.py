@@ -120,6 +120,21 @@ class PackedGraph:
             src.append(s)
             cmd.append(c)
             dst.append(t)
+        return PackedGraph.from_columns(n, src, cmd, dst)
+
+    @staticmethod
+    def from_columns(
+        n: int,
+        src: array,
+        cmd: array,
+        dst: array,
+    ) -> "PackedGraph":
+        """CSR-index already-materialized transition columns for ``n`` states.
+
+        The columns are adopted, not copied — the explorer streams straight
+        into them and hands them over, so a million-transition graph never
+        exists as per-transition Python objects.
+        """
         m = len(src)
         counts = [0] * (n + 1)
         for s in src:
@@ -127,7 +142,7 @@ class PackedGraph:
         for i in range(n):
             counts[i + 1] += counts[i]
         out_start = array("q", counts)
-        out_eid = array("q", [0] * m)
+        out_eid = array("q", bytes(8 * m))
         cursor = list(out_start[:n])
         for eid in range(m):
             s = src[eid]

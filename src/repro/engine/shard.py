@@ -1,0 +1,327 @@
+"""Hash-sharded frontier-parallel exploration, bit-identical to serial BFS.
+
+**Why this is possible at all.**  The serial explorer
+(:func:`repro.ts.explore.explore`) pops its queue in first-discovery order,
+so states are expanded in ascending intern-index order, level by level: the
+states discovered in BFS round ``r`` occupy a contiguous index range and
+are all expanded — with identical budget/depth bookkeeping — before any
+state of round ``r + 1``.  Expansion itself (``system.expand``) is a *pure*
+function of the state.  So exploration factors into
+
+1. an embarrassingly parallel part — computing ``(enabled, posts)`` for
+   every state of the current round — and
+2. a cheap, inherently serial part — interning successors, assigning
+   indices, recording transitions, and applying ``max_states`` /
+   ``max_depth`` / ``strict`` accounting.
+
+This module parallelises (1) and replays (2) verbatim: each round, the
+pending states are partitioned by ``hash(state) % n_shards``, every worker
+in the persistent pool (:mod:`repro.engine.parallel`) expands its shard and
+sends back successor batches (states deduplicated per shard, command labels
+encoded against the coordinator's label table), and the coordinator merges
+the batches **in pending order, posts order** — exactly the order the
+serial loop would have seen them.  State indices, transition order,
+enabled masks, frontier sets and :class:`ExplorationLimitError` behaviour
+are therefore bit-identical to the serial path; the differential tests in
+``tests/engine/test_shard.py`` enforce this for 1/2/4 shards on complete
+and bounded exploration of every workload family.
+
+Workers receive the system once as a picklable *shard spec*
+(:meth:`~repro.ts.system.TransitionSystem.shard_spec`) and cache the
+rebuilt instance process-locally, so per-round traffic is states in,
+``(mask, posts)`` batches out.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from array import array
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.engine.interning import StateInterner
+from repro.engine.parallel import _FORCE_ENV, parallel_map, resolve_jobs
+
+#: Rounds with fewer pending states than this are expanded in-process: the
+#: per-round pool round-trip (pickle states out, results back) costs more
+#: than expanding a narrow BFS level locally.  ``REPRO_FORCE_PARALLEL=1``
+#: overrides, so tests can push single-state rounds through the pool.
+SHARD_ROUND_CUTOFF = 2048
+
+#: Worker-process cache of rebuilt systems, keyed by spec digest.  Workers
+#: are long-lived (the pool persists), so a multi-round exploration — or a
+#: sequence of explorations of the same system — unpickles the spec once.
+_WORKER_SYSTEMS: Dict[str, object] = {}
+
+
+def _shard_system(digest: str, spec: bytes):
+    system = _WORKER_SYSTEMS.get(digest)
+    if system is None:
+        system = pickle.loads(spec)
+        _WORKER_SYSTEMS[digest] = system
+    return system
+
+
+def _expand_shard(task):
+    """Expand one shard of a BFS round (runs in a worker process).
+
+    ``task`` is ``(digest, spec, labels, states)``.  Returns
+    ``(results, targets)`` where ``targets`` is the shard's deduplicated
+    successor batch and ``results[k]`` is, for ``states[k]``::
+
+        (enabled_mask, stray_enabled_labels, ((cmd_ref, target_ref), ...))
+
+    ``enabled_mask`` is over ``labels`` (the coordinator's table snapshot);
+    commands not yet in it travel as literal strings.  ``target_ref``
+    indexes ``targets`` — interning back to global state indices happens in
+    the coordinator, in serial order.
+    """
+    digest, spec, labels, shard_states = task
+    system = _shard_system(digest, spec)
+    ids = {label: k for k, label in enumerate(labels)}
+    targets: List[object] = []
+    ref_of: Dict[object, int] = {}
+    results = []
+    for state in shard_states:
+        enabled, posts = system.expand(state)
+        mask = 0
+        strays: Tuple[str, ...] = ()
+        for label in enabled:
+            k = ids.get(label)
+            if k is None:
+                strays += (label,)
+            else:
+                mask |= 1 << k
+        encoded = []
+        for command, target in posts:
+            ref = ref_of.get(target)
+            if ref is None:
+                ref = len(targets)
+                ref_of[target] = ref
+                targets.append(target)
+            encoded.append((ids.get(command, command), ref))
+        results.append((mask, strays, tuple(encoded)))
+    return results, targets
+
+
+def _round_workers(jobs: int, pending_count: int) -> int:
+    """Adaptive per-round dispatch (mirrors :func:`effective_jobs`).
+
+    Narrow BFS levels, single-core machines and serial requests stay
+    in-process — the "``--jobs N`` never loses" guarantee applies per
+    round, since level widths vary wildly within one exploration.
+    """
+    if jobs <= 1 or pending_count == 0:
+        return 1
+    if os.environ.get(_FORCE_ENV) == "1":
+        return jobs
+    if (os.cpu_count() or 1) <= 1:
+        return 1
+    if pending_count < SHARD_ROUND_CUTOFF:
+        return 1
+    return jobs
+
+
+def explore_sharded(
+    system,
+    spec: bytes,
+    max_states: Optional[int] = None,
+    max_depth: Optional[int] = None,
+    strict: bool = False,
+    n_jobs: Optional[int] = None,
+):
+    """Frontier-parallel BFS exploration; results bit-identical to serial.
+
+    Called by :func:`repro.ts.explore.explore` when ``n_jobs > 1`` and the
+    system provided a shard ``spec``; not normally invoked directly.
+    """
+    from repro.ts.explore import _finish_graph
+
+    jobs = resolve_jobs(n_jobs)
+    digest = hashlib.sha256(spec).hexdigest()
+
+    interner = StateInterner()
+    states = interner.states
+    for s in system.initial_states():
+        interner.intern(s)
+    initial_count = len(states)
+    if initial_count == 0:
+        raise ValueError("system has no initial states")
+
+    labels: List[str] = list(system.commands())
+    label_ids: Dict[str, int] = {label: k for k, label in enumerate(labels)}
+    src = array("q")
+    cmd = array("q")
+    dst = array("q")
+    emask_of: List[int] = [-1] * initial_count
+    expanded = bytearray(initial_count)
+    frontier: Set[int] = set()
+    truncated = False
+
+    pending: List[int] = list(range(initial_count))
+    round_depth = 0
+
+    while pending:
+        if max_depth is not None and round_depth > max_depth:
+            # Every pending state sits at the same BFS depth — the depth
+            # bound cuts the whole round, exactly as the serial loop marks
+            # each of these states frontier when it pops them.
+            frontier.update(pending)
+            truncated = True
+            break
+
+        workers = _round_workers(jobs, len(pending))
+        if workers > 1:
+            round_results = _expand_round_parallel(
+                digest, spec, labels, states, pending, workers
+            )
+        else:
+            round_results = _expand_round_serial(
+                system, label_ids, states, pending
+            )
+
+        next_pending: List[int] = []
+        for i, (mask, strays, posts, targets) in zip(pending, round_results):
+            expanded[i] = 1
+            for label in strays:
+                k = label_ids.get(label)
+                if k is None:
+                    k = len(labels)
+                    label_ids[label] = k
+                    labels.append(label)
+                mask |= 1 << k
+            emask_of[i] = mask
+            at_budget = max_states is not None and len(states) >= max_states
+            for cmd_ref, target_ref in posts:
+                target = targets[target_ref]
+                if at_budget:
+                    j = interner.lookup(target)
+                    if j is None:
+                        frontier.add(i)
+                        truncated = True
+                        break
+                else:
+                    j, is_new = interner.intern(target)
+                    if is_new:
+                        emask_of.append(-1)
+                        expanded.append(0)
+                        next_pending.append(j)
+                        at_budget = (
+                            max_states is not None and len(states) >= max_states
+                        )
+                if isinstance(cmd_ref, int):
+                    k = cmd_ref
+                else:
+                    k = label_ids.get(cmd_ref)
+                    if k is None:
+                        k = len(labels)
+                        label_ids[cmd_ref] = k
+                        labels.append(cmd_ref)
+                src.append(i)
+                cmd.append(k)
+                dst.append(j)
+        pending = next_pending
+        round_depth += 1
+
+    return _finish_graph(
+        system=system,
+        interner=interner,
+        labels=labels,
+        label_ids=label_ids,
+        src=src,
+        cmd=cmd,
+        dst=dst,
+        emask_of=emask_of,
+        expanded=expanded,
+        frontier=frontier,
+        initial_count=initial_count,
+        truncated=truncated,
+        strict=strict,
+        max_states=max_states,
+        max_depth=max_depth,
+    )
+
+
+def _expand_round_serial(system, label_ids, states, pending):
+    """In-process expansion of one round, in the parallel path's encoding."""
+    results = []
+    for i in pending:
+        enabled, posts = system.expand(states[i])
+        mask = 0
+        strays: Tuple[str, ...] = ()
+        for label in enabled:
+            k = label_ids.get(label)
+            if k is None:
+                strays += (label,)
+            else:
+                mask |= 1 << k
+        targets: List[object] = []
+        ref_of: Dict[object, int] = {}
+        encoded = []
+        for command, target in posts:
+            ref = ref_of.get(target)
+            if ref is None:
+                ref = len(targets)
+                ref_of[target] = ref
+                targets.append(target)
+            encoded.append((label_ids.get(command, command), ref))
+        results.append((mask, strays, tuple(encoded), targets))
+    return results
+
+
+def _expand_round_parallel(digest, spec, labels, states, pending, workers):
+    """Shard one round by state hash and fan it out over the pool.
+
+    Returns per-pending-state ``(mask, strays, posts, targets)`` in pending
+    order — shard assignment affects only *where* a state is expanded,
+    never the merge order, so the result is independent of the hash
+    function and of ``workers``.
+    """
+    shards: List[List[int]] = [[] for _ in range(workers)]
+    for i in pending:
+        shards[hash(states[i]) % workers].append(i)
+    occupied = [shard for shard in shards if shard]
+    labels_snapshot = tuple(labels)
+    tasks = [
+        (digest, spec, labels_snapshot, [states[i] for i in shard])
+        for shard in occupied
+    ]
+    outs = parallel_map(_expand_shard, tasks, n_jobs=workers)
+
+    per_state: Dict[int, tuple] = {}
+    for shard, (results, targets) in zip(occupied, outs):
+        for i, (mask, strays, posts) in zip(shard, results):
+            per_state[i] = (mask, strays, posts, targets)
+    return [per_state[i] for i in pending]
+
+
+def graph_digest(graph) -> str:
+    """A canonical SHA-256 over everything observable about ``graph``.
+
+    Covers states (in index order), transitions (in transition order, with
+    command *labels*, not table ids), per-state enabled sets (sorted), the
+    initial count and the frontier — i.e. exactly the bit-identity contract
+    of the sharded explorer.  Two graphs digest equal iff the object-level
+    fingerprints used by the differential tests are equal.
+    """
+    h = hashlib.sha256()
+
+    def text(s: str) -> None:
+        h.update(s.encode("utf-8"))
+        h.update(b"\x00")
+
+    text(f"n={len(graph)};init={len(graph.initial_indices)}")
+    for state in graph.states:
+        text(repr(state))
+    labels = graph.command_table.labels
+    src, cmds, dsts = graph.transition_columns
+    h.update(src.tobytes())
+    h.update(dsts.tobytes())
+    for c in cmds:
+        text(labels[c])
+    table = graph.command_table
+    for mask in graph.enabled_masks:
+        text(",".join(sorted(table.labels_of_mask(mask))))
+    text("frontier=" + ",".join(map(str, sorted(graph.frontier))))
+    return h.hexdigest()

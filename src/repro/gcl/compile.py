@@ -375,9 +375,10 @@ class CompiledProgram:
     the two without translation.
     """
 
-    __slots__ = ("names", "slots", "commands", "by_label")
+    __slots__ = ("ast", "names", "slots", "commands", "by_label")
 
     def __init__(self, ast: ProgramAst) -> None:
+        self.ast: ProgramAst = ast
         self.names: Tuple[str, ...] = ast.variables()
         self.slots: Dict[str, int] = {
             name: index for index, name in enumerate(self.names)
@@ -388,6 +389,12 @@ class CompiledProgram:
         self.by_label: Dict[str, CompiledCommand] = {
             compiled.label: compiled for compiled in self.commands
         }
+
+    def __reduce__(self):
+        # Closures cannot be pickled, but the syntax tree they were lowered
+        # from can: workers recompile from the AST, which is deterministic,
+        # so a round-tripped CompiledProgram is semantically identical.
+        return (CompiledProgram, (self.ast,))
 
     def enabled_labels(self, values: Values) -> frozenset:
         """Labels whose guards hold on ``values`` (declaration order)."""

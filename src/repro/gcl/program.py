@@ -34,6 +34,14 @@ from repro.ts.system import CommandLabel, State, TransitionSystem
 #: One memoized expansion: (enabled labels, ((label, post-state), ...)).
 _Expansion = Tuple[frozenset, Tuple[Tuple[CommandLabel, ProgramState], ...]]
 
+#: Hard cap on the number of states the successor cache may hold.  Each
+#: entry pins a state, its post-states and a frozenset (~1 KB on a typical
+#: grid program), so an uncapped cache would rival the graph itself on a
+#: million-state exploration.  The cap comfortably covers every workload
+#: that *benefits* from revisits (products, simulations, warm re-explores of
+#: benchmark-sized programs); beyond it, expansion simply recomputes.
+SUCCESSOR_CACHE_LIMIT = 1 << 16
+
 
 class Program(TransitionSystem):
     """Executable semantics of a :class:`~repro.gcl.ast.ProgramAst`.
@@ -66,6 +74,27 @@ class Program(TransitionSystem):
         ] = {}
         self._cache_hits = 0
         self._cache_misses = 0
+
+    # -- pickling / sharding ----------------------------------------------
+
+    def __getstate__(self):
+        # Compiled closures and the successor cache do not travel; the
+        # syntax tree does.  The receiving side re-runs ``__init__`` so a
+        # worker-side Program is a fresh, semantically identical instance.
+        return {"ast": self._ast, "compiled": self._compiled is not None}
+
+    def __setstate__(self, state) -> None:
+        self.__init__(state["ast"], compiled=state["compiled"])
+
+    def shard_spec(self) -> bytes | None:
+        """Programs ship as their pickled AST (closures are recompiled
+        worker-side); see :meth:`TransitionSystem.shard_spec`."""
+        import pickle
+
+        try:
+            return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return None
 
     # -- metadata ----------------------------------------------------------
 
@@ -167,8 +196,9 @@ class Program(TransitionSystem):
             return self._enabled_cache[state], posts
         self._cache_misses += 1
         enabled, posts = self._compute_expansion(state)
-        self._enabled_cache[state] = enabled
-        self._posts_cache[state] = posts
+        if len(self._posts_cache) < SUCCESSOR_CACHE_LIMIT:
+            self._enabled_cache[state] = enabled
+            self._posts_cache[state] = posts
         return enabled, posts
 
     # -- TransitionSystem ----------------------------------------------------
@@ -212,7 +242,8 @@ class Program(TransitionSystem):
             return cached
         self._cache_misses += 1
         enabled = self._compute_enabled(state)
-        self._enabled_cache[state] = enabled
+        if len(self._enabled_cache) < SUCCESSOR_CACHE_LIMIT:
+            self._enabled_cache[state] = enabled
         return enabled
 
     def post(self, state: State) -> Iterable[Tuple[CommandLabel, State]]:

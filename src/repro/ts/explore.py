@@ -10,19 +10,30 @@ records its frontier, so downstream analyses can — and do — say precisely
 what was and was not covered, instead of silently truncating.
 
 States are interned (hashed once at discovery, :mod:`repro.engine.interning`)
-and every downstream analysis works on integer indices; the graph lazily
-builds a packed-array view plus cached analyses
-(:attr:`ReachableGraph.analyses`) that the hot paths — measure checking,
-fair-cycle search, synthesis — run on.
+and every downstream analysis works on integer indices.  Transitions are
+streamed straight into flat ``array('q')`` columns during exploration — the
+graph never holds per-transition Python objects, so a million-state graph
+fits comfortably in RAM; :class:`IndexedTransition` values are materialized
+lazily as views when object-level callers ask for them.  Per-state enabled
+sets are stored as command bitmasks over an interned label table, shared
+with the cached engine analyses (:attr:`ReachableGraph.analyses`).
+
+``explore(..., n_jobs=N)`` with ``N > 1`` dispatches to the hash-sharded
+frontier-parallel explorer (:mod:`repro.engine.shard`) when the system can
+be shipped to workers (:meth:`TransitionSystem.shard_spec`); results are
+bit-identical to the serial path by construction and by differential test.
 """
 
 from __future__ import annotations
 
+import os
+from array import array
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
 
 from repro.engine.interning import StateInterner
+from repro.engine.packed import CommandTable, PackedGraph
 from repro.ts.system import CommandLabel, State, Transition, TransitionSystem
 
 
@@ -39,12 +50,92 @@ class IndexedTransition:
     target: int
 
 
+#: Graphs at or below this many states memoize the per-state transition
+#: tuples handed out by ``outgoing``/``incoming`` (repeat callers get the
+#: same tuple back, as the old eager representation did).  Above it the
+#: tuples are rebuilt per call so object views never pin O(m) dataclasses
+#: on a million-state graph.
+VIEW_MEMO_LIMIT = 1 << 17
+
+
+class TransitionView(Sequence):
+    """Lazy sequence of :class:`IndexedTransition` over the packed columns.
+
+    Supports ``len``/iteration/indexing/slicing like the tuple it replaces;
+    each access materializes fresh dataclass views from the ``(src, cmd,
+    dst)`` arrays instead of keeping ``m`` objects alive.  Graphs small
+    enough to afford the objects (≤ :data:`VIEW_MEMO_LIMIT` transitions)
+    memoize the materialized tuple on first full iteration, so consumers
+    that re-scan the transition list repeatedly (the seed reference
+    algorithms do) pay the object construction once, as they did when the
+    graph stored a tuple; million-state graphs stay lazy.
+    """
+
+    __slots__ = ("_src", "_cmd", "_dst", "_labels", "_items")
+
+    def __init__(
+        self, src: array, cmd: array, dst: array, labels: Tuple[str, ...]
+    ) -> None:
+        self._src = src
+        self._cmd = cmd
+        self._dst = dst
+        self._labels = labels
+        self._items: Tuple[IndexedTransition, ...] | None = None
+
+    def __len__(self) -> int:
+        return len(self._src)
+
+    def __getitem__(self, item):
+        if self._items is not None:
+            return self._items[item]
+        if isinstance(item, slice):
+            indices = range(len(self._src))[item]
+            return tuple(self._make(eid) for eid in indices)
+        # range() handles negative indices and raises IndexError uniformly.
+        return self._make(range(len(self._src))[item])
+
+    def _make(self, eid: int) -> IndexedTransition:
+        return IndexedTransition(
+            self._src[eid], self._labels[self._cmd[eid]], self._dst[eid]
+        )
+
+    def __iter__(self) -> Iterator[IndexedTransition]:
+        if self._items is None and len(self._src) <= VIEW_MEMO_LIMIT:
+            self._items = tuple(
+                self._make(eid) for eid in range(len(self._src))
+            )
+        if self._items is not None:
+            return iter(self._items)
+        labels = self._labels
+        return (
+            IndexedTransition(s, labels[c], d)
+            for s, c, d in zip(self._src, self._cmd, self._dst)
+        )
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, TransitionView):
+            if len(self) != len(other):
+                return False
+            return all(a == b for a, b in zip(self, other))
+        if isinstance(other, (tuple, list)):
+            if len(self) != len(other):
+                return False
+            return all(a == b for a, b in zip(self, other))
+        return NotImplemented
+
+    __hash__ = None  # mutable-adjacent view; compare by content only
+
+    def __repr__(self) -> str:
+        return f"<TransitionView of {len(self)} transitions>"
+
+
 class ReachableGraph:
     """The explored region of a transition system.
 
     States are indexed ``0..n-1`` in discovery (BFS) order; index ``0..k-1``
-    are the initial states.  The graph keeps, per state, the enabled command
-    set and the outgoing indexed transitions, plus:
+    are the initial states.  The graph stores transitions as three parallel
+    integer columns (CSR-indexed on demand) and per-state enabled-command
+    bitmasks over an interned :class:`CommandTable`, plus:
 
     * :attr:`complete` — whether exploration exhausted all reachable states;
     * :attr:`frontier` — indices of states whose successors were *not*
@@ -52,9 +143,9 @@ class ReachableGraph:
 
     All verification-condition checking, fair-cycle detection, SCC analysis
     and synthesis run over this structure.  Index-native callers should use
-    :attr:`analyses` (packed transition arrays, per-state enabled bitmasks
-    and memoized SCC decomposition — computed once, cached here) instead of
-    round-tripping through :class:`State` objects.
+    :attr:`analyses` (which shares the graph's own packed arrays and masks
+    — construction is O(1)) instead of round-tripping through
+    :class:`State` objects.
     """
 
     def __init__(
@@ -67,30 +158,115 @@ class ReachableGraph:
         frontier: Iterable[int],
         index: Dict[State, int] | None = None,
     ) -> None:
-        self._system = system
-        self._states = tuple(states)
+        # Object-level construction path (disk cache, hand-built graphs):
+        # convert to the packed column form the graph actually stores.
+        labels = list(system.commands())
+        ids = {label: k for k, label in enumerate(labels)}
+        src = array("q")
+        cmd = array("q")
+        dst = array("q")
+        for t in transitions:
+            k = ids.get(t.command)
+            if k is None:
+                k = len(labels)
+                ids[t.command] = k
+                labels.append(t.command)
+            src.append(t.source)
+            cmd.append(k)
+            dst.append(t.target)
+        masks: List[int] = []
+        for commands in enabled:
+            mask = 0
+            for label in commands:
+                k = ids.get(label)
+                if k is None:
+                    k = len(labels)
+                    ids[label] = k
+                    labels.append(label)
+                mask |= 1 << k
+            masks.append(mask)
         if index is None:
-            index = {s: i for i, s in enumerate(self._states)}
-        self._index: Dict[State, int] = index
-        if len(self._index) != len(self._states):
-            raise ValueError("duplicate states in exploration result")
-        self._transitions = tuple(transitions)
-        self._enabled = tuple(enabled)
+            index = {s: i for i, s in enumerate(states)}
+            if len(index) != len(states):
+                raise ValueError("duplicate states in exploration result")
+        self._setup(
+            system=system,
+            states=tuple(states),
+            labels=labels,
+            src=src,
+            cmd=cmd,
+            dst=dst,
+            enabled_masks=masks,
+            initial_count=initial_count,
+            frontier=frozenset(frontier),
+            index=index,
+        )
+
+    @classmethod
+    def from_arrays(
+        cls,
+        system: TransitionSystem,
+        states: Sequence[State],
+        labels: Sequence[str],
+        src: array,
+        cmd: array,
+        dst: array,
+        enabled_masks: Sequence[int],
+        initial_count: int,
+        frontier: Iterable[int],
+        index: Dict[State, int],
+    ) -> "ReachableGraph":
+        """Adopt already-packed exploration output (the explorer's path)."""
+        graph = cls.__new__(cls)
+        graph._setup(
+            system=system,
+            states=tuple(states),
+            labels=list(labels),
+            src=src,
+            cmd=cmd,
+            dst=dst,
+            enabled_masks=list(enabled_masks),
+            initial_count=initial_count,
+            frontier=frozenset(frontier),
+            index=index,
+        )
+        return graph
+
+    def _setup(
+        self,
+        system: TransitionSystem,
+        states: Tuple[State, ...],
+        labels: List[str],
+        src: array,
+        cmd: array,
+        dst: array,
+        enabled_masks: List[int],
+        initial_count: int,
+        frontier: frozenset,
+        index: Dict[State, int],
+    ) -> None:
+        self._system = system
+        self._states = states
+        self._index = index
+        self._table = CommandTable(labels)
+        self._src = src
+        self._cmd = cmd
+        self._dst = dst
+        # ``array('Q')`` when every mask fits 64 bits (the common case);
+        # a plain list of (big) ints otherwise.
+        if len(labels) <= 64:
+            self._enabled_masks: Sequence[int] = array("Q", enabled_masks)
+        else:
+            self._enabled_masks = enabled_masks
         self._initial_count = initial_count
-        self._frontier = frozenset(frontier)
-        out: List[List[IndexedTransition]] = [[] for _ in self._states]
-        incoming: List[List[IndexedTransition]] = [[] for _ in self._states]
-        for t in self._transitions:
-            out[t.source].append(t)
-            incoming[t.target].append(t)
-        # Per-state tuples are built once; ``outgoing``/``incoming`` hand the
-        # same tuple back on every call instead of re-allocating.
-        self._out: Tuple[Tuple[IndexedTransition, ...], ...] = tuple(
-            tuple(ts) for ts in out
-        )
-        self._in: Tuple[Tuple[IndexedTransition, ...], ...] = tuple(
-            tuple(ts) for ts in incoming
-        )
+        self._frontier = frontier
+        self._packed: PackedGraph | None = None
+        self._in_start: array | None = None
+        self._in_eid: array | None = None
+        memoize = len(states) <= VIEW_MEMO_LIMIT
+        self._out_memo: Dict[int, tuple] | None = {} if memoize else None
+        self._in_memo: Dict[int, tuple] | None = {} if memoize else None
+        self._view: TransitionView | None = None
         self._analyses = None
         self._scc_cache = None  # full-graph SccDecomposition, set by decompose()
 
@@ -107,9 +283,15 @@ class ReachableGraph:
         return self._states
 
     @property
-    def transitions(self) -> Tuple[IndexedTransition, ...]:
-        """All explored transitions (between expanded states)."""
-        return self._transitions
+    def transitions(self) -> TransitionView:
+        """All explored transitions (between expanded states), as a lazy
+        sequence view over the packed columns.  The view instance is
+        shared across accesses so its iteration memo survives."""
+        if self._view is None:
+            self._view = TransitionView(
+                self._src, self._cmd, self._dst, self._table.labels
+            )
+        return self._view
 
     @property
     def initial_indices(self) -> range:
@@ -142,24 +324,74 @@ class ReachableGraph:
         return state in self._index
 
     def enabled_at(self, index: int) -> frozenset:
-        """Enabled commands of the state at ``index``."""
-        return self._enabled[index]
+        """Enabled commands of the state at ``index`` (cached per mask)."""
+        return self._table.labels_of_mask(self._enabled_masks[index])
 
     def outgoing(self, index: int) -> Sequence[IndexedTransition]:
         """Outgoing transitions of the state at ``index``."""
-        return self._out[index]
+        memo = self._out_memo
+        if memo is not None:
+            cached = memo.get(index)
+            if cached is not None:
+                return cached
+        packed = self.packed
+        labels = self._table.labels
+        cmd = self._cmd
+        dst = self._dst
+        result = tuple(
+            IndexedTransition(index, labels[cmd[e]], dst[e])
+            for e in packed.out_eids(index)
+        )
+        if memo is not None:
+            memo[index] = result
+        return result
 
     def incoming(self, index: int) -> Sequence[IndexedTransition]:
         """Incoming transitions of the state at ``index``."""
-        return self._in[index]
+        memo = self._in_memo
+        if memo is not None:
+            cached = memo.get(index)
+            if cached is not None:
+                return cached
+        if self._in_start is None:
+            self._build_incoming_csr()
+        labels = self._table.labels
+        src = self._src
+        cmd = self._cmd
+        result = tuple(
+            IndexedTransition(src[e], labels[cmd[e]], index)
+            for e in self._in_eid[self._in_start[index] : self._in_start[index + 1]]
+        )
+        if memo is not None:
+            memo[index] = result
+        return result
+
+    def _build_incoming_csr(self) -> None:
+        n = len(self._states)
+        dst = self._dst
+        counts = [0] * (n + 1)
+        for d in dst:
+            counts[d + 1] += 1
+        for i in range(n):
+            counts[i + 1] += counts[i]
+        in_start = array("q", counts)
+        in_eid = array("q", bytes(8 * len(dst)))
+        cursor = list(in_start[:n])
+        for eid in range(len(dst)):
+            d = dst[eid]
+            in_eid[cursor[d]] = eid
+            cursor[d] += 1
+        self._in_start = in_start
+        self._in_eid = in_eid
 
     def is_terminal(self, index: int) -> bool:
         """Whether the state at ``index`` enables no command."""
-        return not self._enabled[index]
+        return not self._enabled_masks[index]
 
     def terminal_indices(self) -> List[int]:
         """Indices of all terminal (no command enabled) states."""
-        return [i for i in range(len(self._states)) if not self._enabled[i]]
+        masks = self._enabled_masks
+        return [i for i in range(len(self._states)) if not masks[i]]
 
     def to_transition(self, t: IndexedTransition) -> Transition:
         """Convert an indexed transition back to state form."""
@@ -168,12 +400,41 @@ class ReachableGraph:
     # -- engine view -----------------------------------------------------
 
     @property
+    def command_table(self) -> CommandTable:
+        """The graph's interned command-label table."""
+        return self._table
+
+    @property
+    def packed(self) -> PackedGraph:
+        """The CSR adjacency over the graph's own transition columns.
+
+        Indexed lazily on first use (a single counting sort); the columns
+        themselves were filled during exploration, so no per-transition
+        objects are ever rebuilt.
+        """
+        if self._packed is None:
+            self._packed = PackedGraph.from_columns(
+                len(self._states), self._src, self._cmd, self._dst
+            )
+        return self._packed
+
+    @property
+    def enabled_masks(self) -> Sequence[int]:
+        """Per-state enabled-command bitmasks over :attr:`command_table`."""
+        return self._enabled_masks
+
+    @property
+    def transition_columns(self) -> Tuple[array, array, array]:
+        """The raw ``(src, cmd_id, dst)`` columns, in transition order."""
+        return self._src, self._cmd, self._dst
+
+    @property
     def analyses(self):
         """Cached :class:`repro.engine.analysis.GraphAnalyses` for this graph.
 
-        Built on first use: packed ``(src, cmd_id, dst)`` arrays with CSR
-        adjacency, per-state enabled bitmasks, and the memoized full-graph
-        SCC decomposition.  Shared by every analysis over this graph.
+        Shares the graph's own command table, packed arrays and enabled
+        bitmasks — construction does no per-transition work — and adds the
+        memoized full-graph SCC decomposition plus region-query helpers.
         """
         if self._analyses is None:
             from repro.engine.analysis import GraphAnalyses
@@ -202,7 +463,7 @@ class ReachableGraph:
         """One-line summary used by reports."""
         status = "complete" if self.complete else f"bounded (frontier {len(self._frontier)})"
         return (
-            f"{len(self._states)} states, {len(self._transitions)} transitions, "
+            f"{len(self._states)} states, {len(self._src)} transitions, "
             f"{status}"
         )
 
@@ -212,6 +473,7 @@ def explore(
     max_states: int | None = None,
     max_depth: int | None = None,
     strict: bool = False,
+    n_jobs: int | None = None,
 ) -> ReachableGraph:
     """Breadth-first exploration of the reachable states of ``system``.
 
@@ -225,11 +487,49 @@ def explore(
     strict:
         If true, raise :class:`ExplorationLimitError` when a bound truncates
         exploration instead of returning an incomplete graph.
+    n_jobs:
+        With ``n_jobs > 1`` (or ``-1`` for all cores) and a system that can
+        be shipped to workers (:meth:`TransitionSystem.shard_spec`),
+        exploration is hash-sharded across the persistent worker pool; the
+        result is bit-identical to the serial path.  Systems without a
+        shard spec fall back to serial exploration.
     """
     system.validate_commands()
+    if n_jobs is not None:
+        from repro.engine.parallel import _FORCE_ENV, resolve_jobs
+
+        jobs = resolve_jobs(n_jobs)
+        # On a single core every round would be demoted to in-process
+        # execution anyway, but the sharded coordinator's encode/merge
+        # framing is not free — skip it entirely so ``--jobs N`` never
+        # loses to serial (the force env keeps tests on the sharded path).
+        multicore = (os.cpu_count() or 1) > 1
+        forced = os.environ.get(_FORCE_ENV) == "1"
+        if jobs > 1 and (multicore or forced):
+            spec = system.shard_spec()
+            if spec is not None:
+                from repro.engine.shard import explore_sharded
+
+                return explore_sharded(
+                    system,
+                    spec,
+                    max_states=max_states,
+                    max_depth=max_depth,
+                    strict=strict,
+                    n_jobs=jobs,
+                )
+    return _explore_serial(system, max_states, max_depth, strict)
+
+
+def _explore_serial(
+    system: TransitionSystem,
+    max_states: int | None,
+    max_depth: int | None,
+    strict: bool,
+) -> ReachableGraph:
     interner = StateInterner()
     states = interner.states
-    depth: List[int] = []
+    depth = array("q")
 
     for s in system.initial_states():
         _, is_new = interner.intern(s)
@@ -239,29 +539,45 @@ def explore(
     if initial_count == 0:
         raise ValueError("system has no initial states")
 
-    transitions: List[IndexedTransition] = []
-    enabled_at: Dict[int, frozenset] = {}
-    expanded: Set[int] = set()
+    labels: List[str] = list(system.commands())
+    label_ids: Dict[str, int] = {label: k for k, label in enumerate(labels)}
+    src = array("q")
+    cmd = array("q")
+    dst = array("q")
+    # Parallel to ``states``: enabled mask (-1 = not yet computed) and an
+    # expanded flag.  Flat arrays, not dicts/sets — a million-state run
+    # must not allocate a million boxed ints of bookkeeping.
+    emask_of = [-1] * initial_count
+    expanded = bytearray(initial_count)
     frontier: Set[int] = set()
     queue = deque(range(initial_count))
     truncated = False
 
     while queue:
         i = queue.popleft()
-        if i in expanded:
+        if expanded[i]:
             continue
         if max_depth is not None and depth[i] > max_depth:
             frontier.add(i)
             truncated = True
             continue
-        expanded.add(i)
+        expanded[i] = 1
         state = states[i]
         successor_depth = depth[i] + 1
         at_budget = max_states is not None and len(states) >= max_states
         # ``expand`` hands back enabledness and successors from one guard
         # pass (and lets compiled systems answer from their successor
         # cache); unexpanded states get a guards-only query at the end.
-        enabled_at[i], posts = system.expand(state)
+        enabled_set, posts = system.expand(state)
+        mask = 0
+        for label in enabled_set:
+            k = label_ids.get(label)
+            if k is None:
+                k = len(labels)
+                label_ids[label] = k
+                labels.append(label)
+            mask |= 1 << k
+        emask_of[i] = mask
         for command, target in posts:
             if at_budget:
                 # At the state budget only already-interned successors may
@@ -279,10 +595,65 @@ def explore(
                 j, is_new = interner.intern(target)
                 if is_new:
                     depth.append(successor_depth)
+                    emask_of.append(-1)
+                    expanded.append(0)
                     at_budget = max_states is not None and len(states) >= max_states
-            transitions.append(IndexedTransition(i, command, j))
-            if j not in expanded:
+            k = label_ids.get(command)
+            if k is None:
+                k = len(labels)
+                label_ids[command] = k
+                labels.append(command)
+            src.append(i)
+            cmd.append(k)
+            dst.append(j)
+            if not expanded[j]:
                 queue.append(j)
+
+    return _finish_graph(
+        system=system,
+        interner=interner,
+        labels=labels,
+        label_ids=label_ids,
+        src=src,
+        cmd=cmd,
+        dst=dst,
+        emask_of=emask_of,
+        expanded=expanded,
+        frontier=frontier,
+        initial_count=initial_count,
+        truncated=truncated,
+        strict=strict,
+        max_states=max_states,
+        max_depth=max_depth,
+    )
+
+
+def _finish_graph(
+    system: TransitionSystem,
+    interner: StateInterner,
+    labels: List[str],
+    label_ids: Dict[str, int],
+    src: array,
+    cmd: array,
+    dst: array,
+    emask_of: List[int],
+    expanded: bytearray,
+    frontier: Set[int],
+    initial_count: int,
+    truncated: bool,
+    strict: bool,
+    max_states: int | None,
+    max_depth: int | None,
+) -> ReachableGraph:
+    """Shared tail of the serial and sharded explorers.
+
+    Applies the strict-mode check, completes the frontier with never-expanded
+    states, fills in guards-only enabled masks for them, drops transitions
+    recorded from partially-expanded frontier sources, and assembles the
+    compact graph.  Keeping this in one place is part of the bit-identity
+    argument: both explorers feed it the same intermediate state.
+    """
+    states = interner.states
 
     if truncated and strict:
         raise ExplorationLimitError(
@@ -292,26 +663,45 @@ def explore(
 
     # States discovered but never expanded (depth cut or budget exhaustion).
     for i in range(len(states)):
-        if i not in expanded:
+        if not expanded[i]:
             frontier.add(i)
 
-    enabled: List[frozenset] = [
-        frozenset(
-            enabled_at[i] if i in enabled_at else system.enabled(states[i])
-        )
-        for i in range(len(states))
-    ]
+    for i in range(len(states)):
+        if emask_of[i] < 0:
+            mask = 0
+            for label in system.enabled(states[i]):
+                k = label_ids.get(label)
+                if k is None:
+                    k = len(labels)
+                    label_ids[label] = k
+                    labels.append(label)
+                mask |= 1 << k
+            emask_of[i] = mask
 
     # Keep only transitions whose source was genuinely expanded; a partially
     # expanded frontier state may have recorded a prefix of its successors,
     # which would bias analyses that assume all-or-nothing expansion.
-    kept = [t for t in transitions if t.source not in frontier]
+    if frontier:
+        ksrc = array("q")
+        kcmd = array("q")
+        kdst = array("q")
+        for eid in range(len(src)):
+            s = src[eid]
+            if s in frontier:
+                continue
+            ksrc.append(s)
+            kcmd.append(cmd[eid])
+            kdst.append(dst[eid])
+        src, cmd, dst = ksrc, kcmd, kdst
 
-    return ReachableGraph(
+    return ReachableGraph.from_arrays(
         system=system,
         states=states,
-        transitions=kept,
-        enabled=enabled,
+        labels=labels,
+        src=src,
+        cmd=cmd,
+        dst=dst,
+        enabled_masks=emask_of,
         initial_count=initial_count,
         frontier=frontier,
         index=interner.index,

@@ -93,6 +93,19 @@ class TransitionSystem(ABC):
         if len(set(commands)) != len(commands):
             raise ValueError(f"duplicate command labels in {commands!r}")
 
+    def shard_spec(self) -> bytes | None:
+        """A picklable payload that rebuilds this system in a worker process.
+
+        The sharded explorer ships this to the worker pool once per
+        exploration; workers rebuild the system from it and expand states
+        locally.  ``None`` (the default) means the system cannot be
+        reconstructed elsewhere — closures, open resources, views over
+        unpicklable bases — and exploration silently stays serial.
+        Overrides must guarantee the rebuilt system is *semantically
+        identical*: same commands, same ``expand`` results for every state.
+        """
+        return None
+
 
 class ExplicitSystem(TransitionSystem):
     """A transition system given by explicit dictionaries.
@@ -183,6 +196,17 @@ class ExplicitSystem(TransitionSystem):
     def known_states(self) -> frozenset:
         """Every state mentioned in the construction (not just reachable)."""
         return frozenset(self._states)
+
+    def shard_spec(self) -> bytes | None:
+        """Explicit systems are plain data — ship them whole (when their
+        states happen to be picklable; generator-built systems with closure
+        states are not, and fall back to serial exploration)."""
+        import pickle
+
+        try:
+            return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return None
 
 
 class RenamedSystem(TransitionSystem):

@@ -188,6 +188,70 @@ def random_system(
     )
 
 
+def grid_hypercube(dims: int, side: int) -> Program:
+    """A ``dims``-dimensional counter cube: ``(side+1)**dims`` states.
+
+    Each ``dec_i`` decrements its own counter independently, so BFS levels
+    are *wide* (states at depth ``d`` are the compositions of ``d`` over
+    the coordinates) — the stress case the sharded explorer is built for,
+    in contrast to :func:`counter_grid`'s narrow diagonal levels.
+    Terminates trivially (every command strictly decreases the sum), so
+    exploration, not fairness structure, is what this family measures.
+    ``grid_hypercube(6, 9)`` is exactly one million states.
+    """
+    if dims < 1:
+        raise ValueError("need at least one dimension")
+    if side < 1:
+        raise ValueError("need side ≥ 1")
+    declarations = ", ".join(f"x{i} := {side}" for i in range(dims))
+    body = "\n  [] ".join(
+        f"dec{i}: x{i} > 0 -> x{i} := x{i} - 1" for i in range(dims)
+    )
+    return parse_program(
+        f"""
+        program Hypercube
+        var {declarations}
+        do
+             {body}
+        od
+        """
+    )
+
+
+def distributed_ring(stations: int, work: int) -> Program:
+    """A token ring of ``stations`` worker stations, each with ``work``
+    units: ``stations * (work+1)**stations`` states.
+
+    Station ``i`` may burn one unit of its own work while it holds the
+    token (``work_i``) or pass the token on (``pass_i``).  The token
+    circulates forever, so the system does *not* terminate — it is the
+    server-loop shape of the scaling suite, with state dominated by the
+    cross product of per-station counters.  ``distributed_ring(3, 69)`` is
+    1 029 000 states.
+    """
+    if stations < 2:
+        raise ValueError("need at least two stations")
+    if work < 0:
+        raise ValueError("need work ≥ 0")
+    declarations = "t := 0, " + ", ".join(
+        f"w{i} := {work}" for i in range(stations)
+    )
+    lines = []
+    for i in range(stations):
+        lines.append(f"work{i}: t == {i} and w{i} > 0 -> w{i} := w{i} - 1")
+        lines.append(f"pass{i}: t == {i} -> t := {(i + 1) % stations}")
+    body = "\n  [] ".join(lines)
+    return parse_program(
+        f"""
+        program Ring
+        var {declarations}
+        do
+             {body}
+        od
+        """
+    )
+
+
 def engine_scaling_suite(scale: str = "full") -> List[Tuple[str, object]]:
     """The ``(name, factory)`` workload list for engine scaling experiments.
 
@@ -213,4 +277,29 @@ def engine_scaling_suite(scale: str = "full") -> List[Tuple[str, object]]:
         ("rings(24)", lambda: nested_rings(24)),
         ("distractors(6,6)", lambda: distractor_loop(6, 6)),
         ("random(7,64)", lambda: random_system(7, states=64, extra_edges=48)),
+    ]
+
+
+def large_scaling_suite(scale: str = "full") -> List[Tuple[str, object]]:
+    """Million-state ``(name, factory)`` workloads for exploration scaling.
+
+    Scaled-up grid/chain/distributed shapes (≥ 10^6 states each at
+    ``"full"``) for the sharded-exploration experiments
+    (:mod:`benchmarks.bench_e15_sharded_explore`); ``"smoke"`` substitutes
+    instances in the hundreds of states that walk the same code paths.
+    The hypercube is listed first — it is the largest-frontier family and
+    the one the E15 acceptance gates are phrased over.
+    """
+    if scale == "smoke":
+        return [
+            ("hypercube(6,2)", lambda: grid_hypercube(6, 2)),
+            ("chain(3,fuel=7)", lambda: modulus_chain(3, fuel=7)),
+            ("ring(3,7)", lambda: distributed_ring(3, 7)),
+        ]
+    if scale != "full":
+        raise ValueError(f"unknown scale {scale!r} (expected 'full' or 'smoke')")
+    return [
+        ("hypercube(6,9)", lambda: grid_hypercube(6, 9)),
+        ("chain(3,fuel=69)", lambda: modulus_chain(3, fuel=69)),
+        ("ring(3,69)", lambda: distributed_ring(3, 69)),
     ]

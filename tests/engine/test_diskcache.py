@@ -1,10 +1,13 @@
 """The cross-run on-disk graph cache: bit-identity, keying, robustness."""
 
 import json
+import os
+from pathlib import Path
 
 import pytest
 
 from repro.engine import (
+    evict_cache,
     exploration_cache_key,
     explore_with_cache,
     load_cached_graph,
@@ -160,3 +163,98 @@ class TestSuccessorCacheStats:
         assert hits_after > hits
         program.clear_successor_cache()
         assert program.successor_cache_stats() == (0, 0)
+
+
+class TestCacheKeyJobs:
+    def test_serial_spellings_share_one_key(self):
+        base = exploration_cache_key(p2(5))
+        assert exploration_cache_key(p2(5), n_jobs=0) == base
+        assert exploration_cache_key(p2(5), n_jobs=1) == base
+
+    def test_job_count_enters_the_key(self):
+        assert exploration_cache_key(p2(5), n_jobs=4) != (
+            exploration_cache_key(p2(5))
+        )
+
+    def test_sharded_entry_round_trips(self, tmp_path):
+        graph, hit = explore_with_cache(p2(5), cache_dir=tmp_path, n_jobs=4)
+        assert not hit
+        reloaded, hit = explore_with_cache(p2(5), cache_dir=tmp_path, n_jobs=4)
+        assert hit
+        assert _fingerprint(reloaded) == _fingerprint(graph)
+
+
+class TestEviction:
+    def _store(self, tmp_path, program, mtime):
+        key = exploration_cache_key(program)
+        path = store_graph(explore(program), tmp_path, key)
+        os.utime(path, (mtime, mtime))
+        return path
+
+    def test_none_budget_is_unbounded(self, tmp_path):
+        self._store(tmp_path, p2(5), 1000)
+        assert evict_cache(tmp_path, None) == []
+        assert list(tmp_path.glob("graph-*.json"))
+
+    def test_oldest_entries_evicted_first(self, tmp_path):
+        oldest = self._store(tmp_path, p2(5), 1000)
+        middle = self._store(tmp_path, p2(6), 2000)
+        newest = self._store(tmp_path, p2(7), 3000)
+        budget_mb = newest.stat().st_size / (1024 * 1024)
+        removed = evict_cache(tmp_path, budget_mb)
+        assert removed == [oldest, middle]
+        assert newest.exists()
+
+    def test_load_touches_recency(self, tmp_path):
+        a = self._store(tmp_path, p2(5), 1000)
+        b = self._store(tmp_path, p2(6), 2000)
+        # Loading the older entry marks it recently used...
+        key = exploration_cache_key(p2(5))
+        assert load_cached_graph(p2(5), tmp_path, key) is not None
+        assert a.stat().st_mtime > b.stat().st_mtime
+        # ...so the *other* entry is now the LRU victim.
+        budget_mb = a.stat().st_size / (1024 * 1024)
+        assert evict_cache(tmp_path, budget_mb) == [b]
+        assert a.exists()
+
+    def test_budget_is_a_hard_cap(self, tmp_path):
+        only = self._store(tmp_path, p2(5), 1000)
+        assert evict_cache(tmp_path, 1e-9) == [only]
+        assert not only.exists()
+
+    def test_corrupt_entries_are_ordinary_victims(self, tmp_path):
+        junk = tmp_path / ("graph-" + "f" * 64 + ".json")
+        junk.write_text("{ not json")
+        os.utime(junk, (500, 500))
+        keeper = self._store(tmp_path, p2(5), 2000)
+        budget_mb = keeper.stat().st_size / (1024 * 1024)
+        assert evict_cache(tmp_path, budget_mb) == [junk]
+        assert keeper.exists()
+
+    def test_vanished_entry_is_tolerated(self, tmp_path, monkeypatch):
+        victim = self._store(tmp_path, p2(5), 1000)
+        keeper = self._store(tmp_path, p2(6), 2000)
+        real_unlink = Path.unlink
+
+        def racing_unlink(self, *args, **kwargs):
+            if self == victim:
+                real_unlink(self)  # somebody else deleted it first
+                raise FileNotFoundError(str(self))
+            return real_unlink(self, *args, **kwargs)
+
+        monkeypatch.setattr(Path, "unlink", racing_unlink)
+        removed = evict_cache(tmp_path, 1e-9)
+        assert victim in removed and keeper in removed
+        assert not victim.exists() and not keeper.exists()
+
+    def test_missing_directory_is_a_noop(self, tmp_path):
+        assert evict_cache(tmp_path / "never-created", 1.0) == []
+
+    def test_explore_with_cache_trims_after_store(self, tmp_path):
+        self._store(tmp_path, p2(5), 1000)
+        graph, hit = explore_with_cache(
+            p2(50), cache_dir=tmp_path, cache_max_mb=1e-9
+        )
+        assert not hit
+        # The budget is tiny: nothing survives, including the new entry.
+        assert list(tmp_path.glob("graph-*.json")) == []

@@ -1,0 +1,214 @@
+"""Differential tests for sharded exploration (DESIGN §6d).
+
+The whole point of the sharded explorer is that it is *invisible*: for
+every workload family, every job count and every truncation mode, the
+graph it produces must be bit-identical to the serial explorer's — same
+state interning order, same transition order, same enabled sets, same
+frontier, same strict-mode error message.  These tests force the pool on
+(``REPRO_FORCE_PARALLEL=1``) so the parallel merge path actually runs
+even on single-core CI machines and below the per-round cutoff.
+"""
+
+import pickle
+
+import pytest
+
+from repro.engine.shard import (
+    SHARD_ROUND_CUTOFF,
+    _round_workers,
+    graph_digest,
+)
+from repro.gcl import Program
+from repro.gcl.compile import CompiledProgram
+from repro.ts import ExplorationLimitError, explore
+from repro.ts.system import TransitionSystem
+from repro.workloads import (
+    counter_grid,
+    dining_philosophers,
+    engine_scaling_suite,
+    large_scaling_suite,
+)
+
+JOB_COUNTS = (2, 4)
+
+
+@pytest.fixture
+def force_parallel(monkeypatch):
+    monkeypatch.setenv("REPRO_FORCE_PARALLEL", "1")
+
+
+def _families():
+    """Every smoke-scale family from both suites, deduplicated by name."""
+    seen = {}
+    for name, make in engine_scaling_suite("smoke"):
+        seen.setdefault(name, make)
+    for name, make in large_scaling_suite("smoke"):
+        seen.setdefault(name, make)
+    return sorted(seen.items())
+
+
+def _fingerprint(graph):
+    """Every observable of a ReachableGraph, including orderings."""
+    return (
+        tuple(graph.states),
+        tuple((t.source, t.command, t.target) for t in graph.transitions),
+        tuple(frozenset(graph.enabled_at(i)) for i in range(len(graph))),
+        tuple(graph.initial_indices),
+        tuple(sorted(graph.frontier)),
+    )
+
+
+class TestDifferentialComplete:
+    """Unbounded exploration: sharded == serial on every family."""
+
+    @pytest.mark.parametrize("name,make", _families())
+    def test_bit_identical_graphs(self, force_parallel, name, make):
+        serial = explore(make())
+        expected = _fingerprint(serial)
+        expected_digest = graph_digest(serial)
+        for jobs in JOB_COUNTS:
+            sharded = explore(make(), n_jobs=jobs)
+            assert _fingerprint(sharded) == expected, (
+                f"{name}: n_jobs={jobs} differs from serial"
+            )
+            assert graph_digest(sharded) == expected_digest
+
+    def test_two_sharded_runs_agree(self, force_parallel):
+        first = explore(counter_grid(3, 4), n_jobs=4)
+        second = explore(counter_grid(3, 4), n_jobs=4)
+        assert graph_digest(first) == graph_digest(second)
+        assert _fingerprint(first) == _fingerprint(second)
+
+    def test_jobs_one_is_the_serial_path(self):
+        assert _fingerprint(explore(counter_grid(2, 5), n_jobs=1)) == (
+            _fingerprint(explore(counter_grid(2, 5)))
+        )
+
+
+class TestDifferentialBounded:
+    """Truncated exploration: budgets, depth bounds and strict errors."""
+
+    @pytest.mark.parametrize("name,make", _families())
+    @pytest.mark.parametrize("jobs", JOB_COUNTS)
+    def test_max_states_identical(self, force_parallel, name, make, jobs):
+        serial = explore(make(), max_states=10)
+        sharded = explore(make(), max_states=10, n_jobs=jobs)
+        assert _fingerprint(sharded) == _fingerprint(serial)
+        assert sharded.frontier == serial.frontier
+
+    @pytest.mark.parametrize("name,make", _families())
+    @pytest.mark.parametrize("jobs", JOB_COUNTS)
+    def test_max_depth_identical(self, force_parallel, name, make, jobs):
+        serial = explore(make(), max_depth=2)
+        sharded = explore(make(), max_depth=2, n_jobs=jobs)
+        assert _fingerprint(sharded) == _fingerprint(serial)
+
+    @pytest.mark.parametrize("name,make", _families())
+    def test_strict_error_message_identical(self, force_parallel, name, make):
+        try:
+            explore(make(), max_states=5, strict=True)
+        except ExplorationLimitError as error:
+            serial_message = str(error)
+        else:
+            pytest.skip(f"{name} has fewer than 5 states")
+        for jobs in JOB_COUNTS:
+            with pytest.raises(ExplorationLimitError) as excinfo:
+                explore(make(), max_states=5, strict=True, n_jobs=jobs)
+            assert str(excinfo.value) == serial_message
+
+
+class _Opaque(TransitionSystem):
+    """A system without a shard spec (inherits the None default)."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def initial_states(self):
+        return self._inner.initial_states()
+
+    def commands(self):
+        return self._inner.commands()
+
+    def enabled(self, state):
+        return self._inner.enabled(state)
+
+    def post(self, state):
+        return self._inner.post(state)
+
+
+class TestFallbacks:
+    def test_unshardable_system_falls_back_to_serial(self, force_parallel):
+        inner = dining_philosophers(3)
+        assert _Opaque(inner).shard_spec() is None
+        serial = explore(dining_philosophers(3))
+        fallback = explore(_Opaque(dining_philosophers(3)), n_jobs=4)
+        assert _fingerprint(fallback) == _fingerprint(serial)
+
+    def test_serial_request_never_imports_sharding(self):
+        graph = explore(counter_grid(2, 4), n_jobs=None)
+        assert len(graph) > 0
+
+
+class TestPicklability:
+    """Workers rebuild systems from ``shard_spec``; the pieces must ship."""
+
+    def test_program_pickle_roundtrip(self):
+        program = counter_grid(2, 4)
+        clone = pickle.loads(pickle.dumps(program))
+        assert _fingerprint(explore(clone)) == _fingerprint(explore(program))
+
+    def test_compiled_program_pickle_roundtrip(self):
+        program = counter_grid(2, 3)
+        explore(program)  # force compilation
+        compiled = program._compiled
+        assert isinstance(compiled, CompiledProgram)
+        clone = pickle.loads(pickle.dumps(compiled))
+        assert clone.by_label.keys() == compiled.by_label.keys()
+
+    def test_shard_spec_rebuilds_equivalent_system(self):
+        program = counter_grid(2, 4)
+        spec = program.shard_spec()
+        assert spec is not None
+        rebuilt = pickle.loads(spec)
+        assert _fingerprint(explore(rebuilt)) == (
+            _fingerprint(explore(program))
+        )
+
+
+class TestRoundDispatch:
+    def test_serial_requests_stay_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FORCE_PARALLEL", raising=False)
+        assert _round_workers(1, 10**6) == 1
+        assert _round_workers(0, 10**6) == 1
+        assert _round_workers(4, 0) == 1
+
+    def test_narrow_rounds_are_demoted(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FORCE_PARALLEL", raising=False)
+        monkeypatch.setattr("os.cpu_count", lambda: 8)
+        assert _round_workers(4, SHARD_ROUND_CUTOFF - 1) == 1
+        assert _round_workers(4, SHARD_ROUND_CUTOFF) == 4
+
+    def test_single_core_demotes(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FORCE_PARALLEL", raising=False)
+        monkeypatch.setattr("os.cpu_count", lambda: 1)
+        assert _round_workers(4, SHARD_ROUND_CUTOFF * 10) == 1
+
+    def test_force_env_overrides(self, force_parallel):
+        assert _round_workers(4, 1) == 4
+
+
+class TestGraphDigest:
+    def test_digest_is_stable_across_explorations(self):
+        a = explore(counter_grid(2, 5))
+        b = explore(counter_grid(2, 5))
+        assert graph_digest(a) == graph_digest(b)
+
+    def test_digest_distinguishes_graphs(self):
+        assert graph_digest(explore(counter_grid(2, 5))) != (
+            graph_digest(explore(counter_grid(2, 4)))
+        )
+
+    def test_digest_sees_the_frontier(self):
+        complete = explore(counter_grid(2, 5))
+        truncated = explore(counter_grid(2, 5), max_states=10)
+        assert graph_digest(complete) != graph_digest(truncated)

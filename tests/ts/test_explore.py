@@ -127,3 +127,52 @@ class TestDerivedFacts:
     def test_describe_mentions_completeness(self):
         assert "complete" in explore(chain(2)).describe()
         assert "bounded" in explore(chain(10), max_depth=2).describe()
+
+
+class TestCompactStorage:
+    """The packed-column graph: the lazy transition view and bitmasks."""
+
+    def test_view_is_a_sequence(self):
+        graph = explore(chain(4))
+        view = graph.transitions
+        assert len(view) == 4
+        assert view[0].source == 0 and view[0].target == 1
+        assert view[-1].target == 4
+        assert list(view[1:3]) == [view[1], view[2]]
+        with pytest.raises(IndexError):
+            view[99]
+
+    def test_view_equals_materialized_tuple(self):
+        graph = explore(chain(3))
+        assert graph.transitions == tuple(graph.transitions)
+        assert graph.transitions == list(graph.transitions)
+        assert graph.transitions == explore(chain(3)).transitions
+
+    def test_view_items_are_indexed_transitions(self):
+        graph = explore(chain(2))
+        t = graph.transitions[0]
+        assert (t.source, t.command, t.target) == (0, "next", 1)
+        assert graph.transitions[0] == t  # fresh view objects compare equal
+
+    def test_columns_back_the_view(self):
+        graph = explore(chain(3))
+        src, cmd, dst = graph.transition_columns
+        assert list(src) == [t.source for t in graph.transitions]
+        assert list(dst) == [t.target for t in graph.transitions]
+
+    def test_outgoing_incoming_from_csr(self):
+        graph = explore(chain(3))
+        assert [t.target for t in graph.outgoing(0)] == [1]
+        assert [t.source for t in graph.incoming(2)] == [1]
+        assert graph.incoming(0) == ()
+        assert graph.outgoing(3) == ()
+
+    def test_enabled_sets_are_shared(self):
+        graph = explore(chain(5))
+        # Same mask => same frozenset object (built once per mask).
+        assert graph.enabled_at(0) is graph.enabled_at(1)
+
+    def test_repeated_access_is_stable(self):
+        graph = explore(chain(3))
+        assert graph.outgoing(1) == graph.outgoing(1)
+        assert graph.incoming(1) == graph.incoming(1)

@@ -120,3 +120,53 @@ class TestRandomSystem:
     def test_parameters_respected(self):
         system = random_system(2, states=6, commands=4)
         assert len(system.commands()) == 4
+
+
+class TestGridHypercube:
+    def test_state_count(self):
+        from repro.workloads import grid_hypercube
+
+        assert len(explore(grid_hypercube(3, 2))) == 27  # (side+1)**dims
+
+    def test_fairly_terminates(self):
+        from repro.workloads import grid_hypercube
+
+        verdict = check_fair_termination(explore(grid_hypercube(2, 2)))
+        assert verdict.fairly_terminates
+
+
+class TestDistributedRing:
+    def test_state_count(self):
+        from repro.workloads import distributed_ring
+
+        # token position x (work+1)^stations while work remains, then the
+        # all-drained token keeps circulating: stations * (work+1)**stations
+        graph = explore(distributed_ring(2, 3))
+        assert len(graph) == 2 * 4 * 4
+
+    def test_runs_forever(self):
+        from repro.workloads import distributed_ring
+
+        verdict = check_fair_termination(explore(distributed_ring(2, 2)))
+        assert not verdict.fairly_terminates  # the token circulates forever
+
+
+class TestLargeScalingSuite:
+    def test_smoke_families_are_modest(self):
+        from repro.workloads import large_scaling_suite
+
+        for name, make in large_scaling_suite("smoke"):
+            assert len(explore(make())) < 5000, name
+
+    def test_full_families_declared_million_scale(self):
+        from repro.workloads import large_scaling_suite
+
+        names = [name for name, _ in large_scaling_suite("full")]
+        assert names[0].startswith("hypercube")  # the gate family leads
+        assert len(names) == 3
+
+    def test_unknown_scale_rejected(self):
+        from repro.workloads import large_scaling_suite
+
+        with pytest.raises(ValueError):
+            large_scaling_suite("enormous")
