@@ -30,7 +30,14 @@ import json
 import os
 from pathlib import Path
 
-from common import MIN_REPEATS, last_peak_rss_kb, record_table, timed_median
+from common import (
+    MIN_REPEATS,
+    last_peak_rss_kb,
+    last_telemetry,
+    maybe_enable_bench_telemetry,
+    record_table,
+    timed_median,
+)
 
 from repro.analysis import Table
 from repro.completeness import synthesize_measure
@@ -136,6 +143,7 @@ def _timed(make_system, pipeline):
 
 
 def test_e13_engine_scaling():
+    maybe_enable_bench_telemetry()
     table = Table(
         "E13 — indexed engine vs seed pipeline "
         f"({'smoke sizes' if SMOKE else 'full sizes'})",
@@ -178,6 +186,7 @@ def test_e13_engine_scaling():
             f"jobs{JOBS}_speedup": jobs_speedup,
             "speedup": headline,
             "peak_rss_kb": last_peak_rss_kb(),
+            "telemetry": last_telemetry(),
             "identical": True,
         })
     record_table(table)

@@ -35,7 +35,14 @@ import os
 import tempfile
 from pathlib import Path
 
-from common import MIN_REPEATS, last_peak_rss_kb, record_table, timed_median
+from common import (
+    MIN_REPEATS,
+    last_peak_rss_kb,
+    last_telemetry,
+    maybe_enable_bench_telemetry,
+    record_table,
+    timed_median,
+)
 
 from repro.analysis import Table
 from repro.engine import explore_with_cache
@@ -114,6 +121,7 @@ def _timed_disk_hit(ast, cache_dir):
 
 
 def test_e14_explore_scaling():
+    maybe_enable_bench_telemetry()
     table = Table(
         "E14 — compiled vs interpreted exploration "
         f"({'smoke sizes' if SMOKE else 'full sizes'})",
@@ -165,6 +173,7 @@ def test_e14_explore_scaling():
                 "disk_hit_seconds": disk_s,
                 "speedup": speedup,
                 "peak_rss_kb": last_peak_rss_kb(),
+                "telemetry": last_telemetry(),
                 "identical": True,
             })
     record_table(table)

@@ -1,0 +1,128 @@
+"""E16 — telemetry overhead and bit-identity on exploration.
+
+The telemetry PR instrumented the engine end to end (spans, counters,
+histograms, worker-delta aggregation — see docs/METHOD.md §Observability)
+under one hard rule: collection must not change results, and *disabled*
+collection must cost nothing measurable.  This bench checks both claims
+on the engine-scaling families:
+
+* **bit-identical graphs** — for every family, ``explore`` with telemetry
+  collecting must produce the same
+  :func:`~repro.engine.shard.graph_digest` as with telemetry off;
+* **collection overhead** — enabled-vs-disabled exploration wall clock,
+  reported per family as a ratio.  The disabled path is the default for
+  every library caller, so the enabled ratio is the *price of observing*,
+  not a tax on normal runs;
+* **snapshot** — the enabled run's registry snapshot is validated against
+  the stable schema (:func:`repro.telemetry.validate_snapshot`) and the
+  largest family's snapshot is embedded in the output rows.
+
+Gate (full scale only): enabled-collection overhead on the largest family
+stays under ``MAX_ENABLED_OVERHEAD``.  ``ENGINE_BENCH_SMOKE=1`` shrinks
+the workloads to CI size, where only the identity and schema checks are
+meaningful (millisecond rows make ratios pure noise).  Rows land in
+``BENCH_telemetry.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from common import MIN_REPEATS, last_peak_rss_kb, record_table, timed_median
+
+from repro import telemetry
+from repro.analysis import Table
+from repro.engine.shard import graph_digest
+from repro.ts import explore
+from repro.workloads import engine_scaling_suite
+
+SMOKE = os.environ.get("ENGINE_BENCH_SMOKE") == "1"
+SCALE = "smoke" if SMOKE else "full"
+REPEATS = MIN_REPEATS
+LARGEST = "grid"  # the family the overhead gate is judged on
+MAX_ENABLED_OVERHEAD = 1.5  # enabled / disabled, full scale, largest family
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_telemetry.json"
+
+
+def _timed_explore(make_system):
+    """``(median_seconds, digest)`` for exploring fresh instances.
+
+    ``setup`` rebuilds the system outside the timed region so successor
+    caches never carry over between iterations; repeats must agree on the
+    digest, so a flaky exploration cannot masquerade as an overhead delta.
+    """
+    median, graphs = timed_median(
+        lambda system: explore(system),
+        repeats=REPEATS,
+        setup=make_system,
+    )
+    digests = {graph_digest(graph) for graph in graphs}
+    assert len(digests) == 1, "exploration must be run-to-run deterministic"
+    return median, digests.pop()
+
+
+def test_e16_telemetry_overhead():
+    table = Table(
+        "E16 — telemetry collection overhead on explore "
+        f"({'smoke sizes' if SMOKE else 'full sizes'})",
+        ["workload", "states", "off s", "on s", "on/off", "identical"],
+    )
+    rows = []
+    overheads = {}
+    telemetry.disable()
+    telemetry.reset()
+    for name, make in engine_scaling_suite(SCALE):
+        off_s, off_digest = _timed_explore(make)
+        telemetry.reset()
+        telemetry.enable()
+        try:
+            on_s, on_digest = _timed_explore(make)
+            snapshot = telemetry.snapshot()
+        finally:
+            telemetry.disable()
+        telemetry.validate_snapshot(snapshot)
+        assert on_digest == off_digest, (
+            f"{name}: telemetry collection changed the explored graph"
+        )
+        states = snapshot["metrics"]["counters"].get("explore.states", 0)
+        ratio = on_s / off_s if off_s > 0 else float("inf")
+        overheads[name] = ratio
+        table.add(
+            name, states, f"{off_s:.3f}", f"{on_s:.3f}", f"{ratio:.2f}x",
+            "yes",
+        )
+        rows.append({
+            "workload": name,
+            "states": states,
+            "digest": off_digest,
+            "disabled_seconds": off_s,
+            "enabled_seconds": on_s,
+            "enabled_overhead": ratio,
+            "peak_rss_kb": last_peak_rss_kb(),
+            "telemetry": snapshot if name.startswith(LARGEST) else None,
+            "identical": True,
+        })
+        telemetry.reset()
+    record_table(table)
+
+    largest = next(name for name in overheads if name.startswith(LARGEST))
+    verdict = {
+        "gated": not SMOKE,
+        "largest": largest,
+        "enabled_overhead": overheads[largest],
+        "max_enabled_overhead": MAX_ENABLED_OVERHEAD,
+    }
+    OUTPUT.write_text(json.dumps({
+        "experiment": "E16",
+        "scale": SCALE,
+        "verdict": verdict,
+        "rows": rows,
+    }, indent=2) + "\n")
+    if not SMOKE:
+        assert overheads[largest] <= MAX_ENABLED_OVERHEAD, (
+            f"telemetry collection cost {overheads[largest]:.2f}x on "
+            f"{largest} — the observing price must stay under "
+            f"{MAX_ENABLED_OVERHEAD}x"
+        )

@@ -18,15 +18,25 @@ row records memory alongside time.  ``ru_maxrss`` is a *high-water mark* —
 monotone over the process lifetime — so within one bench process the
 column reads "peak RSS up to and including this row"; benches that need
 per-configuration peaks (E15) measure in fresh child processes instead.
+
+When telemetry is collecting (``REPRO_BENCH_TELEMETRY=1``, or a bench
+enabled it explicitly), ``timed_median`` additionally snapshots the
+telemetry registry after the timed iterations; :func:`last_telemetry`
+exposes it so rows can record engine counters (states expanded, cache
+hits, shard rounds) next to time and memory.  Timing runs leave telemetry
+alone by default — collection is opt-in precisely so the measured figures
+are the uninstrumented ones.
 """
 
 from __future__ import annotations
 
+import os
 import statistics
 import time
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.analysis.report import Table
+from repro.telemetry import core as telemetry
 
 try:
     import resource
@@ -42,6 +52,8 @@ DEFAULT_WARMUP = 1
 _TABLES: List[Table] = []
 
 _LAST_PEAK_RSS_KB: Optional[int] = None
+
+_LAST_TELEMETRY: Optional[Dict[str, Any]] = None
 
 
 def peak_rss_kb() -> Optional[int]:
@@ -66,6 +78,28 @@ def peak_rss_kb() -> Optional[int]:
 def last_peak_rss_kb() -> Optional[int]:
     """Peak RSS snapshotted by the most recent :func:`timed_median` call."""
     return _LAST_PEAK_RSS_KB
+
+
+def last_telemetry() -> Optional[Dict[str, Any]]:
+    """Telemetry snapshot from the most recent :func:`timed_median` call.
+
+    ``None`` unless telemetry was collecting during the timed runs
+    (``REPRO_BENCH_TELEMETRY=1`` or an explicit ``telemetry.enable()``).
+    """
+    return _LAST_TELEMETRY
+
+
+def maybe_enable_bench_telemetry() -> bool:
+    """Honour ``REPRO_BENCH_TELEMETRY=1``: reset and enable collection.
+
+    Returns whether collection is on.  Called by benches that want their
+    rows annotated; the default (unset) keeps timing runs uninstrumented.
+    """
+    if os.environ.get("REPRO_BENCH_TELEMETRY") == "1":
+        telemetry.reset()
+        telemetry.enable()
+        return True
+    return telemetry.enabled()
 
 
 def record_table(table: Table) -> None:
@@ -99,7 +133,7 @@ def timed_median(
             f"repeats must be >= {MIN_REPEATS}, got {repeats} "
             "(single-shot timings of sub-millisecond rows are pure noise)"
         )
-    global _LAST_PEAK_RSS_KB
+    global _LAST_PEAK_RSS_KB, _LAST_TELEMETRY
     durations: List[float] = []
     results: List[Any] = []
     for iteration in range(warmup + repeats):
@@ -111,4 +145,5 @@ def timed_median(
             durations.append(elapsed)
             results.append(result)
     _LAST_PEAK_RSS_KB = peak_rss_kb()
+    _LAST_TELEMETRY = telemetry.snapshot() if telemetry.enabled() else None
     return statistics.median(durations), results

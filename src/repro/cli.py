@@ -23,8 +23,9 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import Optional, Sequence
+
+from repro import telemetry
 
 from repro.completeness.construction import longest_chain_length, theorem3_construction
 from repro.completeness.history import add_history_variable
@@ -96,14 +97,56 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="size cap for --cache-dir; when the cache exceeds it, least "
         "recently used entries are evicted (default: unbounded)",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the hierarchical span tree (phase timings and per-span "
+        "counters) to stderr when the command finishes",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write the full telemetry snapshot (counters, gauges, "
+        "histograms, spans) as JSON to FILE (see docs/METHOD.md "
+        "§Observability for the schema)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="live one-line exploration progress on stderr "
+        "(states, queued, depth, states/s)",
+    )
 
 
-def _engine_footer(args: argparse.Namespace, **timings: float) -> str:
-    """One-line engine report: phase timings plus the worker count used."""
+#: Root-span name → footer label (the CLI spells "synthesise" British).
+_PHASE_LABELS = (
+    ("explore", "explore"),
+    ("synthesize", "synthesise"),
+    ("verify", "verify"),
+)
+
+
+def _engine_footer(args: argparse.Namespace) -> str:
+    """One-line engine report sourced from the telemetry registry: root-span
+    phase timings, cache hit/miss totals, and the worker count used."""
     from repro.engine import resolve_jobs
 
-    parts = " · ".join(f"{name} {value:.3f}s" for name, value in timings.items())
-    return f"engine: {parts} (jobs={resolve_jobs(args.jobs)})"
+    phases = telemetry.phase_seconds()
+    parts = [
+        f"{label} {phases[name]:.3f}s"
+        for name, label in _PHASE_LABELS
+        if name in phases
+    ]
+    counters = telemetry.registry().snapshot()["counters"]
+    hits = counters.get("succcache.hit", 0) + counters.get("diskcache.hit", 0)
+    misses = counters.get("succcache.miss", 0) + counters.get(
+        "diskcache.miss", 0
+    )
+    if hits or misses:
+        parts.append(f"cache hit/miss {hits}/{misses}")
+    report = " · ".join(parts) if parts else "no instrumented phases ran"
+    return f"engine: {report} (jobs={resolve_jobs(args.jobs)})"
 
 
 def _cmd_show(args: argparse.Namespace) -> int:
@@ -142,9 +185,7 @@ def _cmd_decide(args: argparse.Namespace) -> int:
 
 def _cmd_synthesize(args: argparse.Namespace) -> int:
     program = _load(args.file)
-    t0 = time.perf_counter()
     graph = _explore(args, program)
-    t_explore = time.perf_counter() - t0
     if not graph.complete:
         print(
             "error: synthesis needs the complete reachable graph; raise "
@@ -152,7 +193,6 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    t0 = time.perf_counter()
     try:
         synthesis = synthesize_measure(graph, n_jobs=args.jobs)
     except NotFairlyTerminatingError as error:
@@ -160,18 +200,14 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
         if error.witness is not None:
             print(f"  {error.witness.lasso.describe()}")
         return 1
-    t_synthesize = time.perf_counter() - t0
-    t0 = time.perf_counter()
     check = check_measure(graph, synthesis.assignment(), n_jobs=args.jobs)
-    t_verify = time.perf_counter() - t0
     check.raise_if_failed()
     print(
         f"{program.name}: fair termination measure synthesised and verified "
         f"({check.transitions_checked} transitions, max stack height "
         f"{synthesis.max_stack_height()})"
     )
-    print(_engine_footer(args, explore=t_explore, synthesise=t_synthesize,
-                         verify=t_verify))
+    print(_engine_footer(args))
     if args.stacks:
         for index in range(len(graph)):
             state = graph.state_of(index)
@@ -212,13 +248,11 @@ def _cmd_check(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    t0 = time.perf_counter()
     result = proof.check(
         max_states=args.max_states, max_depth=args.max_depth, n_jobs=args.jobs
     )
-    t_check = time.perf_counter() - t0
     print(f"{program.name} with {args.assertion}: {result.summary()}")
-    print(_engine_footer(args, check=t_check))
+    print(_engine_footer(args))
     if result.ok:
         if not result.complete:
             print(
@@ -435,10 +469,27 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Entry point."""
+    """Entry point.
+
+    Telemetry collects for every subcommand (its cost is one flag check per
+    phase boundary) so the engine footer and the ``--trace`` /
+    ``--metrics-out`` sinks always have data; it is reset first and disabled
+    afterwards so embedding callers (tests, benchmarks) never see CLI state
+    leak into their own measurements.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.run(args)
+    telemetry.reset()
+    telemetry.enable(progress=getattr(args, "progress", False))
+    try:
+        return args.run(args)
+    finally:
+        if getattr(args, "trace", False):
+            telemetry.print_trace()
+        metrics_out = getattr(args, "metrics_out", None)
+        if metrics_out is not None:
+            telemetry.write_metrics(metrics_out)
+        telemetry.disable()
 
 
 if __name__ == "__main__":

@@ -56,6 +56,7 @@ from repro.fairness.generalized import (
 from repro.measures.assignment import StackAssignment
 from repro.measures.hypotheses import TERMINATION, Hypothesis
 from repro.measures.stack import Stack
+from repro.telemetry import core as telemetry
 from repro.ts.explore import ReachableGraph
 from repro.ts.graph import decompose
 from repro.wf.naturals import NATURALS
@@ -287,14 +288,25 @@ def _synthesis_chunk_worker(
     """
     ctx, regions = payload
     results = []
+    traced = telemetry.enabled()
     for region in regions:
         extra: Dict[int, List[Hypothesis]] = {}
         try:
             info = _process_region_indexed(list(region), 1, ctx, extra)
         except _RegionUnfair as unfair:
             results.append(("unfair", unfair.region_size))
+            if traced:
+                telemetry.count("synthesize.unfair_regions")
         else:
             results.append(("ok", extra, info))
+            if traced:
+                # Counted in the chunk engine (serial path == pool worker),
+                # so parent totals are exact for any job count.
+                telemetry.count("synthesize.regions", info.total_regions())
+                telemetry.count(
+                    "synthesize.hypotheses",
+                    sum(len(appended) for appended in extra.values()),
+                )
     return results
 
 
@@ -328,6 +340,20 @@ def synthesize_measure(
         )
     if requirements is None:
         requirements = command_requirements(graph.system)
+    with telemetry.span("synthesize", states=len(graph), jobs=n_jobs) as sp:
+        result = _synthesize_inner(graph, requirements, n_jobs)
+        telemetry.count("synthesize.runs")
+        telemetry.gauge("synthesize.max_stack_height", result.max_stack_height())
+        sp.set("regions", result.region_count())
+        sp.set("max_stack_height", result.max_stack_height())
+        return result
+
+
+def _synthesize_inner(
+    graph: ReachableGraph,
+    requirements: Sequence[FairnessRequirement],
+    n_jobs: int | None,
+) -> SynthesisResult:
     top = decompose(graph)
     ctx = _build_context(graph, requirements)
     # Reverse-topological component position: every inter-SCC transition
@@ -342,6 +368,7 @@ def synthesize_measure(
         for component in top.components
         if _internal_eids(ctx, set(component))
     ]
+    telemetry.count("synthesize.top_sccs", len(nontrivial))
 
     regions: List[RegionInfo] = []
     # Adaptive dispatch: the recursion's work scales with the transitions

@@ -37,6 +37,7 @@ from typing import Optional, Tuple
 from repro.gcl.pretty import render_program
 from repro.gcl.program import Program
 from repro.gcl.state import ProgramState
+from repro.telemetry import core as telemetry
 
 if False:  # typing only — ts.explore imports this package, keep it lazy
     from repro.ts.explore import ReachableGraph
@@ -134,6 +135,12 @@ def store_graph(
         except OSError:
             pass
         raise
+    telemetry.count("diskcache.store")
+    if telemetry.enabled():
+        try:
+            telemetry.count("diskcache.bytes_written", target.stat().st_size)
+        except OSError:
+            pass
     return target
 
 
@@ -153,9 +160,17 @@ def load_cached_graph(
     path = _entry_path(cache_dir, key)
     try:
         with open(path, "r", encoding="utf-8") as stream:
-            payload = json.load(stream)
-    except (OSError, ValueError):
+            raw = stream.read()
+        payload = json.loads(raw)
+    except OSError:
+        telemetry.count("diskcache.miss")
         return None
+    except ValueError:
+        # The entry exists but does not parse — it is corrupt, not absent.
+        telemetry.count("diskcache.miss")
+        telemetry.count("diskcache.corrupt")
+        return None
+    telemetry.count("diskcache.bytes_read", len(raw))
     try:
         # Touch the entry so LRU eviction sees it as recently used; a
         # concurrent eviction racing this load just means a refetch later.
@@ -164,10 +179,12 @@ def load_cached_graph(
         pass
     try:
         if payload["format"] != FORMAT_VERSION or payload["key"] != key:
+            telemetry.count("diskcache.miss")
             return None
         names = tuple(payload["names"])
         labels = payload["commands"]
         if names != program.variable_names or tuple(labels) != program.commands():
+            telemetry.count("diskcache.miss")
             return None
         states = [
             ProgramState(names, tuple(values)) for values in payload["states"]
@@ -180,7 +197,7 @@ def load_cached_graph(
             frozenset(labels[slot] for slot in slots)
             for slots in payload["enabled"]
         ]
-        return ReachableGraph(
+        graph = ReachableGraph(
             system=program,
             states=states,
             transitions=transitions,
@@ -189,7 +206,12 @@ def load_cached_graph(
             frontier=payload["frontier"],
         )
     except (KeyError, IndexError, TypeError, ValueError):
+        # Parsed as JSON but not as a graph entry: structurally corrupt.
+        telemetry.count("diskcache.miss")
+        telemetry.count("diskcache.corrupt")
         return None
+    telemetry.count("diskcache.hit")
+    return graph
 
 
 def evict_cache(
@@ -236,6 +258,8 @@ def evict_cache(
             continue  # undeletable entry: leave it, keep trimming others
         total -= size
         removed.append(path)
+        telemetry.count("diskcache.evict")
+        telemetry.count("diskcache.bytes_evicted", size)
     return removed
 
 

@@ -35,7 +35,10 @@ from __future__ import annotations
 
 import atexit
 import os
+import time
 from typing import Callable, List, Optional, Sequence, TypeVar
+
+from repro.telemetry import core as telemetry
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -80,11 +83,15 @@ def effective_jobs(n_jobs: Optional[int], work_estimate: int) -> int:
     if jobs <= 1:
         return 1
     if os.environ.get(_FORCE_ENV) == "1":
+        telemetry.count("parallel.dispatch.forced")
         return jobs
     if (os.cpu_count() or 1) <= 1:
+        telemetry.count("parallel.dispatch.demoted_single_core")
         return 1
     if work_estimate < PARALLEL_WORK_CUTOFF:
+        telemetry.count("parallel.dispatch.demoted_small_work")
         return 1
+    telemetry.count("parallel.dispatch.parallel")
     return jobs
 
 
@@ -99,16 +106,21 @@ def get_pool(workers: int):
     global _pool, _pool_workers
     if _pool is not None and _pool_workers >= workers:
         return _pool
+    start = time.perf_counter()
     try:
         from concurrent.futures import ProcessPoolExecutor
 
         new_pool = ProcessPoolExecutor(max_workers=workers)
     except (ImportError, OSError, RuntimeError, PermissionError):
+        telemetry.count("parallel.pool.unavailable")
         return None
     if _pool is not None:
         _pool.shutdown(wait=False)
     _pool = new_pool
     _pool_workers = workers
+    telemetry.count("parallel.pool.created")
+    telemetry.gauge("parallel.pool.workers", workers)
+    telemetry.observe("parallel.pool.spinup_s", time.perf_counter() - start)
     return _pool
 
 
@@ -143,6 +155,13 @@ def chunk_items(items: Sequence[T], chunks: int) -> List[Sequence[T]]:
     return parts
 
 
+def _collected_call(payload):
+    """Pool target when telemetry is on: run the task under worker-side
+    metric collection (module-level so it pickles)."""
+    fn, item = payload
+    return telemetry.worker_collect(fn, item)
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Sequence[T],
@@ -157,6 +176,13 @@ def parallel_map(
     pool is the shared persistent executor (:func:`get_pool`); a pool that
     breaks mid-map is discarded and the whole map re-runs serially, which
     computes the same thing.
+
+    With telemetry enabled, each task is wrapped in
+    :func:`repro.telemetry.core.worker_collect`: counters incremented
+    inside the worker come back as a delta and are merged into the parent
+    registry here — the round boundary — together with a per-task wall
+    time observation (``parallel.task_s``).  Disabled, the tasks ship
+    exactly as before, unwrapped.
     """
     global _pool, _pool_workers
     jobs = resolve_jobs(n_jobs)
@@ -165,15 +191,32 @@ def parallel_map(
     pool = get_pool(min(jobs, len(items)))
     if pool is None:
         return [fn(item) for item in items]
+    collect = telemetry.enabled()
     try:
-        return list(pool.map(fn, items))
+        if not collect:
+            return list(pool.map(fn, items))
+        start = time.perf_counter()
+        outs = list(pool.map(_collected_call, [(fn, item) for item in items]))
+        results: List[R] = []
+        for result, delta, elapsed in outs:
+            telemetry.merge_worker_metrics(delta)
+            telemetry.observe("parallel.task_s", elapsed)
+            results.append(result)
+        telemetry.count("parallel.maps")
+        telemetry.count("parallel.tasks", len(items))
+        telemetry.observe("parallel.map_s", time.perf_counter() - start)
+        return results
     except (OSError, RuntimeError, PermissionError):
         # Broken pool (killed worker, sandbox restriction discovered late):
         # drop it so the next call starts fresh, and finish serially.
+        # (Telemetry note: deltas merged before the break stay merged and
+        # the serial re-run counts again — a broken pool may overcount
+        # metrics, never results.)
         try:
             pool.shutdown(wait=False)
         except Exception:
             pass
         _pool = None
         _pool_workers = 0
+        telemetry.count("parallel.fallback_serial")
         return [fn(item) for item in items]

@@ -37,11 +37,13 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import time
 from array import array
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.engine.interning import StateInterner
 from repro.engine.parallel import _FORCE_ENV, parallel_map, resolve_jobs
+from repro.telemetry import core as telemetry
 
 #: Rounds with fewer pending states than this are expanded in-process: the
 #: per-round pool round-trip (pickle states out, results back) costs more
@@ -79,6 +81,9 @@ def _expand_shard(task):
     """
     digest, spec, labels, shard_states = task
     system = _shard_system(digest, spec)
+    # Worker-side counters; aggregated back to the coordinator's registry
+    # by the pool's delta collection at the round boundary.
+    telemetry.count("shard.states_expanded", len(shard_states))
     ids = {label: k for k, label in enumerate(labels)}
     targets: List[object] = []
     ref_of: Dict[object, int] = {}
@@ -102,25 +107,33 @@ def _expand_shard(task):
                 targets.append(target)
             encoded.append((ids.get(command, command), ref))
         results.append((mask, strays, tuple(encoded)))
+    telemetry.count("shard.posts", sum(len(r[2]) for r in results))
     return results, targets
 
 
-def _round_workers(jobs: int, pending_count: int) -> int:
+def _round_dispatch(jobs: int, pending_count: int) -> Tuple[int, str]:
     """Adaptive per-round dispatch (mirrors :func:`effective_jobs`).
 
     Narrow BFS levels, single-core machines and serial requests stay
     in-process — the "``--jobs N`` never loses" guarantee applies per
     round, since level widths vary wildly within one exploration.
+    Returns ``(workers, reason)``; the reason labels the telemetry
+    counter recording why a round fell back to serial.
     """
     if jobs <= 1 or pending_count == 0:
-        return 1
+        return 1, "serial_request"
     if os.environ.get(_FORCE_ENV) == "1":
-        return jobs
+        return jobs, "forced"
     if (os.cpu_count() or 1) <= 1:
-        return 1
+        return 1, "single_core"
     if pending_count < SHARD_ROUND_CUTOFF:
-        return 1
-    return jobs
+        return 1, "narrow_round"
+    return jobs, "parallel"
+
+
+def _round_workers(jobs: int, pending_count: int) -> int:
+    """Back-compat wrapper: the worker count from :func:`_round_dispatch`."""
+    return _round_dispatch(jobs, pending_count)[0]
 
 
 def explore_sharded(
@@ -161,6 +174,8 @@ def explore_sharded(
 
     pending: List[int] = list(range(initial_count))
     round_depth = 0
+    traced = telemetry.enabled()
+    progress = telemetry.progress_reporter()
 
     while pending:
         if max_depth is not None and round_depth > max_depth:
@@ -171,59 +186,59 @@ def explore_sharded(
             truncated = True
             break
 
-        workers = _round_workers(jobs, len(pending))
-        if workers > 1:
-            round_results = _expand_round_parallel(
-                digest, spec, labels, states, pending, workers
+        workers, dispatch = _round_dispatch(jobs, len(pending))
+        if traced:
+            telemetry.count("shard.rounds")
+            telemetry.count(
+                "shard.parallel_rounds" if workers > 1 else "shard.serial_rounds"
             )
-        else:
-            round_results = _expand_round_serial(
-                system, label_ids, states, pending
-            )
+            if workers <= 1:
+                telemetry.count(f"shard.serial_round.{dispatch}")
+            telemetry.observe("shard.round_pending", len(pending))
+        if progress is not None:
+            progress.maybe(len(states), len(pending), round_depth)
+        round_span = telemetry.span(
+            "shard_round",
+            round=round_depth,
+            pending=len(pending),
+            workers=workers,
+        )
+        with round_span:
+            if workers > 1:
+                round_results = _expand_round_parallel(
+                    digest, spec, labels, states, pending, workers
+                )
+            else:
+                round_results = _expand_round_serial(
+                    system, label_ids, states, pending
+                )
+            merge_started = time.perf_counter() if traced else 0.0
 
-        next_pending: List[int] = []
-        for i, (mask, strays, posts, targets) in zip(pending, round_results):
-            expanded[i] = 1
-            for label in strays:
-                k = label_ids.get(label)
-                if k is None:
-                    k = len(labels)
-                    label_ids[label] = k
-                    labels.append(label)
-                mask |= 1 << k
-            emask_of[i] = mask
-            at_budget = max_states is not None and len(states) >= max_states
-            for cmd_ref, target_ref in posts:
-                target = targets[target_ref]
-                if at_budget:
-                    j = interner.lookup(target)
-                    if j is None:
-                        frontier.add(i)
-                        truncated = True
-                        break
-                else:
-                    j, is_new = interner.intern(target)
-                    if is_new:
-                        emask_of.append(-1)
-                        expanded.append(0)
-                        next_pending.append(j)
-                        at_budget = (
-                            max_states is not None and len(states) >= max_states
-                        )
-                if isinstance(cmd_ref, int):
-                    k = cmd_ref
-                else:
-                    k = label_ids.get(cmd_ref)
-                    if k is None:
-                        k = len(labels)
-                        label_ids[cmd_ref] = k
-                        labels.append(cmd_ref)
-                src.append(i)
-                cmd.append(k)
-                dst.append(j)
+            next_pending, truncated = _merge_round(
+                pending,
+                round_results,
+                interner,
+                states,
+                labels,
+                label_ids,
+                src,
+                cmd,
+                dst,
+                emask_of,
+                expanded,
+                frontier,
+                truncated,
+                max_states,
+            )
+            if traced:
+                telemetry.observe(
+                    "shard.merge_s", time.perf_counter() - merge_started
+                )
         pending = next_pending
         round_depth += 1
 
+    if progress is not None:
+        progress.close()
     return _finish_graph(
         system=system,
         interner=interner,
@@ -243,8 +258,77 @@ def explore_sharded(
     )
 
 
+def _merge_round(
+    pending,
+    round_results,
+    interner,
+    states,
+    labels,
+    label_ids,
+    src,
+    cmd,
+    dst,
+    emask_of,
+    expanded,
+    frontier,
+    truncated,
+    max_states,
+):
+    """The serial merge of one round's expansion batches.
+
+    Replays the serial explorer's interning/budget bookkeeping verbatim
+    (the bit-identity argument lives here); factored out of the round
+    loop so the coordinator can time it separately from expansion.
+    Returns ``(next_pending, truncated)``.
+    """
+    next_pending: List[int] = []
+    for i, (mask, strays, posts, targets) in zip(pending, round_results):
+        expanded[i] = 1
+        for label in strays:
+            k = label_ids.get(label)
+            if k is None:
+                k = len(labels)
+                label_ids[label] = k
+                labels.append(label)
+            mask |= 1 << k
+        emask_of[i] = mask
+        at_budget = max_states is not None and len(states) >= max_states
+        for cmd_ref, target_ref in posts:
+            target = targets[target_ref]
+            if at_budget:
+                j = interner.lookup(target)
+                if j is None:
+                    frontier.add(i)
+                    truncated = True
+                    break
+            else:
+                j, is_new = interner.intern(target)
+                if is_new:
+                    emask_of.append(-1)
+                    expanded.append(0)
+                    next_pending.append(j)
+                    at_budget = (
+                        max_states is not None and len(states) >= max_states
+                    )
+            if isinstance(cmd_ref, int):
+                k = cmd_ref
+            else:
+                k = label_ids.get(cmd_ref)
+                if k is None:
+                    k = len(labels)
+                    label_ids[cmd_ref] = k
+                    labels.append(cmd_ref)
+            src.append(i)
+            cmd.append(k)
+            dst.append(j)
+    return next_pending, truncated
+
+
 def _expand_round_serial(system, label_ids, states, pending):
     """In-process expansion of one round, in the parallel path's encoding."""
+    # Same counters as ``_expand_shard``, so per-path totals agree no
+    # matter how each round was dispatched.
+    telemetry.count("shard.states_expanded", len(pending))
     results = []
     for i in pending:
         enabled, posts = system.expand(states[i])
@@ -267,6 +351,7 @@ def _expand_round_serial(system, label_ids, states, pending):
                 targets.append(target)
             encoded.append((label_ids.get(command, command), ref))
         results.append((mask, strays, tuple(encoded), targets))
+    telemetry.count("shard.posts", sum(len(r[2]) for r in results))
     return results
 
 
@@ -282,6 +367,9 @@ def _expand_round_parallel(digest, spec, labels, states, pending, workers):
     for i in pending:
         shards[hash(states[i]) % workers].append(i)
     occupied = [shard for shard in shards if shard]
+    if telemetry.enabled():
+        for shard in occupied:
+            telemetry.observe("shard.shard_size", len(shard))
     labels_snapshot = tuple(labels)
     tasks = [
         (digest, spec, labels_snapshot, [states[i] for i in shard])

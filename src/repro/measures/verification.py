@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.parallel import chunk_items, effective_jobs, parallel_map
 from repro.measures.assignment import StackAssignment
+from repro.telemetry import core as telemetry
 from repro.measures.hypotheses import TERMINATION
 from repro.measures.stack import Stack, stacks_equal_below
 from repro.ts.explore import ReachableGraph
@@ -275,12 +276,40 @@ def _check_chunk(
     """
     tasks, order = payload
     results = []
+    traced = telemetry.enabled()
     for source_stack, target_stack, invalidated, active_subjects in tasks:
         data, failures = find_active_level_general(
             source_stack, target_stack, invalidated, active_subjects, order
         )
         results.append(data if data is not None else tuple(failures))
+        if traced:
+            _count_outcome(data, failures)
     return results
+
+
+def _count_outcome(data, failures) -> None:
+    """Registry counters for one level search (telemetry enabled only).
+
+    ``verify.active.*`` records how (V_A) was discharged; failed levels
+    are attributed to the condition that rejected them.  Counted inside
+    the chunk engine — the same code is the serial path and the pool
+    worker, so parent totals are exact for any job count.
+    """
+    telemetry.count("verify.transitions")
+    if data is not None:
+        telemetry.count("verify.witnessed")
+        telemetry.count(f"verify.active.{data.reason}")
+    else:
+        telemetry.count("verify.violations")
+    for failure in failures:
+        if "(V_NoC)" in failure.detail or "changes subject" in failure.detail:
+            telemetry.count("verify.failed_levels.v_noc")
+        elif "(V_NonI)" in failure.detail:
+            telemetry.count("verify.failed_levels.v_noni")
+        elif "(V_A)" in failure.detail:
+            telemetry.count("verify.failed_levels.v_a")
+        else:
+            telemetry.count("verify.failed_levels.other")
 
 
 def check_measure(
@@ -310,6 +339,23 @@ def check_measure(
     run.  ``None``/``0``/``1`` stay serial; pool failures fall back to
     serial.
     """
+    with telemetry.span(
+        "verify", transitions=len(graph.transitions), jobs=n_jobs
+    ) as sp:
+        result = _check_measure_inner(
+            graph, assignment, keep_witnesses, requirements, n_jobs
+        )
+        sp.set("violations", len(result.violations))
+        return result
+
+
+def _check_measure_inner(
+    graph: ReachableGraph,
+    assignment: StackAssignment,
+    keep_witnesses: bool,
+    requirements,
+    n_jobs: int | None,
+) -> MeasureCheckResult:
     order = assignment.order
     stacks: List[Stack] = []
     for index in range(len(graph)):

@@ -1,0 +1,130 @@
+"""The stable schema of telemetry snapshots (``--metrics-out`` JSON).
+
+The snapshot layout is a public contract: benchmark rows embed it,
+``BENCH_*.json`` consumers read it, and CI validates every exported file
+against it.  The shape (version 1)::
+
+    {
+      "version": 1,
+      "metrics": {
+        "counters":   {"explore.states": 123, ...},
+        "gauges":     {"synthesize.max_stack_height": 3, ...},
+        "histograms": {"parallel.task_s":
+                        {"count": 4, "total": 0.8, "min": 0.1, "max": 0.4},
+                       ...}
+      },
+      "spans": [
+        {"name": "explore", "seconds": 0.123,
+         "attrs": {...}, "counters": {...}, "children": [...]},
+        ...
+      ]
+    }
+
+Metric names are dotted, lower-case, stable identifiers
+(``subsystem.metric`` — e.g. ``explore.states``, ``diskcache.hit``); the
+full catalogue lives in ``docs/METHOD.md`` §Observability.  The validator
+here is hand-rolled (the repo takes no dependencies) and is deliberately
+strict about shapes while open about *which* names appear — new metrics
+may be added without a version bump, renames/removals require one.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict
+
+from repro.telemetry.core import SNAPSHOT_VERSION
+
+#: ``subsystem.metric`` (at least one dot), lower-case, digits and
+#: underscores allowed per segment.
+METRIC_NAME = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
+
+#: Span names are single flat identifiers.
+SPAN_NAME = re.compile(r"^[a-z0-9_.]+$")
+
+
+class SnapshotSchemaError(ValueError):
+    """A telemetry snapshot does not conform to the documented schema."""
+
+
+def _fail(path: str, message: str) -> None:
+    raise SnapshotSchemaError(f"{path}: {message}")
+
+
+def _check_name(path: str, name: Any) -> None:
+    if not isinstance(name, str) or not METRIC_NAME.match(name):
+        _fail(path, f"metric name {name!r} is not a dotted lower-case identifier")
+
+
+def _check_number(path: str, value: Any, allow_none: bool = False) -> None:
+    if allow_none and value is None:
+        return
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        _fail(path, f"expected a number, got {value!r}")
+
+
+def _check_span(path: str, payload: Any) -> None:
+    if not isinstance(payload, dict):
+        _fail(path, "span must be an object")
+    missing = {"name", "seconds", "attrs", "counters", "children"} - set(payload)
+    if missing:
+        _fail(path, f"span is missing keys {sorted(missing)}")
+    if not isinstance(payload["name"], str) or not SPAN_NAME.match(payload["name"]):
+        _fail(path, f"span name {payload['name']!r} is not an identifier")
+    _check_number(f"{path}.seconds", payload["seconds"])
+    if not isinstance(payload["attrs"], dict):
+        _fail(f"{path}.attrs", "must be an object")
+    if not isinstance(payload["counters"], dict):
+        _fail(f"{path}.counters", "must be an object")
+    for name, value in payload["counters"].items():
+        _check_number(f"{path}.counters[{name!r}]", value)
+    if not isinstance(payload["children"], list):
+        _fail(f"{path}.children", "must be a list")
+    for position, child in enumerate(payload["children"]):
+        _check_span(f"{path}.children[{position}]", child)
+
+
+def validate_snapshot(payload: Any) -> Dict[str, Any]:
+    """Validate ``payload`` against the snapshot schema; returns it.
+
+    Raises :class:`SnapshotSchemaError` (a ``ValueError``) with the JSON
+    path of the first offending element.  Used by the CI metrics step and
+    the telemetry tests.
+    """
+    if not isinstance(payload, dict):
+        _fail("$", "snapshot must be an object")
+    if payload.get("version") != SNAPSHOT_VERSION:
+        _fail("$.version", f"expected {SNAPSHOT_VERSION}, got {payload.get('version')!r}")
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, dict):
+        _fail("$.metrics", "must be an object")
+    missing = {"counters", "gauges", "histograms"} - set(metrics)
+    if missing:
+        _fail("$.metrics", f"missing keys {sorted(missing)}")
+    for name, value in metrics["counters"].items():
+        _check_name(f"$.metrics.counters[{name!r}]", name)
+        if isinstance(value, bool) or not isinstance(value, int):
+            _fail(f"$.metrics.counters[{name!r}]", f"counter must be an int, got {value!r}")
+    for name, value in metrics["gauges"].items():
+        _check_name(f"$.metrics.gauges[{name!r}]", name)
+        _check_number(f"$.metrics.gauges[{name!r}]", value)
+    for name, summary in metrics["histograms"].items():
+        _check_name(f"$.metrics.histograms[{name!r}]", name)
+        path = f"$.metrics.histograms[{name!r}]"
+        if not isinstance(summary, dict):
+            _fail(path, "histogram must be an object")
+        missing = {"count", "total", "min", "max"} - set(summary)
+        if missing:
+            _fail(path, f"missing keys {sorted(missing)}")
+        if isinstance(summary["count"], bool) or not isinstance(summary["count"], int):
+            _fail(f"{path}.count", f"must be an int, got {summary['count']!r}")
+        _check_number(f"{path}.total", summary["total"])
+        empty = summary["count"] == 0
+        _check_number(f"{path}.min", summary["min"], allow_none=empty)
+        _check_number(f"{path}.max", summary["max"], allow_none=empty)
+    spans = payload.get("spans")
+    if not isinstance(spans, list):
+        _fail("$.spans", "must be a list")
+    for position, root in enumerate(spans):
+        _check_span(f"$.spans[{position}]", root)
+    return payload

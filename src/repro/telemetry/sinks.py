@@ -1,0 +1,147 @@
+"""Telemetry sinks: the ``--trace`` tree, ``--metrics-out`` JSON, and the
+live progress line.
+
+Sinks only *read* telemetry state (plus the progress line, which the
+explorers feed through :func:`repro.telemetry.core.progress_reporter`);
+collection lives in :mod:`repro.telemetry.core`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.telemetry.core import snapshot
+
+#: Sibling spans with the same name beyond this many are collapsed into a
+#: single "... and N more" line — a million-state exploration has
+#: thousands of ``shard_round`` spans and a trace must stay readable.
+TRACE_SIBLING_LIMIT = 8
+
+
+def _format_attrs(attrs: Dict[str, Any], counters: Dict[str, int]) -> str:
+    parts = [f"{key}={value}" for key, value in attrs.items()]
+    parts.extend(f"{name}={value}" for name, value in counters.items())
+    return f" [{', '.join(parts)}]" if parts else ""
+
+
+def render_trace(roots: Optional[List[Dict[str, Any]]] = None) -> str:
+    """The span forest as an indented tree (the ``--trace`` output).
+
+    Works on snapshot dicts so it can render both live state and a
+    previously exported ``--metrics-out`` file.  Runs of more than
+    :data:`TRACE_SIBLING_LIMIT` same-named siblings are summarised with
+    their combined wall time.
+    """
+    if roots is None:
+        roots = snapshot()["spans"]
+    lines: List[str] = ["trace:"]
+
+    def walk(span: Dict[str, Any], depth: int) -> None:
+        indent = "  " * (depth + 1)
+        lines.append(
+            f"{indent}{span['name']} {span['seconds']:.3f}s"
+            f"{_format_attrs(span['attrs'], span['counters'])}"
+        )
+        children = span["children"]
+        position = 0
+        while position < len(children):
+            name = children[position]["name"]
+            run = [children[position]]
+            while (
+                position + len(run) < len(children)
+                and children[position + len(run)]["name"] == name
+            ):
+                run.append(children[position + len(run)])
+            if len(run) > TRACE_SIBLING_LIMIT:
+                for child in run[:TRACE_SIBLING_LIMIT]:
+                    walk(child, depth + 1)
+                remaining = run[TRACE_SIBLING_LIMIT:]
+                total = sum(child["seconds"] for child in remaining)
+                lines.append(
+                    f"{'  ' * (depth + 2)}... and {len(remaining)} more "
+                    f"{name!r} spans ({total:.3f}s)"
+                )
+            else:
+                for child in run:
+                    walk(child, depth + 1)
+            position += len(run)
+
+    for root in roots:
+        walk(root, 0)
+    if len(lines) == 1:
+        lines.append("  (no spans recorded)")
+    return "\n".join(lines)
+
+
+def print_trace(stream=None) -> None:
+    """Render the current trace tree to ``stream`` (default stderr)."""
+    print(render_trace(), file=stream if stream is not None else sys.stderr)
+
+
+def write_metrics(path: os.PathLike) -> None:
+    """Export the telemetry snapshot as JSON to ``path``.
+
+    The layout is the documented stable schema
+    (:mod:`repro.telemetry.schema`); benchmarks and the CI validation
+    step consume it.
+    """
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(snapshot(), stream, indent=2, sort_keys=True)
+        stream.write("\n")
+
+
+class ProgressLine:
+    """An opt-in live one-line progress display for long explorations.
+
+    The explorers call :meth:`maybe` once per expanded state (serial) or
+    once per round (sharded); the line is rewritten in place (``\\r``) at
+    most every :attr:`interval` seconds, showing states discovered, the
+    pending/queue size, the BFS depth and the discovery rate.  Writing
+    goes to stderr so piped stdout stays clean.
+    """
+
+    #: Seconds between repaints.
+    interval = 0.1
+    #: Only every this-many ``maybe`` calls consult the clock.
+    stride = 256
+
+    def __init__(self, stream=None) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+        self._calls = 0
+        self._last_time: Optional[float] = None
+        self._last_states = 0
+        self._dirty = False
+
+    def maybe(self, states: int, queued: int, depth: int) -> None:
+        """Repaint if enough calls and wall time have passed."""
+        self._calls += 1
+        if self._calls % self.stride:
+            return
+        now = time.monotonic()
+        if self._last_time is None:
+            self._last_time = now
+            self._last_states = states
+            return
+        elapsed = now - self._last_time
+        if elapsed < self.interval:
+            return
+        rate = (states - self._last_states) / elapsed if elapsed > 0 else 0.0
+        self._stream.write(
+            f"\rexplore: {states:,} states · {queued:,} queued · "
+            f"depth {depth} · {rate:,.0f} states/s   "
+        )
+        self._stream.flush()
+        self._last_time = now
+        self._last_states = states
+        self._dirty = True
+
+    def close(self) -> None:
+        """Clear the line (if one was drawn) so normal output follows."""
+        if self._dirty:
+            self._stream.write("\r" + " " * 72 + "\r")
+            self._stream.flush()
+            self._dirty = False

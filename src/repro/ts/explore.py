@@ -34,6 +34,7 @@ from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
 
 from repro.engine.interning import StateInterner
 from repro.engine.packed import CommandTable, PackedGraph
+from repro.telemetry import core as telemetry
 from repro.ts.system import CommandLabel, State, Transition, TransitionSystem
 
 
@@ -495,6 +496,45 @@ def explore(
         shard spec fall back to serial exploration.
     """
     system.validate_commands()
+    if not telemetry.enabled():
+        return _explore_dispatch(system, max_states, max_depth, strict, n_jobs)
+    # Telemetry wrapper: one span around the whole exploration, totals
+    # counted once at the end (never inside the BFS loop), and the
+    # system's successor-cache counters unified into the registry as the
+    # delta this exploration contributed.
+    cache_stats = getattr(system, "successor_cache_stats", None)
+    before = cache_stats() if cache_stats is not None else None
+    with telemetry.span(
+        "explore", system=getattr(system, "name", type(system).__name__)
+    ) as sp:
+        try:
+            graph = _explore_dispatch(system, max_states, max_depth, strict, n_jobs)
+        except ExplorationLimitError:
+            telemetry.count("explore.strict_aborts")
+            raise
+        telemetry.count("explore.runs")
+        telemetry.count("explore.states", len(graph))
+        telemetry.count("explore.transitions", len(graph.transition_columns[0]))
+        telemetry.count("explore.frontier_states", len(graph.frontier))
+        if not graph.complete:
+            telemetry.count("explore.truncated")
+        if before is not None:
+            hits, misses = cache_stats()
+            telemetry.count("succcache.hit", hits - before[0])
+            telemetry.count("succcache.miss", misses - before[1])
+        sp.set("states", len(graph))
+        sp.set("complete", graph.complete)
+    return graph
+
+
+def _explore_dispatch(
+    system: TransitionSystem,
+    max_states: int | None,
+    max_depth: int | None,
+    strict: bool,
+    n_jobs: int | None,
+) -> ReachableGraph:
+    """Serial-vs-sharded dispatch (the pre-telemetry body of ``explore``)."""
     if n_jobs is not None:
         from repro.engine.parallel import _FORCE_ENV, resolve_jobs
 
@@ -552,6 +592,9 @@ def _explore_serial(
     frontier: Set[int] = set()
     queue = deque(range(initial_count))
     truncated = False
+    # ``None`` unless live progress was opted into; the disabled-mode cost
+    # of the display is the single ``is not None`` test per expansion.
+    progress = telemetry.progress_reporter()
 
     while queue:
         i = queue.popleft()
@@ -561,6 +604,8 @@ def _explore_serial(
             frontier.add(i)
             truncated = True
             continue
+        if progress is not None:
+            progress.maybe(len(states), len(queue), depth[i])
         expanded[i] = 1
         state = states[i]
         successor_depth = depth[i] + 1
@@ -609,6 +654,8 @@ def _explore_serial(
             if not expanded[j]:
                 queue.append(j)
 
+    if progress is not None:
+        progress.close()
     return _finish_graph(
         system=system,
         interner=interner,

@@ -1,0 +1,15 @@
+"""Telemetry tests share one process-wide registry — isolate every test."""
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    """Each test starts disabled and empty, and leaves nothing behind."""
+    telemetry.disable()
+    telemetry.reset()
+    yield
+    telemetry.disable()
+    telemetry.reset()

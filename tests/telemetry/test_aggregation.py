@@ -1,0 +1,155 @@
+"""Cross-process metrics aggregation: worker deltas must sum exactly.
+
+The deterministic engine counters — transitions checked, states expanded,
+posts produced — are counted inside the chunk-engine functions that are
+simultaneously the serial path and the pool worker, so the parent's
+totals must be *identical* for jobs=1, 2 and 4.  These tests force the
+pool on (``REPRO_FORCE_PARALLEL=1``) so the worker-collection path
+actually runs even on single-core CI machines.
+"""
+
+import pytest
+
+from repro import telemetry
+from repro.engine.diskcache import explore_with_cache
+from repro.engine.parallel import parallel_map
+from repro.completeness.synthesis import synthesize_measure
+from repro.measures.verification import check_measure
+from repro.ts import explore
+from repro.workloads import counter_grid
+
+JOB_COUNTS = (1, 2, 4)
+
+
+@pytest.fixture
+def force_parallel(monkeypatch):
+    monkeypatch.setenv("REPRO_FORCE_PARALLEL", "1")
+
+
+def _counting_task(n):
+    """Module-level so the fork-based pool can pickle it."""
+    telemetry.count("test.tasks")
+    telemetry.observe("test.value", float(n))
+    return n * n
+
+
+def _counters():
+    return telemetry.registry().snapshot()["counters"]
+
+
+class TestParallelMapCollection:
+    def test_worker_counts_merge_into_parent(self, force_parallel):
+        telemetry.enable()
+        items = list(range(8))
+        results = parallel_map(_counting_task, items, n_jobs=2)
+        assert results == [n * n for n in items]
+        snap = telemetry.registry().snapshot()
+        assert snap["counters"]["test.tasks"] == len(items)
+        histogram = snap["histograms"]["test.value"]
+        assert histogram["count"] == len(items)
+        assert histogram["total"] == float(sum(items))
+        assert snap["histograms"]["parallel.task_s"]["count"] == len(items)
+        assert snap["counters"]["parallel.tasks"] == len(items)
+
+    def test_disabled_runs_ship_unwrapped_tasks(self, force_parallel):
+        results = parallel_map(_counting_task, list(range(4)), n_jobs=2)
+        assert results == [0, 1, 4, 9]
+        assert _counters() == {}  # nothing collected anywhere
+
+
+class TestPipelineTotalsAcrossJobCounts:
+    def test_verify_transitions_identical_for_all_job_counts(
+        self, force_parallel
+    ):
+        graph = explore(counter_grid(5, 5))
+        assignment = synthesize_measure(graph).assignment()
+        totals = {}
+        for jobs in JOB_COUNTS:
+            telemetry.reset()
+            telemetry.enable()
+            check = check_measure(graph, assignment, n_jobs=jobs)
+            assert not check.violations
+            counters = _counters()
+            totals[jobs] = {
+                name: counters[name]
+                for name in counters
+                if name.startswith("verify.")
+            }
+            telemetry.disable()
+        assert totals[1]["verify.transitions"] == len(graph.transitions)
+        assert totals[2] == totals[1]
+        assert totals[4] == totals[1]
+
+    def test_explore_totals_identical_serial_and_sharded(
+        self, force_parallel
+    ):
+        per_jobs = {}
+        for jobs in JOB_COUNTS:
+            telemetry.reset()
+            telemetry.enable()
+            graph = explore(counter_grid(5, 5), n_jobs=jobs)
+            counters = _counters()
+            per_jobs[jobs] = (len(graph), counters)
+            telemetry.disable()
+        states, serial = per_jobs[1]
+        # jobs=1 routes to the serial BFS: explore.* totals, no shard.*.
+        assert serial["explore.states"] == states
+        assert "shard.states_expanded" not in serial
+        for jobs in (2, 4):
+            _, counters = per_jobs[jobs]
+            assert counters["explore.states"] == states
+            assert counters["shard.states_expanded"] == states
+            assert counters["explore.transitions"] == (
+                serial["explore.transitions"]
+            )
+            # The sharded run actually fanned out.
+            assert counters["shard.parallel_rounds"] > 0
+        # Worker-side counts aggregate to the same totals at any width.
+        assert per_jobs[2][1]["shard.posts"] == per_jobs[4][1]["shard.posts"]
+
+    def test_synthesis_totals_identical_across_job_counts(
+        self, force_parallel
+    ):
+        graph = explore(counter_grid(5, 5))
+        totals = {}
+        for jobs in JOB_COUNTS:
+            telemetry.reset()
+            telemetry.enable()
+            synthesize_measure(graph, n_jobs=jobs)
+            counters = _counters()
+            totals[jobs] = {
+                name: counters[name]
+                for name in counters
+                if name.startswith("synthesize.")
+            }
+            telemetry.disable()
+        assert totals[1]["synthesize.regions"] > 0
+        assert totals[2] == totals[1]
+        assert totals[4] == totals[1]
+
+
+class TestDiskCacheCounters:
+    def test_miss_store_then_hit(self, tmp_path):
+        telemetry.enable()
+        program = counter_grid(4, 4)
+        _, hit = explore_with_cache(program, cache_dir=tmp_path)
+        assert not hit
+        counters = _counters()
+        assert counters["diskcache.miss"] == 1
+        assert counters["diskcache.store"] == 1
+        assert counters["diskcache.bytes_written"] > 0
+        _, hit = explore_with_cache(program, cache_dir=tmp_path)
+        assert hit
+        counters = _counters()
+        assert counters["diskcache.hit"] == 1
+        assert counters["diskcache.bytes_read"] > 0
+
+    def test_successor_cache_counters_surface_in_explore(self):
+        telemetry.enable()
+        program = counter_grid(4, 4)
+        explore(program)
+        first = _counters()
+        assert first["succcache.miss"] > 0
+        explore(program)  # same instance: the successor cache is warm now
+        second = _counters()
+        assert second["succcache.hit"] > first.get("succcache.hit", 0)

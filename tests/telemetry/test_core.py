@@ -1,0 +1,252 @@
+"""Unit tests for the telemetry core: spans, registry, sinks, schema.
+
+The subsystem's two contracts are (a) disabled collection is free — the
+shared no-op span, guarded counters — and (b) everything collected fits
+the stable snapshot schema that ``--metrics-out`` exports and CI
+validates.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import (
+    NOOP_SPAN,
+    SNAPSHOT_VERSION,
+    HistogramSummary,
+    MetricsRegistry,
+    ProgressLine,
+    SnapshotSchemaError,
+    render_trace,
+    validate_snapshot,
+)
+from repro.telemetry.sinks import TRACE_SIBLING_LIMIT
+
+
+class TestDisabledMode:
+    def test_span_is_the_shared_noop_singleton(self):
+        assert not telemetry.enabled()
+        assert telemetry.span("explore") is NOOP_SPAN
+        assert telemetry.span("verify", jobs=4) is NOOP_SPAN
+
+    def test_noop_span_context_records_nothing(self):
+        with telemetry.span("explore") as sp:
+            sp.set("states", 11)
+            sp.inc("rounds")
+        assert telemetry.root_spans() == []
+        assert telemetry.current_span() is NOOP_SPAN
+
+    def test_metrics_are_dropped(self):
+        telemetry.count("explore.states", 5)
+        telemetry.gauge("pool.workers", 4)
+        telemetry.observe("round_s", 0.5)
+        snap = telemetry.snapshot()
+        assert snap["metrics"] == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def test_progress_reporter_is_none(self):
+        assert telemetry.progress_reporter() is None
+
+
+class TestEnabledMode:
+    def test_counters_gauges_histograms(self):
+        telemetry.enable()
+        telemetry.count("explore.states", 5)
+        telemetry.count("explore.states", 2)
+        telemetry.gauge("pool.workers", 4)
+        telemetry.observe("round_s", 0.5)
+        telemetry.observe("round_s", 1.5)
+        metrics = telemetry.snapshot()["metrics"]
+        assert metrics["counters"]["explore.states"] == 7
+        assert metrics["gauges"]["pool.workers"] == 4
+        assert metrics["histograms"]["round_s"] == {
+            "count": 2,
+            "total": 2.0,
+            "min": 0.5,
+            "max": 1.5,
+        }
+
+    def test_span_nesting_and_annotations(self):
+        telemetry.enable()
+        with telemetry.span("explore", system="P2") as outer:
+            with telemetry.span("shard_round", round=0) as inner:
+                assert telemetry.current_span() is inner
+                inner.inc("posts", 3)
+            outer.set("states", 11)
+        roots = telemetry.root_spans()
+        assert [root.name for root in roots] == ["explore"]
+        assert roots[0].attrs == {"system": "P2", "states": 11}
+        assert [child.name for child in roots[0].children] == ["shard_round"]
+        assert roots[0].children[0].counters == {"posts": 3}
+        assert roots[0].seconds >= roots[0].children[0].seconds >= 0.0
+
+    def test_phase_seconds_sums_repeated_roots(self):
+        telemetry.enable()
+        with telemetry.span("explore"):
+            pass
+        with telemetry.span("explore"):
+            pass
+        with telemetry.span("verify"):
+            pass
+        phases = telemetry.phase_seconds()
+        assert set(phases) == {"explore", "verify"}
+        assert phases["explore"] >= 0.0
+
+    def test_reset_drops_spans_and_metrics(self):
+        telemetry.enable()
+        telemetry.count("a.b")
+        with telemetry.span("explore"):
+            pass
+        telemetry.reset()
+        assert telemetry.root_spans() == []
+        assert telemetry.snapshot()["metrics"]["counters"] == {}
+
+
+class TestHistogramSummary:
+    def test_merge_is_exact(self):
+        left, right = HistogramSummary(), HistogramSummary()
+        for value in (1.0, 5.0):
+            left.observe(value)
+        for value in (0.5, 2.0, 9.0):
+            right.observe(value)
+        left.merge(right.snapshot())
+        assert left.snapshot() == {
+            "count": 5,
+            "total": 17.5,
+            "min": 0.5,
+            "max": 9.0,
+        }
+
+    def test_merging_an_empty_summary_is_a_noop(self):
+        summary = HistogramSummary()
+        summary.observe(2.0)
+        summary.merge(HistogramSummary().snapshot())
+        assert summary.snapshot()["count"] == 1
+
+
+class TestRegistryMerge:
+    def test_worker_delta_semantics(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.count("shard.posts", 10)
+        parent.gauge("pool.workers", 2)
+        worker.count("shard.posts", 7)
+        worker.gauge("pool.workers", 4)
+        worker.observe("task_s", 0.25)
+        parent.merge(worker.snapshot())
+        snap = parent.snapshot()
+        assert snap["counters"]["shard.posts"] == 17  # counters add
+        assert snap["gauges"]["pool.workers"] == 4  # last write wins
+        assert snap["histograms"]["task_s"]["count"] == 1
+
+    def test_worker_collect_restores_disabled_state(self):
+        result, delta, elapsed = telemetry.worker_collect(
+            _fake_worker_task, 3
+        )
+        assert result == 6
+        assert delta["counters"]["test.calls"] == 1
+        assert elapsed >= 0.0
+        assert not telemetry.enabled()  # restored
+
+    def test_merge_worker_metrics_requires_enabled(self):
+        delta = {"counters": {"a.b": 1}, "gauges": {}, "histograms": {}}
+        telemetry.merge_worker_metrics(delta)
+        assert telemetry.registry().snapshot()["counters"] == {}
+        telemetry.enable()
+        telemetry.merge_worker_metrics(delta)
+        assert telemetry.registry().snapshot()["counters"] == {"a.b": 1}
+
+
+class TestSchema:
+    def test_live_snapshot_validates(self):
+        telemetry.enable()
+        telemetry.count("explore.states", 5)
+        telemetry.gauge("parallel.pool.workers", 2)
+        telemetry.observe("shard.merge_s", 0.5)
+        with telemetry.span("explore", system="P2"):
+            with telemetry.span("shard_round", round=0):
+                pass
+        validate_snapshot(telemetry.snapshot())  # must not raise
+
+    def test_version_mismatch_rejected(self):
+        snap = telemetry.snapshot()
+        snap["version"] = SNAPSHOT_VERSION + 1
+        with pytest.raises(SnapshotSchemaError):
+            validate_snapshot(snap)
+
+    def test_undotted_metric_name_rejected(self):
+        telemetry.enable()
+        telemetry.count("nodots")
+        with pytest.raises(SnapshotSchemaError):
+            validate_snapshot(telemetry.snapshot())
+
+    def test_malformed_histogram_rejected(self):
+        telemetry.enable()
+        snap = telemetry.snapshot()
+        snap["metrics"]["histograms"]["a.b"] = {"count": 1}
+        with pytest.raises(SnapshotSchemaError):
+            validate_snapshot(snap)
+
+    def test_non_dict_span_rejected(self):
+        snap = telemetry.snapshot()
+        snap["spans"] = ["not-a-span"]
+        with pytest.raises(SnapshotSchemaError):
+            validate_snapshot(snap)
+
+
+class TestSinks:
+    def test_render_trace_collapses_sibling_runs(self):
+        telemetry.enable()
+        with telemetry.span("explore"):
+            for round_number in range(TRACE_SIBLING_LIMIT + 4):
+                with telemetry.span("shard_round", round=round_number):
+                    pass
+        text = render_trace()
+        assert text.count("shard_round ") == TRACE_SIBLING_LIMIT
+        assert "... and 4 more 'shard_round' spans" in text
+
+    def test_render_trace_empty(self):
+        assert "(no spans recorded)" in render_trace()
+
+    def test_write_metrics_round_trips(self, tmp_path):
+        telemetry.enable()
+        telemetry.count("explore.states", 3)
+        with telemetry.span("explore"):
+            pass
+        out = tmp_path / "metrics.json"
+        telemetry.write_metrics(out)
+        payload = json.loads(out.read_text())
+        validate_snapshot(payload)
+        assert payload["version"] == SNAPSHOT_VERSION
+        assert payload["metrics"]["counters"]["explore.states"] == 3
+        assert payload["spans"][0]["name"] == "explore"
+
+    def test_progress_line_paints_and_clears(self):
+        stream = io.StringIO()
+        line = ProgressLine(stream=stream)
+        line.interval = 0.0  # every stride-th call repaints
+        for states in range(1, 4 * ProgressLine.stride + 1):
+            line.maybe(states, queued=5, depth=2)
+        text = stream.getvalue()
+        assert "explore:" in text
+        assert "states/s" in text
+        line.close()
+        assert stream.getvalue().endswith("\r")
+
+    def test_progress_line_stride_skips_clock(self):
+        stream = io.StringIO()
+        line = ProgressLine(stream=stream)
+        for states in range(ProgressLine.stride - 1):
+            line.maybe(states, queued=0, depth=0)
+        assert stream.getvalue() == ""  # below the stride: no writes at all
+        line.close()
+        assert stream.getvalue() == ""  # nothing drawn, nothing to clear
+
+
+def _fake_worker_task(n):
+    telemetry.count("test.calls")
+    return n * 2
