@@ -50,6 +50,7 @@ from repro.completeness import (
 from repro.fairness import (
     FairnessRequirement,
     check_fair_termination,
+    check_fair_termination_streaming,
     command_requirements,
     find_fair_cycle,
     find_impartial_cycle,
@@ -67,6 +68,7 @@ from repro.measures import (
     StackAssignment,
     annotate,
     check_measure,
+    check_measure_streaming,
     unfairness_witness,
 )
 from repro.ts import ExplicitSystem, TransitionSystem, explore
@@ -81,6 +83,7 @@ __all__ = [
     "theorem3_construction",
     "FairnessRequirement",
     "check_fair_termination",
+    "check_fair_termination_streaming",
     "command_requirements",
     "find_fair_cycle",
     "find_impartial_cycle",
@@ -97,6 +100,7 @@ __all__ = [
     "StackAssignment",
     "annotate",
     "check_measure",
+    "check_measure_streaming",
     "unfairness_witness",
     "ExplicitSystem",
     "TransitionSystem",

@@ -124,12 +124,14 @@ _PHASE_LABELS = (
     ("explore", "explore"),
     ("synthesize", "synthesise"),
     ("verify", "verify"),
+    ("decide", "decide"),
 )
 
 
 def _engine_footer(args: argparse.Namespace) -> str:
     """One-line engine report sourced from the telemetry registry: root-span
-    phase timings, cache hit/miss totals, and the worker count used."""
+    phase timings, per-cache hit/miss totals, the states-until-verdict of a
+    streaming run, and the worker count used."""
     from repro.engine import resolve_jobs
 
     phases = telemetry.phase_seconds()
@@ -138,13 +140,24 @@ def _engine_footer(args: argparse.Namespace) -> str:
         for name, label in _PHASE_LABELS
         if name in phases
     ]
-    counters = telemetry.registry().snapshot()["counters"]
-    hits = counters.get("succcache.hit", 0) + counters.get("diskcache.hit", 0)
-    misses = counters.get("succcache.miss", 0) + counters.get(
-        "diskcache.miss", 0
-    )
-    if hits or misses:
-        parts.append(f"cache hit/miss {hits}/{misses}")
+    registry = telemetry.registry().snapshot()
+    counters: dict = {}
+    for name, value in registry["counters"].items():
+        # Fold deprecated spellings (``succcache.*``) into their canonical
+        # names so old worker snapshots merge into the right footer field.
+        key = telemetry.canonical_metric_name(name)
+        counters[key] = counters.get(key, 0) + value
+    succ_hits = counters.get("succache.hit", 0)
+    succ_misses = counters.get("succache.miss", 0)
+    if succ_hits or succ_misses:
+        parts.append(f"succ-cache hit/miss {succ_hits}/{succ_misses}")
+    disk_hits = counters.get("diskcache.hit", 0)
+    disk_misses = counters.get("diskcache.miss", 0)
+    if disk_hits or disk_misses:
+        parts.append(f"disk-cache hit/miss {disk_hits}/{disk_misses}")
+    verdict_states = registry["gauges"].get("stream.states_at_verdict")
+    if verdict_states is not None:
+        parts.append(f"verdict at {int(verdict_states)} states")
     report = " · ".join(parts) if parts else "no instrumented phases ran"
     return f"engine: {report} (jobs={resolve_jobs(args.jobs)})"
 
@@ -168,9 +181,21 @@ def _cmd_explore(args: argparse.Namespace) -> int:
 
 def _cmd_decide(args: argparse.Namespace) -> int:
     program = _load(args.file)
-    graph = _explore(args, program)
-    result = check_fair_termination(graph)
+    if args.stream:
+        from repro.fairness.checker import check_fair_termination_streaming
+
+        result = check_fair_termination_streaming(
+            program,
+            max_states=args.max_states,
+            max_depth=args.max_depth,
+            n_jobs=args.jobs,
+        )
+    else:
+        graph = _explore(args, program)
+        result = check_fair_termination(graph)
     print(f"{program.name}: {result}")
+    if args.stream:
+        print(_engine_footer(args))
     if result.witness is not None:
         print("fair infinite computation (counterexample):")
         print(f"  {result.witness.lasso.describe()}")
@@ -248,11 +273,24 @@ def _cmd_check(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    result = proof.check(
-        max_states=args.max_states, max_depth=args.max_depth, n_jobs=args.jobs
-    )
+    if args.stream or args.fail_fast:
+        result = proof.check_streaming(
+            max_states=args.max_states,
+            max_depth=args.max_depth,
+            n_jobs=args.jobs,
+            max_violations=1 if args.fail_fast else None,
+        )
+    else:
+        result = proof.check(
+            max_states=args.max_states, max_depth=args.max_depth, n_jobs=args.jobs
+        )
     print(f"{program.name} with {args.assertion}: {result.summary()}")
     print(_engine_footer(args))
+    if getattr(result, "stopped_early", False):
+        print(
+            f"stopped early: exploration halted after "
+            f"{result.states_explored} states (first violation found)"
+        )
     if result.ok:
         if not result.complete:
             print(
@@ -393,6 +431,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     decide = subparsers.add_parser("decide", help="decide fair termination")
     _add_common(decide)
+    decide.add_argument(
+        "--stream",
+        action="store_true",
+        help="hunt for a fair-lasso counterexample during staged exploration "
+        "and exit as soon as one is found; verdicts match the materialized "
+        "run for the same bounds (streaming bypasses --cache-dir)",
+    )
     decide.set_defaults(run=_cmd_decide)
 
     synthesize = subparsers.add_parser(
@@ -435,6 +480,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     check.add_argument(
         "--show", type=int, default=3, help="violations to print on failure"
+    )
+    check.add_argument(
+        "--stream",
+        action="store_true",
+        help="verify each transition as exploration reaches it instead of "
+        "materializing the graph first; memory stays proportional to the "
+        "frontier and verdicts are identical (streaming bypasses --cache-dir)",
+    )
+    check.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="stop exploring at the first violation (implies --stream)",
     )
     check.set_defaults(run=_cmd_check)
 

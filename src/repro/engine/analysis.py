@@ -28,6 +28,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (explore → here)
 def tarjan_scc_csr(
     packed: PackedGraph,
     members: Optional[Sequence[int]] = None,
+    stamp: Optional[Sequence[int]] = None,
+    stamp_value: int = 0,
 ) -> List[List[int]]:
     """Tarjan's SCC algorithm over CSR arrays, iterative form.
 
@@ -36,14 +38,25 @@ def tarjan_scc_csr(
     topological order (sinks first), nodes visited in ascending order —
     matching :func:`repro.ts.graph.tarjan_scc` on the equivalent dict input
     exactly.
+
+    When ``stamp`` is given (a generation array with ``stamp[i] ==
+    stamp_value`` marking membership), it replaces the per-call
+    ``bytearray`` rebuild: ``members`` must then be pre-stamped and in
+    ascending order.  The SCC-refinement loop of the fair-cycle search
+    reuses one stamp array across all its recursion levels this way.
     """
     n = packed.n
     out_start = packed.out_start
     out_eid = packed.out_eid
     dst = packed.dst
 
-    if members is None:
-        nodes: Sequence[int] = range(n)
+    if stamp is not None:
+        if members is None:
+            raise ValueError("stamped mode needs the stamped members")
+        nodes = members
+        flags = None
+    elif members is None:
+        nodes = range(n)
         flags = None
     else:
         nodes = sorted(members)
@@ -78,7 +91,10 @@ def tarjan_scc_csr(
             while pos < end:
                 child = dst[out_eid[pos]]
                 pos += 1
-                if flags is not None and not flags[child]:
+                if flags is not None:
+                    if not flags[child]:
+                        continue
+                elif stamp is not None and stamp[child] != stamp_value:
                     continue
                 if indices[child] == UNSEEN:
                     top[1] = pos
@@ -196,6 +212,29 @@ class GraphAnalyses:
             for pos in range(out_start[i], out_start[i + 1]):
                 eid = out_eid[pos]
                 if dst[eid] in inside:
+                    mask |= 1 << cmd[eid]
+        return mask
+
+    def executed_mask_stamped(
+        self, members: Sequence[int], stamp: Sequence[int], stamp_value: int
+    ) -> int:
+        """Executed-command bitmask of a *stamped* region.
+
+        ``stamp[i] == stamp_value`` marks membership; ``members`` lists
+        the stamped states.  Same answer as :meth:`executed_mask_within`
+        on the equivalent set, without building one — the fair-cycle
+        refinement calls this once per candidate region per level.
+        """
+        packed = self.packed
+        out_start = packed.out_start
+        out_eid = packed.out_eid
+        dst = packed.dst
+        cmd = packed.cmd
+        mask = 0
+        for i in members:
+            for pos in range(out_start[i], out_start[i + 1]):
+                eid = out_eid[pos]
+                if stamp[dst[eid]] == stamp_value:
                     mask |= 1 << cmd[eid]
         return mask
 

@@ -143,13 +143,18 @@ def explore_sharded(
     max_depth: Optional[int] = None,
     strict: bool = False,
     n_jobs: Optional[int] = None,
+    observer=None,
 ):
     """Frontier-parallel BFS exploration; results bit-identical to serial.
 
     Called by :func:`repro.ts.explore.explore` when ``n_jobs > 1`` and the
     system provided a shard ``spec``; not normally invoked directly.
+    ``observer`` callbacks fire during the serial merge — in exactly the
+    serial explorer's event order — and a :class:`StopExploration` raised
+    by one cancels the round loop, so no further round is dispatched to
+    the worker pool.
     """
-    from repro.ts.explore import _finish_graph
+    from repro.ts.explore import StopExploration, _finish_graph, _stop_counters
 
     jobs = resolve_jobs(n_jobs)
     digest = hashlib.sha256(spec).hexdigest()
@@ -171,11 +176,22 @@ def explore_sharded(
     expanded = bytearray(initial_count)
     frontier: Set[int] = set()
     truncated = False
+    stopped = False
 
     pending: List[int] = list(range(initial_count))
     round_depth = 0
     traced = telemetry.enabled()
     progress = telemetry.progress_reporter()
+    # Shared mask → frozenset memo for ``on_expanded`` notifications.
+    mask_labels: Dict[int, frozenset] = {}
+
+    if observer is not None:
+        try:
+            for idx in range(initial_count):
+                observer.on_state(idx, states[idx], 0)
+        except StopExploration:
+            stopped = True
+            pending = []
 
     while pending:
         if max_depth is not None and round_depth > max_depth:
@@ -214,7 +230,7 @@ def explore_sharded(
                 )
             merge_started = time.perf_counter() if traced else 0.0
 
-            next_pending, truncated = _merge_round(
+            next_pending, truncated, stopped = _merge_round(
                 pending,
                 round_results,
                 interner,
@@ -229,14 +245,24 @@ def explore_sharded(
                 frontier,
                 truncated,
                 max_states,
+                observer,
+                round_depth + 1,
+                mask_labels,
             )
             if traced:
                 telemetry.observe(
                     "shard.merge_s", time.perf_counter() - merge_started
                 )
+        if stopped:
+            # StopExploration during the merge: pending states of this
+            # round that were not merged yet stay unexpanded (they become
+            # frontier), and no further round reaches the pool.
+            break
         pending = next_pending
         round_depth += 1
 
+    if stopped:
+        _stop_counters(len(states))
     if progress is not None:
         progress.close()
     return _finish_graph(
@@ -273,55 +299,86 @@ def _merge_round(
     frontier,
     truncated,
     max_states,
+    observer=None,
+    successor_depth=0,
+    mask_labels=None,
 ):
     """The serial merge of one round's expansion batches.
 
     Replays the serial explorer's interning/budget bookkeeping verbatim
     (the bit-identity argument lives here); factored out of the round
     loop so the coordinator can time it separately from expansion.
-    Returns ``(next_pending, truncated)``.
+    Observer callbacks fire here, in the serial event order; a
+    :class:`StopExploration` raised by one stops the merge mid-state
+    (the in-flight state reverts to unexpanded unless the stop came from
+    its own ``on_expanded``).  Returns ``(next_pending, truncated,
+    stopped)``.
     """
+    from repro.ts.explore import StopExploration
+
     next_pending: List[int] = []
-    for i, (mask, strays, posts, targets) in zip(pending, round_results):
-        expanded[i] = 1
-        for label in strays:
-            k = label_ids.get(label)
-            if k is None:
-                k = len(labels)
-                label_ids[label] = k
-                labels.append(label)
-            mask |= 1 << k
-        emask_of[i] = mask
-        at_budget = max_states is not None and len(states) >= max_states
-        for cmd_ref, target_ref in posts:
-            target = targets[target_ref]
-            if at_budget:
-                j = interner.lookup(target)
-                if j is None:
-                    frontier.add(i)
-                    truncated = True
-                    break
-            else:
-                j, is_new = interner.intern(target)
-                if is_new:
-                    emask_of.append(-1)
-                    expanded.append(0)
-                    next_pending.append(j)
-                    at_budget = (
-                        max_states is not None and len(states) >= max_states
-                    )
-            if isinstance(cmd_ref, int):
-                k = cmd_ref
-            else:
-                k = label_ids.get(cmd_ref)
+    i = -1
+    finalized = -1
+    try:
+        for i, (mask, strays, posts, targets) in zip(pending, round_results):
+            expanded[i] = 1
+            for label in strays:
+                k = label_ids.get(label)
                 if k is None:
                     k = len(labels)
-                    label_ids[cmd_ref] = k
-                    labels.append(cmd_ref)
-            src.append(i)
-            cmd.append(k)
-            dst.append(j)
-    return next_pending, truncated
+                    label_ids[label] = k
+                    labels.append(label)
+                mask |= 1 << k
+            emask_of[i] = mask
+            at_budget = max_states is not None and len(states) >= max_states
+            for cmd_ref, target_ref in posts:
+                target = targets[target_ref]
+                if at_budget:
+                    j = interner.lookup(target)
+                    if j is None:
+                        frontier.add(i)
+                        truncated = True
+                        break
+                else:
+                    j, is_new = interner.intern(target)
+                    if is_new:
+                        emask_of.append(-1)
+                        expanded.append(0)
+                        next_pending.append(j)
+                        at_budget = (
+                            max_states is not None and len(states) >= max_states
+                        )
+                        if observer is not None:
+                            observer.on_state(j, target, successor_depth)
+                if isinstance(cmd_ref, int):
+                    k = cmd_ref
+                else:
+                    k = label_ids.get(cmd_ref)
+                    if k is None:
+                        k = len(labels)
+                        label_ids[cmd_ref] = k
+                        labels.append(cmd_ref)
+                src.append(i)
+                cmd.append(k)
+                dst.append(j)
+                if observer is not None:
+                    observer.on_transition(i, labels[k], j)
+            else:
+                if observer is not None:
+                    enabled_set = mask_labels.get(mask)
+                    if enabled_set is None:
+                        mask_labels[mask] = enabled_set = frozenset(
+                            labels[b]
+                            for b in range(mask.bit_length())
+                            if (mask >> b) & 1
+                        )
+                    finalized = i
+                    observer.on_expanded(i, enabled_set)
+    except StopExploration:
+        if i >= 0 and i != finalized and expanded[i]:
+            expanded[i] = 0
+        return next_pending, truncated, True
+    return next_pending, truncated, False
 
 
 def _expand_round_serial(system, label_ids, states, pending):

@@ -26,11 +26,13 @@ only covers the explored region (the result says which).
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.fairness.spec import STRONG_FAIRNESS
-from repro.ts.explore import ReachableGraph
+from repro.telemetry import core as telemetry
+from repro.ts.explore import ReachableGraph, explore
 from repro.ts.graph import decompose
 from repro.ts.lasso import (
     Lasso,
@@ -38,6 +40,7 @@ from repro.ts.lasso import (
     find_path_indices,
     lasso_from_indices,
 )
+from repro.ts.system import TransitionSystem
 
 
 @dataclass(frozen=True)
@@ -76,33 +79,71 @@ def find_fair_cycle(
     graph: ReachableGraph,
     restrict_to: Sequence[int] | None = None,
 ) -> Optional[FairCycle]:
-    """Find a reachable fair cycle, or ``None`` if none exists (in region)."""
-    region: Set[int] = (
-        set(range(len(graph))) if restrict_to is None else set(restrict_to)
-    )
+    """Find a reachable fair cycle, or ``None`` if none exists (in region).
+
+    ``restrict_to`` limits the search to a sub-region; indices are
+    deduplicated, and out-of-range ones raise :class:`ValueError`.
+    """
     # Frontier states have unexplored successors; a cycle through them could
     # not be trusted, but they only ever *lose* outgoing transitions in our
     # graph (kept transitions all originate from fully expanded states), so
     # they simply cannot appear on any explored cycle — no special-casing.
+    if restrict_to is None:
+        # The memoized full decomposition (its components are shared with
+        # every other full-graph analysis).
+        components = decompose(graph).components
+    else:
+        region = sorted(set(restrict_to))
+        n = len(graph)
+        if region and (region[0] < 0 or region[-1] >= n):
+            bad = next(i for i in region if i < 0 or i >= n)
+            raise ValueError(
+                f"restrict_to index {bad} out of range for a graph with "
+                f"{n} states (valid indices: 0..{n - 1})"
+            )
+        components = decompose(graph, restrict_to=region).components
+    return _refine_components(graph, components)
+
+
+def _refine_components(
+    graph: ReachableGraph,
+    components: Sequence[Sequence[int]],
+) -> Optional[FairCycle]:
+    """The recursive Streett-emptiness refinement, on stamped regions.
+
+    Membership at every refinement level is a *generation stamp* over one
+    shared ``array('q')`` — each candidate region bumps the generation and
+    stamps its members, so no per-level sets are built and no decomposition
+    is re-sliced: SCCs, executed masks and enabled masks are all read
+    straight off the graph's CSR arrays through the stamp.  Component
+    order (reverse topological), per-component member order (ascending)
+    and the survivor stack discipline replicate the set-based
+    implementation exactly, so every witness is bit-identical to it.
+    """
+    from repro.engine.analysis import tarjan_scc_csr
+
     analyses = graph.analyses
     enabled_masks = analyses.enabled_masks
-    whole = restrict_to is None
-    pending: List[Set[int]] = [region]
-    while pending:
-        current = pending.pop()
-        # The first iteration over the whole graph reuses the memoized
-        # decomposition; refinement steps walk only their region's edges.
-        decomposition = decompose(
-            graph, restrict_to=None if whole else current
-        )
-        whole = False
-        for component in decomposition.components:
-            component_set = set(component)
-            executed_mask = analyses.executed_mask_within(component_set)
+    packed = analyses.packed
+    stamp = array("q", bytes(8 * len(graph)))
+    generation = 0
+    pending: List[List[int]] = []
+
+    def scan(batch: Sequence[Sequence[int]]) -> Optional[FairCycle]:
+        nonlocal generation
+        for component in batch:
+            generation += 1
+            for i in component:
+                stamp[i] = generation
+            executed_mask = analyses.executed_mask_stamped(
+                component, stamp, generation
+            )
             if not executed_mask:
                 # No internal transition — a trivial component.
                 continue
-            enabled_mask = analyses.enabled_mask_within(component_set)
+            enabled_mask = 0
+            for i in component:
+                enabled_mask |= enabled_masks[i]
             violating_mask = enabled_mask & ~executed_mask
             if not violating_mask:
                 cycle = cycle_through_all(graph, component)
@@ -117,37 +158,63 @@ def find_fair_cycle(
                     executed_on_cycle=analyses.labels_of_mask(executed_mask),
                 )
             # Remove every state enabling a violating command; what remains
-            # may still host a fair cycle one level down.
-            survivors = {
+            # may still host a fair cycle one level down.  Iterating the
+            # (ascending) component keeps survivors ascending, which is
+            # what the stamped Tarjan requires of its root order.
+            survivors = [
                 i
-                for i in component_set
+                for i in component
                 if not (enabled_masks[i] & violating_mask)
-            }
+            ]
             if survivors:
                 pending.append(survivors)
+        return None
+
+    found = scan(components)
+    if found is not None:
+        return found
+    while pending:
+        region = pending.pop()
+        generation += 1
+        for i in region:
+            stamp[i] = generation
+        sub = tarjan_scc_csr(packed, region, stamp=stamp, stamp_value=generation)
+        # The decomposition's contract sorts each component ascending.
+        found = scan([sorted(c) for c in sub])
+        if found is not None:
+            return found
     return None
+
+
+def _validated_counterexample(
+    graph: ReachableGraph, witness: FairCycle
+) -> FairTerminationResult:
+    """Package a found fair cycle, sanity-checking its fairness first.
+
+    Defence in depth — the spec module re-derives fairness from the lasso
+    itself; a found counterexample is genuine even on a bounded graph.
+    """
+    violations = STRONG_FAIRNESS.violations(
+        witness.lasso, graph.system.enabled, graph.system.commands()
+    )
+    if violations:
+        raise AssertionError(
+            f"internal error: claimed fair cycle is unfair: {violations[0]}"
+        )
+    return FairTerminationResult(
+        fairly_terminates=False,
+        decisive=True,
+        witness=witness,
+        states_explored=len(graph),
+        transitions_explored=len(graph.transitions),
+    )
 
 
 def check_fair_termination(graph: ReachableGraph) -> FairTerminationResult:
     """Decide fair termination over (the explored region of) ``graph``."""
     witness = find_fair_cycle(graph)
     if witness is not None:
-        # Sanity: the witness really is fair (defence in depth — the spec
-        # module re-derives fairness from the lasso itself).
-        violations = STRONG_FAIRNESS.violations(
-            witness.lasso, graph.system.enabled, graph.system.commands()
-        )
-        if violations:
-            raise AssertionError(
-                f"internal error: claimed fair cycle is unfair: {violations[0]}"
-            )
-        return FairTerminationResult(
-            fairly_terminates=False,
-            decisive=True,
-            witness=witness,
-            states_explored=len(graph),
-            transitions_explored=len(graph.transitions),
-        )
+        return _validated_counterexample(graph, witness)
     return FairTerminationResult(
         fairly_terminates=True,
         decisive=graph.complete,
@@ -155,6 +222,128 @@ def check_fair_termination(graph: ReachableGraph) -> FairTerminationResult:
         states_explored=len(graph),
         transitions_explored=len(graph.transitions),
     )
+
+
+#: First-stage state budget of the streaming decision procedure.
+STREAM_FIRST_BUDGET = 1024
+
+#: Geometric budget growth between stages: re-exploration overhead is a
+#: convergent series — at factor 4, at most a third of the final stage.
+STREAM_GROWTH = 4
+
+
+def check_fair_termination_streaming(
+    system: TransitionSystem,
+    max_states: Optional[int] = None,
+    max_depth: Optional[int] = None,
+    n_jobs: Optional[int] = None,
+    first_budget: int = STREAM_FIRST_BUDGET,
+    growth: int = STREAM_GROWTH,
+) -> FairTerminationResult:
+    """Decide fair termination with early exit: hunt for a fair lasso
+    *during* bounded exploration instead of after materializing all of it.
+
+    Exploration proceeds in stages of geometrically growing state budgets
+    (``first_budget``, then ``× growth``, capped by ``max_states``).
+    After each stage the fair-cycle refinement runs — but only over the
+    SCCs that closed freshly in that stage, i.e. the components containing
+    at least one state expanded since the previous stage.  That filter is
+    sound because BFS discovery order is a stable prefix across growing
+    budgets and expanded states never lose or gain outgoing transitions:
+    a component whose states were all expanded in an earlier stage is the
+    *same* component it was then (same members, same internal
+    transitions), and it was already refined.  A fair cycle found on a
+    bounded graph is a genuine counterexample, so a violating family
+    yields its verdict after exploring a small prefix of the state space.
+
+    Run to completion — a non-violating system, or one whose bounded
+    exploration finds no cycle — the result equals
+    ``check_fair_termination(explore(system, max_states, max_depth,
+    n_jobs=...))`` field for field.  On violating systems the boolean
+    verdict matches and the (independently validated) witness may differ:
+    the streaming hunt reports the first fair cycle the budget schedule
+    reaches, not the one full refinement would pick.  For any fixed
+    bounds the result is bit-identical across job counts.
+    """
+    if first_budget < 1:
+        raise ValueError(f"first_budget must be >= 1, got {first_budget}")
+    if growth < 2:
+        raise ValueError(f"growth must be >= 2, got {growth}")
+    with telemetry.span(
+        "decide", streaming=True, jobs=n_jobs, max_states=max_states
+    ) as sp:
+        result, stages = _streaming_decide(
+            system, max_states, max_depth, n_jobs, first_budget, growth
+        )
+        if telemetry.enabled():
+            telemetry.count("stream.decides")
+            telemetry.count("stream.stages", stages)
+            telemetry.gauge("stream.states_at_verdict", result.states_explored)
+        sp.set("stages", stages)
+        sp.set("fairly_terminates", result.fairly_terminates)
+    return result
+
+
+def _streaming_decide(
+    system: TransitionSystem,
+    max_states: Optional[int],
+    max_depth: Optional[int],
+    n_jobs: Optional[int],
+    first_budget: int,
+    growth: int,
+) -> Tuple[FairTerminationResult, int]:
+    budget = first_budget
+    previous_states = 0
+    previous_frontier: frozenset = frozenset()
+    stages = 0
+    while True:
+        stages += 1
+        bound = budget if max_states is None else min(budget, max_states)
+        graph = explore(
+            system, max_states=bound, max_depth=max_depth, n_jobs=n_jobs
+        )
+        frontier = graph.frontier
+        # A state is *fresh* if this stage expanded it: newly discovered,
+        # or frontier last stage.  Only components containing fresh states
+        # can differ from a component already refined in an earlier stage
+        # (every non-trivial SCC contains an expanded state, and expanded
+        # states keep their transitions verbatim across stages).
+        fresh = bytearray(len(graph))
+        for i in range(len(graph)):
+            if i in frontier:
+                continue
+            if i >= previous_states or i in previous_frontier:
+                fresh[i] = 1
+        candidates = [
+            component
+            for component in decompose(graph).components
+            if any(fresh[i] for i in component)
+        ]
+        if telemetry.enabled():
+            telemetry.count("stream.sccs_checked", len(candidates))
+        witness = _refine_components(graph, candidates)
+        if witness is not None:
+            return _validated_counterexample(graph, witness), stages
+        budget_bound = len(graph) >= bound
+        if graph.complete or not budget_bound or (
+            max_states is not None and bound >= max_states
+        ):
+            # Final stage: the graph equals what a materialized
+            # ``explore(system, max_states, max_depth)`` would return —
+            # either complete, or cut by the same depth/state bounds.
+            return (
+                FairTerminationResult(
+                    fairly_terminates=True,
+                    decisive=graph.complete,
+                    witness=None,
+                    states_explored=len(graph),
+                    transitions_explored=len(graph.transitions),
+                ),
+                stages,
+            )
+        previous_states = len(graph)
+        previous_frontier = frontier
+        budget *= growth
 
 
 def find_weakly_fair_cycle(graph: ReachableGraph) -> Optional[FairCycle]:

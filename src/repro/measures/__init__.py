@@ -32,8 +32,10 @@ from repro.measures.verification import (
     LevelFailure,
     MeasureCheckResult,
     MeasureVerificationError,
+    StreamingCheckResult,
     TransitionViolation,
     check_measure,
+    check_measure_streaming,
     find_active_level,
     find_active_level_general,
 )
@@ -64,9 +66,11 @@ __all__ = [
     "ActiveWitness",
     "LevelFailure",
     "MeasureCheckResult",
+    "StreamingCheckResult",
     "MeasureVerificationError",
     "TransitionViolation",
     "check_measure",
+    "check_measure_streaming",
     "find_active_level",
     "find_active_level_general",
 ]

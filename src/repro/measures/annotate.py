@@ -14,7 +14,12 @@ from typing import Optional
 from repro.gcl.pretty import render_program
 from repro.gcl.program import Program
 from repro.measures.assertions import StackAssertion
-from repro.measures.verification import MeasureCheckResult, check_measure
+from repro.measures.verification import (
+    MeasureCheckResult,
+    StreamingCheckResult,
+    check_measure,
+    check_measure_streaming,
+)
 from repro.ts.explore import ReachableGraph, explore
 
 
@@ -43,6 +48,30 @@ class AnnotatedProgram:
             graph = explore(self.program, max_states=max_states, max_depth=max_depth)
         assignment = self.assertion.compile()
         return check_measure(graph, assignment, n_jobs=n_jobs)
+
+    def check_streaming(
+        self,
+        max_states: Optional[int] = None,
+        max_depth: Optional[int] = None,
+        n_jobs: Optional[int] = None,
+        max_violations: Optional[int] = None,
+    ) -> StreamingCheckResult:
+        """Verify the annotation on the fly, while exploration runs.
+
+        Each transition's verification conditions are checked as its source
+        state is expanded, so memory stays proportional to the frontier and
+        ``max_violations=1`` turns the check into a fail-fast run that stops
+        exploring at the first violation.  Run to completion the verdict is
+        bit-identical to :meth:`check`.
+        """
+        return check_measure_streaming(
+            self.program,
+            self.assertion.compile(),
+            max_states=max_states,
+            max_depth=max_depth,
+            n_jobs=n_jobs,
+            max_violations=max_violations,
+        )
 
     def render(self) -> str:
         """The annotated program in paper style: assertion above the loop."""

@@ -31,8 +31,8 @@ from repro.measures.assignment import StackAssignment
 from repro.telemetry import core as telemetry
 from repro.measures.hypotheses import TERMINATION
 from repro.measures.stack import Stack, stacks_equal_below
-from repro.ts.explore import ReachableGraph
-from repro.ts.system import CommandLabel, Transition
+from repro.ts.explore import ExplorationObserver, ReachableGraph, StopExploration, explore
+from repro.ts.system import CommandLabel, Transition, TransitionSystem
 from repro.wf.base import WellFoundedOrder
 
 
@@ -458,4 +458,236 @@ def _check_measure_inner(
         transitions_checked=len(transitions),
         complete=graph.complete,
         order_well_founded=order.is_well_founded(),
+    )
+
+
+@dataclass
+class StreamingCheckResult(MeasureCheckResult):
+    """A :class:`MeasureCheckResult` with streaming accounting.
+
+    ``stopped_early`` — whether the check cut exploration short on
+    reaching ``max_violations``; ``states_explored`` — states discovered
+    when the run ended (with a stop, this is the states-until-violation
+    figure the engine footer reports).  When a streaming check runs to
+    completion every inherited field is bit-identical to
+    :func:`check_measure` on the materialized graph.
+    """
+
+    stopped_early: bool = False
+    states_explored: int = 0
+
+
+class _StreamingVerifier(ExplorationObserver):
+    """Checks each source's verification conditions as its expansion closes.
+
+    Buffers the in-flight source's transitions (they arrive contiguously)
+    and flushes them — in transition order, through exactly the same
+    level search and task construction as the materialized checker — when
+    ``on_expanded`` declares them final.  A source truncated by the state
+    budget never gets an ``on_expanded``, so its buffered transitions are
+    discarded, matching the materialized path's frontier-source drop.
+    """
+
+    __slots__ = (
+        "_system",
+        "_assignment",
+        "_order",
+        "_keep",
+        "_requirements",
+        "_max_violations",
+        "_states",
+        "_stacks",
+        "_enabled",
+        "_demanded",
+        "_pending",
+        "witnesses",
+        "violations",
+        "checked",
+        "stopped",
+    )
+
+    def __init__(
+        self,
+        system: TransitionSystem,
+        assignment: StackAssignment,
+        keep_witnesses: bool,
+        requirements,
+        max_violations: int | None,
+    ) -> None:
+        self._system = system
+        self._assignment = assignment
+        self._order = assignment.order
+        self._keep = keep_witnesses
+        self._requirements = (
+            tuple(requirements) if requirements is not None else None
+        )
+        self._max_violations = max_violations
+        self._states: List = []
+        self._stacks: List[Stack] = []
+        self._enabled: List[frozenset | None] = []
+        self._demanded: List[frozenset] = []
+        self._pending: List[Tuple[int, CommandLabel, int]] = []
+        self.witnesses: List[ActiveWitness] = []
+        self.violations: List[TransitionViolation] = []
+        self.checked = 0
+        self.stopped = False
+
+    def on_state(self, index: int, state, depth: int) -> None:
+        self._states.append(state)
+        stack = self._assignment(state)
+        order = self._order
+        for hypothesis in stack:
+            if hypothesis.value is not None:
+                order.check_member(hypothesis.value)
+        self._stacks.append(stack)
+        self._enabled.append(None)
+        if self._requirements is not None:
+            self._demanded.append(
+                frozenset(
+                    r.name for r in self._requirements if r.enabled_at(state)
+                )
+            )
+
+    def on_transition(self, source: int, command, target: int) -> None:
+        pending = self._pending
+        if pending and pending[0][0] != source:
+            # The previous source hit the state budget mid-expansion; its
+            # transitions will be dropped from the graph, so drop the
+            # buffered copies unchecked too.
+            pending.clear()
+        pending.append((source, command, target))
+
+    def _enabled_of(self, index: int) -> frozenset:
+        enabled = self._enabled[index]
+        if enabled is None:
+            # The target is not expanded yet; ask the system directly.
+            # ``TransitionSystem.expand`` answers enabledness and posts
+            # from the same guards, so this equals the mask the
+            # materialized graph would record (guards-only for frontier
+            # states, expansion-derived otherwise).
+            enabled = frozenset(self._system.enabled(self._states[index]))
+            self._enabled[index] = enabled
+        return enabled
+
+    def on_expanded(self, index: int, enabled: frozenset) -> None:
+        self._enabled[index] = enabled
+        pending = self._pending
+        if pending and pending[0][0] != index:
+            pending.clear()
+        if not pending:
+            return
+        traced = telemetry.enabled()
+        order = self._order
+        requirements = self._requirements
+        states = self._states
+        stacks = self._stacks
+        for source, command, target in pending:
+            if requirements is None:
+                invalidated = frozenset((command,))
+                active = self._enabled_of(source) | self._enabled_of(target)
+            else:
+                source_state = states[source]
+                target_state = states[target]
+                invalidated = frozenset(
+                    r.name
+                    for r in requirements
+                    if r.fulfilled_by(source_state, command, target_state)
+                )
+                active = self._demanded[source] | self._demanded[target]
+            data, failures = find_active_level_general(
+                stacks[source], stacks[target], invalidated, active, order
+            )
+            self.checked += 1
+            if traced:
+                _count_outcome(data, failures)
+            if data is not None:
+                if self._keep:
+                    self.witnesses.append(
+                        ActiveWitness(
+                            transition=Transition(
+                                states[source], command, states[target]
+                            ),
+                            level=data.level,
+                            subject=data.subject,
+                            reason=data.reason,
+                        )
+                    )
+            else:
+                self.violations.append(
+                    TransitionViolation(
+                        transition=Transition(
+                            states[source], command, states[target]
+                        ),
+                        source_stack=stacks[source],
+                        target_stack=stacks[target],
+                        failures=tuple(failures),
+                    )
+                )
+                if (
+                    self._max_violations is not None
+                    and len(self.violations) >= self._max_violations
+                ):
+                    pending.clear()
+                    self.stopped = True
+                    raise StopExploration(
+                        f"reached max_violations={self._max_violations}"
+                    )
+        pending.clear()
+
+
+def check_measure_streaming(
+    system: TransitionSystem,
+    assignment: StackAssignment,
+    max_states: int | None = None,
+    max_depth: int | None = None,
+    keep_witnesses: bool = True,
+    requirements=None,
+    max_violations: int | None = None,
+    n_jobs: int | None = None,
+) -> StreamingCheckResult:
+    """Verify the conditions on the fly, as the frontier expands.
+
+    The verification conditions are local to one transition, so they can
+    be checked the moment a source state finishes expanding — no
+    materialized graph, no per-transition task list.  Run to completion
+    (``max_violations=None``) the verdict — witnesses, violations,
+    contents *and* order — is bit-identical to
+    ``check_measure(explore(system, ...), assignment, ...)``; with
+    ``max_violations=k`` the check stops (and cancels exploration) as
+    soon as ``k`` violations are found, and the violation list is the
+    first ``k`` of the materialized run.
+
+    ``n_jobs`` shards the *exploration* (the VC checks run serially in
+    the coordinator as each state closes); the result is identical for
+    any job count.  Pass ``keep_witnesses=False`` for O(states) memory —
+    the default keeps per-transition witnesses like the materialized
+    checker does.
+    """
+    with telemetry.span(
+        "verify", streaming=True, jobs=n_jobs, max_violations=max_violations
+    ) as sp:
+        verifier = _StreamingVerifier(
+            system, assignment, keep_witnesses, requirements, max_violations
+        )
+        graph = explore(
+            system,
+            max_states=max_states,
+            max_depth=max_depth,
+            n_jobs=n_jobs,
+            observer=verifier,
+        )
+        if telemetry.enabled():
+            telemetry.count("stream.checks")
+            telemetry.count("stream.transitions_checked", verifier.checked)
+            telemetry.gauge("stream.states_at_verdict", len(graph))
+        sp.set("violations", len(verifier.violations))
+        sp.set("stopped_early", verifier.stopped)
+    return StreamingCheckResult(
+        witnesses=verifier.witnesses,
+        violations=verifier.violations,
+        transitions_checked=verifier.checked,
+        complete=graph.complete,
+        order_well_founded=assignment.order.is_well_founded(),
+        stopped_early=verifier.stopped,
+        states_explored=len(graph),
     )

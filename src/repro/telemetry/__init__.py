@@ -51,7 +51,12 @@ from repro.telemetry.core import (
     span,
     worker_collect,
 )
-from repro.telemetry.schema import SnapshotSchemaError, validate_snapshot
+from repro.telemetry.schema import (
+    DEPRECATED_METRIC_ALIASES,
+    SnapshotSchemaError,
+    canonical_metric_name,
+    validate_snapshot,
+)
 from repro.telemetry.sinks import (
     ProgressLine,
     print_trace,
@@ -64,9 +69,11 @@ __all__ = [
     "SNAPSHOT_VERSION",
     "HistogramSummary",
     "MetricsRegistry",
+    "DEPRECATED_METRIC_ALIASES",
     "ProgressLine",
     "SnapshotSchemaError",
     "Span",
+    "canonical_metric_name",
     "count",
     "current_span",
     "disable",

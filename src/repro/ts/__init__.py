@@ -2,8 +2,10 @@
 
 from repro.ts.explore import (
     ExplorationLimitError,
+    ExplorationObserver,
     IndexedTransition,
     ReachableGraph,
+    StopExploration,
     explore,
 )
 from repro.ts.graph import (
@@ -34,8 +36,10 @@ from repro.ts.trace import ExecutionTrace, TraceRecorder, TraceStep
 
 __all__ = [
     "ExplorationLimitError",
+    "ExplorationObserver",
     "IndexedTransition",
     "ReachableGraph",
+    "StopExploration",
     "explore",
     "SccDecomposition",
     "condensation_edges",

@@ -42,6 +42,59 @@ class ExplorationLimitError(RuntimeError):
     """Raised by :func:`explore` with ``strict=True`` when a bound is hit."""
 
 
+class StopExploration(Exception):
+    """Raised by an :class:`ExplorationObserver` callback to stop exploring.
+
+    The explorer catches it, abandons the state whose expansion was in
+    flight (it becomes frontier, so its partially-observed transitions are
+    dropped exactly like a budget-truncated source) and returns the graph
+    built so far.  In the sharded explorer the signal also cancels the
+    round loop, so no further round is dispatched to the worker pool.
+    Stopping never sets the ``strict`` truncation flag — it is a consumer
+    verdict, not a bound.
+    """
+
+
+class ExplorationObserver:
+    """Streaming hooks into exploration (serial and sharded).
+
+    Subclass and override any of the callbacks; the default implementations
+    do nothing.  The event stream is **bit-identical between the serial and
+    sharded explorers** — the sharded coordinator replays the serial
+    merge order — and follows the contract:
+
+    * ``on_state`` fires once per state, at intern time, in index order
+      (initial states first, at depth 0);
+    * ``on_transition`` fires when a transition is *recorded*, in
+      transition order.  A source's transitions are contiguous;
+    * ``on_expanded`` fires after a source's expansion completed without
+      truncation — exactly the sources whose transitions survive into the
+      final graph.  A source that hit the state budget mid-expansion gets
+      no ``on_expanded``; consumers buffering its transitions must discard
+      them (they are dropped from the graph too).
+
+    Any callback may raise :class:`StopExploration` to end exploration
+    early.  Observer callbacks run in the coordinator process only — they
+    never ship to pool workers.
+    """
+
+    __slots__ = ()
+
+    def on_state(self, index: int, state: State, depth: int) -> None:
+        """A state was discovered and interned at ``index``."""
+
+    def on_transition(
+        self, source: int, command: CommandLabel, target: int
+    ) -> None:
+        """A transition was recorded (both endpoints already interned)."""
+
+    def on_expanded(self, index: int, enabled: frozenset) -> None:
+        """``index`` finished expanding; ``enabled`` is its command set.
+
+        Every ``on_transition`` with this source has already fired, and all
+        of them are final (they will appear in the returned graph)."""
+
+
 @dataclass(frozen=True)
 class IndexedTransition:
     """A transition in index form: ``source``/``target`` are state indices."""
@@ -475,6 +528,7 @@ def explore(
     max_depth: int | None = None,
     strict: bool = False,
     n_jobs: int | None = None,
+    observer: ExplorationObserver | None = None,
 ) -> ReachableGraph:
     """Breadth-first exploration of the reachable states of ``system``.
 
@@ -494,10 +548,17 @@ def explore(
         exploration is hash-sharded across the persistent worker pool; the
         result is bit-identical to the serial path.  Systems without a
         shard spec fall back to serial exploration.
+    observer:
+        An :class:`ExplorationObserver` receiving streaming callbacks on
+        state discovery, transition emission and state completion, with
+        :class:`StopExploration` as the early-exit control signal.  The
+        event stream is identical under serial and sharded exploration.
     """
     system.validate_commands()
     if not telemetry.enabled():
-        return _explore_dispatch(system, max_states, max_depth, strict, n_jobs)
+        return _explore_dispatch(
+            system, max_states, max_depth, strict, n_jobs, observer
+        )
     # Telemetry wrapper: one span around the whole exploration, totals
     # counted once at the end (never inside the BFS loop), and the
     # system's successor-cache counters unified into the registry as the
@@ -508,7 +569,9 @@ def explore(
         "explore", system=getattr(system, "name", type(system).__name__)
     ) as sp:
         try:
-            graph = _explore_dispatch(system, max_states, max_depth, strict, n_jobs)
+            graph = _explore_dispatch(
+                system, max_states, max_depth, strict, n_jobs, observer
+            )
         except ExplorationLimitError:
             telemetry.count("explore.strict_aborts")
             raise
@@ -520,8 +583,8 @@ def explore(
             telemetry.count("explore.truncated")
         if before is not None:
             hits, misses = cache_stats()
-            telemetry.count("succcache.hit", hits - before[0])
-            telemetry.count("succcache.miss", misses - before[1])
+            telemetry.count("succache.hit", hits - before[0])
+            telemetry.count("succache.miss", misses - before[1])
         sp.set("states", len(graph))
         sp.set("complete", graph.complete)
     return graph
@@ -533,6 +596,7 @@ def _explore_dispatch(
     max_depth: int | None,
     strict: bool,
     n_jobs: int | None,
+    observer: ExplorationObserver | None = None,
 ) -> ReachableGraph:
     """Serial-vs-sharded dispatch (the pre-telemetry body of ``explore``)."""
     if n_jobs is not None:
@@ -557,8 +621,15 @@ def _explore_dispatch(
                     max_depth=max_depth,
                     strict=strict,
                     n_jobs=jobs,
+                    observer=observer,
                 )
-    return _explore_serial(system, max_states, max_depth, strict)
+    return _explore_serial(system, max_states, max_depth, strict, observer)
+
+
+def _stop_counters(states_discovered: int) -> None:
+    """Phase-boundary telemetry for one :class:`StopExploration` signal."""
+    telemetry.count("stream.stops")
+    telemetry.count("stream.states_at_stop", states_discovered)
 
 
 def _explore_serial(
@@ -566,6 +637,7 @@ def _explore_serial(
     max_states: int | None,
     max_depth: int | None,
     strict: bool,
+    observer: ExplorationObserver | None = None,
 ) -> ReachableGraph:
     interner = StateInterner()
     states = interner.states
@@ -596,63 +668,89 @@ def _explore_serial(
     # of the display is the single ``is not None`` test per expansion.
     progress = telemetry.progress_reporter()
 
-    while queue:
-        i = queue.popleft()
-        if expanded[i]:
-            continue
-        if max_depth is not None and depth[i] > max_depth:
-            frontier.add(i)
-            truncated = True
-            continue
-        if progress is not None:
-            progress.maybe(len(states), len(queue), depth[i])
-        expanded[i] = 1
-        state = states[i]
-        successor_depth = depth[i] + 1
-        at_budget = max_states is not None and len(states) >= max_states
-        # ``expand`` hands back enabledness and successors from one guard
-        # pass (and lets compiled systems answer from their successor
-        # cache); unexpanded states get a guards-only query at the end.
-        enabled_set, posts = system.expand(state)
-        mask = 0
-        for label in enabled_set:
-            k = label_ids.get(label)
-            if k is None:
-                k = len(labels)
-                label_ids[label] = k
-                labels.append(label)
-            mask |= 1 << k
-        emask_of[i] = mask
-        for command, target in posts:
-            if at_budget:
-                # At the state budget only already-interned successors may
-                # be recorded; a genuinely new one is lost, so the source
-                # becomes frontier.
-                j = interner.lookup(target)
-                if j is None:
-                    frontier.add(i)
-                    truncated = True
-                    # The state stays expanded for the transitions already
-                    # recorded; mark it frontier because this successor is
-                    # lost.
-                    break
+    i = -1
+    finalized = -1
+    try:
+        if observer is not None:
+            for idx in range(initial_count):
+                observer.on_state(idx, states[idx], 0)
+        while queue:
+            i = queue.popleft()
+            if expanded[i]:
+                continue
+            if max_depth is not None and depth[i] > max_depth:
+                frontier.add(i)
+                truncated = True
+                continue
+            if progress is not None:
+                progress.maybe(len(states), len(queue), depth[i])
+            expanded[i] = 1
+            state = states[i]
+            successor_depth = depth[i] + 1
+            at_budget = max_states is not None and len(states) >= max_states
+            # ``expand`` hands back enabledness and successors from one guard
+            # pass (and lets compiled systems answer from their successor
+            # cache); unexpanded states get a guards-only query at the end.
+            enabled_set, posts = system.expand(state)
+            mask = 0
+            for label in enabled_set:
+                k = label_ids.get(label)
+                if k is None:
+                    k = len(labels)
+                    label_ids[label] = k
+                    labels.append(label)
+                mask |= 1 << k
+            emask_of[i] = mask
+            for command, target in posts:
+                if at_budget:
+                    # At the state budget only already-interned successors may
+                    # be recorded; a genuinely new one is lost, so the source
+                    # becomes frontier.
+                    j = interner.lookup(target)
+                    if j is None:
+                        frontier.add(i)
+                        truncated = True
+                        # The state stays expanded for the transitions already
+                        # recorded; mark it frontier because this successor is
+                        # lost.
+                        break
+                else:
+                    j, is_new = interner.intern(target)
+                    if is_new:
+                        depth.append(successor_depth)
+                        emask_of.append(-1)
+                        expanded.append(0)
+                        at_budget = max_states is not None and len(states) >= max_states
+                        if observer is not None:
+                            observer.on_state(j, target, successor_depth)
+                k = label_ids.get(command)
+                if k is None:
+                    k = len(labels)
+                    label_ids[command] = k
+                    labels.append(command)
+                src.append(i)
+                cmd.append(k)
+                dst.append(j)
+                if not expanded[j]:
+                    queue.append(j)
+                if observer is not None:
+                    observer.on_transition(i, command, j)
             else:
-                j, is_new = interner.intern(target)
-                if is_new:
-                    depth.append(successor_depth)
-                    emask_of.append(-1)
-                    expanded.append(0)
-                    at_budget = max_states is not None and len(states) >= max_states
-            k = label_ids.get(command)
-            if k is None:
-                k = len(labels)
-                label_ids[command] = k
-                labels.append(command)
-            src.append(i)
-            cmd.append(k)
-            dst.append(j)
-            if not expanded[j]:
-                queue.append(j)
+                # The posts loop completed without a budget break: the
+                # state's recorded transitions are final.
+                if observer is not None:
+                    finalized = i
+                    observer.on_expanded(i, enabled_set)
+    except StopExploration:
+        # A state whose expansion was still in flight reverts to frontier,
+        # so its partially-observed transitions are dropped by
+        # ``_finish_graph`` like any other truncated source; a stop raised
+        # from ``on_expanded`` keeps the (final, already consumed)
+        # transitions.  ``truncated`` is deliberately not set: stopping is
+        # a consumer verdict, not a bound.
+        if i >= 0 and i != finalized and expanded[i]:
+            expanded[i] = 0
+        _stop_counters(len(states))
 
     if progress is not None:
         progress.close()

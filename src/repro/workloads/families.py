@@ -218,6 +218,45 @@ def grid_hypercube(dims: int, side: int) -> Program:
     )
 
 
+def hypercube_trap(dims: int, side: int) -> Program:
+    """:func:`grid_hypercube` plus a fair two-state trap near the root:
+    ``(side+1)**dims + 2`` states, of which the trap is at depth 1.
+
+    From the initial corner (all coordinates at ``side``) a ``fall`` command
+    flips mode ``t`` to 1, disabling every ``dec_i`` and entering a
+    ``flip``/``flop`` two-cycle — a *fair* infinite computation (each of the
+    two commands is enabled and executed on every tour of the cycle).  The
+    rest of the cube is the million-state terminating bulk of
+    :func:`grid_hypercube`.  This is the early-exit stress shape: a
+    materialized decision must enumerate the whole cube before refining,
+    while the streaming hunt meets the trap SCC in its first stage.
+    ``hypercube_trap(6, 9)`` is exactly 1 000 002 states.
+    """
+    if dims < 1:
+        raise ValueError("need at least one dimension")
+    if side < 1:
+        raise ValueError("need side ≥ 1")
+    declarations = ", ".join(f"x{i} := {side}" for i in range(dims))
+    lines = [
+        f"dec{i}: t == 0 and x{i} > 0 -> x{i} := x{i} - 1"
+        for i in range(dims)
+    ]
+    corner = " and ".join(f"x{i} == {side}" for i in range(dims))
+    lines.append(f"fall: t == 0 and {corner} -> t := 1")
+    lines.append("flip: t == 1 and p == 0 -> p := 1")
+    lines.append("flop: t == 1 and p == 1 -> p := 0")
+    body = "\n  [] ".join(lines)
+    return parse_program(
+        f"""
+        program HypercubeTrap
+        var {declarations}, t := 0, p := 0
+        do
+             {body}
+        od
+        """
+    )
+
+
 def distributed_ring(stations: int, work: int) -> Program:
     """A token ring of ``stations`` worker stations, each with ``work``
     units: ``stations * (work+1)**stations`` states.

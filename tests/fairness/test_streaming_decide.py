@@ -1,0 +1,132 @@
+"""The streaming fair-termination decision vs the materialized one.
+
+``check_fair_termination_streaming`` explores in staged budgets and refines
+only freshly closed SCCs.  On non-violating systems (run to the same
+bounds) its result must equal ``check_fair_termination`` field for field;
+on violating systems the verdict must match, the witness must be an
+independently validated genuine fair lasso, and for fixed bounds the whole
+result must be identical across job counts.  ``find_fair_cycle`` gained
+``restrict_to`` validation in the same PR — covered here too.
+"""
+
+import pytest
+
+from repro.fairness import (
+    check_fair_termination,
+    check_fair_termination_streaming,
+    find_fair_cycle,
+)
+from repro.fairness.spec import STRONG_FAIRNESS
+from repro.ts import explore
+from repro.workloads import (
+    counter_grid,
+    dining_philosophers,
+    distributed_ring,
+    hypercube_trap,
+    modulus_chain,
+    nested_rings,
+    p2,
+    token_ring,
+)
+
+TERMINATING = [
+    ("grid", lambda: counter_grid(6, 6)),
+    ("chain", lambda: modulus_chain(2, fuel=3)),
+    ("rings", lambda: nested_rings(3)),
+    ("ring", lambda: token_ring(4)),
+    ("philosophers", lambda: dining_philosophers(3)),
+    ("p2", p2),
+]
+
+VIOLATING = [
+    ("distributed", lambda: distributed_ring(3, 2)),
+    ("trap", lambda: hypercube_trap(3, 3)),
+    ("trap_larger", lambda: hypercube_trap(4, 3)),
+]
+
+
+@pytest.fixture
+def force_parallel(monkeypatch):
+    monkeypatch.setenv("REPRO_FORCE_PARALLEL", "1")
+
+
+class TestNonViolating:
+    @pytest.mark.parametrize("name,make", TERMINATING)
+    def test_equal_to_materialized(self, name, make):
+        materialized = check_fair_termination(explore(make()))
+        streaming = check_fair_termination_streaming(make(), first_budget=8)
+        assert streaming == materialized
+        assert streaming.fairly_terminates and streaming.decisive
+
+    def test_bounded_equal_to_materialized(self):
+        system = counter_grid(9, 9)
+        materialized = check_fair_termination(explore(system, max_states=40))
+        streaming = check_fair_termination_streaming(
+            system, max_states=40, first_budget=8
+        )
+        assert streaming == materialized
+        assert not streaming.decisive
+
+
+class TestViolating:
+    @pytest.mark.parametrize("name,make", VIOLATING)
+    def test_verdict_and_genuine_witness(self, name, make):
+        system = make()
+        graph = explore(system)
+        materialized = check_fair_termination(graph)
+        assert not materialized.fairly_terminates
+        streaming = check_fair_termination_streaming(system, first_budget=8)
+        assert not streaming.fairly_terminates
+        assert streaming.decisive
+        witness = streaming.witness
+        assert witness is not None
+        # The witness is a genuine fair lasso of the system, re-derived
+        # from the fairness spec rather than trusted from the search.
+        assert not STRONG_FAIRNESS.violations(
+            witness.lasso, system.enabled, system.commands()
+        )
+
+    @pytest.mark.parametrize("name,make", VIOLATING)
+    def test_jobs_parity(self, force_parallel, name, make):
+        serial = check_fair_termination_streaming(make(), first_budget=8)
+        sharded = check_fair_termination_streaming(
+            make(), first_budget=8, n_jobs=4
+        )
+        assert serial == sharded
+
+    def test_early_exit_explores_less(self):
+        system = hypercube_trap(4, 4)  # 627 states, trap at depth 1
+        materialized = check_fair_termination(explore(system))
+        streaming = check_fair_termination_streaming(system, first_budget=16)
+        assert not streaming.fairly_terminates
+        assert streaming.states_explored < materialized.states_explored
+
+
+class TestParameters:
+    def test_first_budget_validated(self):
+        with pytest.raises(ValueError, match="first_budget"):
+            check_fair_termination_streaming(p2(), first_budget=0)
+
+    def test_growth_validated(self):
+        with pytest.raises(ValueError, match="growth"):
+            check_fair_termination_streaming(p2(), growth=1)
+
+
+class TestRestrictToValidation:
+    def test_duplicates_deduplicated(self):
+        graph = explore(distributed_ring(3, 2))
+        full = find_fair_cycle(graph)
+        assert full is not None
+        region = list(range(len(graph)))
+        assert find_fair_cycle(graph, restrict_to=region + region) == full
+
+    def test_out_of_range_rejected(self):
+        graph = explore(distributed_ring(3, 2))
+        with pytest.raises(ValueError, match="out of range"):
+            find_fair_cycle(graph, restrict_to=[0, len(graph)])
+        with pytest.raises(ValueError, match="out of range"):
+            find_fair_cycle(graph, restrict_to=[-1])
+
+    def test_empty_region_finds_nothing(self):
+        graph = explore(distributed_ring(3, 2))
+        assert find_fair_cycle(graph, restrict_to=[]) is None

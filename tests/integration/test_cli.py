@@ -68,6 +68,47 @@ class TestDecide:
         assert "explored" in capsys.readouterr().out
 
 
+class TestDecideStream:
+    def test_fairly_terminating_matches_materialized(self, p2_file, capsys):
+        assert main(["decide", p2_file, "--stream"]) == 0
+        out = capsys.readouterr().out
+        assert "fairly terminates" in out
+        assert "engine:" in out
+        assert "verdict at" in out
+
+    def test_counterexample_returns_one(self, spin_file, capsys):
+        assert main(["decide", spin_file, "--stream"]) == 1
+        assert "counterexample" in capsys.readouterr().out
+
+
+class TestCheckStream:
+    @pytest.fixture
+    def p2_assert_file(self, tmp_path):
+        path = tmp_path / "p2.assert"
+        path.write_text("la\nT: max(y - x, 0)\n")
+        return str(path)
+
+    def test_stream_passes(self, p2_file, p2_assert_file, capsys):
+        code = main(
+            ["check", p2_file, "--assertion", p2_assert_file, "--stream"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "verdict at" in out
+
+    def test_fail_fast_stops_early(self, p2_file, tmp_path, capsys):
+        # Dropping the la hypothesis breaks (V_A) on lb self-loops.
+        bad = tmp_path / "bad.assert"
+        bad.write_text("T: max(y - x, 0)\n")
+        code = main(
+            ["check", p2_file, "--assertion", str(bad), "--fail-fast"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "stopped early" in out
+
+
 class TestSynthesize:
     def test_success(self, p2_file, capsys):
         assert main(["synthesize", p2_file, "--stacks"]) == 0

@@ -149,7 +149,7 @@ class TestDiskCacheCounters:
         program = counter_grid(4, 4)
         explore(program)
         first = _counters()
-        assert first["succcache.miss"] > 0
+        assert first["succache.miss"] > 0
         explore(program)  # same instance: the successor cache is warm now
         second = _counters()
-        assert second["succcache.hit"] > first.get("succcache.hit", 0)
+        assert second["succache.hit"] > first.get("succache.hit", 0)

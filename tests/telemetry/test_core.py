@@ -197,6 +197,21 @@ class TestSchema:
         with pytest.raises(SnapshotSchemaError):
             validate_snapshot(snap)
 
+    def test_deprecated_alias_resolves_to_canonical(self):
+        from repro.telemetry import canonical_metric_name
+
+        # The triple-c spelling shipped in the first telemetry release; it
+        # stays accepted (resolvable) for one release after the rename.
+        assert canonical_metric_name("succcache.hit") == "succache.hit"
+        assert canonical_metric_name("succcache.miss") == "succache.miss"
+        assert canonical_metric_name("succache.hit") == "succache.hit"
+        assert canonical_metric_name("explore.states") == "explore.states"
+
+    def test_deprecated_alias_still_schema_valid(self):
+        telemetry.enable()
+        telemetry.count("succcache.hit", 3)
+        validate_snapshot(telemetry.snapshot())  # must not raise
+
 
 class TestSinks:
     def test_render_trace_collapses_sibling_runs(self):

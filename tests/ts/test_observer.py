@@ -1,0 +1,194 @@
+"""The exploration observer protocol and its cancellation signal.
+
+Contract (see ``docs/METHOD.md`` §11): ``on_state`` fires at interning
+time in index order (initial states first, at depth 0), ``on_transition``
+fires as each kept transition is recorded (contiguous per source),
+``on_expanded`` fires exactly once per *fully expanded* source — i.e.
+exactly the states whose transitions survive into the graph — and the
+whole event stream is bit-identical between the serial and the sharded
+explorer.  Raising :class:`StopExploration` from any callback stops
+exploration cleanly: the graph stays well-formed, half-expanded states
+revert to the frontier, and a sharded run stops within one BFS round.
+"""
+
+import pytest
+
+from repro.engine.shard import graph_digest
+from repro.telemetry import core as telemetry
+from repro.ts import ExplorationObserver, StopExploration, explore
+from repro.workloads import (
+    counter_grid,
+    dining_philosophers,
+    distractor_loop,
+    modulus_chain,
+    nested_rings,
+)
+
+JOB_COUNTS = (2, 4)
+
+FAMILIES = [
+    ("grid", lambda: counter_grid(5, 5)),
+    ("chain", lambda: modulus_chain(2, fuel=3)),
+    ("rings", lambda: nested_rings(3)),
+    ("distractors", lambda: distractor_loop(2, 2)),
+    ("philosophers", lambda: dining_philosophers(3)),
+]
+
+
+@pytest.fixture
+def force_parallel(monkeypatch):
+    monkeypatch.setenv("REPRO_FORCE_PARALLEL", "1")
+
+
+class Recorder(ExplorationObserver):
+    """Records the full event stream as comparable tuples."""
+
+    def __init__(self):
+        self.events = []
+
+    def on_state(self, index, state, depth):
+        self.events.append(("state", index, state, depth))
+
+    def on_transition(self, source, command, target):
+        self.events.append(("transition", source, command, target))
+
+    def on_expanded(self, index, enabled):
+        self.events.append(("expanded", index, enabled))
+
+
+class StopAfterStates(ExplorationObserver):
+    """Stops once ``limit`` states have been discovered."""
+
+    def __init__(self, limit):
+        self.limit = limit
+        self.depths = {}
+        self.stop_depth = None
+
+    def on_state(self, index, state, depth):
+        self.depths[index] = depth
+        if len(self.depths) >= self.limit:
+            self.stop_depth = depth
+            raise StopExploration(f"saw {len(self.depths)} states")
+
+
+class TestEventStream:
+    @pytest.mark.parametrize("name,make", FAMILIES)
+    def test_events_match_graph(self, name, make):
+        recorder = Recorder()
+        graph = explore(make(), observer=recorder)
+        states = [e for e in recorder.events if e[0] == "state"]
+        transitions = [e for e in recorder.events if e[0] == "transition"]
+        expanded = [e for e in recorder.events if e[0] == "expanded"]
+        # Every state reported once, in interning (index) order.
+        assert [e[1] for e in states] == list(range(len(graph)))
+        assert all(graph.state_of(e[1]) == e[2] for e in states)
+        # Initial states lead, at depth 0.
+        initials = len(graph.initial_indices)
+        assert [e[1] for e in states[:initials]] == list(graph.initial_indices)
+        assert all(e[3] == 0 for e in states[:initials])
+        # Transitions: exactly the kept ones, in graph order.
+        assert [
+            (e[1], e[2], e[3]) for e in transitions
+        ] == [(t.source, t.command, t.target) for t in graph.transitions]
+        # Expanded: exactly the non-frontier states, with their enabled sets.
+        assert {e[1] for e in expanded} == (
+            set(range(len(graph))) - set(graph.frontier)
+        )
+        assert all(
+            e[2] == frozenset(graph.enabled_at(e[1])) for e in expanded
+        )
+
+    @pytest.mark.parametrize("name,make", FAMILIES)
+    @pytest.mark.parametrize("jobs", JOB_COUNTS)
+    def test_sharded_stream_identical(self, force_parallel, name, make, jobs):
+        serial, sharded = Recorder(), Recorder()
+        g1 = explore(make(), observer=serial)
+        g2 = explore(make(), n_jobs=jobs, observer=sharded)
+        assert graph_digest(g1) == graph_digest(g2)
+        assert serial.events == sharded.events
+
+    @pytest.mark.parametrize("jobs", (None,) + JOB_COUNTS)
+    def test_bounded_stream_identical(self, force_parallel, jobs):
+        serial = Recorder()
+        explore(counter_grid(6, 6), max_states=17, observer=serial)
+        other = Recorder()
+        explore(counter_grid(6, 6), max_states=17, n_jobs=jobs, observer=other)
+        assert serial.events == other.events
+
+    def test_noop_observer_leaves_graph_unchanged(self):
+        bare = explore(counter_grid(5, 5))
+        observed = explore(counter_grid(5, 5), observer=ExplorationObserver())
+        assert graph_digest(bare) == graph_digest(observed)
+
+
+class TestStopExploration:
+    @pytest.mark.parametrize("jobs", (None, 2))
+    def test_stop_yields_wellformed_prefix(self, force_parallel, jobs):
+        observer = StopAfterStates(10)
+        graph = explore(counter_grid(8, 8), n_jobs=jobs, observer=observer)
+        assert len(graph) >= 10
+        # Every kept transition originates from a fully expanded state and
+        # both endpoints are interned — the graph is a usable prefix.
+        frontier = set(graph.frontier)
+        for t in graph.transitions:
+            assert t.source not in frontier
+            assert 0 <= t.target < len(graph)
+
+    def test_stop_from_on_expanded_keeps_final_transitions(self):
+        class StopOnExpand(ExplorationObserver):
+            def __init__(self):
+                self.expanded = []
+                self.transitions = []
+
+            def on_transition(self, source, command, target):
+                self.transitions.append((source, command, target))
+
+            def on_expanded(self, index, enabled):
+                self.expanded.append(index)
+                if len(self.expanded) >= 3:
+                    raise StopExploration()
+
+        observer = StopOnExpand()
+        graph = explore(counter_grid(8, 8), observer=observer)
+        # Transitions declared final via on_expanded survive into the graph.
+        kept = [(t.source, t.command, t.target) for t in graph.transitions]
+        frontier = set(graph.frontier)
+        assert set(observer.expanded) == set(range(len(graph))) - frontier
+        assert [
+            t for t in observer.transitions if t[0] in set(observer.expanded)
+        ] == kept
+
+    def test_sharded_stop_halts_within_one_round(self, force_parallel):
+        """After the stopping round merges, no further round is dispatched:
+        BFS rounds are depth layers, so a stop raised at the discovery of a
+        depth-``d`` state (during the merge of the round expanding depth
+        ``d-1``) must leave every state of depth ``>= d`` unexpanded."""
+        telemetry.reset()
+        telemetry.enable()
+        try:
+            observer = StopAfterStates(10)
+            graph = explore(counter_grid(10, 10), n_jobs=4, observer=observer)
+            counters = telemetry.registry().snapshot()["counters"]
+            assert counters.get("stream.stops") == 1
+            assert counters.get("stream.states_at_stop") == len(graph)
+        finally:
+            telemetry.disable()
+        assert observer.stop_depth is not None
+        frontier = set(graph.frontier)
+        expanded_depths = [
+            observer.depths[i] for i in range(len(graph)) if i not in frontier
+        ]
+        assert max(expanded_depths, default=0) < observer.stop_depth
+
+    def test_serial_stop_counters(self):
+        telemetry.reset()
+        telemetry.enable()
+        try:
+            graph = explore(
+                counter_grid(8, 8), observer=StopAfterStates(10)
+            )
+            counters = telemetry.registry().snapshot()["counters"]
+            assert counters.get("stream.stops") == 1
+            assert counters.get("stream.states_at_stop") == len(graph)
+        finally:
+            telemetry.disable()
