@@ -14,10 +14,13 @@ scheduling hiccup cannot swing a sub-millisecond row.
 
 Every ``timed_median`` call also snapshots the process's peak RSS
 (:func:`peak_rss_kb`, via ``resource.getrusage``) so each ``BENCH_*.json``
-row records memory alongside time.  ``ru_maxrss`` is a *high-water mark* —
-monotone over the process lifetime — so within one bench process the
-column reads "peak RSS up to and including this row"; benches that need
-per-configuration peaks (E15) measure in fresh child processes instead.
+row records memory alongside time.  BENCH row schema note: the
+``peak_rss_kb`` column is ``max(RUSAGE_SELF, RUSAGE_CHILDREN)`` — pool
+workers' memory counts, not just the coordinator's.  ``ru_maxrss`` is a
+*high-water mark* — monotone over the process lifetime — so within one
+bench process the column reads "peak RSS up to and including this row";
+benches that need per-configuration peaks (E15, E18) measure in fresh
+child processes instead.
 
 When telemetry is collecting (``REPRO_BENCH_TELEMETRY=1``, or a bench
 enabled it explicitly), ``timed_median`` additionally snapshots the
@@ -57,7 +60,15 @@ _LAST_TELEMETRY: Optional[Dict[str, Any]] = None
 
 
 def peak_rss_kb() -> Optional[int]:
-    """The process's peak resident set size in KiB (``None`` if unknown).
+    """Peak resident set size in KiB (``None`` if unknown).
+
+    Reported as ``max(RUSAGE_SELF, RUSAGE_CHILDREN)``: sharded explorations
+    do their heavy lifting in pool workers, whose memory ``RUSAGE_SELF``
+    never sees — a parallel row would otherwise report only the
+    coordinator's (much smaller) footprint.  ``RUSAGE_CHILDREN`` is the
+    high-water mark over *reaped* children, so it covers workers once the
+    pool has been shut down; benches that measure in fresh child processes
+    (E15, E18) get the child's own self+children peak the same way.
 
     Linux reports ``ru_maxrss`` in KiB; macOS reports bytes and is
     normalised here.  The value is a lifetime high-water mark.
@@ -65,7 +76,10 @@ def peak_rss_kb() -> Optional[int]:
     if resource is None:
         return None
     try:
-        maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        maxrss = max(
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+            resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss,
+        )
     except (OSError, ValueError):  # pragma: no cover - exotic sandboxes
         return None
     import sys

@@ -141,12 +141,7 @@ def _engine_footer(args: argparse.Namespace) -> str:
         if name in phases
     ]
     registry = telemetry.registry().snapshot()
-    counters: dict = {}
-    for name, value in registry["counters"].items():
-        # Fold deprecated spellings (``succcache.*``) into their canonical
-        # names so old worker snapshots merge into the right footer field.
-        key = telemetry.canonical_metric_name(name)
-        counters[key] = counters.get(key, 0) + value
+    counters = registry["counters"]
     succ_hits = counters.get("succache.hit", 0)
     succ_misses = counters.get("succache.miss", 0)
     if succ_hits or succ_misses:

@@ -41,9 +41,15 @@ import time
 from array import array
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.engine import shm
 from repro.engine.interning import StateInterner
 from repro.engine.parallel import _FORCE_ENV, parallel_map, resolve_jobs
 from repro.telemetry import core as telemetry
+
+#: Set to ``0`` to disable the value-plane/shared-memory exploration path
+#: and restore the object-pickling coordinator for every system (rollback
+#: and the benchmark baseline column).
+VALUE_PLANE_ENV = "REPRO_VALUE_PLANE"
 
 #: Rounds with fewer pending states than this are expanded in-process: the
 #: per-round pool round-trip (pickle states out, results back) costs more
@@ -136,6 +142,16 @@ def _round_workers(jobs: int, pending_count: int) -> int:
     return _round_dispatch(jobs, pending_count)[0]
 
 
+def value_plane_of(system):
+    """The system's value plane, unless disabled via the environment."""
+    if os.environ.get(VALUE_PLANE_ENV) == "0":
+        return None
+    getter = getattr(system, "value_plane", None)
+    if getter is None:
+        return None
+    return getter()
+
+
 def explore_sharded(
     system,
     spec: bytes,
@@ -157,6 +173,22 @@ def explore_sharded(
     from repro.ts.explore import StopExploration, _finish_graph, _stop_counters
 
     jobs = resolve_jobs(n_jobs)
+
+    plane = value_plane_of(system)
+    if plane is not None:
+        prepared = _prepare_value_rounds(system, plane)
+        if prepared is not None:
+            return _explore_rounds_values(
+                system,
+                plane,
+                prepared,
+                max_states=max_states,
+                max_depth=max_depth,
+                strict=strict,
+                jobs=jobs,
+                observer=observer,
+            )
+
     digest = hashlib.sha256(spec).hexdigest()
 
     interner = StateInterner()
@@ -439,6 +471,470 @@ def _expand_round_parallel(digest, spec, labels, states, pending, workers):
         for i, (mask, strays, posts) in zip(shard, results):
             per_state[i] = (mask, strays, posts, targets)
     return [per_state[i] for i in pending]
+
+
+# ---------------------------------------------------------------------------
+# Value-plane rounds: the zero-copy data plane
+# ---------------------------------------------------------------------------
+#
+# Systems exposing a value plane (:meth:`TransitionSystem.value_plane`)
+# explore through flat int64 rows instead of state objects: the coordinator
+# interns *value tuples*, keeps the packed columns live, and — when a round
+# goes parallel — publishes them once through a shared-memory arena
+# (:mod:`repro.engine.shm`) so each worker task is just an index array.
+# Serial rounds call the batched kernels directly on the local rows, which
+# is where the batching win lands even without a pool.  The merge replays
+# the object path's bookkeeping statement for statement, so graphs are
+# bit-identical across all three paths (serial, pickled-sharded, shm).
+
+
+def _prepare_value_rounds(system, plane):
+    """Validate that ``system`` can explore through ``plane``.
+
+    Returns ``(plane_spec, initial_states, labels, label_ids, kmap)`` or
+    ``None`` to fall back to the object path.  ``kmap`` translates plane
+    command indices to coordinator label-table ids (the identity for
+    programs, where both sides are declaration order — but checked, never
+    assumed).
+    """
+    plane_spec = plane.spec()
+    if plane_spec is None:
+        return None
+    initial = list(system.initial_states())
+    names = plane.names
+    for state in initial:
+        if getattr(state, "names", None) != names:
+            return None
+    labels: List[str] = list(system.commands())
+    label_ids: Dict[str, int] = {label: k for k, label in enumerate(labels)}
+    try:
+        kmap = [label_ids[label] for label in plane.labels]
+    except KeyError:
+        return None
+    return plane_spec, initial, labels, label_ids, kmap
+
+
+def _explore_rounds_values(
+    system,
+    plane,
+    prepared,
+    max_states,
+    max_depth,
+    strict,
+    jobs,
+    observer,
+):
+    """Round-based exploration over the value plane (shm when parallel)."""
+    from repro.ts.explore import StopExploration, _finish_graph, _stop_counters
+
+    plane_spec, initial, labels, label_ids, kmap = prepared
+    digest = hashlib.sha256(plane_spec).hexdigest()
+    width = plane.width
+
+    interner = StateInterner()
+    states = interner.states
+    values_index: Dict[tuple, int] = {}
+    value_rows: List[tuple] = []
+    for state in initial:
+        row = plane.encode(state)
+        if row not in values_index:
+            index, _ = interner.intern(state)
+            values_index[row] = index
+            value_rows.append(row)
+    initial_count = len(states)
+    if initial_count == 0:
+        raise ValueError("system has no initial states")
+
+    src = array("q")
+    cmd = array("q")
+    dst = array("q")
+    emask_of: List[int] = [-1] * initial_count
+    expanded = bytearray(initial_count)
+    frontier: Set[int] = set()
+    truncated = False
+    stopped = False
+
+    pending: List[int] = list(range(initial_count))
+    round_depth = 0
+    traced = telemetry.enabled()
+    progress = telemetry.progress_reporter()
+    mask_labels: Dict[int, frozenset] = {}
+    mask_memo: Dict[int, int] = {}
+
+    arena = None
+    shm_ok = True
+    values_col: Optional[array] = None  # flat mirror, built at first sync
+
+    if observer is not None:
+        try:
+            for idx in range(initial_count):
+                observer.on_state(idx, states[idx], 0)
+        except StopExploration:
+            stopped = True
+            pending = []
+
+    try:
+        while pending:
+            if max_depth is not None and round_depth > max_depth:
+                frontier.update(pending)
+                truncated = True
+                break
+
+            workers, dispatch = _round_dispatch(jobs, len(pending))
+            if workers > 1 and shm_ok and arena is None:
+                try:
+                    arena = shm.ShmArena(digest.encode("utf-8"))
+                except shm.ShmUnavailable:
+                    # No shared memory here (platform/sandbox): every
+                    # round runs the batched kernels in-process instead.
+                    shm_ok = False
+                    if traced:
+                        telemetry.count("shm.unavailable")
+            if workers > 1 and arena is None:
+                workers, dispatch = 1, "shm_unavailable"
+            if traced:
+                telemetry.count("shard.rounds")
+                telemetry.count("shard.values_rounds")
+                telemetry.count(
+                    "shard.parallel_rounds" if workers > 1 else "shard.serial_rounds"
+                )
+                if workers <= 1:
+                    telemetry.count(f"shard.serial_round.{dispatch}")
+                telemetry.observe("shard.round_pending", len(pending))
+            if progress is not None:
+                progress.maybe(len(states), len(pending), round_depth)
+            round_span = telemetry.span(
+                "shard_round",
+                round=round_depth,
+                pending=len(pending),
+                workers=workers,
+            )
+            with round_span:
+                if workers > 1:
+                    if values_col is None:
+                        values_col = array(
+                            "q", [v for row in value_rows for v in row]
+                        )
+                    round_results = _expand_round_values_parallel(
+                        digest,
+                        plane_spec,
+                        arena,
+                        width,
+                        values_col,
+                        value_rows,
+                        (src, cmd, dst, emask_of, pending[0]),
+                        pending,
+                        workers,
+                    )
+                else:
+                    round_results = _expand_round_values_serial(
+                        plane, value_rows, pending
+                    )
+                merge_started = time.perf_counter() if traced else 0.0
+
+                next_pending, truncated, stopped = _merge_round_values(
+                    pending,
+                    round_results,
+                    interner,
+                    values_index,
+                    value_rows,
+                    values_col,
+                    plane,
+                    labels,
+                    kmap,
+                    mask_memo,
+                    src,
+                    cmd,
+                    dst,
+                    emask_of,
+                    expanded,
+                    frontier,
+                    truncated,
+                    max_states,
+                    observer,
+                    round_depth + 1,
+                    mask_labels,
+                )
+                if traced:
+                    telemetry.observe(
+                        "shard.merge_s", time.perf_counter() - merge_started
+                    )
+            if stopped:
+                break
+            pending = next_pending
+            round_depth += 1
+    finally:
+        # The leak contract: the arena dies with the exploration — normal
+        # return, StopExploration, limit errors and observer exceptions
+        # all pass through here (worker death never owns a segment).
+        if arena is not None:
+            arena.close()
+
+    if stopped:
+        _stop_counters(len(states))
+    if progress is not None:
+        progress.close()
+    return _finish_graph(
+        system=system,
+        interner=interner,
+        labels=labels,
+        label_ids=label_ids,
+        src=src,
+        cmd=cmd,
+        dst=dst,
+        emask_of=emask_of,
+        expanded=expanded,
+        frontier=frontier,
+        initial_count=initial_count,
+        truncated=truncated,
+        strict=strict,
+        max_states=max_states,
+        max_depth=max_depth,
+    )
+
+
+def _merge_round_values(
+    pending,
+    round_results,
+    interner,
+    values_index,
+    value_rows,
+    values_col,
+    plane,
+    labels,
+    kmap,
+    mask_memo,
+    src,
+    cmd,
+    dst,
+    emask_of,
+    expanded,
+    frontier,
+    truncated,
+    max_states,
+    observer=None,
+    successor_depth=0,
+    mask_labels=None,
+):
+    """:func:`_merge_round` for value-plane rounds.
+
+    Same statement order, same budget bookkeeping, same observer events,
+    same :class:`StopExploration` revert rule — only the successor lookup
+    changes (value tuple instead of state object; a state object is built
+    exactly once, when a row is genuinely new).
+    """
+    from repro.ts.explore import StopExploration
+
+    states = interner.states
+    next_pending: List[int] = []
+    # The loop below runs once per transition of the whole graph; bind
+    # every repeated attribute lookup to a local first (the difference is
+    # measurable at 10⁶ states).
+    lookup = values_index.get
+    src_append = src.append
+    cmd_append = cmd.append
+    dst_append = dst.append
+    emask_append = emask_of.append
+    expanded_append = expanded.append
+    pending_append = next_pending.append
+    rows_append = value_rows.append
+    make_state = plane.make_state
+    intern = interner.intern
+    mask_of = mask_memo.get
+    tracked = observer is not None
+    unbudgeted = max_states is None
+    i = -1
+    finalized = -1
+    try:
+        for i, (plane_mask, posts) in zip(pending, round_results):
+            expanded[i] = 1
+            mask = mask_of(plane_mask)
+            if mask is None:
+                mask = 0
+                for b in range(plane_mask.bit_length()):
+                    if (plane_mask >> b) & 1:
+                        mask |= 1 << kmap[b]
+                mask_memo[plane_mask] = mask
+            emask_of[i] = mask
+            at_budget = not unbudgeted and len(states) >= max_states
+            for plane_cmd, row in posts:
+                j = lookup(row)
+                if at_budget:
+                    if j is None:
+                        frontier.add(i)
+                        truncated = True
+                        break
+                else:
+                    if j is None:
+                        target = make_state(row)
+                        j, _ = intern(target)
+                        values_index[row] = j
+                        rows_append(row)
+                        if values_col is not None:
+                            values_col.extend(row)
+                        emask_append(-1)
+                        expanded_append(0)
+                        pending_append(j)
+                        if not unbudgeted:
+                            at_budget = len(states) >= max_states
+                        if tracked:
+                            observer.on_state(j, target, successor_depth)
+                k = kmap[plane_cmd]
+                src_append(i)
+                cmd_append(k)
+                dst_append(j)
+                if tracked:
+                    observer.on_transition(i, labels[k], j)
+            else:
+                if tracked:
+                    enabled_set = mask_labels.get(mask)
+                    if enabled_set is None:
+                        mask_labels[mask] = enabled_set = frozenset(
+                            labels[b]
+                            for b in range(mask.bit_length())
+                            if (mask >> b) & 1
+                        )
+                    finalized = i
+                    observer.on_expanded(i, enabled_set)
+    except StopExploration:
+        if i >= 0 and i != finalized and expanded[i]:
+            expanded[i] = 0
+        return next_pending, truncated, True
+    return next_pending, truncated, False
+
+
+def _expand_round_values_serial(plane, value_rows, pending):
+    """One round through the batched kernels, in-process, no copies."""
+    rows = [value_rows[i] for i in pending]
+    if telemetry.enabled():
+        telemetry.count("shard.states_expanded", len(rows))
+        telemetry.count("batch.calls")
+        telemetry.count("batch.rows", len(rows))
+        results = plane.expand_batch(rows)
+        telemetry.count("shard.posts", sum(len(posts) for _, posts in results))
+        return results
+    return plane.expand_batch(rows)
+
+
+def _expand_round_values_parallel(
+    digest,
+    plane_spec,
+    arena,
+    width,
+    values_col,
+    value_rows,
+    graph_columns,
+    pending,
+    workers,
+):
+    """Fan one round out over the pool through the shared-memory arena.
+
+    Publishes the value table (workers read their rows by index) and
+    streams the graph columns built so far — ``src``/``cmd``/``dst`` plus
+    the enabled masks of the expanded prefix — into the same arena, so
+    the entire hot data plane is attachable.  Each task carries only the
+    shard's index array; results come back as flat int arrays.
+    """
+    shards: List[List[int]] = [[] for _ in range(workers)]
+    for i in pending:
+        # Same assignment as the object path: ProgramState hashes on its
+        # value tuple, so ``hash(row)`` equals ``hash(states[i])``.
+        shards[hash(value_rows[i]) % workers].append(i)
+    occupied = [shard for shard in shards if shard]
+    if telemetry.enabled():
+        for shard in occupied:
+            telemetry.observe("shard.shard_size", len(shard))
+
+    arena.sync("values", values_col)
+    src, cmd, dst, emask_of, expanded_prefix = graph_columns
+    arena.sync("src", src)
+    arena.sync("cmd", cmd)
+    arena.sync("dst", dst)
+    # Masks are final exactly for the expanded prefix (states below this
+    # round's first pending index); later entries are still -1 sentinels.
+    arena.column("emask").sync(emask_of, length=expanded_prefix)
+
+    name, _ = arena.column("values").manifest()
+    tasks = [
+        (
+            digest,
+            plane_spec,
+            name,
+            arena.tag,
+            width,
+            array("q", shard).tobytes(),
+        )
+        for shard in occupied
+    ]
+    outs = parallel_map(_expand_shard_values, tasks, n_jobs=workers)
+
+    per_state: Dict[int, tuple] = {}
+    for shard, (masks, counts, cmds, refs, flat) in zip(occupied, outs):
+        targets = [
+            tuple(flat[r * width:(r + 1) * width])
+            for r in range(len(flat) // width)
+        ]
+        base = 0
+        for offset, i in enumerate(shard):
+            count = counts[offset]
+            per_state[i] = (
+                masks[offset],
+                [
+                    (cmds[base + p], targets[refs[base + p]])
+                    for p in range(count)
+                ],
+            )
+            base += count
+    return [per_state[i] for i in pending]
+
+
+def _expand_shard_values(task):
+    """Expand one shard of a value-plane round (runs in a worker process).
+
+    ``task`` is ``(digest, plane_spec, segment, tag, width, index_bytes)``.
+    The worker attaches the published value column, reads its rows in
+    place, runs the batched kernels, and returns flat arrays:
+    ``(masks, post_counts, cmd_ids, target_refs, target_values)`` with
+    targets deduplicated per shard — cheap to pickle, decoded by the
+    coordinator in serial merge order.
+    """
+    digest, plane_spec, segment, tag, width, index_bytes = task
+    plane = _shard_system(digest, plane_spec)
+    indices = array("q")
+    indices.frombytes(index_bytes)
+    needed = (max(indices) + 1) * width if len(indices) else 0
+    view = shm.attach_column(segment, tag, needed)
+    base = shm.HEADER_WORDS
+    rows = [
+        tuple(view[base + i * width: base + (i + 1) * width])
+        for i in indices
+    ]
+    telemetry.count("shard.states_expanded", len(rows))
+    telemetry.count("batch.calls")
+    telemetry.count("batch.rows", len(rows))
+    expansions = plane.expand_batch(rows)
+
+    masks = array("Q", bytes(8 * len(rows)))
+    counts = array("q", bytes(8 * len(rows)))
+    cmds = array("q")
+    refs = array("q")
+    flat = array("q")
+    ref_of: Dict[tuple, int] = {}
+    posts_total = 0
+    for offset, (mask, posts) in enumerate(expansions):
+        masks[offset] = mask
+        counts[offset] = len(posts)
+        posts_total += len(posts)
+        for k, row in posts:
+            ref = ref_of.get(row)
+            if ref is None:
+                ref = len(ref_of)
+                ref_of[row] = ref
+                flat.extend(row)
+            cmds.append(k)
+            refs.append(ref)
+    telemetry.count("shard.posts", posts_total)
+    return masks, counts, cmds, refs, flat
 
 
 def graph_digest(graph) -> str:

@@ -105,9 +105,39 @@ def find_fair_cycle(
     return _refine_components(graph, components)
 
 
+class RefinementScratch:
+    """Recycled allocations of the Streett refinement.
+
+    Holds the generation-stamp array and the Tarjan work arrays
+    (:class:`~repro.engine.analysis.TarjanScratch`).  One refinement pass
+    already shares the stamp across its levels; the *streaming* decision
+    procedure runs a refinement per budget stage over the same growing
+    graph, so it threads one scratch through all of them — stages allocate
+    nothing, they only extend.  The generation counter persists across
+    passes, which is what makes reuse sound: a stale stamp value can never
+    equal a fresh generation.
+    """
+
+    __slots__ = ("stamp", "generation", "tarjan")
+
+    def __init__(self) -> None:
+        from repro.engine.analysis import TarjanScratch
+
+        self.stamp = array("q")
+        self.generation = 0
+        self.tarjan = TarjanScratch()
+
+    def ensure(self, n: int) -> None:
+        """Grow the stamp to cover ``n`` states (never shrinks)."""
+        grow = n - len(self.stamp)
+        if grow > 0:
+            self.stamp.frombytes(bytes(8 * grow))
+
+
 def _refine_components(
     graph: ReachableGraph,
     components: Sequence[Sequence[int]],
+    scratch: Optional[RefinementScratch] = None,
 ) -> Optional[FairCycle]:
     """The recursive Streett-emptiness refinement, on stamped regions.
 
@@ -119,14 +149,21 @@ def _refine_components(
     order (reverse topological), per-component member order (ascending)
     and the survivor stack discipline replicate the set-based
     implementation exactly, so every witness is bit-identical to it.
+
+    ``scratch`` recycles the stamp and the Tarjan work arrays across
+    passes (:class:`RefinementScratch`); omitted, a fresh private one is
+    used — the verdict and witness are identical either way.
     """
     from repro.engine.analysis import tarjan_scc_csr
 
     analyses = graph.analyses
     enabled_masks = analyses.enabled_masks
     packed = analyses.packed
-    stamp = array("q", bytes(8 * len(graph)))
-    generation = 0
+    if scratch is None:
+        scratch = RefinementScratch()
+    scratch.ensure(len(graph))
+    stamp = scratch.stamp
+    generation = scratch.generation
     pending: List[List[int]] = []
 
     def scan(batch: Sequence[Sequence[int]]) -> Optional[FairCycle]:
@@ -170,20 +207,31 @@ def _refine_components(
                 pending.append(survivors)
         return None
 
-    found = scan(components)
-    if found is not None:
-        return found
-    while pending:
-        region = pending.pop()
-        generation += 1
-        for i in region:
-            stamp[i] = generation
-        sub = tarjan_scc_csr(packed, region, stamp=stamp, stamp_value=generation)
-        # The decomposition's contract sorts each component ascending.
-        found = scan([sorted(c) for c in sub])
+    try:
+        found = scan(components)
         if found is not None:
             return found
-    return None
+        while pending:
+            region = pending.pop()
+            generation += 1
+            for i in region:
+                stamp[i] = generation
+            sub = tarjan_scc_csr(
+                packed,
+                region,
+                stamp=stamp,
+                stamp_value=generation,
+                scratch=scratch.tarjan,
+            )
+            # The decomposition's contract sorts each component ascending.
+            found = scan([sorted(c) for c in sub])
+            if found is not None:
+                return found
+        return None
+    finally:
+        # Persist the generation so the next pass through this scratch
+        # starts above every stamp value it may have left behind.
+        scratch.generation = generation
 
 
 def _validated_counterexample(
@@ -296,6 +344,9 @@ def _streaming_decide(
     previous_states = 0
     previous_frontier: frozenset = frozenset()
     stages = 0
+    # One scratch arena for every stage's refinement: the stamp and the
+    # Tarjan work arrays grow with the graph and are never reallocated.
+    scratch = RefinementScratch()
     while True:
         stages += 1
         bound = budget if max_states is None else min(budget, max_states)
@@ -321,7 +372,7 @@ def _streaming_decide(
         ]
         if telemetry.enabled():
             telemetry.count("stream.sccs_checked", len(candidates))
-        witness = _refine_components(graph, candidates)
+        witness = _refine_components(graph, candidates, scratch)
         if witness is not None:
             return _validated_counterexample(graph, witness), stages
         budget_bound = len(graph) >= bound

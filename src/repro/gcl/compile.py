@@ -31,7 +31,7 @@ fails exactly where an interpreted one would.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.gcl.ast import (
     Assign,
@@ -235,6 +235,190 @@ def _compile_unhandled_expr(expr: Expr):
 
 
 # ---------------------------------------------------------------------------
+# Batched guard kernels
+# ---------------------------------------------------------------------------
+#
+# The closure tree above costs one Python call per *node per state*.  For
+# exploration that price is paid once per guard per expanded state — the
+# dominant cost on million-state families.  A guard is a pure expression
+# over the value tuple, so it can instead be emitted as a single Python
+# expression string and compiled once into one code object evaluated over a
+# whole batch of states per call:
+#
+#     lambda rows: [ <guard expr over _v> for _v in rows ]
+#
+# One bytecode loop replaces len(rows) × tree-size closure calls.  Parity
+# with the closure path is exact for *successful* evaluations: the emitted
+# expression uses the same runtime helpers (``_div``/``_mod``/builtins) and
+# Python's own short-circuiting ``and``/``or``.  Error parity is handled by
+# the caller (:meth:`CompiledProgram.expand_batch`): a batch that raises
+# anywhere is re-run state-major through the closures so the interpreter's
+# error — and error *order* — surfaces unchanged.
+
+
+class _Unsupported(Exception):
+    """An expression node the batch emitter does not handle."""
+
+
+_BATCH_GLOBALS = {
+    "__builtins__": {},
+    "_div": _div,
+    "_mod": _mod,
+    "_uv": _raise_unknown_variable,
+    "_xi": _raise_expected_int,
+    "_xb": _raise_expected_bool,
+    "_cb": _call_builtin,
+    "abs": abs,
+    "min": min,
+    "max": max,
+}
+
+
+def _emit_int(expr: Expr, slots: Dict[str, int]) -> str:
+    """Emit ``expr`` as a Python source fragment in an integer context."""
+    if _is_bool_typed(expr):
+        return f"_xi({_emit_bool(expr, slots)})"
+    if isinstance(expr, IntLiteral):
+        return repr(expr.value)
+    if isinstance(expr, VarRef):
+        slot = slots.get(expr.name)
+        if slot is None:
+            return f"_uv({expr.name!r})"
+        return f"_v[{slot}]"
+    if isinstance(expr, Unary) and expr.op is UnaryOp.NEG:
+        return f"(-{_emit_int(expr.operand, slots)})"
+    if isinstance(expr, Binary) and expr.op in _INT_BINARY:
+        left = _emit_int(expr.left, slots)
+        right = _emit_int(expr.right, slots)
+        op = expr.op
+        if op is BinaryOp.ADD:
+            return f"({left} + {right})"
+        if op is BinaryOp.SUB:
+            return f"({left} - {right})"
+        if op is BinaryOp.MUL:
+            return f"({left} * {right})"
+        if op is BinaryOp.DIV:
+            return f"_div({left}, {right})"
+        return f"_mod({left}, {right})"
+    if isinstance(expr, Call):
+        args = [_emit_int(a, slots) for a in expr.args]
+        function = expr.function
+        if function == "abs" and len(args) == 1:
+            return f"abs({args[0]})"
+        if function == "min" and len(args) == 2:
+            return f"min({args[0]}, {args[1]})"
+        if function == "max" and len(args) == 2:
+            return f"max({args[0]}, {args[1]})"
+        return f"_cb({function!r}, [{', '.join(args)}])"
+    raise _Unsupported(type(expr).__name__)
+
+
+def _emit_bool(expr: Expr, slots: Dict[str, int]) -> str:
+    """Emit ``expr`` as a Python source fragment in a boolean context."""
+    if isinstance(expr, BoolLiteral):
+        return repr(expr.value)
+    if isinstance(expr, Unary) and expr.op is UnaryOp.NOT:
+        return f"(not {_emit_bool(expr.operand, slots)})"
+    if isinstance(expr, Binary):
+        op = expr.op
+        if op in CONNECTIVES:
+            left = _emit_bool(expr.left, slots)
+            right = _emit_bool(expr.right, slots)
+            # Python's ``and``/``or`` short-circuit exactly like the
+            # closures, and both operands are bool-emitted.
+            joiner = "and" if op is BinaryOp.AND else "or"
+            return f"({left} {joiner} {right})"
+        if op in COMPARISONS:
+            left = _emit_int(expr.left, slots)
+            right = _emit_int(expr.right, slots)
+            symbol = {
+                BinaryOp.EQ: "==",
+                BinaryOp.NE: "!=",
+                BinaryOp.LT: "<",
+                BinaryOp.LE: "<=",
+                BinaryOp.GT: ">",
+                BinaryOp.GE: ">=",
+            }[op]
+            return f"({left} {symbol} {right})"
+    if isinstance(
+        expr, (IntLiteral, VarRef, Call)
+    ) or (isinstance(expr, Unary) and expr.op is UnaryOp.NEG) or (
+        isinstance(expr, Binary) and expr.op in _INT_BINARY
+    ):
+        return f"_xb({_emit_int(expr, slots)})"
+    raise _Unsupported(type(expr).__name__)
+
+
+def compile_guard_batch(
+    expr: Expr, slots: Dict[str, int], guard: BoolFn
+) -> Callable[[Sequence[Values]], List[bool]]:
+    """``rows → [guard(row) for row in rows]`` as one code object.
+
+    Falls back to mapping the closure ``guard`` when the expression uses a
+    node the emitter does not know — semantics are identical either way,
+    only the per-row call overhead differs.
+    """
+    try:
+        source = f"lambda rows: [{_emit_bool(expr, slots)} for _v in rows]"
+    except _Unsupported:
+        return lambda rows: [guard(values) for values in rows]
+    return eval(source, dict(_BATCH_GLOBALS))  # noqa: S307 - trusted emitter
+
+
+def _emit_post_tuple(stmt: Stmt, slots: Dict[str, int], width: int) -> str:
+    """Emit a *single-post* body as one post-tuple expression over ``_v``.
+
+    Only bodies that deterministically produce exactly one successor
+    qualify: ``skip``, simultaneous assignment, and ``if`` over such
+    bodies.  Everything else (``choose``, sequencing) raises
+    :class:`_Unsupported` so the caller keeps the closure path.
+
+    The tuple elements evaluate in slot order rather than the
+    interpreter's target order; both read only the pre-state ``_v``, so
+    successful evaluations are identical and a raising one differs only
+    in *which* error surfaces first — which the batch caller already
+    repairs by re-running state-major.
+    """
+    if isinstance(stmt, Skip):
+        return "_v"
+    if isinstance(stmt, Assign):
+        if set(stmt.targets) - set(slots):
+            raise _Unsupported("Assign(unknown target)")
+        if len(set(stmt.targets)) != len(stmt.targets):
+            raise _Unsupported("Assign(duplicate target)")
+        by_slot = {
+            slots[t]: _emit_int(v, slots)
+            for t, v in zip(stmt.targets, stmt.values)
+        }
+        elements = [by_slot.get(j, f"_v[{j}]") for j in range(width)]
+        trailer = "," if width == 1 else ""
+        return f"({', '.join(elements)}{trailer})"
+    if isinstance(stmt, If):
+        then_src = _emit_post_tuple(stmt.then_branch, slots, width)
+        else_src = _emit_post_tuple(stmt.else_branch, slots, width)
+        condition = _emit_bool(stmt.condition, slots)
+        return f"({then_src} if {condition} else {else_src})"
+    raise _Unsupported(type(stmt).__name__)
+
+
+def compile_body_batch_single(
+    stmt: Stmt, slots: Dict[str, int]
+) -> Optional[Callable[[Sequence[Values]], List[Values]]]:
+    """``rows → [the one post of row for row in rows]`` as one code object.
+
+    Returns ``None`` when the body can yield multiple (or zero) posts or
+    uses a node the emitter does not know; the caller then loops the
+    deduplicating :meth:`CompiledCommand.execute` closure instead.
+    """
+    try:
+        post = _emit_post_tuple(stmt, slots, len(slots))
+    except _Unsupported:
+        return None
+    source = f"lambda rows: [{post} for _v in rows]"
+    return eval(source, dict(_BATCH_GLOBALS))  # noqa: S307 - trusted emitter
+
+
+# ---------------------------------------------------------------------------
 # Statement compilation
 # ---------------------------------------------------------------------------
 
@@ -327,14 +511,27 @@ def compile_stmt(stmt: Stmt, slots: Dict[str, int]) -> BodyFn:
 class CompiledCommand:
     """One guarded command lowered to closures over the value tuple."""
 
-    __slots__ = ("label", "guard", "body", "_deterministic")
+    __slots__ = (
+        "label",
+        "guard",
+        "guard_batch",
+        "body",
+        "body_batch_single",
+        "_deterministic",
+    )
 
     def __init__(
         self, command: GuardedCommand, slots: Dict[str, int]
     ) -> None:
         self.label = command.label
         self.guard: BoolFn = compile_bool(command.guard, slots)
+        self.guard_batch = compile_guard_batch(
+            command.guard, slots, self.guard
+        )
         self.body: BodyFn = compile_stmt(command.body, slots)
+        self.body_batch_single = compile_body_batch_single(
+            command.body, slots
+        )
         # A body without ``choose`` yields exactly one post-state, so the
         # dedup pass (and its set allocation) can be skipped entirely.
         self._deterministic = not _contains_choose(command.body)
@@ -395,6 +592,69 @@ class CompiledProgram:
         # from can: workers recompile from the AST, which is deterministic,
         # so a round-tripped CompiledProgram is semantically identical.
         return (CompiledProgram, (self.ast,))
+
+    def expand_values(
+        self, values: Values
+    ) -> Tuple[int, List[Tuple[int, Values]]]:
+        """One state's ``(enabled bitmask, [(command index, post-values)])``.
+
+        Guards and bodies interleave in declaration order — the serial
+        explorer's evaluation (and error) order; the bitmask is over
+        :attr:`commands` positions.
+        """
+        mask = 0
+        posts: List[Tuple[int, Values]] = []
+        for k, command in enumerate(self.commands):
+            if command.guard(values):
+                mask |= 1 << k
+                for post in command.execute(values):
+                    posts.append((k, post))
+        return mask, posts
+
+    def expand_batch(
+        self, rows: Sequence[Values]
+    ) -> List[Tuple[int, List[Tuple[int, Values]]]]:
+        """:meth:`expand_values` of every row, batched per guard.
+
+        The fast path runs command-major: each guard's batch kernel over
+        all rows (one code-object call per *guard*, not per guard per
+        state), then — where the body is a single deterministic post —
+        the fused post-tuple kernel over the enabled rows in one more
+        code-object call.  Posts still land state-major (command index
+        ascending within each state), identical to
+        :meth:`expand_values`.  Guards and bodies are pure, so the
+        reordering cannot change results — but it can change which error
+        surfaces first, so any exception sends the whole batch down the
+        state-major reference path where the serial order's error
+        re-raises unchanged.
+        """
+        commands = self.commands
+        try:
+            n = len(rows)
+            masks = [0] * n
+            posts_per: List[List[Tuple[int, Values]]] = [[] for _ in range(n)]
+            for k, command in enumerate(commands):
+                flags = command.guard_batch(rows)
+                enabled = [i for i, flag in enumerate(flags) if flag]
+                if not enabled:
+                    continue
+                bit = 1 << k
+                single = command.body_batch_single
+                if single is not None:
+                    posts = single([rows[i] for i in enabled])
+                    for i, post in zip(enabled, posts):
+                        masks[i] |= bit
+                        posts_per[i].append((k, post))
+                else:
+                    execute = command.execute
+                    for i in enabled:
+                        masks[i] |= bit
+                        row_posts = posts_per[i]
+                        for post in execute(rows[i]):
+                            row_posts.append((k, post))
+            return list(zip(masks, posts_per))
+        except Exception:
+            return [self.expand_values(values) for values in rows]
 
     def enabled_labels(self, values: Values) -> frozenset:
         """Labels whose guards hold on ``values`` (declaration order)."""

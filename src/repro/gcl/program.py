@@ -21,10 +21,10 @@ and exploration results are bit-identical either way.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.gcl.ast import GuardedCommand, ProgramAst
-from repro.gcl.compile import CompiledProgram
+from repro.gcl.compile import CompiledProgram, Values
 from repro.gcl.errors import EvalError
 from repro.gcl.eval import evaluate_bool, evaluate_int, execute
 from repro.gcl.parser import parse_program_ast
@@ -41,6 +41,63 @@ _Expansion = Tuple[frozenset, Tuple[Tuple[CommandLabel, ProgramState], ...]]
 #: that *benefits* from revisits (products, simulations, warm re-explores of
 #: benchmark-sized programs); beyond it, expansion simply recomputes.
 SUCCESSOR_CACHE_LIMIT = 1 << 16
+
+
+class ProgramValuePlane:
+    """A compiled program's states as flat int64 rows, expanded in batches.
+
+    This is the GCL implementation of
+    :meth:`~repro.ts.system.TransitionSystem.value_plane`: canonical
+    :class:`ProgramState` objects are just ``(names, values)`` with the
+    names fixed by the program, so a state round-trips through its bare
+    value tuple.  The sharded explorer stores those tuples in flat
+    ``array('q')`` columns (published over shared memory to pool workers)
+    and calls :meth:`expand_batch` on whole BFS rounds — one batched guard
+    kernel per guard per round instead of one closure call per guard per
+    state.
+
+    Command indices in the batch results are positions in :attr:`labels`,
+    which is the program's declaration order — the same order
+    :meth:`~repro.gcl.program.Program.commands` reports, so the explorer's
+    label table aligns bit-for-bit.
+    """
+
+    __slots__ = ("_compiled", "names", "labels", "width")
+
+    def __init__(self, compiled: CompiledProgram) -> None:
+        self._compiled = compiled
+        self.names: Tuple[str, ...] = compiled.names
+        self.labels: Tuple[str, ...] = tuple(
+            command.label for command in compiled.commands
+        )
+        self.width = len(self.names)
+
+    def __reduce__(self):
+        # Travels as the AST (CompiledProgram recompiles on arrival).
+        return (ProgramValuePlane, (self._compiled,))
+
+    def encode(self, state: ProgramState) -> Values:
+        """The flat row of a canonical state."""
+        return state.values
+
+    def make_state(self, values: Values) -> ProgramState:
+        """The canonical state of a flat row."""
+        return ProgramState(self.names, values)
+
+    def expand_batch(
+        self, rows: Sequence[Values]
+    ) -> List[Tuple[int, List[Tuple[int, Values]]]]:
+        """Per row: ``(enabled bitmask over labels, [(cmd index, post)])``."""
+        return self._compiled.expand_batch(rows)
+
+    def spec(self) -> Optional[bytes]:
+        """Pickled self for shipping to pool workers (``None`` if stuck)."""
+        import pickle
+
+        try:
+            return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return None
 
 
 class Program(TransitionSystem):
@@ -61,6 +118,7 @@ class Program(TransitionSystem):
         self._compiled: Optional[CompiledProgram] = (
             CompiledProgram(ast) if compiled else None
         )
+        self._plane: Optional[ProgramValuePlane] = None
         # Successor cache.  Exploration visits each state once, but
         # products, simulations, lasso replays and repeated explorations of
         # the same Program revisit states heavily; entries are plain tuples
@@ -95,6 +153,25 @@ class Program(TransitionSystem):
             return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
         except Exception:
             return None
+
+    def value_plane(self) -> Optional[ProgramValuePlane]:
+        """The packed value plane of a compiled program.
+
+        ``None`` for interpreted programs (no closures to batch), for
+        programs without variables (no rows to pack) and for programs
+        with more than 64 commands (enabled masks must fit one machine
+        word on the shared-memory plane) — those take the object-level
+        exploration paths unchanged.
+        """
+        if (
+            self._compiled is None
+            or not self._names
+            or len(self._labels) > 64
+        ):
+            return None
+        if self._plane is None:
+            self._plane = ProgramValuePlane(self._compiled)
+        return self._plane
 
     # -- metadata ----------------------------------------------------------
 

@@ -52,9 +52,7 @@ from repro.telemetry.core import (
     worker_collect,
 )
 from repro.telemetry.schema import (
-    DEPRECATED_METRIC_ALIASES,
     SnapshotSchemaError,
-    canonical_metric_name,
     validate_snapshot,
 )
 from repro.telemetry.sinks import (
@@ -69,11 +67,9 @@ __all__ = [
     "SNAPSHOT_VERSION",
     "HistogramSummary",
     "MetricsRegistry",
-    "DEPRECATED_METRIC_ALIASES",
     "ProgressLine",
     "SnapshotSchemaError",
     "Span",
-    "canonical_metric_name",
     "count",
     "current_span",
     "disable",

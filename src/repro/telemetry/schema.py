@@ -42,26 +42,6 @@ METRIC_NAME = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
 #: Span names are single flat identifiers.
 SPAN_NAME = re.compile(r"^[a-z0-9_.]+$")
 
-#: Historical metric names still accepted for one release, mapped to their
-#: canonical spelling.  ``succcache.*`` (triple-c typo) shipped in the
-#: first telemetry release; the emitters now write ``succache.*``, and any
-#: consumer holding rows from old snapshots can fold them via
-#: :func:`canonical_metric_name`.
-DEPRECATED_METRIC_ALIASES: Dict[str, str] = {
-    "succcache.hit": "succache.hit",
-    "succcache.miss": "succache.miss",
-}
-
-
-def canonical_metric_name(name: str) -> str:
-    """Resolve a (possibly deprecated) metric name to its canonical form.
-
-    Unknown names pass through unchanged — only spellings listed in
-    :data:`DEPRECATED_METRIC_ALIASES` are rewritten.
-    """
-    return DEPRECATED_METRIC_ALIASES.get(name, name)
-
-
 class SnapshotSchemaError(ValueError):
     """A telemetry snapshot does not conform to the documented schema."""
 

@@ -607,9 +607,18 @@ def _explore_dispatch(
         # execution anyway, but the sharded coordinator's encode/merge
         # framing is not free — skip it entirely so ``--jobs N`` never
         # loses to serial (the force env keeps tests on the sharded path).
+        # Value-plane systems are the exception: their round loop expands
+        # through the batched kernels, which beat the serial per-state
+        # path with or without a pool, so they always take the
+        # coordinator when parallelism was requested.
         multicore = (os.cpu_count() or 1) > 1
         forced = os.environ.get(_FORCE_ENV) == "1"
-        if jobs > 1 and (multicore or forced):
+        use_coordinator = multicore or forced
+        if jobs > 1 and not use_coordinator:
+            from repro.engine.shard import value_plane_of
+
+            use_coordinator = value_plane_of(system) is not None
+        if jobs > 1 and use_coordinator:
             spec = system.shard_spec()
             if spec is not None:
                 from repro.engine.shard import explore_sharded

@@ -106,6 +106,19 @@ class TransitionSystem(ABC):
         """
         return None
 
+    def value_plane(self):
+        """The system's packed value plane, or ``None`` (the default).
+
+        A *value plane* (:class:`repro.gcl.program.ProgramValuePlane` is
+        the canonical one) exposes the system's states as flat int64
+        tuples with batched expansion, which lets the sharded explorer
+        move the hot data over shared memory and evaluate guards in
+        batches instead of pickling state objects.  Systems without a
+        natural flat encoding simply return ``None`` and take the
+        object-level paths; results are bit-identical either way.
+        """
+        return None
+
 
 class ExplicitSystem(TransitionSystem):
     """A transition system given by explicit dictionaries.

@@ -104,6 +104,92 @@ class TestTarjanCsr:
         assert [list(c) for c in components] == [[2], [1], [0]]
 
 
+class TestTarjanScratch:
+    """The recycled work arrays (DESIGN §6f) must be invisible: any
+    sequence of passes through one scratch returns exactly what fresh
+    per-call arrays would, even across different graphs and after an
+    aborted pass."""
+
+    GRAPHS = [
+        PackedGraph.build(
+            4, [(0, 0, 1), (1, 0, 0), (1, 0, 2), (2, 0, 3), (3, 0, 2)]
+        ),
+        PackedGraph.build(3, [(0, 0, 1), (1, 0, 2)]),
+        PackedGraph.build(
+            5, [(0, 0, 1), (1, 0, 2), (2, 0, 0), (3, 0, 4), (4, 0, 3)]
+        ),
+    ]
+
+    def test_reuse_across_graphs_matches_fresh(self):
+        from repro.engine.analysis import TarjanScratch
+
+        scratch = TarjanScratch()
+        for packed in self.GRAPHS * 3:  # interleave sizes, revisit graphs
+            assert tarjan_scc_csr(packed, scratch=scratch) == (
+                tarjan_scc_csr(packed)
+            )
+
+    def test_reuse_across_restrictions_matches_fresh(self):
+        from repro.engine.analysis import TarjanScratch
+
+        packed = self.GRAPHS[0]
+        scratch = TarjanScratch()
+        regions = [{0, 1}, {2, 3}, {0, 1, 2, 3}, {1, 2}, {3}]
+        for members in regions * 2:
+            assert tarjan_scc_csr(packed, members, scratch=scratch) == (
+                tarjan_scc_csr(packed, members)
+            )
+
+    def test_stamped_mode_reuses_scratch(self):
+        from repro.engine.analysis import TarjanScratch
+
+        packed = self.GRAPHS[0]
+        scratch = TarjanScratch()
+        stamp = [0, 0, 0, 0]
+        for generation, members in enumerate([[2, 3], [0, 1, 2, 3]], start=1):
+            for i in members:
+                stamp[i] = generation
+            got = tarjan_scc_csr(
+                packed, members, stamp=stamp, stamp_value=generation,
+                scratch=scratch,
+            )
+            assert got == tarjan_scc_csr(packed, set(members))
+
+    def test_scratch_recovers_after_raising_walk(self):
+        from repro.engine.analysis import TarjanScratch
+
+        class Hostile:
+            """A CSR facade whose dst access raises mid-walk."""
+
+            def __init__(self, packed):
+                self.n = packed.n
+                self.out_start = packed.out_start
+                self.out_eid = packed.out_eid
+                self.dst = _RaisingSeq(packed.dst)
+
+        class _RaisingSeq:
+            def __init__(self, inner):
+                self.inner = inner
+                self.reads = 0
+
+            def __getitem__(self, index):
+                self.reads += 1
+                if self.reads > 2:
+                    raise RuntimeError("corrupt CSR")
+                return self.inner[index]
+
+        packed = self.GRAPHS[0]
+        scratch = TarjanScratch()
+        with pytest.raises(RuntimeError):
+            tarjan_scc_csr(Hostile(packed), scratch=scratch)
+        # The aborted pass retired its epoch and drained its stack — the
+        # scratch serves the next caller exactly like a fresh one.
+        assert not scratch.stack
+        assert tarjan_scc_csr(packed, scratch=scratch) == (
+            tarjan_scc_csr(packed)
+        )
+
+
 class TestParallelPlumbing:
     def test_resolve_jobs(self):
         assert resolve_jobs(None) == 1

@@ -212,3 +212,51 @@ class TestGraphDigest:
         complete = explore(counter_grid(2, 5))
         truncated = explore(counter_grid(2, 5), max_states=10)
         assert graph_digest(complete) != graph_digest(truncated)
+
+
+class TestValuePlaneWireFormats:
+    """The zero-copy PR (DESIGN §6f) added a second parallel wire format:
+    value-plane systems ship flat int64 rows over shared memory instead
+    of pickled state objects.  Both formats, and the serial explorer,
+    must stay fingerprint-identical — including under truncation."""
+
+    @pytest.mark.parametrize("name,make", _families())
+    def test_three_paths_identical(self, force_parallel, monkeypatch, name, make):
+        from repro.engine.shard import value_plane_of
+
+        serial = _fingerprint(explore(make()))
+        shm_path = _fingerprint(explore(make(), n_jobs=2))
+        monkeypatch.setenv("REPRO_VALUE_PLANE", "0")
+        assert value_plane_of(make()) is None
+        pickled = _fingerprint(explore(make(), n_jobs=2))
+        assert shm_path == serial, f"{name}: shm wire format differs"
+        assert pickled == serial, f"{name}: pickled wire format differs"
+
+    @pytest.mark.parametrize("jobs", JOB_COUNTS)
+    def test_bounded_value_plane_identical(self, force_parallel, jobs):
+        serial = explore(counter_grid(6, 6), max_states=17)
+        plane = explore(counter_grid(6, 6), max_states=17, n_jobs=jobs)
+        assert _fingerprint(plane) == _fingerprint(serial)
+        assert plane.frontier == serial.frontier
+
+    def test_value_plane_strict_error_identical(self, force_parallel):
+        with pytest.raises(ExplorationLimitError) as serial_error:
+            explore(counter_grid(6, 6), max_states=5, strict=True)
+        with pytest.raises(ExplorationLimitError) as plane_error:
+            explore(counter_grid(6, 6), max_states=5, strict=True, n_jobs=2)
+        assert str(plane_error.value) == str(serial_error.value)
+
+    def test_plane_takes_coordinator_without_force(self, monkeypatch):
+        """On any machine, a value-plane system asked for parallelism runs
+        the coordinator (batched rounds beat the plain serial loop even
+        when the pool is demoted) — digests must still match serial."""
+        monkeypatch.delenv("REPRO_FORCE_PARALLEL", raising=False)
+        serial = explore(counter_grid(6, 6))
+        routed = explore(counter_grid(6, 6), n_jobs=4)
+        assert _fingerprint(routed) == _fingerprint(serial)
+
+    def test_no_segments_survive_exploration(self, force_parallel):
+        from repro.engine import shm
+
+        explore(counter_grid(6, 6), n_jobs=2)
+        assert shm.live_segment_names() == []

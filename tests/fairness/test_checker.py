@@ -160,3 +160,50 @@ class TestAgainstBruteForce:
         # Every lasso transition is a real transition.
         for t in list(lasso.stem.transitions()) + list(lasso.cycle.transitions()):
             assert (t.command, t.target) in set(system.post(t.source))
+
+
+class TestRefinementScratch:
+    """The recycled stamp/Tarjan arrays threaded through the streaming
+    decide (DESIGN §6f) must not change a single verdict or witness."""
+
+    def test_scratch_reuse_matches_fresh_across_graphs(self):
+        from repro.fairness.checker import (
+            RefinementScratch, _refine_components,
+        )
+
+        scratch = RefinementScratch()
+        for seed in range(12):
+            graph = explore(random_system(seed=seed, states=30))
+            components = [
+                list(component)
+                for component in graph.analyses.full_components()
+            ]
+            fresh = _refine_components(graph, components)
+            reused = _refine_components(graph, components, scratch)
+            if fresh is None:
+                assert reused is None
+            else:
+                assert reused is not None
+                assert reused.region == fresh.region
+                assert reused.lasso == fresh.lasso
+
+    def test_scratch_survives_repeated_refinement_of_one_graph(self):
+        from repro.fairness.checker import (
+            RefinementScratch, _refine_components,
+        )
+
+        graph = explore(p2(8))
+        components = [
+            list(component) for component in graph.analyses.full_components()
+        ]
+        scratch = RefinementScratch()
+        results = [
+            _refine_components(graph, components, scratch) for _ in range(5)
+        ]
+        fresh = _refine_components(graph, components)
+        for result in results:
+            if fresh is None:
+                assert result is None
+            else:
+                assert result.region == fresh.region
+                assert result.lasso == fresh.lasso

@@ -257,3 +257,135 @@ class TestExpressionCompilation:
             state = program.state(x=0)
             posts = [target for _, target in program.post(state)]
             assert [p["x"] for p in posts] == [1, 0]
+
+
+# ---------------------------------------------------------------------------
+# Batched guard kernels (DESIGN §6f) — one guard over many states per call
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "factory,max_states",
+    [(factory, bound) for _, factory, bound in WORKLOADS],
+    ids=[name for name, _, _ in WORKLOADS],
+)
+def test_expand_batch_matches_state_major_reference(factory, max_states):
+    """``expand_batch`` over every reachable state of every family must
+    return exactly what per-state ``expand_values`` returns — same masks,
+    same ``(command, post)`` pairs, same order."""
+    ast = factory().ast
+    compiled = compile_program(ast)
+    graph = explore(Program(ast), max_states=max_states)
+    rows = [state.values for state in graph.states]
+    batched = compiled.expand_batch(rows)
+    reference = [compiled.expand_values(values) for values in rows]
+    assert batched == reference
+
+
+def test_guard_batch_entry_point_matches_closure():
+    """Every compiled command's vectorized guard agrees row-for-row with
+    its scalar closure (including short-circuit and div/mod edge shapes)."""
+    program = parse_program(
+        """
+        program G
+        var x := 0, y := 3
+        do
+             a: x < y and y div 2 == 1 -> x := x + 1
+          [] b: x == y or not (x < y) -> y := y - 1
+          [] c: max(x, y) > 2 -> skip
+        od
+        """
+    )
+    compiled = compile_program(program.ast)
+    graph = explore(program, max_states=200)
+    rows = [state.values for state in graph.states]
+    for command in compiled.commands:
+        assert command.guard_batch(rows) == [
+            command.guard(values) for values in rows
+        ]
+
+
+def test_expand_batch_error_parity():
+    """A guard that raises mid-batch must surface the *serial* error —
+    the whole batch falls back to state-major order so the first failing
+    state (not an arbitrary batch position) reports, with an identical
+    class and message."""
+    program = parse_program(
+        "program E var x := 2, y := 1 "
+        "do a: x div y == 2 -> y := y - 1 od"
+    )
+    compiled = compile_program(program.ast)
+    good = program.state(x=2, y=1).values
+    bad = program.state(x=2, y=0).values
+    try:
+        compiled.expand_values(bad)
+    except EvalError as error:
+        serial_message = str(error)
+    else:  # pragma: no cover - guard must raise
+        pytest.fail("expected the division by zero to raise")
+    with pytest.raises(EvalError) as batch_error:
+        compiled.expand_batch([good, bad, good])
+    assert str(batch_error.value) == serial_message
+
+
+def test_unsupported_guard_falls_back_to_closure():
+    """``compile_guard_batch`` on an expression shape the emitter does not
+    know must degrade to the scalar closure, not crash or misevaluate."""
+    from repro.gcl.compile import compile_guard_batch
+
+    class Alien:  # not a GCL AST node
+        pass
+
+    calls = []
+
+    def guard(values):
+        calls.append(values)
+        return values[0] > 0
+
+    batch = compile_guard_batch(Alien(), {"x": 0}, guard)
+    assert batch([(1,), (0,), (2,)]) == [True, False, True]
+    assert calls == [(1,), (0,), (2,)]
+
+
+class TestBodyBatchKernels:
+    """The fused single-post body kernels behind ``expand_batch``."""
+
+    def _command(self, body, variables="x := 0, y := 0"):
+        program = parse_program(
+            f"program T var {variables} do a: true -> {body} od",
+            compiled=True,
+        )
+        return program._compiled.commands[0], program
+
+    def test_assign_body_fuses_and_matches_execute(self):
+        command, program = self._command("x, y := x + y, x - y")
+        assert command.body_batch_single is not None
+        rows = [program.state(x=x, y=y).values for x in range(4) for y in range(4)]
+        fused = command.body_batch_single(rows)
+        assert fused == [command.execute(row)[0] for row in rows]
+
+    def test_if_over_assign_fuses(self):
+        command, program = self._command(
+            "if x < y then x := x + 1 else y := y - 1 fi"
+        )
+        assert command.body_batch_single is not None
+        rows = [program.state(x=x, y=y).values for x, y in [(0, 3), (3, 0), (2, 2)]]
+        assert command.body_batch_single(rows) == [
+            command.execute(row)[0] for row in rows
+        ]
+
+    def test_skip_and_single_variable_width(self):
+        command, program = self._command("skip", variables="x := 0")
+        assert command.body_batch_single is not None
+        rows = [(0,), (5,), (-3,)]
+        assert command.body_batch_single(rows) == list(rows)
+        command, _ = self._command("x := x * 2", variables="x := 0")
+        assert command.body_batch_single(rows) == [(0,), (10,), (-6,)]
+
+    def test_choose_body_does_not_fuse(self):
+        command, _ = self._command("choose x in 0..y")
+        assert command.body_batch_single is None
+
+    def test_seq_body_does_not_fuse(self):
+        command, _ = self._command("x := x + 1; y := y + x")
+        assert command.body_batch_single is None

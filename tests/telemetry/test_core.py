@@ -197,20 +197,28 @@ class TestSchema:
         with pytest.raises(SnapshotSchemaError):
             validate_snapshot(snap)
 
-    def test_deprecated_alias_resolves_to_canonical(self):
-        from repro.telemetry import canonical_metric_name
+    def test_alias_shim_removed(self):
+        # The ``succcache.*`` (triple-c typo) compatibility shim lived for
+        # exactly one release; the canonical spelling is the only one now.
+        import repro.telemetry as telemetry_pkg
+        import repro.telemetry.schema as schema
 
-        # The triple-c spelling shipped in the first telemetry release; it
-        # stays accepted (resolvable) for one release after the rename.
-        assert canonical_metric_name("succcache.hit") == "succache.hit"
-        assert canonical_metric_name("succcache.miss") == "succache.miss"
-        assert canonical_metric_name("succache.hit") == "succache.hit"
-        assert canonical_metric_name("explore.states") == "explore.states"
+        assert not hasattr(schema, "DEPRECATED_METRIC_ALIASES")
+        assert not hasattr(schema, "canonical_metric_name")
+        assert "DEPRECATED_METRIC_ALIASES" not in telemetry_pkg.__all__
+        assert "canonical_metric_name" not in telemetry_pkg.__all__
 
-    def test_deprecated_alias_still_schema_valid(self):
+    def test_succache_emitters_use_canonical_names(self):
+        # Every successor-cache hit/miss the engine emits must carry the
+        # canonical ``succache.*`` spelling (and validate cleanly).
         telemetry.enable()
-        telemetry.count("succcache.hit", 3)
-        validate_snapshot(telemetry.snapshot())  # must not raise
+        telemetry.count("succache.hit", 2)
+        telemetry.count("succache.miss", 1)
+        snap = validate_snapshot(telemetry.snapshot())
+        counters = snap["metrics"]["counters"]
+        assert counters["succache.hit"] == 2
+        assert counters["succache.miss"] == 1
+        assert not any(name.startswith("succcache.") for name in counters)
 
 
 class TestSinks:

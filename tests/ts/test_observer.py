@@ -192,3 +192,95 @@ class TestStopExploration:
             assert counters.get("stream.states_at_stop") == len(graph)
         finally:
             telemetry.disable()
+
+
+class RecordingStopper(Recorder):
+    """Records the stream and stops after ``limit`` discovered states —
+    the combination that pins *where* a mid-round cancellation lands."""
+
+    def __init__(self, limit):
+        super().__init__()
+        self.limit = limit
+        self.discovered = 0
+
+    def on_state(self, index, state, depth):
+        super().on_state(index, state, depth)
+        self.discovered += 1
+        if self.discovered >= self.limit:
+            raise StopExploration(f"saw {self.discovered} states")
+
+
+class TestStopOnShmPath:
+    """Satellite of the zero-copy PR (DESIGN §6f): ``StopExploration``
+    raised mid-round on the shared-memory value-plane path must revert
+    half-expanded states to the frontier *identically* to the serial
+    explorer — same events, same graph, same frontier — and must not
+    leak a single shared-memory segment."""
+
+    # Limits chosen to land the stop in the middle of a wide BFS round,
+    # i.e. while its merge has finalized some of the round's sources but
+    # not others (the half-expanded revert case).
+    STOP_LIMITS = (10, 23, 40)
+
+    @pytest.mark.parametrize("limit", STOP_LIMITS)
+    def test_midround_stop_reverts_identically(self, force_parallel, limit):
+        serial = RecordingStopper(limit)
+        g1 = explore(counter_grid(9, 9), observer=serial)
+        sharded = RecordingStopper(limit)
+        g2 = explore(counter_grid(9, 9), n_jobs=2, observer=sharded)
+        assert serial.events == sharded.events
+        assert graph_digest(g1) == graph_digest(g2)
+        # The revert itself: identical frontier means identical decisions
+        # about which half-expanded states were rolled back.
+        assert tuple(sorted(g1.frontier)) == tuple(sorted(g2.frontier))
+        assert tuple(g1.states) == tuple(g2.states)
+
+    @pytest.mark.parametrize("limit", STOP_LIMITS)
+    def test_shm_and_pickled_paths_stop_identically(
+        self, force_parallel, monkeypatch, limit
+    ):
+        shm_side = RecordingStopper(limit)
+        g_shm = explore(counter_grid(9, 9), n_jobs=2, observer=shm_side)
+        monkeypatch.setenv("REPRO_VALUE_PLANE", "0")
+        pickled = RecordingStopper(limit)
+        g_pickled = explore(counter_grid(9, 9), n_jobs=2, observer=pickled)
+        assert shm_side.events == pickled.events
+        assert graph_digest(g_shm) == graph_digest(g_pickled)
+
+    def test_stop_on_shm_path_leaks_no_segments(self, force_parallel):
+        import pathlib
+
+        from repro.engine.shm import SEGMENT_PREFIX
+
+        def segments():
+            try:
+                return sorted(
+                    p.name
+                    for p in pathlib.Path("/dev/shm").glob(f"{SEGMENT_PREFIX}*")
+                )
+            except OSError:  # pragma: no cover - no tmpfs
+                return []
+
+        before = segments()
+        explore(counter_grid(9, 9), n_jobs=2, observer=StopAfterStates(23))
+        assert segments() == before
+
+    def test_stop_counters_match_serial_on_shm_path(self, force_parallel):
+        results = {}
+        for jobs in (None, 2):
+            telemetry.reset()
+            telemetry.enable()
+            try:
+                graph = explore(
+                    counter_grid(9, 9), n_jobs=jobs,
+                    observer=StopAfterStates(23),
+                )
+                counters = telemetry.registry().snapshot()["counters"]
+                results[jobs] = (
+                    len(graph),
+                    counters.get("stream.stops"),
+                    counters.get("stream.states_at_stop"),
+                )
+            finally:
+                telemetry.disable()
+        assert results[None] == results[2]
