@@ -3,7 +3,7 @@
 The compile-and-cache PR lowered every command's guard and body into
 Python closures (:mod:`repro.gcl.compile`), memoized successor sets per
 state on the :class:`~repro.gcl.program.Program`, and added an optional
-cross-run disk cache (:mod:`repro.engine.diskcache`).  This bench times
+cross-run disk cache (now :mod:`repro.engine.graphstore`).  This bench times
 ``explore()`` per workload family in four configurations —
 
 * **interpreted** — ``Program(ast, compiled=False)``, the seed's
@@ -12,7 +12,7 @@ cross-run disk cache (:mod:`repro.engine.diskcache`).  This bench times
   cache: the figure includes closure dispatch but no memoization wins);
 * **warm** — a second exploration of an already-explored program, where
   every expansion is a successor-cache hit;
-* **disk hit** — :func:`~repro.engine.diskcache.explore_with_cache`
+* **disk hit** — :func:`~repro.engine.graphstore.explore_with_cache`
   reloading a previously stored graph, skipping exploration entirely —
 
 and asserts **bit-identical graphs** across all four: same state order,

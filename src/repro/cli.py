@@ -50,7 +50,7 @@ def _load(path: str) -> Program:
 def _explore(args: argparse.Namespace, program: Program):
     """Explore honouring ``--max-states``/``--max-depth``/``--jobs``/
     ``--cache-dir``/``--cache-max-mb``."""
-    from repro.engine.diskcache import explore_with_cache
+    from repro.engine.graphstore import explore_with_cache
 
     graph, hit = explore_with_cache(
         program,
@@ -61,7 +61,16 @@ def _explore(args: argparse.Namespace, program: Program):
         cache_max_mb=args.cache_max_mb,
     )
     if args.cache_dir is not None:
-        print(f"graph cache: {'hit' if hit else 'miss'} ({args.cache_dir})")
+        from repro.engine.graphstore import last_outcome
+
+        outcome = last_outcome()
+        detail = {
+            "migrated": "hit, migrated from v1",
+            "incremental": (
+                f"miss, incremental: {outcome.reused_states} states replayed"
+            ),
+        }.get(outcome.kind, "hit" if hit else "miss")
+        print(f"graph cache: {detail} ({args.cache_dir})")
     return graph
 
 
@@ -146,10 +155,13 @@ def _engine_footer(args: argparse.Namespace) -> str:
     succ_misses = counters.get("succache.miss", 0)
     if succ_hits or succ_misses:
         parts.append(f"succ-cache hit/miss {succ_hits}/{succ_misses}")
-    disk_hits = counters.get("diskcache.hit", 0)
-    disk_misses = counters.get("diskcache.miss", 0)
-    if disk_hits or disk_misses:
-        parts.append(f"disk-cache hit/miss {disk_hits}/{disk_misses}")
+    store_hits = counters.get("graphstore.hit", 0)
+    store_misses = counters.get("graphstore.miss", 0)
+    if store_hits or store_misses:
+        parts.append(f"graph-store hit/miss {store_hits}/{store_misses}")
+    reused = counters.get("graphstore.incremental.reused_states", 0)
+    if reused:
+        parts.append(f"incremental reuse {reused} states")
     verdict_states = registry["gauges"].get("stream.states_at_verdict")
     if verdict_states is not None:
         parts.append(f"verdict at {int(verdict_states)} states")

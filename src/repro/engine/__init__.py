@@ -18,10 +18,13 @@ index-native:
 * :mod:`repro.engine.shard` — hash-sharded frontier-parallel exploration
   over the persistent pool, bit-identical to the serial BFS by
   construction (CLI ``--jobs`` on ``explore``/``decide``/``synthesize``);
-* :mod:`repro.engine.diskcache` — an optional cross-run on-disk cache of
-  explored graphs, keyed by the canonical program text, the exploration
-  bounds and the (normalised) job count, with an optional size cap and
-  LRU eviction (CLI ``--cache-dir`` / ``--cache-max-mb``);
+* :mod:`repro.engine.graphstore` — an optional cross-run content-addressed
+  on-disk store of explored graphs: columns as SHA-256-addressed binary
+  chunks under small per-``(program, bounds, jobs)`` manifests, mmap-backed
+  zero-copy warm loads, incremental re-exploration that replays unchanged
+  commands of an edited program from the stored columns (bit-identical to
+  a cold run), legacy v1 JSON migration, and LRU eviction with
+  chunk reference counting (CLI ``--cache-dir`` / ``--cache-max-mb``);
 * :mod:`repro.engine.reference` — the pre-engine algorithms, preserved
   verbatim as the "before" baseline for benchmarks and as an independent
   oracle for equivalence tests.
@@ -42,7 +45,7 @@ from repro.engine.parallel import (
     shutdown_pool,
 )
 from repro.engine.analysis import GraphAnalyses, tarjan_scc_csr
-from repro.engine.diskcache import (
+from repro.engine.graphstore import (
     evict_cache,
     exploration_cache_key,
     explore_with_cache,

@@ -678,3 +678,23 @@ class CompiledProgram:
 def compile_program(ast: ProgramAst) -> CompiledProgram:
     """Lower every guard and body of ``ast`` into closures, once."""
     return CompiledProgram(ast)
+
+
+def command_digest(command) -> str:
+    """Canonical SHA-256 of one guarded command.
+
+    Hashes the pretty-printed rendering (``label: guard -> body``) — the
+    same canonicalisation the whole-program cache key uses, so the digest
+    is insensitive to source whitespace/comments and sensitive to every
+    semantic ingredient of the command.  Two commands with equal digests
+    have identical guard and body closures at every state, which is what
+    lets the graph store replay a stored graph's per-state results for
+    digest-unchanged commands during incremental re-exploration.
+    """
+    import hashlib
+
+    from repro.gcl.pretty import render_command
+
+    return hashlib.sha256(
+        render_command(command).encode("utf-8")
+    ).hexdigest()

@@ -119,6 +119,7 @@ class Program(TransitionSystem):
             CompiledProgram(ast) if compiled else None
         )
         self._plane: Optional[ProgramValuePlane] = None
+        self._command_digests: Optional[Dict[str, str]] = None
         # Successor cache.  Exploration visits each state once, but
         # products, simulations, lasso replays and repeated explorations of
         # the same Program revisit states heavily; entries are plain tuples
@@ -194,6 +195,23 @@ class Program(TransitionSystem):
     def uses_compiled_evaluation(self) -> bool:
         """Whether guards/bodies run as compiled closures."""
         return self._compiled is not None
+
+    def command_digests(self) -> Dict[str, str]:
+        """Per-command canonical digests: ``label → sha256 hex`` (cached).
+
+        The digest of a command (:func:`repro.gcl.compile.command_digest`)
+        identifies its guard/body semantics up to pretty-printer
+        canonicalisation; the graph store compares these across program
+        versions to decide which commands a stored graph can replay during
+        incremental re-exploration.
+        """
+        if self._command_digests is None:
+            from repro.gcl.compile import command_digest
+
+            self._command_digests = {
+                c.label: command_digest(c) for c in self._ast.commands
+            }
+        return dict(self._command_digests)
 
     def command(self, label: str) -> GuardedCommand:
         """The guarded command with the given label."""

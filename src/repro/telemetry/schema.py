@@ -21,7 +21,7 @@ against it.  The shape (version 1)::
     }
 
 Metric names are dotted, lower-case, stable identifiers
-(``subsystem.metric`` — e.g. ``explore.states``, ``diskcache.hit``); the
+(``subsystem.metric`` — e.g. ``explore.states``, ``graphstore.hit``); the
 full catalogue lives in ``docs/METHOD.md`` §Observability.  The validator
 here is hand-rolled (the repo takes no dependencies) and is deliberately
 strict about shapes while open about *which* names appear — new metrics

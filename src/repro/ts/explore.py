@@ -268,18 +268,29 @@ class ReachableGraph:
         enabled_masks: Sequence[int],
         initial_count: int,
         frontier: Iterable[int],
-        index: Dict[State, int],
+        index: Dict[State, int] | None,
     ) -> "ReachableGraph":
-        """Adopt already-packed exploration output (the explorer's path)."""
+        """Adopt already-packed exploration output.
+
+        Used by the explorers (list-of-states + interner index) and by the
+        graph store's mmap warm path, which hands in lazy mmap-backed
+        sequences: a non-list/tuple ``states`` sequence is adopted as-is
+        (states materialize on access), ``src``/``cmd``/``dst``/
+        ``enabled_masks`` may be ``memoryview`` casts over a mapping, and
+        ``index=None`` defers building the ``State → index`` map until an
+        object-level lookup first needs it.
+        """
         graph = cls.__new__(cls)
         graph._setup(
             system=system,
-            states=tuple(states),
+            states=tuple(states)
+            if isinstance(states, (tuple, list))
+            else states,
             labels=list(labels),
             src=src,
             cmd=cmd,
             dst=dst,
-            enabled_masks=list(enabled_masks),
+            enabled_masks=enabled_masks,
             initial_count=initial_count,
             frontier=frozenset(frontier),
             index=index,
@@ -289,29 +300,36 @@ class ReachableGraph:
     def _setup(
         self,
         system: TransitionSystem,
-        states: Tuple[State, ...],
+        states: Sequence[State],
         labels: List[str],
         src: array,
         cmd: array,
         dst: array,
-        enabled_masks: List[int],
+        enabled_masks: Sequence[int],
         initial_count: int,
         frontier: frozenset,
-        index: Dict[State, int],
+        index: Dict[State, int] | None,
     ) -> None:
         self._system = system
         self._states = states
-        self._index = index
+        self._index = index  # None until an object-level lookup needs it
         self._table = CommandTable(labels)
         self._src = src
         self._cmd = cmd
         self._dst = dst
         # ``array('Q')`` when every mask fits 64 bits (the common case);
-        # a plain list of (big) ints otherwise.
-        if len(labels) <= 64:
-            self._enabled_masks: Sequence[int] = array("Q", enabled_masks)
+        # already-packed masks (``array('Q')`` or an mmap-backed
+        # ``memoryview`` cast) are adopted without copying; a plain list
+        # of (big) ints otherwise.
+        if isinstance(enabled_masks, memoryview) or (
+            isinstance(enabled_masks, array)
+            and enabled_masks.typecode == "Q"
+        ):
+            self._enabled_masks: Sequence[int] = enabled_masks
+        elif len(labels) <= 64:
+            self._enabled_masks = array("Q", enabled_masks)
         else:
-            self._enabled_masks = enabled_masks
+            self._enabled_masks = list(enabled_masks)
         self._initial_count = initial_count
         self._frontier = frontier
         self._packed: PackedGraph | None = None
@@ -332,8 +350,9 @@ class ReachableGraph:
         return self._system
 
     @property
-    def states(self) -> Tuple[State, ...]:
-        """All explored states, in discovery order."""
+    def states(self) -> Sequence[State]:
+        """All explored states, in discovery order (a tuple for explorer
+        output; a lazy mmap-backed column view for store-loaded graphs)."""
         return self._states
 
     @property
@@ -365,9 +384,22 @@ class ReachableGraph:
     def __len__(self) -> int:
         return len(self._states)
 
+    def _ensure_index(self) -> Dict[State, int]:
+        """The ``State → index`` map, built on first object-level lookup.
+
+        Graphs loaded from the mmap-backed store adopt their states as a
+        lazy column view; materializing a million state objects to build
+        this dict is deferred until something actually asks."""
+        if self._index is None:
+            index = {s: i for i, s in enumerate(self._states)}
+            if len(index) != len(self._states):
+                raise ValueError("duplicate states in exploration result")
+            self._index = index
+        return self._index
+
     def index_of(self, state: State) -> int:
         """The index of ``state``; raises ``KeyError`` if unexplored."""
-        return self._index[state]
+        return self._ensure_index()[state]
 
     def state_of(self, index: int) -> State:
         """The state at ``index``."""
@@ -375,7 +407,7 @@ class ReachableGraph:
 
     def contains(self, state: State) -> bool:
         """Whether ``state`` was discovered."""
-        return state in self._index
+        return state in self._ensure_index()
 
     def enabled_at(self, index: int) -> frozenset:
         """Enabled commands of the state at ``index`` (cached per mask)."""
@@ -647,7 +679,19 @@ def _explore_serial(
     max_depth: int | None,
     strict: bool,
     observer: ExplorationObserver | None = None,
+    expand=None,
+    enabled_fn=None,
 ) -> ReachableGraph:
+    """The serial BFS.
+
+    ``expand``/``enabled_fn`` override ``system.expand``/``system.enabled``
+    per call — the graph store's incremental re-exploration substitutes a
+    replaying expander here while keeping every other statement of the
+    loop (interning, budgets, observer stream, frontier semantics)
+    untouched, which is what makes its output bit-identical to a stock
+    exploration.
+    """
+    expand_fn = system.expand if expand is None else expand
     interner = StateInterner()
     states = interner.states
     depth = array("q")
@@ -700,7 +744,7 @@ def _explore_serial(
             # ``expand`` hands back enabledness and successors from one guard
             # pass (and lets compiled systems answer from their successor
             # cache); unexpanded states get a guards-only query at the end.
-            enabled_set, posts = system.expand(state)
+            enabled_set, posts = expand_fn(state)
             mask = 0
             for label in enabled_set:
                 k = label_ids.get(label)
@@ -779,6 +823,7 @@ def _explore_serial(
         strict=strict,
         max_states=max_states,
         max_depth=max_depth,
+        enabled_fn=enabled_fn,
     )
 
 
@@ -798,6 +843,7 @@ def _finish_graph(
     strict: bool,
     max_states: int | None,
     max_depth: int | None,
+    enabled_fn=None,
 ) -> ReachableGraph:
     """Shared tail of the serial and sharded explorers.
 
@@ -820,10 +866,11 @@ def _finish_graph(
         if not expanded[i]:
             frontier.add(i)
 
+    query_enabled = system.enabled if enabled_fn is None else enabled_fn
     for i in range(len(states)):
         if emask_of[i] < 0:
             mask = 0
-            for label in system.enabled(states[i]):
+            for label in query_enabled(states[i]):
                 k = label_ids.get(label)
                 if k is None:
                     k = len(labels)

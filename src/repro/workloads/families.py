@@ -218,6 +218,46 @@ def grid_hypercube(dims: int, side: int) -> Program:
     )
 
 
+def grid_hypercube_rebound(dims: int, side: int, kick: int = 1) -> Program:
+    """:func:`grid_hypercube` plus a ``rebound`` command at the origin:
+    same ``(side+1)**dims`` state space, non-terminating.
+
+    ``rebound`` fires only at the all-zero corner — the unique deepest
+    state, discovered and expanded *last* by BFS — and kicks ``x0`` back
+    up to ``kick``.  Its target is a state the exploration has already
+    interned, so two ``kick`` values produce graphs that differ in exactly
+    one transition-target entry while agreeing on every state row, every
+    other transition and every enabled mask.  That makes this the graph
+    store's incremental-reuse stress family: editing ``kick`` is a
+    single-command change whose re-exploration should replay every state
+    from the stored base and republish almost entirely from existing
+    chunks.  ``grid_hypercube_rebound(6, 9)`` is exactly one million
+    states.
+    """
+    if dims < 1:
+        raise ValueError("need at least one dimension")
+    if side < 1:
+        raise ValueError("need side ≥ 1")
+    if not 1 <= kick <= side:
+        raise ValueError(f"kick must be within 1..{side}")
+    declarations = ", ".join(f"x{i} := {side}" for i in range(dims))
+    lines = [
+        f"dec{i}: x{i} > 0 -> x{i} := x{i} - 1" for i in range(dims)
+    ]
+    origin = " and ".join(f"x{i} == 0" for i in range(dims))
+    lines.append(f"rebound: {origin} -> x0 := {kick}")
+    body = "\n  [] ".join(lines)
+    return parse_program(
+        f"""
+        program HypercubeRebound
+        var {declarations}
+        do
+             {body}
+        od
+        """
+    )
+
+
 def hypercube_trap(dims: int, side: int) -> Program:
     """:func:`grid_hypercube` plus a fair two-state trap near the root:
     ``(side+1)**dims + 2`` states, of which the trap is at depth 1.

@@ -11,7 +11,7 @@ actually runs even on single-core CI machines.
 import pytest
 
 from repro import telemetry
-from repro.engine.diskcache import explore_with_cache
+from repro.engine.graphstore import explore_with_cache
 from repro.engine.parallel import parallel_map
 from repro.completeness.synthesis import synthesize_measure
 from repro.measures.verification import check_measure
@@ -128,21 +128,22 @@ class TestPipelineTotalsAcrossJobCounts:
         assert totals[4] == totals[1]
 
 
-class TestDiskCacheCounters:
+class TestGraphStoreCounters:
     def test_miss_store_then_hit(self, tmp_path):
         telemetry.enable()
         program = counter_grid(4, 4)
         _, hit = explore_with_cache(program, cache_dir=tmp_path)
         assert not hit
         counters = _counters()
-        assert counters["diskcache.miss"] == 1
-        assert counters["diskcache.store"] == 1
-        assert counters["diskcache.bytes_written"] > 0
+        assert counters["graphstore.miss"] == 1
+        assert counters["graphstore.store"] == 1
+        assert counters["graphstore.chunk.miss"] > 0
+        assert counters["graphstore.bytes.written"] > 0
         _, hit = explore_with_cache(program, cache_dir=tmp_path)
         assert hit
         counters = _counters()
-        assert counters["diskcache.hit"] == 1
-        assert counters["diskcache.bytes_read"] > 0
+        assert counters["graphstore.hit"] == 1
+        assert counters["graphstore.bytes.mapped"] > 0
 
     def test_successor_cache_counters_surface_in_explore(self):
         telemetry.enable()
