@@ -1,0 +1,160 @@
+"""E20 — structured event stream overhead and bit-identity at scale.
+
+The observability PR put a typed event bus under the engine (run/phase
+lifecycle, exploration heartbeats, round dispatch, verdicts — see
+docs/METHOD.md §13) with the same hard rule the metrics layer obeys:
+events must not change results, and a consumer-attached run must stay
+within a few percent of a bare one.  This bench checks both claims on
+the million-state exploration families:
+
+* **bit-identical graphs** — for every family,
+  :func:`~repro.engine.shard.graph_digest` with an NDJSON sink attached
+  (the worst case: ``live()`` is true, so the per-expansion ticker runs
+  and every event is serialised to disk) equals the digest with the bus
+  idle;
+* **event overhead** — enabled-vs-disabled wall clock per family; the
+  gate (full scale only) is that the largest-frontier family
+  ("hypercube") stays under :data:`MAX_EVENTS_OVERHEAD`;
+* **stream validity** — every line the sinks wrote parses and validates
+  (:func:`repro.telemetry.validate_event_stream` — envelope, catalogue
+  name, strictly increasing sequence numbers).
+
+Measurement shape: a multi-second million-state exploration swings
+±20 % run to run on a loaded box (page cache, allocator state, GC), far
+more than the ≤5 % effect under test, so bare/attached repeats are
+**interleaved** (off/on, off/on, …) to cancel drift and the ratio is
+taken over the **minimum** of each side — genuine per-event cost is
+paid in every run, so it survives the min; one-sided noise does not.
+
+``ENGINE_BENCH_SMOKE=1`` shrinks the workloads to CI size, where only
+the identity and validity checks are meaningful.  Rows land in
+``BENCH_events.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from common import MIN_REPEATS, peak_rss_kb, record_table
+
+from repro import telemetry
+from repro.analysis import Table
+from repro.engine.shard import graph_digest
+from repro.ts import explore
+from repro.workloads import large_scaling_suite
+
+SMOKE = os.environ.get("ENGINE_BENCH_SMOKE") == "1"
+SCALE = "smoke" if SMOKE else "full"
+REPEATS = MIN_REPEATS
+LARGEST = "hypercube"  # the family the overhead gate is judged on
+MAX_EVENTS_OVERHEAD = 1.05  # attached / bare, full scale, largest family
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_events.json"
+
+
+def _timed_explore(make_system, sink_dir):
+    """One warm-up pair, then ``REPEATS`` interleaved bare/attached pairs.
+
+    Returns ``(bare_min_s, attached_min_s, digest, events, states)``.
+    Digests must agree across every run of both modes, and every NDJSON
+    line each attached run wrote must validate.
+    """
+    bare: list = []
+    attached: list = []
+    digests = set()
+    stream_len = 0
+    states = 0
+    for iteration in range(1 + REPEATS):
+        warmup = iteration == 0
+        for with_sink in (False, True):
+            system = make_system()
+            sink = None
+            if with_sink:
+                telemetry.reset_events()
+                path = Path(sink_dir) / f"events-{iteration}.ndjson"
+                sink = telemetry.NdjsonEventSink(path)
+                telemetry.subscribe(sink)
+            try:
+                start = time.perf_counter()
+                graph = explore(system)
+                elapsed = time.perf_counter() - start
+            finally:
+                if sink is not None:
+                    sink.close()
+            digests.add(graph_digest(graph))
+            states = len(graph)
+            if with_sink:
+                stream = telemetry.validate_event_stream(path.read_text())
+                assert stream, "the sink-attached run emitted no events"
+                assert any(
+                    event["event"] == "explore.summary" for event in stream
+                ), "every exploration must emit a summary event"
+                stream_len = len(stream)
+            if not warmup:
+                (attached if with_sink else bare).append(elapsed)
+    assert len(digests) == 1, (
+        "event emission changed the explored graph (or exploration is "
+        "not run-to-run deterministic)"
+    )
+    return min(bare), min(attached), digests.pop(), stream_len, states
+
+
+def test_e20_event_stream_overhead():
+    table = Table(
+        "E20 — event stream overhead on explore "
+        f"({'smoke sizes' if SMOKE else 'full sizes'})",
+        ["workload", "states", "off s", "on s", "on/off", "events",
+         "identical"],
+    )
+    rows = []
+    overheads = {}
+    telemetry.disable()
+    telemetry.reset()
+    telemetry.reset_events()
+    for name, make in large_scaling_suite(SCALE):
+        with tempfile.TemporaryDirectory() as tmp:
+            off_s, on_s, digest, events_written, states = _timed_explore(
+                make, tmp
+            )
+        ratio = on_s / off_s if off_s > 0 else float("inf")
+        overheads[name] = ratio
+        table.add(
+            name, states, f"{off_s:.3f}", f"{on_s:.3f}", f"{ratio:.2f}x",
+            events_written, "yes",
+        )
+        rows.append({
+            "workload": name,
+            "states": states,
+            "graph_digest": digest,
+            "disabled_seconds": off_s,
+            "enabled_seconds": on_s,
+            "events_overhead": ratio,
+            "events_written": events_written,
+            "peak_rss_kb": peak_rss_kb(),
+            "identical": True,
+        })
+        telemetry.reset_events()
+    record_table(table)
+
+    largest = next(name for name in overheads if name.startswith(LARGEST))
+    verdict = {
+        "gated": not SMOKE,
+        "largest": largest,
+        "events_overhead": overheads[largest],
+        "max_events_overhead": MAX_EVENTS_OVERHEAD,
+    }
+    OUTPUT.write_text(json.dumps({
+        "experiment": "E20",
+        "scale": SCALE,
+        "repeats": REPEATS,
+        "verdict": verdict,
+        "rows": rows,
+    }, indent=2) + "\n")
+    if not SMOKE:
+        assert overheads[largest] <= MAX_EVENTS_OVERHEAD, (
+            f"event stream cost {overheads[largest]:.2f}x on {largest} — "
+            f"an attached consumer must stay under {MAX_EVENTS_OVERHEAD}x"
+        )

@@ -19,6 +19,15 @@ which is what lets CI use this as a cheap perf tripwire::
     python benchmarks/compare.py --rev v0           # vs a tag/commit
     python benchmarks/compare.py --baseline-dir /tmp/old --only BENCH_shm.json
 
+``--trajectory [DIR]`` is a different lens: no baseline, no gate — it
+reads *every* ``BENCH_*.json`` under ``DIR`` (default: the repo root) and
+prints one flat history table of wall seconds and peak RSS per family per
+experiment, so a reviewer can eyeball how cost moved across the whole
+bench suite as the stack of PRs grew::
+
+    python benchmarks/compare.py --trajectory
+    python benchmarks/compare.py --trajectory /tmp/artifacts-from-ci
+
 Only timing columns participate in the gate; state counts, digests and
 RSS columns are reported informationally when they changed.  Peak-RSS
 columns are *not* compared across the PR that changed their accounting
@@ -166,6 +175,58 @@ def _render(
     return lines, regressions
 
 
+def trajectory_rows(
+    directory: pathlib.Path,
+) -> List[Tuple[str, str, str, float, Optional[float]]]:
+    """Every timing column of every artifact under ``directory``.
+
+    Returns ``(experiment, family, column, seconds, peak_rss_kb)`` tuples,
+    ordered by artifact name then row order; ``peak_rss_kb`` is ``None``
+    for rows that do not record RSS (e.g. child-process measurements).
+    """
+    collected: List[Tuple[str, str, str, float, Optional[float]]] = []
+    for path in sorted(directory.glob("BENCH_*.json")):
+        payload = _load_current(path)
+        if payload is None:
+            continue
+        experiment = payload.get("experiment")
+        if not isinstance(experiment, str):
+            experiment = path.stem.replace("BENCH_", "")
+        for label, row in _rows_by_label(payload).items():
+            rss = row.get("peak_rss_kb")
+            if not isinstance(rss, (int, float)) or isinstance(rss, bool):
+                rss = None
+            for column in _timing_columns(row):
+                collected.append(
+                    (experiment, label, column, float(row[column]), rss)
+                )
+    return collected
+
+
+def render_trajectory(
+    rows: List[Tuple[str, str, str, float, Optional[float]]],
+) -> str:
+    headers = ("experiment", "family", "column", "seconds", "peak_rss_kb")
+    cells = [
+        (experiment, label, column, f"{seconds:.3f}",
+         "-" if rss is None else f"{rss:.0f}")
+        for experiment, label, column, seconds, rss in rows
+    ]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells))
+        if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip()]
+    previous = None
+    for row in cells:
+        if previous is not None and row[0] != previous:
+            lines.append("")
+        previous = row[0]
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -195,7 +256,30 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"this factor (default {DEFAULT_REGRESSION_GATE})"
         ),
     )
+    parser.add_argument(
+        "--trajectory",
+        nargs="?",
+        type=pathlib.Path,
+        const=REPO_ROOT,
+        default=None,
+        metavar="DIR",
+        help=(
+            "print the wall/RSS history table over every BENCH_*.json "
+            "under DIR (default: the repo root) instead of diffing"
+        ),
+    )
     args = parser.parse_args(argv)
+
+    if args.trajectory is not None:
+        rows = trajectory_rows(args.trajectory)
+        if not rows:
+            print(
+                f"no BENCH_*.json artifacts under {args.trajectory}",
+                file=sys.stderr,
+            )
+            return 2
+        print(render_trajectory(rows))
+        return 0
 
     names = args.only or sorted(
         path.name for path in REPO_ROOT.glob("BENCH_*.json")

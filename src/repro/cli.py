@@ -22,7 +22,9 @@ synthesis out over a process pool (results are identical to the serial run;
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
 from typing import Optional, Sequence
 
 from repro import telemetry
@@ -124,7 +126,27 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--progress",
         action="store_true",
         help="live one-line exploration progress on stderr "
-        "(states, queued, depth, states/s)",
+        "(states, queued, depth, states/s; plain lines when stderr is "
+        "not a TTY)",
+    )
+    parser.add_argument(
+        "--events-out",
+        default=None,
+        metavar="FILE",
+        help="append the structured event stream (run lifecycle, phases, "
+        "exploration rounds, cache outcomes, verdicts) to FILE as NDJSON "
+        "— one schema-validated JSON object per line (docs/METHOD.md §13)",
+    )
+    parser.add_argument(
+        "--expose",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve GET /metrics (Prometheus text), /events (NDJSON tail "
+        "of the flight recorder) and /healthz on 127.0.0.1:PORT for the "
+        "duration of the run (0 = ephemeral port; set "
+        "REPRO_EXPOSE_LINGER=SECONDS to keep serving after the command "
+        "finishes)",
     )
 
 
@@ -138,33 +160,33 @@ _PHASE_LABELS = (
 
 
 def _engine_footer(args: argparse.Namespace) -> str:
-    """One-line engine report sourced from the telemetry registry: root-span
-    phase timings, per-cache hit/miss totals, the states-until-verdict of a
-    streaming run, and the worker count used."""
+    """One-line engine report: root-span phase timings, per-cache hit/miss
+    totals, the states-until-verdict of a streaming run, and the worker
+    count used — all sourced from the one shared snapshot helper
+    (:func:`repro.telemetry.sinks.engine_counters`), never from ad-hoc
+    registry reads."""
     from repro.engine import resolve_jobs
 
-    phases = telemetry.phase_seconds()
+    counters = telemetry.engine_counters()
+    phases = counters["phases"]
     parts = [
         f"{label} {phases[name]:.3f}s"
         for name, label in _PHASE_LABELS
         if name in phases
     ]
-    registry = telemetry.registry().snapshot()
-    counters = registry["counters"]
-    succ_hits = counters.get("succache.hit", 0)
-    succ_misses = counters.get("succache.miss", 0)
-    if succ_hits or succ_misses:
-        parts.append(f"succ-cache hit/miss {succ_hits}/{succ_misses}")
-    store_hits = counters.get("graphstore.hit", 0)
-    store_misses = counters.get("graphstore.miss", 0)
-    if store_hits or store_misses:
-        parts.append(f"graph-store hit/miss {store_hits}/{store_misses}")
-    reused = counters.get("graphstore.incremental.reused_states", 0)
-    if reused:
-        parts.append(f"incremental reuse {reused} states")
-    verdict_states = registry["gauges"].get("stream.states_at_verdict")
-    if verdict_states is not None:
-        parts.append(f"verdict at {int(verdict_states)} states")
+    if counters["succ_hits"] or counters["succ_misses"]:
+        parts.append(
+            f"succ-cache hit/miss {counters['succ_hits']}/{counters['succ_misses']}"
+        )
+    if counters["store_hits"] or counters["store_misses"]:
+        parts.append(
+            f"graph-store hit/miss "
+            f"{counters['store_hits']}/{counters['store_misses']}"
+        )
+    if counters["incremental_reused"]:
+        parts.append(f"incremental reuse {counters['incremental_reused']} states")
+    if counters["states_at_verdict"] is not None:
+        parts.append(f"verdict at {int(counters['states_at_verdict'])} states")
     report = " · ".join(parts) if parts else "no instrumented phases ran"
     return f"engine: {report} (jobs={resolve_jobs(args.jobs)})"
 
@@ -539,20 +561,79 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     phase boundary) so the engine footer and the ``--trace`` /
     ``--metrics-out`` sinks always have data; it is reset first and disabled
     afterwards so embedding callers (tests, benchmarks) never see CLI state
-    leak into their own measurements.
+    leak into their own measurements.  The structured event stream is reset
+    alongside it: every run starts at sequence number 1 with a ``run.start``
+    event and closes with ``run.end``.  An unhandled exception in any
+    subcommand dumps the flight-recorder tail, a metrics snapshot and the
+    traceback to ``postmortem-<ts>.json`` before re-raising.
     """
     parser = build_parser()
     args = parser.parse_args(argv)
     telemetry.reset()
+    telemetry.reset_events()
     telemetry.enable(progress=getattr(args, "progress", False))
+    sink = None
+    server = None
+    events_out = getattr(args, "events_out", None)
+    if events_out is not None:
+        sink = telemetry.NdjsonEventSink(events_out)
+        telemetry.subscribe(sink)
+    expose_port = getattr(args, "expose", None)
+    if expose_port is not None:
+        from repro.telemetry.expose import ExpositionServer, linger_seconds
+
+        server = ExpositionServer(port=expose_port)
+        server.start()
+        print(
+            f"expose: serving /metrics /events /healthz on {server.url}",
+            file=sys.stderr,
+        )
+    started = time.monotonic()
+    telemetry.emit(
+        "run.start",
+        command=args.command,
+        file=getattr(args, "file", None),
+        pid=os.getpid(),
+        jobs=getattr(args, "jobs", None),
+    )
+    code: Optional[int] = None
     try:
-        return args.run(args)
+        code = args.run(args)
+        return code
+    except Exception as error:
+        path = telemetry.write_postmortem(
+            error,
+            command=args.command,
+            argv=list(argv) if argv is not None else sys.argv[1:],
+        )
+        print(f"postmortem written: {path}", file=sys.stderr)
+        raise
     finally:
+        counters = telemetry.engine_counters()
+        telemetry.emit(
+            "run.end",
+            command=args.command,
+            exit_code=code,
+            crashed=code is None,
+            seconds=time.monotonic() - started,
+            succ_hits=counters["succ_hits"],
+            succ_misses=counters["succ_misses"],
+            store_hits=counters["store_hits"],
+            store_misses=counters["store_misses"],
+            states_at_verdict=counters["states_at_verdict"],
+        )
         if getattr(args, "trace", False):
             telemetry.print_trace()
         metrics_out = getattr(args, "metrics_out", None)
         if metrics_out is not None:
             telemetry.write_metrics(metrics_out)
+        if server is not None:
+            linger = linger_seconds()
+            if linger:
+                time.sleep(linger)
+            server.stop()
+        if sink is not None:
+            sink.close()
         telemetry.disable()
 
 

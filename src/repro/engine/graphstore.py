@@ -76,7 +76,7 @@ import os
 import tempfile
 import time
 from array import array
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -84,6 +84,7 @@ from repro.gcl.pretty import render_program
 from repro.gcl.program import Program
 from repro.gcl.state import ProgramState
 from repro.telemetry import core as telemetry
+from repro.telemetry import events
 
 if False:  # typing only — ts.explore imports this package, keep it lazy
     from repro.ts.explore import ReachableGraph
@@ -1305,7 +1306,34 @@ def explore_with_cache(
     and — when ``cache_max_mb`` is set — trim the cache LRU-first.
     Non-``Program`` systems and programs with more than 64 commands
     bypass the cache.
+
+    Every resolution emits one ``graphstore.outcome`` event mirroring
+    :func:`last_outcome` (kind + chunk accounting) on the structured bus.
     """
+    result = _explore_with_cache(
+        program,
+        max_states=max_states,
+        max_depth=max_depth,
+        cache_dir=cache_dir,
+        strict=strict,
+        n_jobs=n_jobs,
+        cache_max_mb=cache_max_mb,
+    )
+    events.emit(
+        events.GRAPHSTORE_OUTCOME, hit=result[1], **asdict(_LAST_OUTCOME)
+    )
+    return result
+
+
+def _explore_with_cache(
+    program: Program,
+    max_states: Optional[int] = None,
+    max_depth: Optional[int] = None,
+    cache_dir: Optional[os.PathLike] = None,
+    strict: bool = False,
+    n_jobs: Optional[int] = None,
+    cache_max_mb: Optional[float] = None,
+) -> Tuple["ReachableGraph", bool]:
     from repro.ts.explore import explore
 
     global _LAST_OUTCOME

@@ -39,6 +39,7 @@ import time
 from typing import Callable, List, Optional, Sequence, TypeVar
 
 from repro.telemetry import core as telemetry
+from repro.telemetry import events
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -120,7 +121,9 @@ def get_pool(workers: int):
     _pool_workers = workers
     telemetry.count("parallel.pool.created")
     telemetry.gauge("parallel.pool.workers", workers)
-    telemetry.observe("parallel.pool.spinup_s", time.perf_counter() - start)
+    spinup = time.perf_counter() - start
+    telemetry.observe("parallel.pool.spinup_s", spinup)
+    events.emit(events.POOL_SPINUP, workers=workers, seconds=spinup)
     return _pool
 
 

@@ -45,6 +45,7 @@ from repro.engine import shm
 from repro.engine.interning import StateInterner
 from repro.engine.parallel import _FORCE_ENV, parallel_map, resolve_jobs
 from repro.telemetry import core as telemetry
+from repro.telemetry import events
 
 #: Set to ``0`` to disable the value-plane/shared-memory exploration path
 #: and restore the object-pickling coordinator for every system (rollback
@@ -214,6 +215,7 @@ def explore_sharded(
     round_depth = 0
     traced = telemetry.enabled()
     progress = telemetry.progress_reporter()
+    round_events = events.round_ticker()
     # Shared mask → frozenset memo for ``on_expanded`` notifications.
     mask_labels: Dict[int, frozenset] = {}
 
@@ -245,6 +247,9 @@ def explore_sharded(
             telemetry.observe("shard.round_pending", len(pending))
         if progress is not None:
             progress.maybe(len(states), len(pending), round_depth)
+        round_events.tick(
+            round_depth, len(pending), len(states), workers, dispatch
+        )
         round_span = telemetry.span(
             "shard_round",
             round=round_depth,
@@ -558,6 +563,7 @@ def _explore_rounds_values(
     round_depth = 0
     traced = telemetry.enabled()
     progress = telemetry.progress_reporter()
+    round_events = events.round_ticker()
     mask_labels: Dict[int, frozenset] = {}
     mask_memo: Dict[int, int] = {}
 
@@ -603,6 +609,9 @@ def _explore_rounds_values(
                 telemetry.observe("shard.round_pending", len(pending))
             if progress is not None:
                 progress.maybe(len(states), len(pending), round_depth)
+            round_events.tick(
+                round_depth, len(pending), len(states), workers, dispatch
+            )
             round_span = telemetry.span(
                 "shard_round",
                 round=round_depth,

@@ -32,6 +32,7 @@ from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.fairness.spec import STRONG_FAIRNESS
 from repro.telemetry import core as telemetry
+from repro.telemetry import events
 from repro.ts.explore import ReachableGraph, explore
 from repro.ts.graph import decompose
 from repro.ts.lasso import (
@@ -258,18 +259,37 @@ def _validated_counterexample(
     )
 
 
+def _emit_verdict(
+    result: FairTerminationResult, streaming: bool, stages: Optional[int] = None
+) -> None:
+    """One ``decide.verdict`` event per decision (a phase boundary)."""
+    events.emit(
+        events.DECIDE_VERDICT,
+        fairly_terminates=result.fairly_terminates,
+        decisive=result.decisive,
+        streaming=streaming,
+        states=result.states_explored,
+        transitions=result.transitions_explored,
+        stages=stages,
+    )
+
+
 def check_fair_termination(graph: ReachableGraph) -> FairTerminationResult:
     """Decide fair termination over (the explored region of) ``graph``."""
     witness = find_fair_cycle(graph)
     if witness is not None:
-        return _validated_counterexample(graph, witness)
-    return FairTerminationResult(
+        result = _validated_counterexample(graph, witness)
+        _emit_verdict(result, streaming=False)
+        return result
+    result = FairTerminationResult(
         fairly_terminates=True,
         decisive=graph.complete,
         witness=None,
         states_explored=len(graph),
         transitions_explored=len(graph.transitions),
     )
+    _emit_verdict(result, streaming=False)
+    return result
 
 
 #: First-stage state budget of the streaming decision procedure.
@@ -329,6 +349,7 @@ def check_fair_termination_streaming(
             telemetry.gauge("stream.states_at_verdict", result.states_explored)
         sp.set("stages", stages)
         sp.set("fairly_terminates", result.fairly_terminates)
+    _emit_verdict(result, streaming=True, stages=stages)
     return result
 
 
@@ -373,6 +394,16 @@ def _streaming_decide(
         if telemetry.enabled():
             telemetry.count("stream.sccs_checked", len(candidates))
         witness = _refine_components(graph, candidates, scratch)
+        # One stage-transition event per budget stage — the streaming
+        # decide's natural unit of progress reporting.
+        events.emit(
+            events.STREAM_STAGE,
+            stage=stages,
+            budget=bound,
+            states=len(graph),
+            candidates=len(candidates),
+            witness=witness is not None,
+        )
         if witness is not None:
             return _validated_counterexample(graph, witness), stages
         budget_bound = len(graph) >= bound

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.engine.parallel import chunk_items, effective_jobs, parallel_map
 from repro.measures.assignment import StackAssignment
 from repro.telemetry import core as telemetry
+from repro.telemetry import events
 from repro.measures.hypotheses import TERMINATION
 from repro.measures.stack import Stack, stacks_equal_below
 from repro.ts.explore import ExplorationObserver, ReachableGraph, StopExploration, explore
@@ -346,7 +347,16 @@ def check_measure(
             graph, assignment, keep_witnesses, requirements, n_jobs
         )
         sp.set("violations", len(result.violations))
-        return result
+    events.emit(
+        events.VERIFY_VERDICT,
+        ok=result.ok,
+        violations=len(result.violations),
+        transitions_checked=result.transitions_checked,
+        complete=result.complete,
+        streaming=False,
+        stopped_early=False,
+    )
+    return result
 
 
 def _check_measure_inner(
@@ -682,7 +692,7 @@ def check_measure_streaming(
             telemetry.gauge("stream.states_at_verdict", len(graph))
         sp.set("violations", len(verifier.violations))
         sp.set("stopped_early", verifier.stopped)
-    return StreamingCheckResult(
+    result = StreamingCheckResult(
         witnesses=verifier.witnesses,
         violations=verifier.violations,
         transitions_checked=verifier.checked,
@@ -691,3 +701,13 @@ def check_measure_streaming(
         stopped_early=verifier.stopped,
         states_explored=len(graph),
     )
+    events.emit(
+        events.VERIFY_VERDICT,
+        ok=result.ok,
+        violations=len(result.violations),
+        transitions_checked=result.transitions_checked,
+        complete=result.complete,
+        streaming=True,
+        stopped_early=result.stopped_early,
+    )
+    return result

@@ -51,25 +51,68 @@ from repro.telemetry.core import (
     span,
     worker_collect,
 )
+from repro.telemetry.events import (
+    CATALOGUE,
+    EVENT_VERSION,
+    EventKind,
+    ExplorationEventObserver,
+    FlightRecorder,
+    emit,
+    flight_recorder,
+    last_seq,
+    reset_events,
+    subscribe,
+    unsubscribe,
+)
+from repro.telemetry.expose import (
+    ExpositionServer,
+    render_prometheus,
+)
 from repro.telemetry.schema import (
+    EventSchemaError,
     SnapshotSchemaError,
+    validate_event,
+    validate_event_stream,
+    validate_postmortem,
     validate_snapshot,
 )
 from repro.telemetry.sinks import (
+    NdjsonEventSink,
     ProgressLine,
+    engine_counters,
     print_trace,
     render_trace,
     write_metrics,
+    write_postmortem,
 )
 
 __all__ = [
+    "CATALOGUE",
+    "EVENT_VERSION",
     "NOOP_SPAN",
     "SNAPSHOT_VERSION",
+    "EventKind",
+    "EventSchemaError",
+    "ExplorationEventObserver",
+    "ExpositionServer",
+    "FlightRecorder",
     "HistogramSummary",
     "MetricsRegistry",
+    "NdjsonEventSink",
     "ProgressLine",
     "SnapshotSchemaError",
     "Span",
+    "emit",
+    "engine_counters",
+    "flight_recorder",
+    "last_seq",
+    "render_prometheus",
+    "reset_events",
+    "subscribe",
+    "unsubscribe",
+    "validate_event",
+    "validate_event_stream",
+    "validate_postmortem",
     "count",
     "current_span",
     "disable",
@@ -90,4 +133,5 @@ __all__ = [
     "validate_snapshot",
     "worker_collect",
     "write_metrics",
+    "write_postmortem",
 ]

@@ -29,13 +29,17 @@ Three primitives:
 
 Everything here is import-light and dependency-free; nothing in this
 module may import the rest of :mod:`repro` (every engine module imports
-*us*).
+*us*) except :mod:`repro.telemetry.events`, which sits below us: root
+spans double as the ``phase.begin``/``phase.end`` events of the
+structured event bus.
 """
 
 from __future__ import annotations
 
 import time
 from typing import Any, Dict, List, Optional, Tuple
+
+from repro.telemetry import events as _events
 
 #: Bumped when the snapshot layout changes; consumers (benchmarks, CI
 #: schema validation) key on it.
@@ -206,6 +210,20 @@ def observe(name: str, value: float) -> None:
 # -- spans ----------------------------------------------------------------
 
 
+def _event_safe(attrs: Dict[str, Any]) -> Dict[str, Any]:
+    """Span attributes coerced to the event-data contract: JSON scalars
+    only, and no collision with the envelope's own ``phase`` key."""
+    safe: Dict[str, Any] = {}
+    for key, value in attrs.items():
+        if key == "phase":
+            continue
+        if value is None or isinstance(value, (str, int, float, bool)):
+            safe[key] = value
+        else:
+            safe[key] = str(value)
+    return safe
+
+
 class Span:
     """One timed region of the trace tree.
 
@@ -215,7 +233,7 @@ class Span:
     with totals computed just before the ``with`` block closes).
     """
 
-    __slots__ = ("name", "attrs", "counters", "children", "start", "end")
+    __slots__ = ("name", "attrs", "counters", "children", "start", "end", "_root")
 
     def __init__(self, name: str, attrs: Dict[str, Any]) -> None:
         self.name = name
@@ -224,6 +242,7 @@ class Span:
         self.children: List["Span"] = []
         self.start = 0.0
         self.end: Optional[float] = None
+        self._root = False
 
     @property
     def seconds(self) -> float:
@@ -240,6 +259,14 @@ class Span:
         parent = _span_stack[-1] if _span_stack else None
         (parent.children if parent is not None else _root_spans).append(self)
         _span_stack.append(self)
+        # Root spans are the engine's phases — they double as the
+        # phase.begin/phase.end events of the structured bus (child spans
+        # would flood the ring: a sharded explore has thousands).
+        self._root = parent is None
+        if self._root:
+            _events.emit(
+                _events.PHASE_BEGIN, phase=self.name, **_event_safe(self.attrs)
+            )
         self.start = time.perf_counter()
         return self
 
@@ -247,6 +274,13 @@ class Span:
         self.end = time.perf_counter()
         if _span_stack and _span_stack[-1] is self:
             _span_stack.pop()
+        if self._root:
+            _events.emit(
+                _events.PHASE_END,
+                phase=self.name,
+                seconds=self.end - self.start,
+                error=exc_type.__name__ if exc_type is not None else None,
+            )
 
     def snapshot(self) -> Dict[str, Any]:
         return {

@@ -1,0 +1,232 @@
+"""The live exposition endpoint: ``--expose PORT`` on every subcommand.
+
+A stdlib-only HTTP server (``http.server.ThreadingHTTPServer`` on a
+daemon thread) that makes a running — or lingering — engine process
+scrapeable:
+
+* ``GET /metrics`` — the :class:`~repro.telemetry.core.MetricsRegistry`
+  rendered in Prometheus text exposition format (version 0.0.4):
+  counters as ``repro_<name>_total``, gauges as ``repro_<name>``, each
+  histogram summary as the four series ``_count``/``_sum``/``_min``/
+  ``_max``.  Dotted metric names map to underscores, so
+  ``explore.states`` scrapes as ``repro_explore_states_total``.
+* ``GET /events`` — the flight recorder as NDJSON, oldest first; every
+  line validates against
+  :func:`repro.telemetry.schema.validate_event`.  ``?since=SEQ`` returns
+  only events after that sequence number (tail-follow by polling:
+  remember the last ``seq`` you saw, ask for what came after) and
+  ``?limit=N`` caps the reply to the most recent ``N``.
+* ``GET /healthz`` — liveness: ``{"status": "ok", "pid": ..., "uptime_s":
+  ..., "events": <last seq>}``.
+
+The server binds loopback by default, serves each request on its own
+thread (scrapes never block the engine — handlers only *read* telemetry
+state), counts as a live event consumer (:func:`repro.telemetry.events
+.add_tap`) so throttled producers start emitting, and dies with the
+process.  This is the first resident-server surface in the repo — the
+seed of the verification-as-a-service roadmap item; the service will
+mount these handlers unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional
+from urllib.parse import parse_qs, urlsplit
+
+from repro.telemetry import events
+from repro.telemetry.core import registry
+
+#: Seconds the CLI keeps serving after the command finished, so scrapers
+#: can read the final state of short runs (CI sets this).
+LINGER_ENV = "REPRO_EXPOSE_LINGER"
+
+#: Prefix of every exported Prometheus series.
+PROM_PREFIX = "repro_"
+
+
+def _prom_name(name: str) -> str:
+    """A dotted metric name as a Prometheus identifier."""
+    return PROM_PREFIX + "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+
+
+def render_prometheus(metrics: Optional[Dict[str, Any]] = None) -> str:
+    """The registry snapshot in Prometheus text exposition format.
+
+    ``metrics`` defaults to the live registry's snapshot; passing one in
+    makes the renderer testable and lets the future service render
+    per-job snapshots.
+    """
+    if metrics is None:
+        metrics = registry().snapshot()
+    lines = []
+    for name, value in sorted(metrics["counters"].items()):
+        series = _prom_name(name) + "_total"
+        lines.append(f"# TYPE {series} counter")
+        lines.append(f"{series} {value}")
+    for name, value in sorted(metrics["gauges"].items()):
+        series = _prom_name(name)
+        lines.append(f"# TYPE {series} gauge")
+        lines.append(f"{series} {value}")
+    for name, summary in sorted(metrics["histograms"].items()):
+        base = _prom_name(name)
+        lines.append(f"# TYPE {base} summary")
+        lines.append(f"{base}_count {summary['count']}")
+        lines.append(f"{base}_sum {summary['total']}")
+        if summary["min"] is not None:
+            lines.append(f"{base}_min {summary['min']}")
+        if summary["max"] is not None:
+            lines.append(f"{base}_max {summary['max']}")
+    lines.append(f"# TYPE {PROM_PREFIX}events gauge")
+    lines.append(f"{PROM_PREFIX}events {events.last_seq()}")
+    return "\n".join(lines) + "\n"
+
+
+def _first_int(query: Dict[str, Any], key: str) -> Optional[int]:
+    values = query.get(key)
+    if not values:
+        return None
+    try:
+        return int(values[0])
+    except ValueError:
+        return None
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-expose/1"
+
+    def log_message(self, format: str, *args: Any) -> None:
+        pass  # scrapes must not spam the engine's stderr
+
+    def _send(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        parsed = urlsplit(self.path)
+        try:
+            if parsed.path == "/healthz":
+                payload = {
+                    "status": "ok",
+                    "pid": os.getpid(),
+                    "uptime_s": round(
+                        time.monotonic() - self.server.started_mono, 3
+                    ),
+                    "events": events.last_seq(),
+                }
+                self._send(
+                    200,
+                    "application/json",
+                    (json.dumps(payload, sort_keys=True) + "\n").encode(),
+                )
+            elif parsed.path == "/metrics":
+                self._send(
+                    200,
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    render_prometheus().encode(),
+                )
+            elif parsed.path == "/events":
+                query = parse_qs(parsed.query)
+                since = _first_int(query, "since")
+                limit = _first_int(query, "limit")
+                tail = events.flight_recorder().tail(limit)
+                if since is not None:
+                    tail = [event for event in tail if event["seq"] > since]
+                body = "".join(
+                    json.dumps(event, sort_keys=True, default=str) + "\n"
+                    for event in tail
+                )
+                self._send(200, "application/x-ndjson", body.encode())
+            else:
+                self._send(
+                    404,
+                    "application/json",
+                    b'{"error": "unknown path", "paths": '
+                    b'["/metrics", "/events", "/healthz"]}\n',
+                )
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # the scraper went away mid-reply; nothing to do
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    started_mono = 0.0
+
+
+class ExpositionServer:
+    """A live `/metrics` + `/events` + `/healthz` endpoint for one run.
+
+    ``port=0`` binds an ephemeral port (tests); :meth:`start` returns the
+    actual port.  The server registers as an event-bus tap for its
+    lifetime so throttled producers emit while anyone could be watching.
+    """
+
+    def __init__(self, port: int = 0, host: str = "127.0.0.1") -> None:
+        self._host = host
+        self._port = port
+        self._server: Optional[_Server] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            return self._port
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self._host}:{self.port}"
+
+    def start(self) -> int:
+        """Bind, start serving on a daemon thread, return the bound port."""
+        if self._server is not None:
+            return self.port
+        self._server = _Server((self._host, self._port), _Handler)
+        self._server.started_mono = time.monotonic()
+        events.add_tap()
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-expose",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.port
+
+    def stop(self) -> None:
+        """Shut the server down and release the event tap (idempotent)."""
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+        self._server = None
+        self._thread = None
+        events.remove_tap()
+
+    def __enter__(self) -> "ExpositionServer":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+def linger_seconds() -> float:
+    """The configured post-run serving window (:data:`LINGER_ENV`)."""
+    raw = os.environ.get(LINGER_ENV)
+    if raw is None:
+        return 0.0
+    try:
+        return max(0.0, float(raw))
+    except ValueError:
+        return 0.0

@@ -1,9 +1,11 @@
-"""Telemetry sinks: the ``--trace`` tree, ``--metrics-out`` JSON, and the
-live progress line.
+"""Telemetry sinks: the ``--trace`` tree, ``--metrics-out`` JSON, the
+live progress line, the ``--events-out`` NDJSON stream and the crash
+postmortem.
 
 Sinks only *read* telemetry state (plus the progress line, which the
 explorers feed through :func:`repro.telemetry.core.progress_reporter`);
-collection lives in :mod:`repro.telemetry.core`.
+collection lives in :mod:`repro.telemetry.core` and event production in
+:mod:`repro.telemetry.events`.
 """
 
 from __future__ import annotations
@@ -12,9 +14,11 @@ import json
 import os
 import sys
 import time
+import traceback as traceback_module
 from typing import Any, Dict, List, Optional
 
-from repro.telemetry.core import snapshot
+from repro.telemetry import events
+from repro.telemetry.core import phase_seconds, registry, snapshot
 
 #: Sibling spans with the same name beyond this many are collapsed into a
 #: single "... and N more" line — a million-state exploration has
@@ -94,6 +98,115 @@ def write_metrics(path: os.PathLike) -> None:
         stream.write("\n")
 
 
+def engine_counters() -> Dict[str, Any]:
+    """One snapshot of the engine's headline counters.
+
+    The single source the CLI footer, the ``run.end`` event and the
+    progress line's completion summary all read — nothing else may poke
+    the registry ad hoc for these fields.  Keys: ``phases`` (root-span
+    name → wall seconds), the successor-/graph-store hit/miss totals,
+    incremental-reuse state count, and the streaming
+    states-until-verdict gauge (``None`` unless a streaming run set it).
+    """
+    metrics = registry().snapshot()
+    counters = metrics["counters"]
+    return {
+        "phases": phase_seconds(),
+        "succ_hits": counters.get("succache.hit", 0),
+        "succ_misses": counters.get("succache.miss", 0),
+        "store_hits": counters.get("graphstore.hit", 0),
+        "store_misses": counters.get("graphstore.miss", 0),
+        "incremental_reused": counters.get(
+            "graphstore.incremental.reused_states", 0
+        ),
+        "states_at_verdict": metrics["gauges"].get("stream.states_at_verdict"),
+    }
+
+
+# -- the NDJSON event sink ------------------------------------------------
+
+
+class NdjsonEventSink:
+    """The ``--events-out FILE`` consumer: one event per line, as JSON.
+
+    Crash-safe by construction: the file opens append-only and
+    line-buffered, each event is serialised and written as one complete
+    line in a single call, and the line buffer flushes at the newline —
+    so after a crash at any instant every line already on disk parses on
+    its own (:func:`repro.telemetry.schema.validate_event_stream`).  This
+    byte stream is the contract the future service will reframe as SSE.
+
+    Use as a subscriber: ``events.subscribe(sink)`` … ``sink.close()``.
+    """
+
+    def __init__(self, path: os.PathLike) -> None:
+        self.path = path
+        self._stream = open(path, "a", encoding="utf-8", buffering=1)
+        self.written = 0
+
+    def __call__(self, event: Dict[str, Any]) -> None:
+        if self._stream.closed:
+            return
+        self._stream.write(json.dumps(event, sort_keys=True, default=str) + "\n")
+        self.written += 1
+
+    def close(self) -> None:
+        """Detach from the bus and close the file (idempotent)."""
+        events.unsubscribe(self)
+        if not self._stream.closed:
+            self._stream.close()
+
+
+# -- the crash postmortem -------------------------------------------------
+
+#: Bumped when the postmortem document layout changes.
+POSTMORTEM_VERSION = 1
+
+
+def write_postmortem(
+    error: BaseException,
+    command: Optional[str] = None,
+    argv: Optional[List[str]] = None,
+    directory: os.PathLike = ".",
+) -> str:
+    """Dump the flight-recorder tail, a metrics snapshot and the traceback
+    of ``error`` to ``postmortem-<ts>.json``; returns the path.
+
+    Called by the CLI on any unhandled exception.  The document validates
+    against :func:`repro.telemetry.schema.validate_postmortem`: in
+    particular the event tail is the ring's contiguous suffix of the run's
+    event stream, so the last boundary the run crossed (phase, round,
+    stage) is always reconstructible.
+    """
+    created = time.time()
+    stamp = time.strftime("%Y%m%d-%H%M%S", time.localtime(created))
+    path = os.path.join(
+        os.fspath(directory), f"postmortem-{stamp}-{os.getpid()}.json"
+    )
+    document = {
+        "version": POSTMORTEM_VERSION,
+        "created_unix": created,
+        "created_iso": time.strftime(
+            "%Y-%m-%dT%H:%M:%S%z", time.localtime(created)
+        ),
+        "command": command,
+        "argv": list(argv) if argv is not None else list(sys.argv[1:]),
+        "error": {
+            "type": type(error).__name__,
+            "message": str(error),
+            "traceback": traceback_module.format_exception(
+                type(error), error, error.__traceback__
+            ),
+        },
+        "events": events.flight_recorder().tail(),
+        "metrics": snapshot(),
+    }
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(document, stream, indent=2, sort_keys=True, default=str)
+        stream.write("\n")
+    return path
+
+
 class ProgressLine:
     """An opt-in live one-line progress display for long explorations.
 
@@ -102,6 +215,12 @@ class ProgressLine:
     most every :attr:`interval` seconds, showing states discovered, the
     pending/queue size, the BFS depth and the discovery rate.  Writing
     goes to stderr so piped stdout stays clean.
+
+    When the stream is **not a TTY** (``stream.isatty()`` false — a pipe,
+    a log file, CI) the in-place redraw would litter the capture with
+    ``\\r`` control characters, so the line degrades to plain
+    newline-delimited updates at the same cadence and :meth:`close`
+    writes nothing — every captured line is a complete record.
     """
 
     #: Seconds between repaints.
@@ -111,6 +230,11 @@ class ProgressLine:
 
     def __init__(self, stream=None) -> None:
         self._stream = stream if stream is not None else sys.stderr
+        isatty = getattr(self._stream, "isatty", None)
+        try:
+            self._tty = bool(isatty()) if isatty is not None else False
+        except (OSError, ValueError):
+            self._tty = False
         self._calls = 0
         self._last_time: Optional[float] = None
         self._last_states = 0
@@ -130,18 +254,25 @@ class ProgressLine:
         if elapsed < self.interval:
             return
         rate = (states - self._last_states) / elapsed if elapsed > 0 else 0.0
-        self._stream.write(
-            f"\rexplore: {states:,} states · {queued:,} queued · "
-            f"depth {depth} · {rate:,.0f} states/s   "
+        line = (
+            f"explore: {states:,} states · {queued:,} queued · "
+            f"depth {depth} · {rate:,.0f} states/s"
         )
+        if self._tty:
+            self._stream.write(f"\r{line}   ")
+        else:
+            self._stream.write(line + "\n")
         self._stream.flush()
         self._last_time = now
         self._last_states = states
         self._dirty = True
 
     def close(self) -> None:
-        """Clear the line (if one was drawn) so normal output follows."""
-        if self._dirty:
+        """Clear the line (if one was drawn) so normal output follows.
+
+        Plain (non-TTY) mode never needs clearing — updates are already
+        complete lines."""
+        if self._dirty and self._tty:
             self._stream.write("\r" + " " * 72 + "\r")
             self._stream.flush()
-            self._dirty = False
+        self._dirty = False

@@ -35,6 +35,7 @@ from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
 from repro.engine.interning import StateInterner
 from repro.engine.packed import CommandTable, PackedGraph
 from repro.telemetry import core as telemetry
+from repro.telemetry import events
 from repro.ts.system import CommandLabel, State, Transition, TransitionSystem
 
 
@@ -588,9 +589,11 @@ def explore(
     """
     system.validate_commands()
     if not telemetry.enabled():
-        return _explore_dispatch(
+        graph = _explore_dispatch(
             system, max_states, max_depth, strict, n_jobs, observer
         )
+        _emit_explore_summary(system, graph)
+        return graph
     # Telemetry wrapper: one span around the whole exploration, totals
     # counted once at the end (never inside the BFS loop), and the
     # system's successor-cache counters unified into the registry as the
@@ -619,7 +622,21 @@ def explore(
             telemetry.count("succache.miss", misses - before[1])
         sp.set("states", len(graph))
         sp.set("complete", graph.complete)
+    _emit_explore_summary(system, graph)
     return graph
+
+
+def _emit_explore_summary(system: TransitionSystem, graph: ReachableGraph) -> None:
+    """One ``explore.summary`` event per finished exploration — a phase
+    boundary, so it goes to the always-on flight recorder unconditionally."""
+    events.emit(
+        events.EXPLORE_SUMMARY,
+        system=getattr(system, "name", type(system).__name__),
+        states=len(graph),
+        transitions=len(graph.transition_columns[0]),
+        frontier=len(graph.frontier),
+        complete=graph.complete,
+    )
 
 
 def _explore_dispatch(
@@ -719,7 +736,15 @@ def _explore_serial(
     truncated = False
     # ``None`` unless live progress was opted into; the disabled-mode cost
     # of the display is the single ``is not None`` test per expansion.
+    # Same deal for the event heartbeat: ``None`` unless an event consumer
+    # (an NDJSON sink, the exposition server) is attached.  The stride
+    # lives here, not inside the ticker: computing the tick arguments
+    # (three ``len`` calls) per expansion costs several percent on a
+    # million-state family, so only every stride-th expansion builds them.
     progress = telemetry.progress_reporter()
+    ticker = events.exploration_ticker()
+    tick_stride = events.PROGRESS_STRIDE
+    ticks = 0
 
     i = -1
     finalized = -1
@@ -737,6 +762,10 @@ def _explore_serial(
                 continue
             if progress is not None:
                 progress.maybe(len(states), len(queue), depth[i])
+            if ticker is not None:
+                ticks += 1
+                if not ticks % tick_stride:
+                    ticker.tick(len(states), len(queue), depth[i])
             expanded[i] = 1
             state = states[i]
             successor_depth = depth[i] + 1

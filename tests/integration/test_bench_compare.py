@@ -1,0 +1,83 @@
+"""The bench-artifact comparison tool's ``--trajectory`` history mode.
+
+``benchmarks/`` is not a package, so the module is loaded straight from
+its file path; the tests drive both the row collection and the CLI.
+"""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+COMPARE_PY = (
+    pathlib.Path(__file__).resolve().parents[2] / "benchmarks" / "compare.py"
+)
+
+
+@pytest.fixture(scope="module")
+def compare():
+    spec = importlib.util.spec_from_file_location("bench_compare", COMPARE_PY)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture
+def artifact_dir(tmp_path):
+    (tmp_path / "BENCH_alpha.json").write_text(json.dumps({
+        "experiment": "E98",
+        "rows": [
+            {"workload": "grid(4,4)", "cold_seconds": 1.25,
+             "warm_seconds": 0.05, "peak_rss_kb": 1024, "states": 16},
+            {"workload": "rings(3)", "cold_seconds": 0.5, "states": 9},
+        ],
+    }))
+    (tmp_path / "BENCH_beta.json").write_text(json.dumps({
+        # no "experiment" key: the file stem is the fallback label
+        "rows": [
+            {"family": "cube(6,9)", "explore_seconds": 9.75,
+             "peak_rss_kb": 2048.0},
+        ],
+    }))
+    (tmp_path / "BENCH_broken.json").write_text("{not json")
+    return tmp_path
+
+
+class TestTrajectoryRows:
+    def test_collects_every_timing_column(self, compare, artifact_dir):
+        rows = compare.trajectory_rows(artifact_dir)
+        assert rows == [
+            ("E98", "grid(4,4)", "cold_seconds", 1.25, 1024),
+            ("E98", "grid(4,4)", "warm_seconds", 0.05, 1024),
+            ("E98", "rings(3)", "cold_seconds", 0.5, None),
+            ("beta", "cube(6,9)", "explore_seconds", 9.75, 2048.0),
+        ]
+
+    def test_empty_directory_yields_nothing(self, compare, tmp_path):
+        assert compare.trajectory_rows(tmp_path) == []
+
+
+class TestTrajectoryCli:
+    def test_prints_the_history_table(self, compare, artifact_dir, capsys):
+        assert compare.main(["--trajectory", str(artifact_dir)]) == 0
+        out = capsys.readouterr().out
+        header, *body = [line for line in out.splitlines() if line]
+        assert header.split() == [
+            "experiment", "family", "column", "seconds", "peak_rss_kb",
+        ]
+        assert any("E98" in line and "1.250" in line for line in body)
+        assert any("beta" in line and "9.750" in line for line in body)
+        assert any(line.rstrip().endswith("-") for line in body)  # no-RSS row
+
+    def test_groups_experiments_with_blank_lines(
+        self, compare, artifact_dir, capsys
+    ):
+        compare.main(["--trajectory", str(artifact_dir)])
+        out = capsys.readouterr().out
+        alpha_block, beta_block = out.strip().split("\n\n")
+        assert "E98" in alpha_block and "beta" in beta_block
+
+    def test_empty_directory_is_an_error(self, compare, tmp_path, capsys):
+        assert compare.main(["--trajectory", str(tmp_path)]) == 2
+        assert "no BENCH_*.json" in capsys.readouterr().err

@@ -213,3 +213,120 @@ class TestTree:
         assert "case 1" in out
         assert "longest chain" in out
         assert "PASS" in out
+
+BOOM = """
+program Boom
+var x := 0
+do
+     a: x < 3 -> x := x + 1
+  [] b: x == 2 -> x := 5 div (x - 2)
+od
+"""
+
+
+class TestEventStream:
+    def test_events_out_writes_a_validating_stream(self, p2_file, tmp_path):
+        from repro.telemetry.schema import validate_event_stream
+
+        out = tmp_path / "events.ndjson"
+        assert main(["decide", p2_file, "--events-out", str(out)]) == 0
+        parsed = validate_event_stream(out.read_text())
+        names = [event["event"] for event in parsed]
+        assert names[0] == "run.start"
+        assert names[-1] == "run.end"
+        assert "explore.summary" in names
+        assert "decide.verdict" in names
+        assert "phase.begin" in names and "phase.end" in names
+        start = parsed[0]["data"]
+        assert start["command"] == "decide"
+        assert start["file"] == p2_file
+        end = parsed[-1]["data"]
+        assert end["exit_code"] == 0
+        assert end["crashed"] is False
+        assert end["seconds"] >= 0.0
+
+    def test_streaming_decide_emits_stage_events(self, p2_file, tmp_path):
+        from repro.telemetry.schema import validate_event_stream
+
+        out = tmp_path / "events.ndjson"
+        code = main(["decide", p2_file, "--stream", "--events-out", str(out)])
+        assert code == 0
+        names = [e["event"] for e in validate_event_stream(out.read_text())]
+        assert "stream.stage" in names
+
+    def test_check_emits_a_verify_verdict(self, p2_file, tmp_path):
+        from repro.telemetry.schema import validate_event_stream
+
+        assertion = tmp_path / "p2.assert"
+        assertion.write_text("la\nT: max(y - x, 0)\n")
+        out = tmp_path / "events.ndjson"
+        code = main([
+            "check", p2_file, "--assertion", str(assertion),
+            "--events-out", str(out),
+        ])
+        assert code == 0
+        parsed = validate_event_stream(out.read_text())
+        verdicts = [e for e in parsed if e["event"] == "verify.verdict"]
+        assert verdicts
+        assert verdicts[-1]["data"]["ok"] is True
+        assert verdicts[-1]["data"]["violations"] == 0
+
+    def test_run_end_present_even_on_nonzero_exit(self, spin_file, tmp_path):
+        from repro.telemetry.schema import validate_event_stream
+
+        out = tmp_path / "events.ndjson"
+        assert main(["decide", spin_file, "--events-out", str(out)]) == 1
+        parsed = validate_event_stream(out.read_text())
+        assert parsed[-1]["event"] == "run.end"
+        assert parsed[-1]["data"]["exit_code"] == 1
+
+
+class TestPostmortem:
+    @pytest.fixture
+    def boom_file(self, tmp_path):
+        path = tmp_path / "boom.gcl"
+        path.write_text(BOOM)
+        return str(path)
+
+    def test_crash_dumps_a_validating_postmortem(
+        self, boom_file, tmp_path, monkeypatch, capsys
+    ):
+        import json
+
+        from repro.gcl.errors import EvalError
+        from repro.telemetry.schema import validate_postmortem
+
+        monkeypatch.chdir(tmp_path)
+        with pytest.raises(EvalError, match="division by zero"):
+            main(["decide", boom_file])
+        err = capsys.readouterr().err
+        assert "postmortem written:" in err
+        dumps = list(tmp_path.glob("postmortem-*.json"))
+        assert len(dumps) == 1
+        document = json.loads(dumps[0].read_text())
+        validate_postmortem(document)
+        assert document["command"] == "decide"
+        assert document["error"]["type"] == "EvalError"
+        assert "division by zero" in document["error"]["message"]
+        assert any(
+            "EvalError" in line for line in document["error"]["traceback"]
+        )
+        # The flight-recorder tail made it into the dump, gap-free, and
+        # the run got as far as starting: the crash context is readable.
+        seqs = [event["seq"] for event in document["events"]]
+        assert seqs and seqs == list(range(seqs[0], seqs[0] + len(seqs)))
+        assert document["events"][0]["event"] == "run.start"
+
+    def test_healthy_runs_write_no_postmortem(
+        self, p2_file, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        assert main(["decide", p2_file]) == 0
+        assert list(tmp_path.glob("postmortem-*.json")) == []
+
+
+class TestExpose:
+    def test_expose_serves_during_the_run(self, p2_file, capsys):
+        assert main(["decide", p2_file, "--expose", "0"]) == 0
+        err = capsys.readouterr().err
+        assert "expose: serving /metrics /events /healthz on http://" in err

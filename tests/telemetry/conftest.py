@@ -10,6 +10,8 @@ def clean_telemetry():
     """Each test starts disabled and empty, and leaves nothing behind."""
     telemetry.disable()
     telemetry.reset()
+    telemetry.reset_events()
     yield
     telemetry.disable()
     telemetry.reset()
+    telemetry.reset_events()

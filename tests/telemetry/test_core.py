@@ -235,6 +235,30 @@ class TestSinks:
     def test_render_trace_empty(self):
         assert "(no spans recorded)" in render_trace()
 
+    def test_render_trace_accepts_a_snapshot_span_list(self):
+        telemetry.enable()
+        with telemetry.span("explore", system="P2"):
+            pass
+        roots = telemetry.snapshot()["spans"]
+        telemetry.reset()  # render from the exported dicts, not live state
+        text = render_trace(roots)
+        assert "explore" in text
+        assert "system=P2" in text
+
+    def test_print_trace_stream_override(self):
+        telemetry.enable()
+        with telemetry.span("verify"):
+            pass
+        stream = io.StringIO()
+        telemetry.print_trace(stream=stream)
+        assert "verify" in stream.getvalue()
+
+    def test_print_trace_empty_tree_to_custom_stream(self):
+        stream = io.StringIO()
+        telemetry.print_trace(stream=stream)
+        assert "(no spans recorded)" in stream.getvalue()
+        assert stream.getvalue().endswith("\n")
+
     def test_write_metrics_round_trips(self, tmp_path):
         telemetry.enable()
         telemetry.count("explore.states", 3)
@@ -248,8 +272,12 @@ class TestSinks:
         assert payload["metrics"]["counters"]["explore.states"] == 3
         assert payload["spans"][0]["name"] == "explore"
 
-    def test_progress_line_paints_and_clears(self):
-        stream = io.StringIO()
+    def test_progress_line_paints_and_clears_on_tty(self):
+        class FakeTty(io.StringIO):
+            def isatty(self):
+                return True
+
+        stream = FakeTty()
         line = ProgressLine(stream=stream)
         line.interval = 0.0  # every stride-th call repaints
         for states in range(1, 4 * ProgressLine.stride + 1):
@@ -257,8 +285,51 @@ class TestSinks:
         text = stream.getvalue()
         assert "explore:" in text
         assert "states/s" in text
+        assert "\r" in text  # in-place redraws
         line.close()
         assert stream.getvalue().endswith("\r")
+
+    def test_progress_line_plain_mode_on_non_tty(self):
+        # A captured stream (StringIO.isatty() is False) must get plain
+        # newline-delimited updates — no \r control characters, and no
+        # clearing on close.
+        stream = io.StringIO()
+        line = ProgressLine(stream=stream)
+        line.interval = 0.0
+        for states in range(1, 4 * ProgressLine.stride + 1):
+            line.maybe(states, queued=5, depth=2)
+        line.close()
+        text = stream.getvalue()
+        assert "explore:" in text
+        assert "\r" not in text
+        lines = text.splitlines()
+        assert len(lines) >= 2  # one complete record per update
+        assert all(entry.startswith("explore:") for entry in lines)
+        assert text.endswith("\n")
+
+    def test_engine_counters_is_the_shared_snapshot(self):
+        # The CLI footer and the run.end event both read this one helper;
+        # its keys are a contract.
+        telemetry.enable()
+        telemetry.count("succache.hit", 3)
+        telemetry.count("graphstore.miss", 1)
+        telemetry.count("graphstore.incremental.reused_states", 7)
+        telemetry.gauge("stream.states_at_verdict", 42)
+        with telemetry.span("explore"):
+            pass
+        counters = telemetry.engine_counters()
+        assert counters["succ_hits"] == 3
+        assert counters["succ_misses"] == 0
+        assert counters["store_hits"] == 0
+        assert counters["store_misses"] == 1
+        assert counters["incremental_reused"] == 7
+        assert counters["states_at_verdict"] == 42
+        assert "explore" in counters["phases"]
+
+    def test_engine_counters_when_nothing_ran(self):
+        counters = telemetry.engine_counters()
+        assert counters["phases"] == {}
+        assert counters["states_at_verdict"] is None
 
     def test_progress_line_stride_skips_clock(self):
         stream = io.StringIO()

@@ -1,0 +1,155 @@
+"""The exposition endpoint: Prometheus rendering and the live server.
+
+The server is stdlib-only and binds an ephemeral loopback port, so these
+tests exercise the real HTTP path with ``urllib`` — no fixtures beyond
+the shared telemetry reset.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import events
+from repro.telemetry.expose import (
+    ExpositionServer,
+    linger_seconds,
+    render_prometheus,
+)
+from repro.telemetry.schema import validate_event
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.status, response.headers, response.read().decode()
+
+
+class TestRenderPrometheus:
+    def test_counters_gauges_histograms(self):
+        metrics = {
+            "counters": {"explore.states": 7},
+            "gauges": {"parallel.pool.workers": 4},
+            "histograms": {
+                "shard.round_s": {
+                    "count": 2, "total": 1.5, "min": 0.5, "max": 1.0,
+                },
+            },
+        }
+        text = render_prometheus(metrics)
+        assert "# TYPE repro_explore_states_total counter" in text
+        assert "repro_explore_states_total 7" in text
+        assert "# TYPE repro_parallel_pool_workers gauge" in text
+        assert "repro_parallel_pool_workers 4" in text
+        assert "# TYPE repro_shard_round_s summary" in text
+        assert "repro_shard_round_s_count 2" in text
+        assert "repro_shard_round_s_sum 1.5" in text
+        assert "repro_shard_round_s_min 0.5" in text
+        assert "repro_shard_round_s_max 1.0" in text
+        assert text.endswith("\n")
+
+    def test_events_gauge_tracks_last_seq(self):
+        events.emit("run.start")
+        events.emit("run.start")
+        text = render_prometheus({"counters": {}, "gauges": {},
+                                  "histograms": {}})
+        assert "repro_events 2" in text
+
+    def test_empty_histogram_omits_min_max(self):
+        metrics = {
+            "counters": {}, "gauges": {},
+            "histograms": {
+                "a.b": {"count": 0, "total": 0.0, "min": None, "max": None},
+            },
+        }
+        text = render_prometheus(metrics)
+        assert "repro_a_b_count 0" in text
+        assert "_min" not in text and "_max" not in text
+
+    def test_live_registry_is_the_default_source(self):
+        telemetry.enable()
+        telemetry.count("explore.states", 3)
+        assert "repro_explore_states_total 3" in render_prometheus()
+
+
+class TestExpositionServer:
+    @pytest.fixture()
+    def server(self):
+        server = ExpositionServer(port=0)
+        server.start()
+        yield server
+        server.stop()
+
+    def test_healthz(self, server):
+        events.emit("run.start")
+        status, headers, body = _get(server.url + "/healthz")
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["events"] == 1
+        assert payload["uptime_s"] >= 0.0
+
+    def test_metrics(self, server):
+        telemetry.enable()
+        telemetry.count("explore.states", 9)
+        status, headers, body = _get(server.url + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert "repro_explore_states_total 9" in body
+
+    def test_events_ndjson_tail(self, server):
+        events.emit("run.start", command="decide")
+        events.emit("explore.summary", states=4)
+        status, headers, body = _get(server.url + "/events")
+        assert status == 200
+        assert headers["Content-Type"] == "application/x-ndjson"
+        lines = [json.loads(line) for line in body.splitlines() if line]
+        assert [event["event"] for event in lines] == [
+            "run.start", "explore.summary",
+        ]
+        for event in lines:
+            validate_event(event)
+
+    def test_events_since_and_limit(self, server):
+        for _ in range(5):
+            events.emit("run.start")
+        _, _, body = _get(server.url + "/events?since=3")
+        assert [json.loads(l)["seq"] for l in body.splitlines() if l] == [4, 5]
+        _, _, body = _get(server.url + "/events?limit=2")
+        assert [json.loads(l)["seq"] for l in body.splitlines() if l] == [4, 5]
+
+    def test_unknown_path_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as info:
+            _get(server.url + "/nope")
+        assert info.value.code == 404
+        assert "unknown path" in info.value.read().decode()
+
+    def test_server_counts_as_a_live_consumer(self):
+        assert not events.live()
+        with ExpositionServer(port=0):
+            assert events.live()
+        assert not events.live()
+
+    def test_start_and_stop_are_idempotent(self):
+        server = ExpositionServer(port=0)
+        port = server.start()
+        assert server.start() == port  # second start: same binding
+        server.stop()
+        server.stop()  # second stop: no-op
+        assert not events.live()
+
+
+class TestLinger:
+    def test_defaults_to_zero(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EXPOSE_LINGER", raising=False)
+        assert linger_seconds() == 0.0
+
+    def test_reads_the_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXPOSE_LINGER", "2.5")
+        assert linger_seconds() == 2.5
+        monkeypatch.setenv("REPRO_EXPOSE_LINGER", "-3")
+        assert linger_seconds() == 0.0
+        monkeypatch.setenv("REPRO_EXPOSE_LINGER", "junk")
+        assert linger_seconds() == 0.0
