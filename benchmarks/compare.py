@@ -183,11 +183,27 @@ def trajectory_rows(
     Returns ``(experiment, family, column, seconds, peak_rss_kb)`` tuples,
     ordered by artifact name then row order; ``peak_rss_kb`` is ``None``
     for rows that do not record RSS (e.g. child-process measurements).
+
+    An artifact that cannot be read, fails to parse, or does not hold a
+    JSON object is skipped with one warning on stderr — a stale or
+    half-written file must never take the whole history table down.
     """
     collected: List[Tuple[str, str, str, float, Optional[float]]] = []
     for path in sorted(directory.glob("BENCH_*.json")):
         payload = _load_current(path)
         if payload is None:
+            print(
+                f"warning: {path.name}: unreadable or malformed JSON — "
+                f"skipped",
+                file=sys.stderr,
+            )
+            continue
+        if not isinstance(payload, dict):
+            print(
+                f"warning: {path.name}: top level is "
+                f"{type(payload).__name__}, not a JSON object — skipped",
+                file=sys.stderr,
+            )
             continue
         experiment = payload.get("experiment")
         if not isinstance(experiment, str):

@@ -185,6 +185,10 @@ def _engine_footer(args: argparse.Namespace) -> str:
         )
     if counters["incremental_reused"]:
         parts.append(f"incremental reuse {counters['incremental_reused']} states")
+    if counters["plane_rows"]:
+        parts.append(f"verify-plane {counters['plane_rows']} rows")
+    if counters["mask_primes"]:
+        parts.append(f"mask primes {counters['mask_primes']}")
     if counters["states_at_verdict"] is not None:
         parts.append(f"verdict at {int(counters['states_at_verdict'])} states")
     report = " · ".join(parts) if parts else "no instrumented phases ran"

@@ -480,11 +480,16 @@ class _MappedColumns:
     makes the whole load a clean miss.
     """
 
-    __slots__ = ("columns", "mapped_bytes", "_mmaps")
+    __slots__ = ("columns", "mapped_bytes", "sources", "_mmaps")
 
     def __init__(self) -> None:
         self.columns: Dict[str, object] = {}
         self.mapped_bytes = 0
+        #: ``column name → (path, words, typecode)`` for columns mapped
+        #: zero-copy from a single chunk file — the verification plane
+        #: adopts these by path so pool workers mmap the chunk themselves
+        #: instead of receiving a shared-memory copy.
+        self.sources: Dict[str, Tuple[str, int, str]] = {}
         self._mmaps: List[mmap.mmap] = []
 
     @classmethod
@@ -513,10 +518,21 @@ class _MappedColumns:
                 digests = manifest["columns"][name]
                 if not isinstance(digests, list):
                     raise ValueError("chunk list is not a list")
+                typecode = "Q" if name == "masks" else "q"
                 loaded.columns[name] = loaded._map_column(
-                    directory, digests, total_words, words,
-                    "Q" if name == "masks" else "q", verify,
+                    directory, digests, total_words, words, typecode, verify,
                 )
+                if len(digests) == 1 and isinstance(
+                    loaded.columns[name], memoryview
+                ):
+                    # Single-chunk zero-copy column: its bytes are exactly
+                    # one immutable content-addressed file, adoptable by
+                    # path (verification-plane workers mmap it directly).
+                    loaded.sources[name] = (
+                        str(_chunk_path(directory, digests[0])),
+                        total_words,
+                        typecode,
+                    )
         except (KeyError, TypeError, ValueError, IndexError):
             loaded.close()
             return None
@@ -676,6 +692,7 @@ def load_cached_graph(
         frontier=frontier,
         index=None,
     )
+    graph.column_files = dict(mapped.sources)
     telemetry.count("graphstore.hit")
     global _LAST_OUTCOME
     _LAST_OUTCOME = CacheOutcome(

@@ -566,6 +566,15 @@ def _explore_rounds_values(
     round_events = events.round_ticker()
     mask_labels: Dict[int, frozenset] = {}
     mask_memo: Dict[int, int] = {}
+    # Streaming verifiers under command fairness ask for per-round
+    # enabled-mask deltas (see ``_StreamingVerifier.wants_enabled_masks``):
+    # workers batch guards-only masks for their successor rows and the
+    # merge primes the observer, replacing its serial re-derivation.
+    want_masks = (
+        observer is not None
+        and getattr(observer, "wants_enabled_masks", False)
+        and getattr(plane, "enabled_batch", None) is not None
+    )
 
     arena = None
     shm_ok = True
@@ -624,7 +633,7 @@ def _explore_rounds_values(
                         values_col = array(
                             "q", [v for row in value_rows for v in row]
                         )
-                    round_results = _expand_round_values_parallel(
+                    round_results, row_masks = _expand_round_values_parallel(
                         digest,
                         plane_spec,
                         arena,
@@ -634,10 +643,16 @@ def _explore_rounds_values(
                         (src, cmd, dst, emask_of, pending[0]),
                         pending,
                         workers,
+                        want_masks,
                     )
                 else:
                     round_results = _expand_round_values_serial(
                         plane, value_rows, pending
+                    )
+                    row_masks = (
+                        _round_row_masks(plane, round_results, values_index)
+                        if want_masks
+                        else None
                     )
                 merge_started = time.perf_counter() if traced else 0.0
 
@@ -663,6 +678,7 @@ def _explore_rounds_values(
                     observer,
                     round_depth + 1,
                     mask_labels,
+                    row_masks,
                 )
                 if traced:
                     telemetry.observe(
@@ -724,6 +740,7 @@ def _merge_round_values(
     observer=None,
     successor_depth=0,
     mask_labels=None,
+    row_masks=None,
 ):
     """:func:`_merge_round` for value-plane rounds.
 
@@ -731,6 +748,13 @@ def _merge_round_values(
     same :class:`StopExploration` revert rule — only the successor lookup
     changes (value tuple instead of state object; a state object is built
     exactly once, when a row is genuinely new).
+
+    ``row_masks`` (optional) maps successor value rows to guards-only
+    plane masks from this round's batch; when present and the observer
+    accepts primes, every state touched this round gets its enabled set
+    handed over before any flush could demand it serially.  Guards are
+    pure, so priming never changes a verdict — only which code derives
+    the mask.
     """
     from repro.ts.explore import StopExploration
 
@@ -752,6 +776,37 @@ def _merge_round_values(
     mask_of = mask_memo.get
     tracked = observer is not None
     unbudgeted = max_states is None
+
+    prime = (
+        getattr(observer, "prime_enabled", None)
+        if tracked and row_masks is not None
+        else None
+    )
+    if prime is not None:
+
+        def enabled_set_of(plane_mask):
+            mask = mask_of(plane_mask)
+            if mask is None:
+                mask = 0
+                for b in range(plane_mask.bit_length()):
+                    if (plane_mask >> b) & 1:
+                        mask |= 1 << kmap[b]
+                mask_memo[plane_mask] = mask
+            enabled_set = mask_labels.get(mask)
+            if enabled_set is None:
+                mask_labels[mask] = enabled_set = frozenset(
+                    labels[b]
+                    for b in range(mask.bit_length())
+                    if (mask >> b) & 1
+                )
+            return enabled_set
+
+        # This round's sources: their masks arrived with the expansion
+        # results, so transitions between same-round states never fall
+        # back to serial derivation whichever source flushes first.
+        for p, (p_mask, _) in zip(pending, round_results):
+            prime(p, enabled_set_of(p_mask))
+
     i = -1
     finalized = -1
     try:
@@ -788,6 +843,10 @@ def _merge_round_values(
                             at_budget = len(states) >= max_states
                         if tracked:
                             observer.on_state(j, target, successor_depth)
+                            if prime is not None:
+                                p_mask = row_masks.get(row)
+                                if p_mask is not None:
+                                    prime(j, enabled_set_of(p_mask))
                 k = kmap[plane_cmd]
                 src_append(i)
                 cmd_append(k)
@@ -810,6 +869,33 @@ def _merge_round_values(
             expanded[i] = 0
         return next_pending, truncated, True
     return next_pending, truncated, False
+
+
+def _round_row_masks(plane, round_results, values_index):
+    """Guards-only masks for this round's genuinely-new successor rows.
+
+    Deduplicates the round's post rows, drops already-interned ones (their
+    enabled sets are recorded or primed by earlier rounds), and runs one
+    :meth:`enabled_batch` over the rest.  Returns a row → plane-mask dict;
+    empty when the plane declines (``enabled_batch`` returned ``None``, a
+    guard raised somewhere) — the streaming verifier then derives those
+    few masks serially, exactly as before priming existed.
+    """
+    fresh: List[tuple] = []
+    seen: Set[tuple] = set()
+    for _, posts in round_results:
+        for _, row in posts:
+            if row not in seen and row not in values_index:
+                seen.add(row)
+                fresh.append(row)
+    if not fresh:
+        return {}
+    masks = plane.enabled_batch(fresh)
+    if masks is None:
+        return {}
+    if telemetry.enabled():
+        telemetry.count("stream.mask_batch_rows", len(fresh))
+    return dict(zip(fresh, masks))
 
 
 def _expand_round_values_serial(plane, value_rows, pending):
@@ -835,6 +921,7 @@ def _expand_round_values_parallel(
     graph_columns,
     pending,
     workers,
+    want_masks=False,
 ):
     """Fan one round out over the pool through the shared-memory arena.
 
@@ -843,6 +930,12 @@ def _expand_round_values_parallel(
     the enabled masks of the expanded prefix — into the same arena, so
     the entire hot data plane is attachable.  Each task carries only the
     shard's index array; results come back as flat int arrays.
+
+    With ``want_masks`` each worker also batches guards-only enabled
+    masks for its deduplicated successor rows (the round's mask *delta*),
+    and the second return value maps row → plane mask for the merge to
+    prime a streaming verifier with.  Returns ``(results, row_masks)``
+    where ``row_masks`` is ``None`` when masks were not requested.
     """
     shards: List[List[int]] = [[] for _ in range(workers)]
     for i in pending:
@@ -872,17 +965,26 @@ def _expand_round_values_parallel(
             arena.tag,
             width,
             array("q", shard).tobytes(),
+            want_masks,
         )
         for shard in occupied
     ]
     outs = parallel_map(_expand_shard_values, tasks, n_jobs=workers)
 
     per_state: Dict[int, tuple] = {}
-    for shard, (masks, counts, cmds, refs, flat) in zip(occupied, outs):
+    row_masks: Optional[Dict[tuple, int]] = {} if want_masks else None
+    for shard, (masks, counts, cmds, refs, flat, tmasks) in zip(
+        occupied, outs
+    ):
         targets = [
             tuple(flat[r * width:(r + 1) * width])
             for r in range(len(flat) // width)
         ]
+        if row_masks is not None and len(tmasks) == len(targets):
+            # Empty ``tmasks`` (worker's plane declined the batch) simply
+            # leaves that shard's rows unprimed — serial fallback covers.
+            for r, target in enumerate(targets):
+                row_masks[target] = tmasks[r]
         base = 0
         for offset, i in enumerate(shard):
             count = counts[offset]
@@ -894,20 +996,23 @@ def _expand_round_values_parallel(
                 ],
             )
             base += count
-    return [per_state[i] for i in pending]
+    return [per_state[i] for i in pending], row_masks
 
 
 def _expand_shard_values(task):
     """Expand one shard of a value-plane round (runs in a worker process).
 
-    ``task`` is ``(digest, plane_spec, segment, tag, width, index_bytes)``.
-    The worker attaches the published value column, reads its rows in
-    place, runs the batched kernels, and returns flat arrays:
-    ``(masks, post_counts, cmd_ids, target_refs, target_values)`` with
-    targets deduplicated per shard — cheap to pickle, decoded by the
-    coordinator in serial merge order.
+    ``task`` is ``(digest, plane_spec, segment, tag, width, index_bytes,
+    want_masks)``.  The worker attaches the published value column, reads
+    its rows in place, runs the batched kernels, and returns flat arrays:
+    ``(masks, post_counts, cmd_ids, target_refs, target_values,
+    target_masks)`` with targets deduplicated per shard — cheap to
+    pickle, decoded by the coordinator in serial merge order.
+    ``target_masks`` carries one guards-only enabled mask per
+    deduplicated target when the round wants mask deltas (and the plane
+    can batch them); otherwise it is empty.
     """
-    digest, plane_spec, segment, tag, width, index_bytes = task
+    digest, plane_spec, segment, tag, width, index_bytes, want_masks = task
     plane = _shard_system(digest, plane_spec)
     indices = array("q")
     indices.frombytes(index_bytes)
@@ -943,7 +1048,16 @@ def _expand_shard_values(task):
             cmds.append(k)
             refs.append(ref)
     telemetry.count("shard.posts", posts_total)
-    return masks, counts, cmds, refs, flat
+
+    tmasks = array("Q")
+    if want_masks and ref_of:
+        batch = getattr(plane, "enabled_batch", None)
+        target_rows = list(ref_of)  # insertion order == ref order
+        batched = batch(target_rows) if batch is not None else None
+        if batched is not None:
+            tmasks.extend(batched)
+            telemetry.count("stream.mask_batch_rows", len(target_rows))
+    return masks, counts, cmds, refs, flat, tmasks
 
 
 def graph_digest(graph) -> str:

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import atexit
 import hashlib
+import mmap
 import os
 from array import array
 from typing import Dict, List, Optional, Tuple
@@ -334,9 +335,47 @@ def attach_column(name: str, tag: int, min_length: int) -> memoryview:
     return view
 
 
+#: Per-process cache of memory-mapped *file* columns (graph-store chunks
+#: adopted by the verification plane): ``(path, typecode) → (mmap, view)``.
+#: Chunk files are content-addressed and immutable, so a mapping never
+#: goes stale; an evicted chunk stays readable through the live mapping.
+_FILE_ATTACHED: Dict[Tuple[str, str], Tuple[mmap.mmap, memoryview]] = {}
+
+
+def attach_file_column(path: str, words: int, typecode: str = "q") -> memoryview:
+    """Memory-map a column file read-only; returns its typed payload view.
+
+    The file-backed twin of :func:`attach_column` for columns that
+    already live on disk (graph-store chunks): element ``i`` is
+    ``view[i]`` — no header.  Raises :class:`ShmUnavailable` when the
+    file is missing or shorter than the ``words`` the manifest promised,
+    so a stale manifest fails loudly instead of reading garbage.
+    """
+    key = (path, typecode)
+    cached = _FILE_ATTACHED.get(key)
+    if cached is not None:
+        view = cached[1]
+    else:
+        try:
+            with open(path, "rb") as handle:
+                mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except (OSError, ValueError) as exc:
+            raise ShmUnavailable(
+                f"cannot map column file {path!r}: {exc}"
+            ) from exc
+        view = memoryview(mapped).cast(typecode)
+        _FILE_ATTACHED[key] = (mapped, view)
+        telemetry.count("shm.file_attaches")
+    if len(view) < words:
+        raise ShmUnavailable(
+            f"column file {path!r} holds {len(view)} words, need {words}"
+        )
+    return view
+
+
 @atexit.register
 def detach_all() -> None:
-    """Drop every cached attachment.
+    """Drop every cached attachment (shared-memory and file-backed).
 
     Runs at interpreter exit (releasing the exported memoryviews before
     ``SharedMemory.__del__`` would trip over them) and is callable from
@@ -346,6 +385,13 @@ def detach_all() -> None:
         view.release()
         segment.close()
     _ATTACHED.clear()
+    for mapped, view in _FILE_ATTACHED.values():
+        view.release()
+        try:
+            mapped.close()
+        except (BufferError, ValueError):  # pragma: no cover - exported view
+            pass
+    _FILE_ATTACHED.clear()
 
 
 def live_segment_names() -> List[str]:

@@ -242,9 +242,20 @@ def _validated_counterexample(
 
     Defence in depth — the spec module re-derives fairness from the lasso
     itself; a found counterexample is genuine even on a bounded graph.
+    The enabled sets come from the graph's recorded masks (exact for every
+    explored state, frontier included — guards already ran there), so
+    validation reads columns instead of re-running guards; a state the
+    graph somehow does not know falls back to the system.
     """
+
+    def enabled(state):
+        try:
+            return graph.enabled_at(graph.index_of(state))
+        except KeyError:
+            return graph.system.enabled(state)
+
     violations = STRONG_FAIRNESS.violations(
-        witness.lasso, graph.system.enabled, graph.system.commands()
+        witness.lasso, enabled, graph.system.commands()
     )
     if violations:
         raise AssertionError(

@@ -664,6 +664,30 @@ class CompiledProgram:
             if compiled.guard(values)
         )
 
+    def enabled_masks_batch(
+        self, rows: Sequence[Values]
+    ) -> Optional[List[int]]:
+        """Guards-only :meth:`expand_batch`: the enabled bitmask per row.
+
+        One batched guard kernel per *command* over the whole batch — no
+        bodies run, so this is what the streaming checker's enabled-mask
+        deltas cost per exploration round.  Returns ``None`` if any guard
+        raises: callers use these masks *speculatively* (priming caches
+        ahead of expansion), and an error must surface where the serial
+        path would raise it — at expansion or flush time — not here.
+        """
+        try:
+            masks = [0] * len(rows)
+            for k, command in enumerate(self.commands):
+                flags = command.guard_batch(rows)
+                bit = 1 << k
+                for i, flag in enumerate(flags):
+                    if flag:
+                        masks[i] |= bit
+            return masks
+        except Exception:
+            return None
+
     def execute_command(
         self, label: str, state: ProgramState
     ) -> List[ProgramState]:

@@ -90,6 +90,18 @@ class ProgramValuePlane:
         """Per row: ``(enabled bitmask over labels, [(cmd index, post)])``."""
         return self._compiled.expand_batch(rows)
 
+    def enabled_batch(self, rows: Sequence[Values]) -> Optional[List[int]]:
+        """Guards-only masks per row; ``None`` if a guard raises.
+
+        The streaming checker's per-round enabled-mask deltas: the
+        explorer batches the masks of freshly discovered successors here
+        (workers do it shard-side over shm) so the verifier never has to
+        re-derive enabledness one state at a time.  A ``None`` simply
+        skips the priming — the serial fallback recomputes, and any guard
+        error keeps its serial-path surfacing point.
+        """
+        return self._compiled.enabled_masks_batch(rows)
+
     def spec(self) -> Optional[bytes]:
         """Pickled self for shipping to pool workers (``None`` if stuck)."""
         import pickle

@@ -23,11 +23,19 @@ termination measure** (Theorem 1 then applies; see
 
 from __future__ import annotations
 
+import os
+from array import array
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.engine import shm
 from repro.engine.parallel import chunk_items, effective_jobs, parallel_map
 from repro.measures.assignment import StackAssignment
+from repro.measures.columns import (
+    StackColumns,
+    check_chunk_columns,
+    encode_stacks,
+)
 from repro.telemetry import core as telemetry
 from repro.telemetry import events
 from repro.measures.hypotheses import TERMINATION
@@ -35,6 +43,21 @@ from repro.measures.stack import Stack, stacks_equal_below
 from repro.ts.explore import ExplorationObserver, ReachableGraph, StopExploration, explore
 from repro.ts.system import CommandLabel, Transition, TransitionSystem
 from repro.wf.base import WellFoundedOrder
+
+#: ``"0"`` disables the columnar verification plane (every check takes the
+#: per-transition tuple path); ``"1"`` forces it even where the adaptive
+#: rule would stay serial-tuple (benchmark columns and differential
+#: tests).  Unset/other: columnar engages when the check goes parallel or
+#: the transition count reaches :data:`PLANE_WORK_CUTOFF`; small serial
+#: checks — and any graph the codec cannot encode — keep the tuple engine
+#: unchanged.
+VERIFY_PLANE_ENV = "REPRO_VERIFY_PLANE"
+
+#: Transition count above which the columnar kernel beats the tuple path
+#: even on one core (encoding is O(states), the kernel saves per-edge
+#: tuple construction and interpreted level-search overhead); below it
+#: the tuple engine stays the serial default.
+PLANE_WORK_CUTOFF = 20_000
 
 
 @dataclass(frozen=True)
@@ -313,6 +336,284 @@ def _count_outcome(data, failures) -> None:
             telemetry.count("verify.failed_levels.other")
 
 
+def _count_plane(counts) -> None:
+    """Merge one kernel run's aggregate outcome counters into the registry.
+
+    Same counter names, same totals as :func:`_count_outcome` called per
+    transition — the kernel accumulates plain ints and this applies them
+    in nine increments instead of millions.  Zero counts stay absent
+    (``_count_outcome`` never creates a counter it does not touch).
+    """
+    (
+        transitions,
+        witnessed,
+        violations,
+        enabled,
+        decrease,
+        f_noc,
+        f_noni,
+        f_a,
+        f_other,
+    ) = counts
+    if transitions:
+        telemetry.count("verify.transitions", transitions)
+    if witnessed:
+        telemetry.count("verify.witnessed", witnessed)
+    if violations:
+        telemetry.count("verify.violations", violations)
+    if enabled:
+        telemetry.count("verify.active.enabled", enabled)
+    if decrease:
+        telemetry.count("verify.active.decrease", decrease)
+    if f_noc:
+        telemetry.count("verify.failed_levels.v_noc", f_noc)
+    if f_noni:
+        telemetry.count("verify.failed_levels.v_noni", f_noni)
+    if f_a:
+        telemetry.count("verify.failed_levels.v_a", f_a)
+    if f_other:
+        telemetry.count("verify.failed_levels.other", f_other)
+
+
+def _attach_plane_column(entry, tag: int):
+    """Resolve one manifest entry to a flat payload view (worker side).
+
+    ``("shm", name, length)`` attaches the arena segment and slices off
+    the header; ``("file", path, words, typecode)`` memory-maps a
+    graph-store chunk directly — the warm graph's columns are already on
+    disk, so the coordinator never copies them through shared memory.
+    """
+    kind = entry[0]
+    if kind == "shm":
+        _, name, length = entry
+        view = shm.attach_column(name, tag, length)
+        return view[shm.HEADER_WORDS : shm.HEADER_WORDS + length]
+    _, path, words, typecode = entry
+    return shm.attach_file_column(path, words, typecode)
+
+
+#: One columnar chunk task: ``(manifest, tag, lo, hi, n_commands, keep)``.
+#: The manifest maps column keys (soff/ssub/sval/srank/src/cmd/dst/emask)
+#: to attachable entries — the whole input of a million-edge check chunk
+#: pickles in a few hundred bytes.
+_PlaneTask = Tuple[Dict[str, tuple], int, int, int, int, bool]
+
+
+def _check_plane_chunk(task: _PlaneTask):
+    """Worker: run the columnar kernel over one edge range.
+
+    Returns ``(witness_bytes, violations, counts)``; ``witness_bytes`` is
+    the packed witness-word column (``None`` when the caller keeps no
+    witnesses).  Outcome counters are merged into the worker registry
+    here — the pool's delta collection carries them home, so parent
+    totals are exact for any job count, like the tuple path.
+    """
+    manifest, tag, lo, hi, n_commands, keep = task
+    cols = {key: _attach_plane_column(entry, tag) for key, entry in manifest.items()}
+    words, violations, counts = check_chunk_columns(
+        cols["soff"],
+        cols["ssub"],
+        cols["sval"],
+        cols["srank"],
+        cols["src"],
+        cols["cmd"],
+        cols["dst"],
+        cols["emask"],
+        lo,
+        hi,
+        n_commands,
+        keep,
+    )
+    if telemetry.enabled():
+        telemetry.count("verify.plane.chunks")
+        _count_plane(counts)
+    return (words.tobytes() if words is not None else None, violations, counts)
+
+
+def _plane_chunks_parallel(
+    graph: ReachableGraph,
+    columns: StackColumns,
+    jobs: int,
+    keep_witnesses: bool,
+):
+    """Publish the plane and fan the kernel out; ``None`` if shm is out.
+
+    Columns the graph already has on disk (mmap-warm loads record their
+    single-chunk file sources in ``graph.column_files``) are adopted by
+    path; everything else syncs into a fresh arena.  Workers get
+    ``(manifest, eid_range)`` tasks; the arena dies in the ``finally`` —
+    normal return, pool failure and worker exceptions all reclaim every
+    segment (the zero-leak contract).
+    """
+    src, cmd, dst = graph.transition_columns
+    try:
+        arena = shm.ShmArena(b"verify-plane")
+    except shm.ShmUnavailable:
+        if telemetry.enabled():
+            telemetry.count("verify.plane.shm_unavailable")
+        return None
+    try:
+        adopted = getattr(graph, "column_files", None) or {}
+        manifest: Dict[str, tuple] = {}
+
+        def publish(key: str, source, adopt_key: str | None = None) -> None:
+            entry = adopted.get(adopt_key) if adopt_key else None
+            if entry is not None:
+                path, words, typecode = entry
+                manifest[key] = ("file", path, words, typecode)
+                if telemetry.enabled():
+                    telemetry.count("verify.plane.adopted_columns")
+                return
+            arena.sync(key, source)
+            name, length = arena.column(key).manifest()
+            manifest[key] = ("shm", name, length)
+
+        publish("soff", columns.offsets)
+        publish("ssub", columns.subject)
+        publish("sval", columns.value_id)
+        publish("srank", columns.rank)
+        publish("src", src, adopt_key="src")
+        publish("cmd", cmd, adopt_key="cmd")
+        publish("dst", dst, adopt_key="dst")
+        publish("emask", graph.enabled_masks, adopt_key="masks")
+
+        parts = chunk_items(range(len(src)), jobs)
+        tasks = [
+            (manifest, arena.tag, part.start, part.stop,
+             columns.n_commands, keep_witnesses)
+            for part in parts
+            if len(part)
+        ]
+        outs = parallel_map(_check_plane_chunk, tasks, n_jobs=jobs)
+        return [
+            (task[2], payload, violations)
+            for task, (payload, violations, _) in zip(tasks, outs)
+        ]
+    finally:
+        arena.close()
+
+
+def _decode_plane_violation(
+    graph: ReachableGraph,
+    stacks: List[Stack],
+    order: WellFoundedOrder,
+    eid: int,
+) -> TransitionViolation:
+    """Re-run the object-level search on one violating edge.
+
+    Violations are rare and need the exact failure strings (measure
+    values, not ranks), so the decode simply replays
+    :func:`find_active_level_general` on the already-built stacks —
+    bit-identical detail text by construction.  Outcome counters were
+    already merged from the kernel; the replay does not count again.
+    """
+    analyses = graph.analyses
+    packed = analyses.packed
+    commands = analyses.commands
+    masks = analyses.enabled_masks
+    s, t = packed.src[eid], packed.dst[eid]
+    data, failures = find_active_level_general(
+        stacks[s],
+        stacks[t],
+        commands.singleton(packed.cmd[eid]),
+        commands.labels_of_mask(masks[s] | masks[t]),
+        order,
+    )
+    if data is not None:  # pragma: no cover - kernel/search parity guard
+        raise AssertionError(
+            f"internal error: columnar kernel flagged eid {eid} as a "
+            f"violation but the level search witnesses it at {data.level}"
+        )
+    if telemetry.enabled():
+        telemetry.count("verify.plane.decoded_violations")
+    return TransitionViolation(
+        transition=graph.to_transition(graph.transitions[eid]),
+        source_stack=stacks[s],
+        target_stack=stacks[t],
+        failures=tuple(failures),
+    )
+
+
+def _check_measure_plane(
+    graph: ReachableGraph,
+    stacks: List[Stack],
+    columns: StackColumns,
+    order: WellFoundedOrder,
+    keep_witnesses: bool,
+    jobs: int,
+) -> MeasureCheckResult:
+    """The columnar engine: batched kernels over (possibly shared) columns.
+
+    Verdict, witnesses, violations — contents *and* order — are
+    bit-identical to the tuple path: chunks are contiguous eid ranges,
+    decoded in range order, and every rare outcome (a violation) replays
+    the object-level search for its exact diagnostics.
+    """
+    src, cmd, dst = graph.transition_columns
+    masks = graph.enabled_masks
+    m = len(src)
+    traced = telemetry.enabled()
+    if traced:
+        telemetry.count("verify.plane.engaged")
+        telemetry.count("verify.plane.rows", m)
+
+    chunks = None
+    if jobs > 1 and m > 1:
+        chunks = _plane_chunks_parallel(graph, columns, jobs, keep_witnesses)
+    if chunks is None:
+        words, violating, counts = check_chunk_columns(
+            columns.offsets,
+            columns.subject,
+            columns.value_id,
+            columns.rank,
+            src,
+            cmd,
+            dst,
+            masks,
+            0,
+            m,
+            columns.n_commands,
+            keep_witnesses,
+        )
+        if traced:
+            telemetry.count("verify.plane.chunks")
+            _count_plane(counts)
+        chunks = [(0, words.tobytes() if words is not None else None, violating)]
+
+    transitions = graph.transitions
+    witnesses: List[ActiveWitness] = []
+    violations: List[TransitionViolation] = []
+    for lo, payload, violating in chunks:
+        if keep_witnesses and payload is not None:
+            words = array("q")
+            words.frombytes(payload)
+            for rel, word in enumerate(words):
+                eid = lo + rel
+                if word < 0:
+                    continue
+                level = word >> 1
+                witnesses.append(
+                    ActiveWitness(
+                        transition=graph.to_transition(transitions[eid]),
+                        level=level,
+                        subject=stacks[src[eid]].level(level).subject,
+                        reason="decrease" if word & 1 else "enabled",
+                    )
+                )
+        for eid in violating:
+            violations.append(
+                _decode_plane_violation(graph, stacks, order, eid)
+            )
+
+    return MeasureCheckResult(
+        witnesses=witnesses,
+        violations=violations,
+        transitions_checked=m,
+        complete=graph.complete,
+        order_well_founded=order.is_well_founded(),
+    )
+
+
 def check_measure(
     graph: ReachableGraph,
     assignment: StackAssignment,
@@ -383,6 +684,33 @@ def _check_measure_inner(
     enabled_masks = analyses.enabled_masks
     commands = analyses.commands
 
+    # Columnar dispatch: when the check would go parallel anyway, the
+    # transition count is large enough to amortize encoding (the batched
+    # kernel beats per-edge tuples even on one core), or the environment
+    # forces the plane, pack the stacks into flat columns and run the
+    # batched kernel instead of building per-edge tuples.  Any
+    # graph/assignment the codec cannot represent exactly — generalized
+    # requirements, >63 commands, an order without an exact integer
+    # ranking — falls through to the tuple engine below, which also stays
+    # the default for small checks (the PR 2 never-slower
+    # adaptive-dispatch rule: encoding overhead must never dominate).
+    jobs = effective_jobs(n_jobs, len(transitions))
+    mode = os.environ.get(VERIFY_PLANE_ENV, "")
+    engage = jobs > 1 or mode == "1" or len(transitions) >= PLANE_WORK_CUTOFF
+    if mode != "0" and engage:
+        if requirements is not None:
+            if telemetry.enabled():
+                telemetry.count("verify.plane.fallback.requirements")
+        else:
+            columns, reason = encode_stacks(stacks, commands, order)
+            if columns is None:
+                if telemetry.enabled():
+                    telemetry.count(f"verify.plane.fallback.{reason}")
+            else:
+                return _check_measure_plane(
+                    graph, stacks, columns, order, keep_witnesses, jobs
+                )
+
     # Per-transition inputs, precomputed in the parent so workers never see
     # the (closure-laden, unpicklable) assignment or requirement objects.
     # Enabled-union frozensets are shared via the mask cache; the
@@ -424,10 +752,10 @@ def _check_measure_inner(
                 )
             )
 
-    # Adaptive dispatch: one work unit per transition.  Small graphs are
+    # Adaptive dispatch: one work unit per transition (``jobs`` was
+    # resolved above, before the columnar branch).  Small graphs are
     # demoted to serial so ``--jobs N`` never pays pool overhead it cannot
     # amortise (REPRO_FORCE_PARALLEL=1 overrides, for pool smoke tests).
-    jobs = effective_jobs(n_jobs, len(tasks))
     if jobs <= 1:
         outcomes = _check_chunk((tasks, order))
     else:
@@ -567,6 +895,32 @@ class _StreamingVerifier(ExplorationObserver):
             pending.clear()
         pending.append((source, command, target))
 
+    @property
+    def wants_enabled_masks(self) -> bool:
+        """Whether the explorer should prime per-round enabled masks.
+
+        Under command fairness every flush needs the enabled sets of both
+        endpoints; the sharded value-plane explorer batches those per
+        round (workers return guards-only masks for their successor
+        deltas over shm) and hands them in through
+        :meth:`prime_enabled`, replacing the serial per-state
+        re-derivation of :meth:`_enabled_of`.  Generalized requirements
+        use demanded sets instead, so masks would be dead weight there.
+        """
+        return self._requirements is None
+
+    def prime_enabled(self, index: int, enabled: frozenset) -> None:
+        """Record a batch-derived enabled set for an unflushed state.
+
+        Guards are pure, so a primed set equals what :meth:`_enabled_of`
+        would have derived serially — priming changes which code computes
+        the mask, never its value, and never the flush order or stop
+        points.  An already-known state keeps its recorded set.
+        """
+        if self._enabled[index] is None:
+            self._enabled[index] = enabled
+            telemetry.count("stream.mask_primes")
+
     def _enabled_of(self, index: int) -> frozenset:
         enabled = self._enabled[index]
         if enabled is None:
@@ -577,6 +931,7 @@ class _StreamingVerifier(ExplorationObserver):
             # states, expansion-derived otherwise).
             enabled = frozenset(self._system.enabled(self._states[index]))
             self._enabled[index] = enabled
+            telemetry.count("stream.mask_derived_serially")
         return enabled
 
     def on_expanded(self, index: int, enabled: frozenset) -> None:

@@ -105,7 +105,8 @@ def engine_counters() -> Dict[str, Any]:
     progress line's completion summary all read — nothing else may poke
     the registry ad hoc for these fields.  Keys: ``phases`` (root-span
     name → wall seconds), the successor-/graph-store hit/miss totals,
-    incremental-reuse state count, and the streaming
+    incremental-reuse state count, the columnar verify-plane row total,
+    the streaming mask-prime total, and the streaming
     states-until-verdict gauge (``None`` unless a streaming run set it).
     """
     metrics = registry().snapshot()
@@ -119,6 +120,8 @@ def engine_counters() -> Dict[str, Any]:
         "incremental_reused": counters.get(
             "graphstore.incremental.reused_states", 0
         ),
+        "plane_rows": counters.get("verify.plane.rows", 0),
+        "mask_primes": counters.get("stream.mask_primes", 0),
         "states_at_verdict": metrics["gauges"].get("stream.states_at_verdict"),
     }
 

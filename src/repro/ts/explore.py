@@ -333,6 +333,12 @@ class ReachableGraph:
             self._enabled_masks = list(enabled_masks)
         self._initial_count = initial_count
         self._frontier = frontier
+        #: ``column key → (path, words, typecode)`` for columns whose bytes
+        #: already live in a single on-disk chunk (filled by the graph
+        #: store's mmap-warm loader).  Consumers that ship columns to
+        #: workers — the verification plane — adopt these by path instead
+        #: of copying them through shared memory.
+        self.column_files: Dict[str, tuple] = {}
         self._packed: PackedGraph | None = None
         self._in_start: array | None = None
         self._in_eid: array | None = None

@@ -41,6 +41,9 @@ def artifact_dir(tmp_path):
         ],
     }))
     (tmp_path / "BENCH_broken.json").write_text("{not json")
+    # Valid JSON whose top level is not an object: must be skipped with a
+    # warning, never crash row collection (a list has no ``.get``).
+    (tmp_path / "BENCH_listy.json").write_text(json.dumps([1, 2, 3]))
     return tmp_path
 
 
@@ -56,6 +59,25 @@ class TestTrajectoryRows:
 
     def test_empty_directory_yields_nothing(self, compare, tmp_path):
         assert compare.trajectory_rows(tmp_path) == []
+
+    def test_malformed_artifacts_warn_and_skip(
+        self, compare, artifact_dir, capsys
+    ):
+        rows = compare.trajectory_rows(artifact_dir)
+        err = capsys.readouterr().err
+        assert "BENCH_broken.json" in err and "skipped" in err
+        assert "BENCH_listy.json" in err and "not a JSON object" in err
+        # The readable artifacts still contribute every one of their rows.
+        assert len(rows) == 4
+
+    def test_all_artifacts_malformed_yields_nothing(
+        self, compare, tmp_path, capsys
+    ):
+        (tmp_path / "BENCH_a.json").write_text("[")
+        (tmp_path / "BENCH_b.json").write_text('"just a string"')
+        assert compare.trajectory_rows(tmp_path) == []
+        err = capsys.readouterr().err
+        assert "BENCH_a.json" in err and "BENCH_b.json" in err
 
 
 class TestTrajectoryCli:

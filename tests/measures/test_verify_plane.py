@@ -1,0 +1,425 @@
+"""The columnar verification plane (DESIGN §6h).
+
+Three layers of evidence that the packed-column engine is an *engine
+swap*, never a semantics change:
+
+* **codec round-trips** — ``encode_stacks``/``decode_stack`` lose nothing
+  the level search observes, across empty (T-only), max-height, stray-
+  subject and bare-value stacks;
+* **kernel parity** — ``check_chunk_columns`` agrees with
+  ``find_active_level_general`` edge by edge, witness levels, reasons and
+  failure buckets included;
+* **engine differentials** — ``check_measure`` under
+  ``REPRO_VERIFY_PLANE=1`` (columnar; serial and pool-sharded via
+  ``REPRO_FORCE_PARALLEL=1``) returns results identical to
+  ``REPRO_VERIFY_PLANE=0`` (the tuple path) on the paper examples
+  P1–P4 and on a violating family, witnesses and violation renderings
+  compared string by string.
+"""
+
+import os
+from array import array
+
+import pytest
+
+from repro.measures import StackAssertion, Stack, TERMINATION, Hypothesis
+from repro.measures import check_measure
+from repro.measures.columns import (
+    BARE_VALUE,
+    T_SUBJECT,
+    check_chunk_columns,
+    encode_stacks,
+)
+from repro.measures.verification import (
+    PLANE_WORK_CUTOFF,
+    VERIFY_PLANE_ENV,
+    find_active_level_general,
+)
+from repro.ts import explore
+from repro.wf import NATURALS, FiniteOrder
+from repro.workloads import (
+    grid_hypercube,
+    p1,
+    p1_assertion,
+    p2,
+    p2_assertion,
+    p3_bounded,
+    p3_assertion,
+    p4_bounded,
+    p4_assertion,
+)
+
+
+def _result_observables(result, with_witnesses=True):
+    """Everything the tuple and columnar engines must agree on."""
+    observed = {
+        "ok": result.ok,
+        "checked": result.transitions_checked,
+        "complete": result.complete,
+        "well_founded": result.order_well_founded,
+        "summary": result.summary(),
+        "violations": [str(v) for v in result.violations],
+    }
+    if with_witnesses:
+        observed["witnesses"] = [
+            (str(w.transition), w.level, w.subject, w.reason)
+            for w in result.witnesses
+        ]
+    return observed
+
+
+@pytest.fixture
+def plane_env(monkeypatch):
+    """Toggle the verify-plane engine per call: ``run(mode, jobs)``."""
+
+    def run(graph, assignment, mode, n_jobs=None, force=False, **kw):
+        monkeypatch.setenv(VERIFY_PLANE_ENV, mode)
+        if force:
+            monkeypatch.setenv("REPRO_FORCE_PARALLEL", "1")
+        else:
+            monkeypatch.delenv("REPRO_FORCE_PARALLEL", raising=False)
+        return check_measure(graph, assignment, n_jobs=n_jobs, **kw)
+
+    return run
+
+
+# ---------------------------------------------------------------------------
+# Codec round-trips
+# ---------------------------------------------------------------------------
+
+
+class TestCodecRoundTrip:
+    def _table(self, program):
+        return explore(program).analyses.commands
+
+    def test_paper_assignments_round_trip(self):
+        for program, assertion in (
+            (p2(6), p2_assertion()),
+            (p3_bounded(3, 120), p3_assertion()),
+            (p4_bounded(2, 2, 40), p4_assertion()),
+        ):
+            graph = explore(program)
+            assignment = assertion.compile()
+            stacks = [assignment(s) for s in graph.states]
+            commands = graph.analyses.commands
+            columns, reason = encode_stacks(
+                stacks, commands, assignment.order
+            )
+            assert reason is None
+            assert columns.n_states == len(stacks)
+            for index, stack in enumerate(stacks):
+                assert columns.decode_stack(index, commands) == stack
+
+    def test_empty_stack_is_t_only(self):
+        # The paper's minimal annotation: height 1, nothing above T.  A
+        # bare (value-less) hypothesis can only live above level 0 — the
+        # T-hypothesis always carries a measure value.
+        graph = explore(p1(5))
+        commands = graph.analyses.commands
+        stacks = [
+            Stack([Hypothesis(TERMINATION, i)]) for i in range(len(graph))
+        ]
+        columns, reason = encode_stacks(stacks, commands, NATURALS)
+        assert reason is None
+        assert columns.subject[columns.offsets[0]] == T_SUBJECT
+        bare = Stack(
+            [Hypothesis(TERMINATION, 1), Hypothesis("inc", None)]
+        )
+        bare_cols, bare_reason = encode_stacks(
+            [bare], commands, NATURALS
+        )
+        assert bare_reason is None
+        assert bare_cols.value_id[bare_cols.offsets[0] + 1] == BARE_VALUE
+        assert bare_cols.decode_stack(0, commands) == bare
+        for index in range(len(graph)):
+            assert columns.decode_stack(index, commands) == stacks[index]
+
+    def test_max_height_stack_with_strays(self):
+        # One hypothesis per command plus subjects the table has never
+        # seen: the full height the duplicate-subject invariant admits.
+        graph = explore(p2(4))
+        commands = graph.analyses.commands
+        entries = [Hypothesis(TERMINATION, 3)]
+        entries += [
+            Hypothesis(label, k) for k, label in enumerate(commands.labels)
+        ]
+        entries += [Hypothesis(f"ghost{j}", None) for j in range(3)]
+        stack = Stack(entries)
+        columns, reason = encode_stacks(
+            [stack] * len(graph), commands, NATURALS
+        )
+        assert reason is None
+        decoded = columns.decode_stack(0, commands)
+        assert decoded == stack
+        # Stray subjects encode above the command-id range, so they can
+        # never collide with an enabled bit or the executed command.
+        lo, hi = columns.offsets[0], columns.offsets[1]
+        stray_ids = [
+            columns.subject[r]
+            for r in range(lo, hi)
+            if columns.subject[r] >= len(commands.labels)
+        ]
+        assert len(stray_ids) == 3
+
+    def test_rank_is_order_isomorphic_on_naturals(self):
+        graph = explore(p2(4))
+        commands = graph.analyses.commands
+        stacks = [
+            Stack([Hypothesis(TERMINATION, v)]) for v in (0, 7, 3, 7, 10)
+        ]
+        columns, reason = encode_stacks(stacks, commands, NATURALS)
+        assert reason is None
+        rank_of = {
+            v: columns.rank[columns.offsets[i]]
+            for i, v in enumerate((0, 7, 3, 7, 10))
+        }
+        for a in rank_of:
+            for b in rank_of:
+                assert (rank_of[a] > rank_of[b]) == NATURALS.gt(a, b)
+
+    def test_non_integer_total_order_uses_dominance_ranks(self):
+        graph = explore(p2(4))
+        commands = graph.analyses.commands
+        order = FiniteOrder(
+            ["low", "mid", "high"],
+            [("high", "mid"), ("mid", "low")],
+        )
+        stacks = [
+            Stack([Hypothesis(TERMINATION, v)])
+            for v in ("high", "low", "mid")
+        ]
+        columns, reason = encode_stacks(stacks, commands, order)
+        assert reason is None
+        ranks = [columns.rank[columns.offsets[i]] for i in range(3)]
+        for i, a in enumerate(("high", "low", "mid")):
+            for j, b in enumerate(("high", "low", "mid")):
+                assert (ranks[i] > ranks[j]) == order.gt(a, b)
+
+    def test_partial_order_falls_back(self):
+        # x ≻ z with y incomparable to both: any integer ranking gives x
+        # and y different ranks, faking an x ≻ y the order does not have.
+        # (A pure antichain *is* representable — all ranks equal — so the
+        # refusal must come from the exactness audit, not mere partiality.)
+        order = FiniteOrder(["x", "y", "z"], [("x", "z")])
+        graph = explore(p2(4))
+        commands = graph.analyses.commands
+        stacks = [
+            Stack([Hypothesis(TERMINATION, v)]) for v in ("x", "y", "z")
+        ]
+        columns, reason = encode_stacks(stacks, commands, order)
+        assert columns is None
+        assert reason == "rank"
+
+    def test_t_command_label_falls_back(self):
+        # A command literally named "T" would collide with the level-0
+        # T-subject sentinel in the V_NonI comparison: refuse to encode.
+        from repro.ts import ExplicitSystem
+
+        system = ExplicitSystem(
+            commands=["T", "a"],
+            initial=["s"],
+            transitions=[("s", "T", "s2"), ("s", "a", "s2")],
+        )
+        graph = explore(system)
+        commands = graph.analyses.commands
+        stacks = [Stack([Hypothesis(TERMINATION, 1)])] * len(graph)
+        columns, reason = encode_stacks(stacks, commands, NATURALS)
+        assert columns is None
+        assert reason == "t_label"
+
+
+# ---------------------------------------------------------------------------
+# Kernel vs the object-level level search
+# ---------------------------------------------------------------------------
+
+
+class TestKernelParity:
+    def _check_both(self, program, assertion):
+        graph = explore(program)
+        assignment = assertion.compile()
+        stacks = [assignment(s) for s in graph.states]
+        analyses = graph.analyses
+        commands = analyses.commands
+        columns, reason = encode_stacks(stacks, commands, assignment.order)
+        assert reason is None
+        src, cmd, dst = graph.transition_columns
+        masks = analyses.enabled_masks
+        m = len(src)
+        words, violating, _counts = check_chunk_columns(
+            columns.offsets, columns.subject, columns.value_id,
+            columns.rank, src, cmd, dst, masks, 0, m,
+            columns.n_commands, True,
+        )
+        violating = set(violating)
+        for eid in range(m):
+            s, t = src[eid], dst[eid]
+            data, failures = find_active_level_general(
+                stacks[s],
+                stacks[t],
+                commands.singleton(cmd[eid]),
+                commands.labels_of_mask(masks[s] | masks[t]),
+                assignment.order,
+            )
+            if data is None:
+                assert eid in violating, (eid, failures)
+                assert words[eid] == -1
+            else:
+                assert eid not in violating
+                word = words[eid]
+                assert word >> 1 == data.level
+                assert ("decrease" if word & 1 else "enabled") == data.reason
+
+    def test_passing_and_failing_families(self):
+        self._check_both(p2(5), p2_assertion())
+        self._check_both(p4_bounded(2, 2, 30), p4_assertion())
+        # A failing annotation: x0 alone cannot witness the other axes.
+        self._check_both(
+            grid_hypercube(3, 3), StackAssertion.parse(["T: x0"])
+        )
+
+
+# ---------------------------------------------------------------------------
+# Whole-engine differentials
+# ---------------------------------------------------------------------------
+
+
+class TestEngineDifferential:
+    FAMILIES = ()
+
+    @staticmethod
+    def _families():
+        dims = 3
+        total = " + ".join(f"x{i}" for i in range(dims))
+        return [
+            (p1(8), p1_assertion()),
+            (p2(6), p2_assertion()),
+            (p3_bounded(3, 120), p3_assertion()),
+            (p4_bounded(2, 2, 40), p4_assertion()),
+            # Violating: x1/x2 decrements never decrease x0.
+            (grid_hypercube(dims, 3), StackAssertion.parse(["T: x0"])),
+            (grid_hypercube(dims, 3), StackAssertion.parse([f"T: {total}"])),
+        ]
+
+    def test_columnar_matches_tuple_engine(self, plane_env):
+        for program, assertion in self._families():
+            graph = explore(program)
+            assignment = assertion.compile()
+            baseline = _result_observables(
+                plane_env(graph, assignment, "0")
+            )
+            serial = _result_observables(
+                plane_env(graph, assignment, "1")
+            )
+            assert serial == baseline
+
+    def test_columnar_sharded_matches_tuple_engine(self, plane_env):
+        for program, assertion in self._families():
+            graph = explore(program)
+            assignment = assertion.compile()
+            baseline = _result_observables(
+                plane_env(graph, assignment, "0")
+            )
+            sharded = _result_observables(
+                plane_env(graph, assignment, "1", n_jobs=2, force=True)
+            )
+            assert sharded == baseline
+
+    def test_no_witness_mode_matches_too(self, plane_env):
+        program = grid_hypercube(3, 3)
+        assignment = StackAssertion.parse(["T: x0"]).compile()
+        graph = explore(program)
+        baseline = _result_observables(
+            plane_env(graph, assignment, "0", keep_witnesses=False)
+        )
+        for n_jobs, force in ((None, False), (2, True)):
+            columnar = _result_observables(
+                plane_env(
+                    graph, assignment, "1",
+                    n_jobs=n_jobs, force=force, keep_witnesses=False,
+                )
+            )
+            assert columnar == baseline
+        assert baseline["witnesses"] == []
+
+    def test_plane_disabled_by_env(self, plane_env, monkeypatch):
+        from repro.telemetry import core as telemetry
+
+        graph = explore(p2(6))
+        assignment = p2_assertion().compile()
+        telemetry.reset()
+        telemetry.enable()
+        try:
+            plane_env(graph, assignment, "0", n_jobs=2, force=True)
+            counters = telemetry.registry().snapshot()["counters"]
+        finally:
+            telemetry.reset()
+            telemetry.disable()
+        assert "verify.plane.engaged" not in counters
+
+    def test_auto_mode_engages_above_cutoff(self, plane_env):
+        from repro.telemetry import core as telemetry
+
+        graph = explore(p2(6))
+        assignment = p2_assertion().compile()
+        assert len(graph.transitions) < PLANE_WORK_CUTOFF
+        telemetry.reset()
+        telemetry.enable()
+        try:
+            # Below the cutoff, serial auto mode stays on the tuple path.
+            plane_env(graph, assignment, "")
+            counters = telemetry.registry().snapshot()["counters"]
+            assert "verify.plane.engaged" not in counters
+            # Forcing engages regardless of size.
+            plane_env(graph, assignment, "1")
+            counters = telemetry.registry().snapshot()["counters"]
+            assert counters.get("verify.plane.engaged") == 1
+        finally:
+            telemetry.reset()
+            telemetry.disable()
+
+    def test_generalized_requirements_fall_back(self, plane_env):
+        from repro.fairness.generalized import command_requirements
+
+        graph = explore(p2(6))
+        assignment = p2_assertion().compile()
+        requirements = command_requirements(graph.system)
+        baseline = _result_observables(
+            plane_env(graph, assignment, "0", requirements=requirements)
+        )
+        forced = _result_observables(
+            plane_env(graph, assignment, "1", requirements=requirements)
+        )
+        assert forced == baseline
+
+
+# ---------------------------------------------------------------------------
+# Streaming mask priming
+# ---------------------------------------------------------------------------
+
+
+class TestStreamingMaskPrimes:
+    def test_streaming_verdict_unchanged_and_primed(self, monkeypatch):
+        from repro.measures import check_measure_streaming
+        from repro.telemetry import core as telemetry
+
+        program = grid_hypercube(3, 3)
+        assignment = StackAssertion.parse(["T: x0"]).compile()
+        graph = explore(program)
+        baseline = _result_observables(check_measure(graph, assignment))
+
+        monkeypatch.setenv("REPRO_FORCE_PARALLEL", "1")
+        telemetry.reset()
+        telemetry.enable()
+        try:
+            streamed = check_measure_streaming(
+                program, assignment, n_jobs=2
+            )
+            counters = telemetry.registry().snapshot()["counters"]
+        finally:
+            telemetry.reset()
+            telemetry.disable()
+        assert _result_observables(streamed) == baseline
+        # The value-plane rounds primed the verifier's enabled sets; the
+        # serial re-derivation stayed on the bench.
+        assert counters.get("stream.mask_primes", 0) > 0
+        assert counters.get("stream.mask_derived_serially", 0) == 0
